@@ -1,0 +1,61 @@
+// Table II + Fig. 11: simulator accuracy across seven hand-picked
+// partition schemes of GPT-2 345M on a 4-stage pipeline.
+//
+// "Actual" is the discrete-event executor with the per-op launch-overhead
+// profile; "simulated" is the paper-faithful analytic simulator. The trend
+// must match and the gap must be stable (the paper's acceptance criterion
+// for planning on simulated times).
+#include "common.h"
+
+#include "util/stats.h"
+
+int main() {
+  using namespace autopipe;
+  using namespace autopipe::bench;
+  const auto cfg = config_for("gpt2-345m", 4);
+  const int m = 8;
+
+  const std::vector<std::vector<double>> schemes{
+      {5, 7, 6, 6},         {6, 6.5, 6.5, 5},  {6, 7, 6, 5},
+      {6.5, 6.5, 6.5, 4.5}, {6.5, 6.5, 6, 5},  {7, 5.5, 6, 5.5},
+      {7, 6.5, 5.5, 5}};
+
+  std::printf("Table II -- pipeline planning schemes of GPT-2 345M "
+              "(layers per stage)\n\n");
+  util::Table t2({"Partition ID", "stage 0", "stage 1", "stage 2", "stage 3"});
+  for (std::size_t i = 0; i < schemes.size(); ++i) {
+    t2.add_row({std::to_string(i + 1), util::Table::fmt(schemes[i][0], 1),
+                util::Table::fmt(schemes[i][1], 1),
+                util::Table::fmt(schemes[i][2], 1),
+                util::Table::fmt(schemes[i][3], 1)});
+  }
+  show_table(t2, "table2_partitions");
+
+  std::printf("Fig. 11 -- execution time per micro-batch (ms), simulator vs "
+              "actual run\n\n");
+  util::Table t({"Partition ID", "simulated", "actual", "gap", "gap %"});
+  std::vector<double> gaps;
+  auto opts = actual_run_options(cfg);
+  opts.jitter_frac = 0.02;  // measurement noise of a real run
+  opts.seed = 2022;
+  for (std::size_t i = 0; i < schemes.size(); ++i) {
+    const auto p = core::partition_from_layers(cfg, schemes[i]);
+    const double simulated =
+        core::simulate_pipeline(cfg, p, m).iteration_ms / m;
+    const auto costs = core::stage_costs(cfg, p);
+    const double actual =
+        sim::execute(core::build_1f1b(costs, m, cfg.comm_ms), opts)
+            .iteration_ms /
+        m;
+    gaps.push_back(actual - simulated);
+    t.add_row({std::to_string(i + 1), util::Table::fmt(simulated, 2),
+               util::Table::fmt(actual, 2),
+               util::Table::fmt(actual - simulated, 2),
+               util::Table::fmt(100.0 * (actual - simulated) / simulated, 1)});
+  }
+  show_table(t, "fig11_simulator_vs_actual");
+  std::printf("gap stability: mean %.2f ms, stddev %.2f ms (stable gap => "
+              "planning on simulated times is sound)\n",
+              util::mean(gaps), util::stddev(gaps));
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Fig. 12: planner search time across the model zoo.
+//
+// DAPPLE searches layer splits x device assignments x placements (largest
+// space); Piper adds the data-parallel dimension to its layer-split DP;
+// AutoPipe's master-stage heuristic searches orders of magnitude fewer
+// schemes. The paper additionally notes DAPPLE's planner is Python (about
+// two orders of magnitude of constant factor on top of what this C++
+// reimplementation measures).
+#include "common.h"
+
+#include "planners/dapple.h"
+#include "planners/piper.h"
+
+int main() {
+  using namespace autopipe;
+  using namespace autopipe::bench;
+  const int gpus = 16;
+  std::printf("Fig. 12 -- planner search time (ms), %d GPUs, micro-batch 8\n",
+              gpus);
+  std::printf("(log-scale in the paper; expect DAPPLE >= Piper >> AutoPipe)\n\n");
+
+  util::Table t({"Model", "DAPPLE", "Piper", "AutoPipe",
+                 "Piper / AutoPipe"});
+  for (const std::string model :
+       {"gpt2-345m", "gpt2-762m", "gpt2-1.3b", "bert-large"}) {
+    const auto cfg = config_for(model, 8);
+    const auto d = planners::dapple_plan(cfg, gpus, {8, 4, 512});
+    const auto p = planners::piper_plan(cfg, gpus, {8, 512});
+    const auto a = core::auto_plan(cfg, {gpus, 512, 0, true});
+    t.add_row({model, util::Table::fmt(d.planning_ms, 1),
+               util::Table::fmt(p.planning_ms, 1),
+               util::Table::fmt(a.plan.planning_ms, 1),
+               util::Table::fmt(p.planning_ms /
+                                    std::max(0.01, a.plan.planning_ms),
+                                1) +
+                   "x"});
+  }
+  show_table(t, "fig12_search_time");
+  return 0;
+}

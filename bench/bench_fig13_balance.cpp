@@ -1,0 +1,41 @@
+// Fig. 13: pipeline balance comparison.
+//
+// Criterion: population stddev of per-stage running time (one micro-batch
+// through each stage) for the Table-IV GPT-2 345M configurations. The
+// paper reports AutoPipe improving balance 2.73x-6.89x over DAPPLE and
+// 5.35x-12.7x over Piper.
+#include "common.h"
+
+#include "planners/dapple.h"
+#include "planners/piper.h"
+
+int main() {
+  using namespace autopipe;
+  using namespace autopipe::bench;
+  const auto cfg = config_for("gpt2-345m", 32);
+  std::printf("Fig. 13 -- balance (stddev of per-stage time, ms) for GPT-2 "
+              "345M, micro-batch 32 (lower is better)\n\n");
+
+  util::Table t({"# of GPUs", "DAPPLE", "Piper", "AutoPipe",
+                 "improvement vs D", "improvement vs P"});
+  for (int gpus : {4, 8}) {
+    const auto d = core::evaluate_plan(
+        cfg, planners::dapple_plan(cfg, gpus, {8, 4, 512}), 512);
+    const auto p = core::evaluate_plan(
+        cfg, planners::piper_plan(cfg, gpus, {8, 512}), 512);
+    const auto a = core::auto_plan(cfg, {gpus, 512, 0, true});
+    const double ours = a.evaluation.balance_stddev_ms;
+    t.add_row({std::to_string(gpus),
+               util::Table::fmt(d.balance_stddev_ms, 1),
+               util::Table::fmt(p.balance_stddev_ms, 1),
+               util::Table::fmt(ours, 1),
+               util::Table::fmt(d.balance_stddev_ms / ours, 2) + "x",
+               util::Table::fmt(p.balance_stddev_ms / ours, 2) + "x"});
+  }
+  show_table(t, "fig13_balance");
+  std::printf("note: in our reproduction DAPPLE's 1+N replication makes its "
+              "unscaled stage times the most skewed; the paper measures "
+              "Piper as worst. Ordering AutoPipe << baselines holds "
+              "either way (see EXPERIMENTS.md).\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Fig. 9: iteration time vs micro-batch size.
+//
+// Fixed 4-stage pipeline, 8 micro-batches per iteration (as in the paper);
+// columns are Megatron-LM (uniform 1F1B), +Slicer, +Planner, and full
+// AutoPipe. GPT-2 762M stops at micro-batch 24 (OOM at 32, as observed).
+#include "common.h"
+
+int main() {
+  using namespace autopipe;
+  using namespace autopipe::bench;
+  const int stages = 4, m = 8;
+  std::printf("Fig. 9 -- iteration time (ms) vs micro-batch size; "
+              "%d stages, %d micro-batches per iteration\n",
+              stages, m);
+  std::printf("(lower is better; speedup = Megatron-LM / AutoPipe)\n\n");
+
+  for (const std::string model :
+       {"gpt2-345m", "gpt2-762m", "gpt2-1.3b", "bert-large"}) {
+    util::Table t({"micro-batch size", "Megatron-LM", "Slicer", "Planner",
+                   "AutoPipe", "speedup"});
+    for (int mbs : {1, 2, 4, 8, 16, 24, 32}) {
+      const auto cfg = config_for(model, mbs);
+      // The paper's rule: drop configurations that OOM (762M at mbs 32).
+      if (!fits(cfg, planners::megatron_partition(cfg, stages),
+                costmodel::ScheduleKind::OneFOneB, m)) {
+        t.add_row({std::to_string(mbs), "OOM", "OOM", "OOM", "OOM", "-"});
+        continue;
+      }
+      const auto v = time_variants(cfg, stages, m);
+      t.add_row({std::to_string(mbs), util::Table::fmt(v.megatron, 1),
+                 util::Table::fmt(v.slicer, 1),
+                 util::Table::fmt(v.planner, 1),
+                 util::Table::fmt(v.autopipe, 1),
+                 util::Table::fmt(v.megatron / v.autopipe, 3) + "x"});
+    }
+    std::printf("%s:\n", model.c_str());
+    show_table(t, "fig9_" + model);
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Table I: benchmark models, plus the derived per-block cost-model summary
+// every other harness consumes.
+#include "common.h"
+
+#include "costmodel/model_zoo.h"
+
+int main() {
+  using namespace autopipe;
+  std::printf("Table I -- benchmark models\n\n");
+  util::Table t({"Model", "# layers", "Hidden size", "# params (millions)",
+                 "seq len", "blocks (sub-layer)"});
+  for (const auto& spec : costmodel::model_zoo()) {
+    const auto cfg = costmodel::build_model_config(spec, {4, 0, true});
+    t.add_row({spec.name, std::to_string(spec.num_layers),
+               std::to_string(spec.hidden),
+               std::to_string(costmodel::param_count(spec) / 1000000),
+               std::to_string(spec.default_seq),
+               std::to_string(cfg.num_blocks())});
+  }
+  std::printf("%s\n", t.to_ascii().c_str());
+
+  std::printf("Derived per-micro-batch cost model (micro-batch 4, RTX-3090 "
+              "profile, activation checkpointing):\n\n");
+  util::Table c({"Model", "fwd (ms)", "bwd (ms)", "Comm (ms)",
+                 "embedding fwd", "attn fwd", "ffn fwd", "head fwd"});
+  for (const auto& spec : costmodel::model_zoo()) {
+    const auto cfg = costmodel::build_model_config(spec, {4, 0, true});
+    c.add_row({spec.name, util::Table::fmt(cfg.total_fwd_ms(), 1),
+               util::Table::fmt(cfg.total_bwd_ms(), 1),
+               util::Table::fmt(cfg.comm_ms, 3),
+               util::Table::fmt(cfg.blocks.front().fwd_ms, 3),
+               util::Table::fmt(cfg.blocks[1].fwd_ms, 3),
+               util::Table::fmt(cfg.blocks[2].fwd_ms, 3),
+               util::Table::fmt(cfg.blocks.back().fwd_ms, 3)});
+  }
+  std::printf("%s", c.to_ascii().c_str());
+  return 0;
+}

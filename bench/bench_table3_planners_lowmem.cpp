@@ -1,0 +1,60 @@
+// Table III: planner comparison with low memory demand.
+//
+// GPT-2 345M, micro-batch 4 (fits a single GPU easily), 4 and 16 GPUs,
+// global batch 128/256/512. Expected shape: Piper and AutoPipe both pick
+// complete data parallelism and tie; DAPPLE insists on a 2-stage pipeline
+// (worse at 4 GPUs) and its 16-GPU device assignment exceeds the
+// micro-batch size, which errors at runtime ("-" cells).
+#include "common.h"
+
+#include "planners/dapple.h"
+#include "planners/piper.h"
+
+int main() {
+  using namespace autopipe;
+  using namespace autopipe::bench;
+  const int mbs = 4;
+  const auto cfg = config_for("gpt2-345m", mbs);
+  const std::vector<long> gbs_list{128, 256, 512};
+
+  std::printf("Table III -- planner comparison, low memory demand "
+              "(GPT-2 345M, micro-batch %d); time per iteration (ms)\n",
+              mbs);
+  std::printf("('-' = runtime error, as in the paper)\n\n");
+
+  util::Table t({"# of GPUs", "Alg.", "config", "Gbs=128", "Gbs=256",
+                 "Gbs=512", "plan time (ms)"});
+  for (int gpus : {4, 16}) {
+    struct Row {
+      const char* tag;
+      core::ParallelPlan plan;
+    };
+    std::vector<Row> rows;
+    rows.push_back({"D", planners::dapple_plan(cfg, gpus, {8, 4, 128})});
+    rows.push_back({"P", planners::piper_plan(cfg, gpus, {8, 128})});
+    rows.push_back({"A", core::auto_plan(cfg, {gpus, 128, 0, true}).plan});
+    for (auto& row : rows) {
+      std::vector<std::string> cells{std::to_string(gpus), row.tag};
+      std::string config;
+      if (row.plan.uniform_dp) {
+        config = std::to_string(row.plan.num_stages()) + "st x dp" +
+                 std::to_string(row.plan.data_parallel);
+      } else {
+        config = std::to_string(row.plan.num_stages()) + "st dev[";
+        for (int g : row.plan.stage_devices) config += std::to_string(g) + " ";
+        config.back() = ']';
+      }
+      cells.push_back(config);
+      for (long gbs : gbs_list) {
+        const auto ev = core::evaluate_plan(cfg, row.plan, gbs);
+        cells.push_back(ev.runtime_error ? "-"
+                        : ev.oom         ? "OOM"
+                                 : util::Table::fmt(ev.iteration_ms, 1));
+      }
+      cells.push_back(util::Table::fmt(row.plan.planning_ms, 1));
+      t.add_row(cells);
+    }
+  }
+  show_table(t, "table3_lowmem");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Table IV: planner comparison with high memory demand.
+//
+// GPT-2 345M at micro-batch 32 and GPT-2 1.3B at micro-batch 16: neither
+// fits a single GPU, so every planner must pipeline. Expected shape:
+// AutoPipe fastest everywhere; DAPPLE close behind on 345M (its 2-stage
+// split is imbalanced) but OOM on 1.3B (its memory model misses
+// activations); Piper feasible everywhere but slower (deeper, imbalanced
+// layer-granularity pipelines).
+#include "common.h"
+
+#include "planners/dapple.h"
+#include "planners/piper.h"
+
+int main() {
+  using namespace autopipe;
+  using namespace autopipe::bench;
+  std::printf("Table IV -- planner comparison, high memory demand; "
+              "time per iteration (ms)\n\n");
+
+  struct ModelCase {
+    const char* model;
+    int mbs;
+  };
+  util::Table t({"Model", "Mbs", "# of GPUs", "Alg.", "Gbs=512", "Gbs=1024",
+                 "Gbs=2048"});
+  for (const auto& mc :
+       {ModelCase{"gpt2-345m", 32}, ModelCase{"gpt2-1.3b", 16}}) {
+    const auto cfg = config_for(mc.model, mc.mbs);
+    for (int gpus : {4, 8}) {
+      struct Row {
+        const char* tag;
+        core::ParallelPlan plan;
+      };
+      std::vector<Row> rows;
+      rows.push_back({"D", planners::dapple_plan(cfg, gpus, {8, 4, 512})});
+      rows.push_back({"P", planners::piper_plan(cfg, gpus, {8, 512})});
+      rows.push_back({"A", core::auto_plan(cfg, {gpus, 512, 0, true}).plan});
+      for (auto& row : rows) {
+        std::vector<std::string> cells{mc.model, std::to_string(mc.mbs),
+                                       std::to_string(gpus), row.tag};
+        for (long gbs : {512L, 1024L, 2048L}) {
+          const auto ev = core::evaluate_plan(cfg, row.plan, gbs);
+          cells.push_back(ev.oom             ? "OOM"
+                          : ev.runtime_error ? "-"
+                                    : util::Table::fmt(ev.iteration_ms, 1));
+        }
+        t.add_row(cells);
+      }
+    }
+  }
+  show_table(t, "table4_highmem");
+
+  // The paper's headline ratios for this table.
+  const auto cfg345 = config_for("gpt2-345m", 32);
+  const auto d = core::evaluate_plan(
+      cfg345, planners::dapple_plan(cfg345, 8, {8, 4, 2048}), 2048);
+  const auto p = core::evaluate_plan(
+      cfg345, planners::piper_plan(cfg345, 8, {8, 2048}), 2048);
+  const auto a = core::auto_plan(cfg345, {8, 2048, 0, true});
+  std::printf("GPT-2 345M, 8 GPUs, Gbs 2048: AutoPipe vs DAPPLE %.2fx, vs "
+              "Piper %.2fx (paper: 1.19x and 1.18x)\n",
+              d.iteration_ms / a.evaluation.iteration_ms,
+              p.iteration_ms / a.evaluation.iteration_ms);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Side-by-side timelines of the four schedules on one partition.
+//
+//   ./compare_schedules [--model gpt2-345m] [--stages 4] [--mbs 4]
+//                       [--micro-batches 8] [--chunks 2]
+//
+// Renders GPipe, plain 1F1B, Megatron-LM's interleaved 1F1B and AutoPipe's
+// sliced 1F1B over the same model, with bubble fractions and startup
+// overheads -- the visual story of Figs. 5, 8 and 14.
+#include <cstdio>
+#include <string>
+
+#include "core/autopipe.h"
+#include "core/planner.h"
+#include "core/slicer.h"
+#include "planners/megatron.h"
+#include "sim/executor.h"
+#include "sim/metrics.h"
+#include "trace/timeline.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace autopipe;
+  const util::Cli cli(argc, argv);
+  const std::string model = cli.get("model", "gpt2-345m");
+  const int stages = cli.get_int("stages", 4);
+  const int mbs = cli.get_int("mbs", 4);
+  const int m = cli.get_int("micro-batches", 8);
+  const int chunks = cli.get_int("chunks", 2);
+
+  const auto cfg = costmodel::build_model_config(
+      costmodel::model_by_name(model), {mbs, 0, true});
+
+  auto show = [&](const char* title, const core::Schedule& schedule) {
+    const auto exec = sim::execute(schedule);
+    const auto metrics = sim::analyze(exec);
+    std::printf("--- %s: iteration %.1f ms, startup %.1f ms, bubble %.1f%%\n",
+                title, metrics.iteration_ms, metrics.startup_ms,
+                100.0 * metrics.bubble_fraction);
+    std::printf("%s\n", trace::render_timeline(exec, {100, false}).c_str());
+  };
+
+  // Megatron-LM's uniform partition hosts GPipe/1F1B/interleaved.
+  const auto uniform = planners::megatron_partition(cfg, stages);
+  const auto uniform_costs = core::stage_costs(cfg, uniform);
+  show("GPipe (uniform partition)",
+       core::build_gpipe(uniform_costs, m, cfg.comm_ms));
+  show("1F1B (uniform partition)",
+       core::build_1f1b(uniform_costs, m, cfg.comm_ms));
+  if (planners::megatron_interleaved_supports(cfg, stages, chunks) &&
+      m % stages == 0) {
+    show("Interleaved 1F1B (uniform partition)",
+         core::build_interleaved(
+             planners::megatron_interleaved_costs(cfg, stages, chunks), m,
+             cfg.comm_ms));
+  } else {
+    std::printf("--- Interleaved 1F1B: X (layers %% (stages*chunks) != 0 -- "
+                "the Fig. 14(b) constraint)\n\n");
+  }
+
+  // AutoPipe: planned partition + sliced warmup.
+  const auto planned = core::plan(cfg, stages, m);
+  const auto costs = core::stage_costs(cfg, planned.partition);
+  const auto slicing = core::solve_slicing(costs, cfg.comm_ms, m);
+  show("AutoPipe (planned partition + sliced 1F1B)",
+       core::build_sliced_1f1b(costs, m, cfg.comm_ms,
+                               slicing.sliced_micro_batches));
+  return 0;
+}

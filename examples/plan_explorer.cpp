@@ -1,0 +1,102 @@
+// Plan explorer: compare all four planners on one configuration and export
+// traces.
+//
+//   ./plan_explorer --model gpt2-1.3b --gpus 8 --mbs 16 --gbs 512
+//                   [--trace /tmp/autopipe.trace.json]
+//                   [--config profile.cfg] [--save-config profile.cfg]
+//
+// Prints a Table III/IV style comparison row (DAPPLE / Piper / AutoPipe /
+// Megatron-LM where applicable) and optionally writes the AutoPipe
+// schedule as a chrome://tracing JSON file. With --config, the model
+// configs are loaded from a profiled file (see costmodel/config_io.h)
+// instead of the analytic model; --save-config dumps the analytic profile
+// as a starting point for hand tuning.
+#include <cstdio>
+#include <string>
+
+#include "core/autopipe.h"
+#include "costmodel/config_io.h"
+#include "planners/dapple.h"
+#include "planners/megatron.h"
+#include "planners/piper.h"
+#include "sim/executor.h"
+#include "trace/chrome_trace.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace {
+
+std::string devices_of(const autopipe::core::ParallelPlan& plan) {
+  if (plan.uniform_dp) {
+    return std::to_string(plan.num_stages()) + " stages x dp " +
+           std::to_string(plan.data_parallel);
+  }
+  std::string out = "per-stage [";
+  for (std::size_t i = 0; i < plan.stage_devices.size(); ++i) {
+    out += (i ? " " : "") + std::to_string(plan.stage_devices[i]);
+  }
+  return out + "]";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace autopipe;
+  const util::Cli cli(argc, argv);
+  const std::string model = cli.get("model", "gpt2-345m");
+  const int gpus = cli.get_int("gpus", 4);
+  const int mbs = cli.get_int("mbs", 32);
+  const long gbs = cli.get_int("gbs", 512);
+
+  const auto cfg =
+      cli.has("config")
+          ? costmodel::load_model_config_file(cli.get("config", ""))
+          : costmodel::build_model_config(costmodel::model_by_name(model),
+                                          {mbs, 0, true});
+  if (cli.has("save-config")) {
+    const std::string path = cli.get("save-config", "profile.cfg");
+    if (costmodel::save_model_config(cfg, path)) {
+      std::printf("model configs written to %s\n", path.c_str());
+    }
+  }
+  std::printf("Planner comparison: %s, %d GPUs, mbs %d, gbs %ld\n\n",
+              cfg.spec.name.c_str(), gpus, mbs, gbs);
+
+  util::Table table({"planner", "configuration", "layers per stage",
+                     "iteration (ms)", "balance stddev", "plan time (ms)"});
+  auto add = [&](const char* name, const core::ParallelPlan& plan) {
+    const auto ev = core::evaluate_plan(cfg, plan, gbs);
+    std::string layers;
+    for (double u : core::stage_layer_units(cfg, plan.partition)) {
+      layers += (layers.empty() ? "" : " ") + util::Table::fmt(u, 1);
+    }
+    std::string iter = ev.oom             ? "OOM"
+                       : ev.runtime_error ? "runtime error"
+                                          : util::Table::fmt(ev.iteration_ms, 1);
+    table.add_row({name, devices_of(plan), layers, iter,
+                   util::Table::fmt(ev.balance_stddev_ms, 1),
+                   util::Table::fmt(plan.planning_ms, 1)});
+  };
+
+  add("DAPPLE", planners::dapple_plan(cfg, gpus, {8, 4, gbs}));
+  add("Piper", planners::piper_plan(cfg, gpus, {8, gbs}));
+  const auto ours = core::auto_plan(cfg, {gpus, gbs, 0, true});
+  add("AutoPipe", ours.plan);
+  if (planners::megatron_supports(cfg, ours.plan.num_stages()) &&
+      gpus % ours.plan.num_stages() == 0) {
+    add("Megatron-LM",
+        planners::megatron_plan(cfg, gpus, ours.plan.num_stages()));
+  }
+  std::printf("%s\n", table.to_ascii().c_str());
+
+  if (cli.has("trace")) {
+    const auto exec = sim::execute(ours.schedule);
+    const std::string path = cli.get("trace", "autopipe.trace.json");
+    if (trace::write_chrome_trace(exec, path)) {
+      std::printf("AutoPipe schedule trace written to %s (open in "
+                  "chrome://tracing)\n",
+                  path.c_str());
+    }
+  }
+  return 0;
+}

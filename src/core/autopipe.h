@@ -1,0 +1,97 @@
+// AutoPipe facade: end-to-end planning (Fig. 2) and plan evaluation.
+//
+// A ParallelPlan captures what every planner in the paper's comparison
+// outputs: a pipeline partition plus a data-parallel dimension. AutoPipe and
+// Megatron-LM replicate the whole pipeline uniformly (data-parallel size =
+// GPUs / pipeline stages, §IV-D); DAPPLE and Piper may replicate individual
+// stages unevenly, sharding each micro-batch across a stage's replicas.
+//
+// evaluate_plan() is the *honest* cost of running a plan -- the paper's
+// "apply the algorithms' results to Megatron-LM" step: it simulates the
+// pipeline (analytic simulator), adds the gradient all-reduce, and applies
+// the memory model, reporting OOM and runtime errors (e.g. a stage with
+// more replicas than the micro-batch has samples, the DAPPLE 16-GPU
+// failure of Table III).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/partition.h"
+#include "core/schedule.h"
+#include "core/simulator.h"
+#include "core/slicer.h"
+#include "costmodel/memory.h"
+
+namespace autopipe::core {
+
+struct ParallelPlan {
+  std::string algorithm;       ///< "autopipe" | "megatron" | "dapple" | "piper"
+  Partition partition;         ///< one pipeline replica's partition
+  /// True: `data_parallel` whole-pipeline replicas, each processing its own
+  /// micro-batches. False: stage_devices[s] replicas of stage s
+  /// (DAPPLE/Piper style).
+  bool uniform_dp = true;
+  int data_parallel = 1;
+  std::vector<int> stage_devices;  ///< used when !uniform_dp; size = stages
+  /// Per-stage replica semantics (only when !uniform_dp): true, DAPPLE
+  /// style -- every micro-batch's samples are sharded across the stage's
+  /// replicas (fails when replicas > micro-batch size); false, Piper style
+  /// -- replicas process whole micro-batches round-robin (activations are
+  /// not sharded, so memory pressure stays per-replica).
+  bool shard_micro_batches = true;
+  double planning_ms = 0;          ///< search time (Fig. 12)
+
+  int num_stages() const { return partition.num_stages(); }
+  int total_devices() const;
+};
+
+struct PlanEvaluation {
+  double iteration_ms = 0;
+  bool oom = false;
+  bool runtime_error = false;
+  std::string note;
+  /// Unscaled per-micro-batch stage latencies (f+b): the balance metric of
+  /// Fig. 13 is their population stddev.
+  std::vector<double> stage_loads_ms;
+  double balance_stddev_ms = 0;
+};
+
+/// Honest evaluation of `plan` training one global batch of `global_batch`
+/// samples (micro-batch size comes from `config`).
+PlanEvaluation evaluate_plan(const ModelConfig& config,
+                             const ParallelPlan& plan, long global_batch);
+
+/// Does every stage of `partition` fit device memory under 1F1B with `m`
+/// micro-batches? (18 B/param state + in-flight stashes + working set vs
+/// the device capacity; the predicate auto_plan hands the Planner.)
+bool partition_fits_memory(const ModelConfig& config,
+                           const Partition& partition, int micro_batches);
+
+struct AutoPipeOptions {
+  int num_gpus = 4;
+  long global_batch = 512;
+  /// Force a specific pipeline depth (0 = search divisors of num_gpus,
+  /// §IV-D: "its data-parallel size is the number of GPUs over the pipeline
+  /// stages").
+  int forced_stages = 0;
+  bool enable_slicer = true;
+};
+
+struct AutoPipeResult {
+  ParallelPlan plan;
+  SlicerResult slicing;
+  /// Sliced 1F1B schedule for one pipeline replica (plain 1F1B when the
+  /// slicer is disabled or unhelpful).
+  Schedule schedule;
+  SimResult sim;               ///< analytic simulation of the chosen partition
+  PlanEvaluation evaluation;   ///< honest end-to-end estimate
+};
+
+/// The full AutoPipe flow of Fig. 2: pick the pipeline/data-parallel split,
+/// run the Planner for the pipeline partition, then the Slicer for the
+/// Warmup reschedule.
+AutoPipeResult auto_plan(const ModelConfig& config,
+                         const AutoPipeOptions& options);
+
+}  // namespace autopipe::core

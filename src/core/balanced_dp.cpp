@@ -1,0 +1,86 @@
+#include "core/balanced_dp.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace autopipe::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct DpTables {
+  // time[i][j]: minimal max-stage-load splitting the first i blocks into j
+  // stages; parent[i][j]: the k achieving it (first i-k blocks form stage j).
+  std::vector<std::vector<double>> time;
+  std::vector<std::vector<int>> parent;
+};
+
+DpTables run_dp(std::span<const double> loads, int p) {
+  const int n = static_cast<int>(loads.size());
+  if (p < 1) throw std::invalid_argument("pipeline depth must be >= 1");
+  if (p > n) {
+    throw std::invalid_argument("pipeline depth " + std::to_string(p) +
+                                " exceeds block count " + std::to_string(n));
+  }
+
+  std::vector<double> prefix(n + 1, 0.0);
+  for (int i = 1; i <= n; ++i) prefix[i] = prefix[i - 1] + loads[i - 1];
+
+  DpTables t;
+  t.time.assign(n + 1, std::vector<double>(p + 1, kInf));
+  t.parent.assign(n + 1, std::vector<int>(p + 1, -1));
+  t.time[0][0] = 0.0;
+
+  for (int i = 1; i <= n; ++i) {
+    const int jmax = std::min(p, i);
+    for (int j = 1; j <= jmax; ++j) {
+      for (int k = j - 1; k <= i - 1; ++k) {
+        if (t.time[k][j - 1] == kInf) continue;
+        const double candidate =
+            std::max(t.time[k][j - 1], prefix[i] - prefix[k]);
+        if (candidate < t.time[i][j]) {
+          t.time[i][j] = candidate;
+          t.parent[i][j] = k;
+        }
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+std::vector<int> balanced_counts(std::span<const double> block_loads, int p) {
+  const DpTables t = run_dp(block_loads, p);
+  const int n = static_cast<int>(block_loads.size());
+  std::vector<int> counts(p);
+  int i = n;
+  for (int j = p; j >= 1; --j) {
+    const int k = t.parent[i][j];
+    counts[j - 1] = i - k;
+    i = k;
+  }
+  return counts;
+}
+
+double balanced_bottleneck(std::span<const double> block_loads, int p) {
+  const DpTables t = run_dp(block_loads, p);
+  return t.time[block_loads.size()][p];
+}
+
+std::vector<double> block_loads(const ModelConfig& config) {
+  std::vector<double> loads;
+  loads.reserve(config.blocks.size());
+  for (const auto& b : config.blocks) loads.push_back(b.fwd_ms + b.bwd_ms);
+  return loads;
+}
+
+Partition balanced_partition(const ModelConfig& config, int p) {
+  Partition partition;
+  partition.counts = balanced_counts(block_loads(config), p);
+  validate(config, partition);
+  return partition;
+}
+
+}  // namespace autopipe::core

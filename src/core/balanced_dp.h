@@ -1,0 +1,30 @@
+// Algorithm 1: relatively balanced partition by dynamic programming.
+//
+// Given per-block loads (forward + backward time) and a pipeline depth p,
+// finds the contiguous split into exactly p non-empty stages minimizing the
+// maximum stage load, in O(n^2 * p) over prefix sums -- exactly the DP the
+// paper's Algorithm 1 spells out. The planner uses it to seed the heuristic
+// search and to re-balance stage prefixes after master-stage moves.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/partition.h"
+
+namespace autopipe::core {
+
+/// Returns blocks-per-stage counts (size p). Throws std::invalid_argument
+/// when p < 1 or p > loads.size().
+std::vector<int> balanced_counts(std::span<const double> block_loads, int p);
+
+/// The minimal achievable maximum stage load (same DP, value only).
+double balanced_bottleneck(std::span<const double> block_loads, int p);
+
+/// Convenience: Algorithm 1 over a model's block array (load = fwd + bwd).
+Partition balanced_partition(const ModelConfig& config, int p);
+
+/// Per-block loads f_i + b_i of the config, in block order.
+std::vector<double> block_loads(const ModelConfig& config);
+
+}  // namespace autopipe::core

@@ -1,0 +1,157 @@
+#include "core/partition.h"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace autopipe::core {
+
+int Partition::stage_begin(int s) const {
+  int begin = 0;
+  for (int i = 0; i < s; ++i) begin += counts[i];
+  return begin;
+}
+
+int Partition::total_blocks() const {
+  return std::accumulate(counts.begin(), counts.end(), 0);
+}
+
+void validate(const ModelConfig& config, const Partition& partition) {
+  if (partition.counts.empty()) {
+    throw std::invalid_argument("partition has no stages");
+  }
+  for (int c : partition.counts) {
+    if (c < 1) throw std::invalid_argument("partition has an empty stage");
+  }
+  if (partition.total_blocks() != config.num_blocks()) {
+    throw std::invalid_argument("partition covers " +
+                                std::to_string(partition.total_blocks()) +
+                                " blocks, model has " +
+                                std::to_string(config.num_blocks()));
+  }
+}
+
+std::vector<StageCost> stage_costs(const ModelConfig& config,
+                                   const Partition& partition) {
+  validate(config, partition);
+  std::vector<StageCost> costs(partition.num_stages());
+  int block = 0;
+  for (int s = 0; s < partition.num_stages(); ++s) {
+    for (int i = 0; i < partition.counts[s]; ++i, ++block) {
+      costs[s].fwd_ms += config.blocks[block].fwd_ms;
+      costs[s].bwd_ms += config.blocks[block].bwd_ms;
+    }
+  }
+  return costs;
+}
+
+std::vector<double> stage_loads(const ModelConfig& config,
+                                const Partition& partition) {
+  std::vector<double> loads;
+  for (const StageCost& c : stage_costs(config, partition)) {
+    loads.push_back(c.load());
+  }
+  return loads;
+}
+
+double balance_stddev(const ModelConfig& config, const Partition& partition) {
+  const std::vector<double> loads = stage_loads(config, partition);
+  return util::stddev(loads);
+}
+
+std::vector<double> stage_layer_units(const ModelConfig& config,
+                                      const Partition& partition) {
+  validate(config, partition);
+  std::vector<double> units(partition.num_stages(), 0.0);
+  int block = 0;
+  for (int s = 0; s < partition.num_stages(); ++s) {
+    for (int i = 0; i < partition.counts[s]; ++i, ++block) {
+      units[s] += config.blocks[block].layer_units;
+    }
+  }
+  return units;
+}
+
+double stage_param_bytes(const ModelConfig& config, const Partition& partition,
+                         int s) {
+  double acc = 0;
+  for (int b = partition.stage_begin(s); b < partition.stage_end(s); ++b) {
+    acc += config.blocks[b].param_bytes;
+  }
+  return acc;
+}
+
+double stage_stash_bytes(const ModelConfig& config, const Partition& partition,
+                         int s) {
+  double acc = 0;
+  for (int b = partition.stage_begin(s); b < partition.stage_end(s); ++b) {
+    acc += config.blocks[b].stash_bytes;
+  }
+  return acc;
+}
+
+double stage_work_bytes(const ModelConfig& config, const Partition& partition,
+                        int s) {
+  double peak = 0;
+  for (int b = partition.stage_begin(s); b < partition.stage_end(s); ++b) {
+    peak = std::max(peak, config.blocks[b].work_bytes);
+  }
+  return peak;
+}
+
+Partition partition_from_layers(const ModelConfig& config,
+                                std::span<const double> layers) {
+  Partition p;
+  int block = 0;
+  const int n = config.num_blocks();
+  for (std::size_t s = 0; s < layers.size(); ++s) {
+    double remaining = layers[s];
+    int count = 0;
+    // Stage 0 swallows the leading embedding; the last stage swallows the
+    // trailing head (both contribute zero layer units).
+    while (block < n &&
+           (config.blocks[block].layer_units == 0.0 || remaining > 1e-9)) {
+      if (config.blocks[block].layer_units > 0.0) {
+        if (remaining + 1e-9 < config.blocks[block].layer_units) break;
+        remaining -= config.blocks[block].layer_units;
+      } else if (config.blocks[block].kind == costmodel::BlockKind::Head &&
+                 s + 1 != layers.size()) {
+        break;  // the head belongs to the last stage
+      }
+      ++count;
+      ++block;
+    }
+    if (remaining > 1e-9) {
+      throw std::invalid_argument("layer units do not align with blocks");
+    }
+    p.counts.push_back(count);
+  }
+  if (block != n) {
+    throw std::invalid_argument("layer units do not cover the model");
+  }
+  validate(config, p);
+  return p;
+}
+
+std::string describe(const ModelConfig& config, const Partition& partition) {
+  const auto units = stage_layer_units(config, partition);
+  const auto loads = stage_loads(config, partition);
+  std::ostringstream os;
+  os << "stages=" << partition.num_stages() << " layers=[";
+  for (std::size_t s = 0; s < units.size(); ++s) {
+    os << (s ? " " : "") << units[s];
+  }
+  os << "] load_ms=[";
+  for (std::size_t s = 0; s < loads.size(); ++s) {
+    os.setf(std::ios::fixed);
+    os.precision(1);
+    os << (s ? " " : "") << loads[s];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace autopipe::core

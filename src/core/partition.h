@@ -1,0 +1,81 @@
+// Pipeline partition schemes over the sub-layer block array.
+//
+// A Partition assigns each contiguous run of blocks (embedding, attention,
+// FFN, head -- see costmodel/analytic.h) to one pipeline stage. The paper
+// reports schemes in "number of transformer layers per stage" with halves
+// (Table II); helpers convert between that display form and block counts.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "costmodel/analytic.h"
+
+namespace autopipe::core {
+
+using costmodel::ModelConfig;
+
+struct Partition {
+  /// Number of blocks per stage; every entry >= 1 and the sum equals the
+  /// model's block count.
+  std::vector<int> counts;
+
+  int num_stages() const { return static_cast<int>(counts.size()); }
+  /// First block index of stage `s`.
+  int stage_begin(int s) const;
+  /// One past the last block index of stage `s`.
+  int stage_end(int s) const { return stage_begin(s) + counts[s]; }
+  int total_blocks() const;
+
+  bool operator==(const Partition&) const = default;
+};
+
+/// Throws std::invalid_argument unless the partition is well-formed for the
+/// config (all counts >= 1, sum == num_blocks).
+void validate(const ModelConfig& config, const Partition& partition);
+
+/// Per-stage forward/backward durations of one micro-batch.
+struct StageCost {
+  double fwd_ms = 0;
+  double bwd_ms = 0;
+  double load() const { return fwd_ms + bwd_ms; }
+};
+
+std::vector<StageCost> stage_costs(const ModelConfig& config,
+                                   const Partition& partition);
+
+/// f+b per stage (the "load" the balance analysis of Fig. 13 uses).
+std::vector<double> stage_loads(const ModelConfig& config,
+                                const Partition& partition);
+
+/// Population stddev of per-stage loads -- the paper's balance criterion.
+double balance_stddev(const ModelConfig& config, const Partition& partition);
+
+/// Transformer-layer units per stage (Table II display, 0.5 granularity).
+std::vector<double> stage_layer_units(const ModelConfig& config,
+                                      const Partition& partition);
+
+/// Parameter bytes resident on stage `s`.
+double stage_param_bytes(const ModelConfig& config, const Partition& partition,
+                         int s);
+
+/// Checkpointed activation stash per in-flight micro-batch on stage `s`.
+double stage_stash_bytes(const ModelConfig& config, const Partition& partition,
+                         int s);
+
+/// Peak transient working bytes while stage `s` computes one micro-batch.
+double stage_work_bytes(const ModelConfig& config, const Partition& partition,
+                        int s);
+
+/// Builds the partition whose per-stage transformer-layer units match
+/// `layers` (e.g. {6, 6.5, 6.5, 5} from Table II). The embedding block is
+/// always on stage 0 and the head on the last stage. Throws if `layers`
+/// does not sum to the model's layer count or a half does not align.
+Partition partition_from_layers(const ModelConfig& config,
+                                std::span<const double> layers);
+
+/// Human-readable one-line description: per-stage layer units and loads.
+std::string describe(const ModelConfig& config, const Partition& partition);
+
+}  // namespace autopipe::core

@@ -1,0 +1,166 @@
+#include "core/planner.h"
+
+#include <chrono>
+#include <set>
+#include <vector>
+
+#include "core/balanced_dp.h"
+#include "util/logging.h"
+
+namespace autopipe::core {
+
+namespace {
+
+/// Does `partition` violate Eq. (1) at any s > master? Returns the smallest
+/// violating s, or -1 when the constraint holds everywhere.
+int first_violation(const std::vector<StageCost>& costs, int master) {
+  const int n = static_cast<int>(costs.size());
+  double acc = 0.0;
+  for (int s = master + 1; s < n; ++s) {
+    acc += costs[s].load();
+    if (acc > (s - master) * costs[master].bwd_ms + 1e-9) return s;
+  }
+  return -1;
+}
+
+/// Moves one boundary block from stage `from` to adjacent stage `to`;
+/// contiguity makes which block moves (first or last) implicit in the
+/// direction.
+Partition move_block(const Partition& p, int from, int to) {
+  Partition out = p;
+  --out.counts[from];
+  ++out.counts[to];
+  return out;
+}
+
+}  // namespace
+
+Partition cooldown_adjust(const ModelConfig& config, const Partition& start,
+                          int master, int micro_batches) {
+  Partition current = start;
+  const int n = current.num_stages();
+  // Each move shifts one block toward the tail; bounded by blocks * stages.
+  int budget = config.num_blocks() * n + 1;
+  while (budget-- > 0) {
+    const auto costs = stage_costs(config, current);
+    const int s = first_violation(costs, master);
+    if (s < 0 || s >= n - 1) break;     // satisfied, or nothing behind s
+    if (current.counts[s] <= 1) break;  // cannot empty a stage
+    const Partition next = move_block(current, s, s + 1);
+    const SimResult sim = simulate_pipeline(config, next, micro_batches);
+    current = next;
+    if (sim.master_stage != master) break;  // paper: stop when master moves
+  }
+  return current;
+}
+
+PlannerResult plan(const ModelConfig& config, int stages, int micro_batches,
+                   const PlannerOptions& options) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  PlannerResult result;
+  int evals = 0;
+  bool has_best = false;
+  bool best_feasible = false;
+  Partition fallback;      // time-optimal regardless of feasibility
+  SimResult fallback_sim;
+  bool has_fallback = false;
+
+  auto evaluate = [&](const Partition& p) -> SimResult {
+    ++evals;
+    SimResult sim = simulate_pipeline(config, p, micro_batches);
+    if (!has_fallback || sim.iteration_ms < fallback_sim.iteration_ms) {
+      has_fallback = true;
+      fallback = p;
+      fallback_sim = sim;
+    }
+    const bool ok = !options.feasible || options.feasible(p);
+    // Feasible schemes strictly dominate infeasible ones; among equals the
+    // faster wins.
+    if (!has_best || (ok && !best_feasible) ||
+        (ok == best_feasible && sim.iteration_ms < result.sim.iteration_ms)) {
+      has_best = true;
+      best_feasible = ok;
+      result.partition = p;
+      result.sim = sim;
+    }
+    return sim;
+  };
+
+  const std::vector<double> loads = block_loads(config);
+
+  std::set<std::vector<int>> visited;
+  std::vector<Partition> stack;
+  stack.push_back(balanced_partition(config, stages));
+
+  while (!stack.empty() && evals < options.max_evaluations) {
+    Partition scheme = std::move(stack.back());
+    stack.pop_back();
+    if (!visited.insert(scheme.counts).second) continue;
+
+    SimResult sim = evaluate(scheme);
+
+    // Step 2: Eq. (1) cooldown adjustment.
+    Partition adjusted =
+        cooldown_adjust(config, scheme, sim.master_stage, micro_batches);
+    if (!(adjusted == scheme)) {
+      sim = evaluate(adjusted);
+      scheme = std::move(adjusted);
+    }
+    const int i = sim.master_stage;
+    if (i == 0) continue;  // step 3 terminates at the first stage
+
+    // Step 3: shift the master forward. Candidate moves, each with and
+    // without re-balancing the affected stage prefix via Algorithm 1.
+    std::vector<Partition> candidates;
+    if (scheme.counts[i] >= 2) {
+      // (a) first block of stage i -> stage i-1.
+      const Partition moved = move_block(scheme, i, i - 1);
+      candidates.push_back(moved);
+      // Re-balance the stages before the master over their enlarged prefix.
+      const int prefix_blocks = moved.stage_begin(i);
+      if (prefix_blocks >= i) {
+        Partition rebal = moved;
+        const std::vector<int> head = balanced_counts(
+            std::span(loads).subspan(0, prefix_blocks), i);
+        for (int s = 0; s < i; ++s) rebal.counts[s] = head[s];
+        candidates.push_back(std::move(rebal));
+      }
+      // (b) last block of stage i -> stage i+1.
+      if (i + 1 < scheme.num_stages()) {
+        const Partition moved_b = move_block(scheme, i, i + 1);
+        candidates.push_back(moved_b);
+        const int prefix_b = moved_b.stage_begin(i + 1);
+        if (prefix_b >= i + 1) {
+          Partition rebal = moved_b;
+          const std::vector<int> head = balanced_counts(
+              std::span(loads).subspan(0, prefix_b), i + 1);
+          for (int s = 0; s <= i; ++s) rebal.counts[s] = head[s];
+          candidates.push_back(std::move(rebal));
+        }
+      }
+    }
+    for (Partition& c : candidates) {
+      if (visited.count(c.counts)) continue;
+      const SimResult cs = evaluate(c);
+      if (cs.master_stage <= i) stack.push_back(std::move(c));
+      if (evals >= options.max_evaluations) break;
+    }
+  }
+
+  result.feasible = best_feasible || !options.feasible;
+  if (!result.feasible && has_fallback) {
+    result.partition = fallback;
+    result.sim = fallback_sim;
+  }
+  result.evaluations = evals;
+  result.search_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+  AP_LOG(info) << "planner: " << evals << " evaluations, best "
+               << result.sim.iteration_ms << " ms, master "
+               << result.sim.master_stage;
+  return result;
+}
+
+}  // namespace autopipe::core

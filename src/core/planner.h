@@ -1,0 +1,53 @@
+// AutoPipe Planner (§III-B.2): heuristic partition search.
+//
+// The planner seeds with Algorithm 1 (balanced_dp.h), then repeatedly
+//   (1) simulates the scheme to find the iteration time and master stage i;
+//   (2) removes Cooldown-phase bubbles by enforcing Eq. (1),
+//         sum_{j=i+1..s} (f_j + b_j) <= (s - i) * b_i   for all s > i,
+//       pushing blocks of post-master stages toward the tail one block at a
+//       time and stopping early if the master stage moves;
+//   (3) if i > 0, shifts the master forward by moving stage i's first block
+//       to stage i-1 or its last block to stage i+1, each combined with and
+//       without re-running Algorithm 1 on the affected stage prefix; every
+//       candidate is simulated, and candidates whose master stays <= i are
+//       searched recursively.
+// The best (minimum simulated iteration time) scheme ever seen is returned.
+#pragma once
+
+#include <functional>
+
+#include "core/partition.h"
+#include "core/simulator.h"
+
+namespace autopipe::core {
+
+struct PlannerOptions {
+  /// Safety cap on simulator evaluations; the heuristic needs far fewer
+  /// (the search space is bounded by the pipeline depth, §III-B).
+  int max_evaluations = 20000;
+  /// Optional feasibility predicate (e.g. the per-stage memory model):
+  /// infeasible schemes still steer the heuristic but are never returned
+  /// as the best. If nothing feasible is found the time-optimal scheme is
+  /// returned with `feasible = false` in the result.
+  std::function<bool(const Partition&)> feasible;
+};
+
+struct PlannerResult {
+  Partition partition;
+  SimResult sim;              ///< simulation of the winning scheme
+  int evaluations = 0;        ///< simulator calls spent
+  double search_ms = 0;       ///< wall-clock planning time (Fig. 12)
+  bool feasible = true;       ///< satisfied PlannerOptions::feasible
+};
+
+/// Plans a `stages`-deep pipeline for `config` processing `micro_batches`
+/// micro-batches per iteration.
+PlannerResult plan(const ModelConfig& config, int stages, int micro_batches,
+                   const PlannerOptions& options = {});
+
+/// One Eq. (1) cooldown adjustment pass used by `plan` (exposed for tests):
+/// returns the adjusted partition; stops early when the master stage moves.
+Partition cooldown_adjust(const ModelConfig& config, const Partition& start,
+                          int master, int micro_batches);
+
+}  // namespace autopipe::core

@@ -1,0 +1,206 @@
+#include "core/schedule.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+namespace autopipe::core {
+
+double Schedule::op_duration_ms(int device, const ScheduleOp& op) const {
+  const StageCost& cost = durations[device][op.chunk];
+  const double whole =
+      op.type == OpType::Forward ? cost.fwd_ms : cost.bwd_ms;
+  return op.is_half() ? whole / 2.0 : whole;
+}
+
+namespace {
+
+void require(bool condition, const std::string& message) {
+  if (!condition) throw std::invalid_argument(message);
+}
+
+/// Emits FP or BP of one logical micro-batch, split when mb < sliced.
+void emit(std::vector<ScheduleOp>& order, OpType type, int mb, int sliced) {
+  if (mb < sliced) {
+    order.push_back({type, mb, 0, 0, false});
+    order.push_back({type, mb, 1, 0, false});
+  } else {
+    order.push_back({type, mb, -1, 0, false});
+  }
+}
+
+}  // namespace
+
+Schedule build_sliced_1f1b(std::span<const StageCost> stages,
+                           int micro_batches, double comm_ms, int sliced) {
+  const int n = static_cast<int>(stages.size());
+  const int m = micro_batches;
+  require(n >= 1, "schedule needs at least one stage");
+  require(m >= n, "1F1B requires micro_batches >= stages");
+  require(sliced >= 0 && sliced <= m, "invalid sliced micro-batch count");
+
+  Schedule s;
+  s.kind = sliced > 0 ? ScheduleKind::AutoPipeSliced : ScheduleKind::OneFOneB;
+  s.num_stages = n;
+  s.num_micro_batches = m;
+  s.sliced_micro_batches = sliced;
+  s.comm_ms = comm_ms;
+  s.durations.resize(n);
+  s.order.resize(n);
+
+  for (int x = 0; x < n; ++x) {
+    s.durations[x] = {stages[x]};
+    auto& order = s.order[x];
+    const int warm = n - 1 - x;
+    const int steady = m - n + x + 1;
+    for (int k = 0; k < warm; ++k) emit(order, OpType::Forward, k, sliced);
+    for (int y = 0; y < steady; ++y) {
+      emit(order, OpType::Forward, warm + y, sliced);
+      emit(order, OpType::Backward, y, sliced);
+    }
+    for (int mb = steady; mb < m; ++mb) {
+      emit(order, OpType::Backward, mb, sliced);
+    }
+    // §III-C blockage fix: for sliced micro-batches after the first, the
+    // receiving stage is already busy when the first half arrives, so the
+    // early transfer only blocks the channel ("once micro-batch 1 is
+    // sliced, the communication of the first half will be blocked at stage
+    // 2"). Cancel it and aggregate with the second half's transfer.
+    // Micro-batch 0 is exempt: its halves pipeline into idle stages and
+    // carry the halved startup overhead of Fig. 8(b).
+    if (x < n - 1) {
+      for (auto& op : order) {
+        if (op.type == OpType::Forward && op.half == 0 &&
+            op.micro_batch >= 1 && op.micro_batch < sliced) {
+          op.aggregated_comm = true;
+        }
+      }
+    }
+  }
+  return s;
+}
+
+Schedule build_1f1b(std::span<const StageCost> stages, int micro_batches,
+                    double comm_ms) {
+  return build_sliced_1f1b(stages, micro_batches, comm_ms, 0);
+}
+
+Schedule build_gpipe(std::span<const StageCost> stages, int micro_batches,
+                     double comm_ms) {
+  const int n = static_cast<int>(stages.size());
+  const int m = micro_batches;
+  require(n >= 1 && m >= 1, "gpipe needs stages and micro-batches");
+
+  Schedule s;
+  s.kind = ScheduleKind::GPipe;
+  s.num_stages = n;
+  s.num_micro_batches = m;
+  s.comm_ms = comm_ms;
+  s.durations.resize(n);
+  s.order.resize(n);
+  for (int x = 0; x < n; ++x) {
+    s.durations[x] = {stages[x]};
+    for (int mb = 0; mb < m; ++mb) {
+      s.order[x].push_back({OpType::Forward, mb, -1, 0, false});
+    }
+    for (int mb = m - 1; mb >= 0; --mb) {
+      s.order[x].push_back({OpType::Backward, mb, -1, 0, false});
+    }
+  }
+  return s;
+}
+
+Schedule build_interleaved(
+    const std::vector<std::vector<StageCost>>& chunk_costs, int micro_batches,
+    double comm_ms) {
+  const int n = static_cast<int>(chunk_costs.size());
+  require(n >= 1, "interleaved needs devices");
+  const int v = static_cast<int>(chunk_costs.front().size());
+  for (const auto& per_device : chunk_costs) {
+    require(static_cast<int>(per_device.size()) == v,
+            "interleaved requires the same chunk count on every device");
+  }
+  const int m = micro_batches;
+  require(v >= 1, "interleaved needs at least one chunk");
+  require(m % n == 0,
+          "Megatron interleaved schedule requires micro_batches % stages == 0");
+
+  Schedule s;
+  s.kind = ScheduleKind::Interleaved;
+  s.num_stages = n;
+  s.num_micro_batches = m;
+  s.chunks = v;
+  s.comm_ms = comm_ms;
+  s.durations = chunk_costs;
+  s.order.resize(n);
+
+  const int total = m * v;  // forward items per device (same for backward)
+  const int group = n * v;
+  auto forward_of = [&](int item) {
+    const int chunk = (item % group) / n;
+    const int mb = (item / group) * n + (item % n);
+    return ScheduleOp{OpType::Forward, mb, -1, chunk, false};
+  };
+  auto backward_of = [&](int item) {
+    const int chunk = v - 1 - (item % group) / n;
+    const int mb = (item / group) * n + (item % n);
+    return ScheduleOp{OpType::Backward, mb, -1, chunk, false};
+  };
+
+  for (int dev = 0; dev < n; ++dev) {
+    auto& order = s.order[dev];
+    const int warm = std::min((n - dev - 1) * 2 + (v - 1) * n, total);
+    for (int i = 0; i < warm; ++i) order.push_back(forward_of(i));
+    for (int i = warm; i < total; ++i) {
+      order.push_back(forward_of(i));
+      order.push_back(backward_of(i - warm));
+    }
+    for (int i = total - warm; i < total; ++i) order.push_back(backward_of(i));
+  }
+  return s;
+}
+
+void validate(const Schedule& schedule) {
+  const int n = schedule.num_stages;
+  if (static_cast<int>(schedule.order.size()) != n ||
+      static_cast<int>(schedule.durations.size()) != n) {
+    throw std::logic_error("schedule arrays disagree with num_stages");
+  }
+  for (int dev = 0; dev < n; ++dev) {
+    // key: (type, micro_batch, chunk, half)
+    std::map<std::tuple<int, int, int, int>, int> seen;
+    std::map<std::tuple<int, int, int>, bool> forward_done;
+    for (const auto& op : schedule.order[dev]) {
+      if (op.micro_batch < 0 || op.micro_batch >= schedule.num_micro_batches ||
+          op.chunk < 0 || op.chunk >= schedule.chunks) {
+        throw std::logic_error("schedule op out of range");
+      }
+      const auto key = std::make_tuple(static_cast<int>(op.type),
+                                       op.micro_batch, op.chunk, op.half);
+      if (++seen[key] > 1) throw std::logic_error("duplicate schedule op");
+      const auto fb_key = std::make_tuple(op.micro_batch, op.chunk, op.half);
+      if (op.type == OpType::Forward) {
+        forward_done[fb_key] = true;
+      } else if (!forward_done[fb_key]) {
+        throw std::logic_error("backward before forward on a device");
+      }
+    }
+    // Exactly one forward and one backward per (micro-batch, chunk) --
+    // counting a half pair as one.
+    double forwards = 0, backwards = 0;
+    for (const auto& [key, count] : seen) {
+      const double weight = std::get<3>(key) >= 0 ? 0.5 : 1.0;
+      (std::get<0>(key) == static_cast<int>(OpType::Forward) ? forwards
+                                                             : backwards) +=
+          weight * count;
+    }
+    const double expected =
+        static_cast<double>(schedule.num_micro_batches) * schedule.chunks;
+    if (forwards != expected || backwards != expected) {
+      throw std::logic_error("schedule does not cover every micro-batch");
+    }
+  }
+}
+
+}  // namespace autopipe::core

@@ -1,0 +1,80 @@
+// Concrete pipeline schedules as per-device op orders.
+//
+// The analytic simulator (simulator.h) evaluates 1F1B timing in closed
+// recurrences; this module instead *constructs* the schedules -- including
+// the baselines (GPipe, Megatron-LM's interleaved 1F1B) and AutoPipe's
+// sliced 1F1B -- as explicit per-device execution orders that the
+// discrete-event executor (sim/executor.h) times and the thread runtime
+// (runtime/pipeline_runtime.h) really executes.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/simulator.h"
+#include "costmodel/memory.h"
+
+namespace autopipe::core {
+
+using costmodel::ScheduleKind;
+
+struct ScheduleOp {
+  OpType type = OpType::Forward;
+  int micro_batch = 0;
+  /// -1: whole micro-batch; 0/1: first/second half of a sliced micro-batch.
+  int half = -1;
+  /// Virtual model chunk (Megatron interleaved schedule); 0 otherwise.
+  int chunk = 0;
+  /// §III-C blockage fix: this op's outgoing activation transfer is
+  /// cancelled and aggregated with its sibling half's transfer.
+  bool aggregated_comm = false;
+
+  bool is_half() const { return half >= 0; }
+};
+
+struct Schedule {
+  ScheduleKind kind = ScheduleKind::OneFOneB;
+  int num_stages = 0;
+  int num_micro_batches = 0;
+  int chunks = 1;
+  int sliced_micro_batches = 0;
+  double comm_ms = 0;  ///< full activation-tensor hop cost
+  /// durations[device][chunk]: per-chunk whole-micro-batch fwd/bwd times.
+  std::vector<std::vector<StageCost>> durations;
+  /// order[device]: the exact execution order on that device.
+  std::vector<std::vector<ScheduleOp>> order;
+
+  double op_duration_ms(int device, const ScheduleOp& op) const;
+  /// Global model-stage index of (device, chunk): chunk*num_stages + device.
+  int global_stage(int device, int chunk) const {
+    return chunk * num_stages + device;
+  }
+};
+
+/// Plain non-interleaved 1F1B (Megatron-LM default). Requires m >= stages.
+Schedule build_1f1b(std::span<const StageCost> stages, int micro_batches,
+                    double comm_ms);
+
+/// GPipe: all forwards, then all backwards in reverse micro-batch order.
+Schedule build_gpipe(std::span<const StageCost> stages, int micro_batches,
+                     double comm_ms);
+
+/// AutoPipe: 1F1B with the first `sliced` micro-batches split in half and
+/// the Warmup phase rescheduled (Fig. 8(b)); `sliced == 0` degenerates to
+/// plain 1F1B.
+Schedule build_sliced_1f1b(std::span<const StageCost> stages,
+                           int micro_batches, double comm_ms, int sliced);
+
+/// Megatron-LM interleaved 1F1B: `chunk_costs[device][chunk]` are the
+/// per-chunk costs; every device hosts the same number of chunks and
+/// micro_batches must be a multiple of the device count.
+Schedule build_interleaved(
+    const std::vector<std::vector<StageCost>>& chunk_costs, int micro_batches,
+    double comm_ms);
+
+/// Structural invariants: every (micro-batch, chunk, half-pair) appears on
+/// every device exactly once per direction, forwards precede their own
+/// backwards in device order. Throws std::logic_error on violation.
+void validate(const Schedule& schedule);
+
+}  // namespace autopipe::core

@@ -1,0 +1,192 @@
+#include "core/simulator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace autopipe::core {
+
+namespace {
+
+/// Flat op-id layout: per stage, m forward ops then m backward ops, indexed
+/// by micro-batch. Every (stage, micro-batch, type) combination exists in
+/// exactly one phase, so ids are unique.
+struct IdMap {
+  int n, m;
+  int fp(int stage, int micro_batch) const {
+    return stage * 2 * m + micro_batch;
+  }
+  int bp(int stage, int micro_batch) const {
+    return stage * 2 * m + m + micro_batch;
+  }
+};
+
+}  // namespace
+
+SimResult simulate_pipeline(std::span<const StageCost> stages,
+                            int micro_batches, double comm_ms) {
+  const int n = static_cast<int>(stages.size());
+  const int m = micro_batches;
+  if (n < 1) throw std::invalid_argument("pipeline needs at least one stage");
+  if (m < n) {
+    throw std::invalid_argument(
+        "simulator requires micro_batches >= stages (got m=" +
+        std::to_string(m) + ", n=" + std::to_string(n) + ")");
+  }
+
+  const IdMap ids{n, m};
+  SimResult result;
+  result.ops.assign(static_cast<std::size_t>(2) * n * m, SimOp{});
+
+  auto f = [&](int x) { return stages[x].fwd_ms; };
+  auto b = [&](int x) { return stages[x].bwd_ms; };
+  // 1F1B block count per stage (paper: max(0, m - n + x + 1)); with m >= n
+  // every stage owns at least one block.
+  auto blocks_of = [&](int x) { return m - n + x + 1; };
+  // Warmup forward count per stage.
+  auto warm_of = [&](int x) { return n - 1 - x; };
+
+  auto& ops = result.ops;
+  auto init_op = [&](int id, int stage, int mb, Phase phase, OpType type,
+                     double start, double dur, int pred) {
+    SimOp& op = ops[id];
+    op.id = id;
+    op.stage = stage;
+    op.micro_batch = mb;
+    op.phase = phase;
+    op.type = type;
+    op.start_ms = start;
+    op.end_ms = start + dur;
+    op.critical_pred = pred;
+  };
+
+  // Picks the binding predecessor; ties go to the higher stage ("closest to
+  // the last pipeline stage", Fig. 4). Returns {max end, chosen id}.
+  auto choose = [&](int id_a, int id_b) -> std::pair<double, int> {
+    const double ea = id_a >= 0 ? ops[id_a].end_ms : 0.0;
+    const double eb = id_b >= 0 ? ops[id_b].end_ms : 0.0;
+    if (id_a < 0 && id_b < 0) return {0.0, -1};
+    if (id_b < 0) return {ea, id_a};
+    if (id_a < 0) return {eb, id_b};
+    if (ea > eb) return {ea, id_a};
+    if (eb > ea) return {eb, id_b};
+    return ops[id_a].stage >= ops[id_b].stage ? std::pair{ea, id_a}
+                                              : std::pair{eb, id_b};
+  };
+
+  // ---- Warmup: stage x runs warm_of(x) forward ops; each waits for its
+  // predecessor on the same stage and the same micro-batch on stage x-1.
+  for (int x = 0; x < n; ++x) {
+    for (int k = 0; k < warm_of(x); ++k) {
+      const int intra = k > 0 ? ids.fp(x, k - 1) : -1;
+      const int inter = x > 0 ? ids.fp(x - 1, k) : -1;
+      auto [start, pred] = choose(inter, intra);
+      if (x != 0) start += comm_ms;
+      init_op(ids.fp(x, k), x, k, Phase::Warmup, OpType::Forward, start, f(x),
+              pred);
+    }
+  }
+
+  // ---- 1F1B: block y on stage x is FP of micro-batch warm_of(x)+y followed
+  // by BP of micro-batch y. Iterate blocks outer, forwards up then backwards
+  // down, which respects every dependency.
+  for (int y = 0; y < blocks_of(n - 1); ++y) {
+    for (int x = 0; x < n; ++x) {
+      if (y >= blocks_of(x)) continue;
+      const int fp_mb = warm_of(x) + y;
+      // Same micro-batch on stage x-1: its last warmup FP when y == 0,
+      // otherwise block y-1 of stage x-1.
+      int inter = -1;
+      if (x > 0) inter = ids.fp(x - 1, fp_mb);
+      // Previous op on this stage: BP of block y-1, or the last warmup FP.
+      int intra = -1;
+      if (y > 0) {
+        intra = ids.bp(x, y - 1);
+      } else if (warm_of(x) > 0) {
+        intra = ids.fp(x, warm_of(x) - 1);
+      }
+      auto [start, pred] = choose(inter, intra);
+      if (x != 0) start += comm_ms;
+      init_op(ids.fp(x, fp_mb), x, fp_mb, Phase::Steady, OpType::Forward,
+              start, f(x), pred);
+    }
+    for (int x = n - 1; x >= 0; --x) {
+      if (y >= blocks_of(x)) continue;
+      const int inter = x < n - 1 ? ids.bp(x + 1, y) : -1;
+      const int intra = ids.fp(x, warm_of(x) + y);
+      auto [start, pred] = choose(inter, intra);
+      if (x != n - 1) start += comm_ms;
+      init_op(ids.bp(x, y), x, y, Phase::Steady, OpType::Backward, start, b(x),
+              pred);
+    }
+  }
+
+  // ---- Cooldown: stage x still owes BPs for micro-batches
+  // blocks_of(x) .. m-1; each waits for its predecessor BP on the same stage
+  // and the same micro-batch's BP on stage x+1, plus one communication.
+  for (int mb = blocks_of(0); mb < m; ++mb) {
+    for (int x = n - 2; x >= 0; --x) {
+      if (mb < blocks_of(x)) continue;  // still a 1F1B block on this stage
+      const int intra = ids.bp(x, mb - 1);
+      const int inter = ids.bp(x + 1, mb);
+      auto [start, pred] = choose(inter, intra);
+      start += comm_ms;
+      init_op(ids.bp(x, mb), x, mb, Phase::Cooldown, OpType::Backward, start,
+              b(x), pred);
+    }
+  }
+
+  // ---- Results.
+  for (const SimOp& op : ops) {
+    result.iteration_ms = std::max(result.iteration_ms, op.end_ms);
+  }
+  result.startup_ms = n > 1 ? ops[ids.fp(n - 1, 0)].start_ms
+                            : 0.0;
+  result.warmup_estimate_ms = (n - 1) * comm_ms;
+  for (int x = 0; x < n; ++x) result.warmup_estimate_ms += f(x);
+
+  // Critical path: backtrack from the op that finishes last (ties toward the
+  // higher stage, consistent with the forward tie-break).
+  int tail = -1;
+  for (const SimOp& op : ops) {
+    if (tail < 0 || op.end_ms > ops[tail].end_ms ||
+        (op.end_ms == ops[tail].end_ms && op.stage > ops[tail].stage)) {
+      tail = op.id;
+    }
+  }
+  for (int cur = tail; cur >= 0; cur = ops[cur].critical_pred) {
+    ops[cur].on_critical_path = true;
+    result.critical_path.push_back(cur);
+  }
+  std::reverse(result.critical_path.begin(), result.critical_path.end());
+
+  // Master stage: the stage the critical path rides in the 1F1B phase
+  // (most path ops there; ties toward the last stage). If the path never
+  // touches the 1F1B phase -- degenerate shallow cases -- fall back to the
+  // heaviest-loaded stage.
+  std::vector<int> hits(n, 0);
+  for (int id : result.critical_path) {
+    if (ops[id].phase == Phase::Steady) ++hits[ops[id].stage];
+  }
+  int master = -1;
+  for (int x = 0; x < n; ++x) {
+    if (master < 0 || hits[x] >= hits[master]) {
+      if (hits[x] > 0) master = x;
+    }
+  }
+  if (master < 0) {
+    master = 0;
+    for (int x = 1; x < n; ++x) {
+      if (stages[x].load() >= stages[master].load()) master = x;
+    }
+  }
+  result.master_stage = master;
+  return result;
+}
+
+SimResult simulate_pipeline(const ModelConfig& config,
+                            const Partition& partition, int micro_batches) {
+  const std::vector<StageCost> costs = stage_costs(config, partition);
+  return simulate_pipeline(costs, micro_batches, config.comm_ms);
+}
+
+}  // namespace autopipe::core

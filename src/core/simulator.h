@@ -1,0 +1,67 @@
+// Pipeline simulator (§III-B.1).
+//
+// Simulates one training iteration of a synchronous 1F1B pipeline from the
+// per-stage forward/backward durations and the scalar communication cost,
+// implementing the paper's three-phase recurrences:
+//
+//   Warmup    start(x,k) tracks the straightforward FP chain;
+//   1F1B      t(x,y,0) = max(t(x-1,y-1,0)+f_{x-1}, t(x,y-1,1)+b_x) [+Comm, x!=0]
+//             t(x,y,1) = max(t(x+1,y,1)+b_{x+1}, t(x,y,0)+f_x)     [+Comm, x!=n-1]
+//             with stage x owning max(0, m-n+x+1) blocks;
+//   Cooldown  t(x,y) = max(t(x,y+1)+b_x, t(x+1,y)+b_{x+1}) + Comm.
+//
+// It then reconstructs the critical path by backtracking the argmax of every
+// max, breaking ties toward the higher stage so the path is the unique one
+// "closest to the last pipeline stage" (Fig. 4), and derives the master
+// stage: the stage whose intra-stage FP/BP chain the path rides in the 1F1B
+// phase.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/partition.h"
+
+namespace autopipe::core {
+
+enum class Phase { Warmup, Steady, Cooldown };
+enum class OpType { Forward, Backward };
+
+struct SimOp {
+  int id = -1;
+  int stage = 0;
+  int micro_batch = 0;
+  Phase phase = Phase::Warmup;
+  OpType type = OpType::Forward;
+  double start_ms = 0;
+  double end_ms = 0;
+  /// Predecessor op on the longest path ending here (-1 at sources).
+  int critical_pred = -1;
+  bool on_critical_path = false;
+};
+
+struct SimResult {
+  double iteration_ms = 0;
+  /// Startup overhead (§II-B): when the last stage starts its first FP,
+  /// i.e. the time spent receiving the first micro-batch's activations.
+  double startup_ms = 0;
+  /// The paper's Warmup-phase estimate: total FP time of one micro-batch
+  /// plus the n-1 hops of communication.
+  double warmup_estimate_ms = 0;
+  int master_stage = 0;
+  std::vector<SimOp> ops;
+  /// Op ids along the critical path, in execution order.
+  std::vector<int> critical_path;
+};
+
+/// Simulates `micro_batches` >= num_stages micro-batches through the given
+/// stages. Throws std::invalid_argument on fewer micro-batches than stages
+/// (the paper's configurations always satisfy m >= n).
+SimResult simulate_pipeline(std::span<const StageCost> stages,
+                            int micro_batches, double comm_ms);
+
+/// Convenience: derive stage costs from a partition of `config`.
+SimResult simulate_pipeline(const ModelConfig& config,
+                            const Partition& partition, int micro_batches);
+
+}  // namespace autopipe::core

@@ -1,0 +1,85 @@
+#include "core/slicer.h"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+namespace autopipe::core {
+
+SlicerResult solve_slicing(std::span<const StageCost> stages, double comm_ms,
+                           int micro_batches) {
+  const int p = static_cast<int>(stages.size());
+  SlicerResult result;
+
+  auto f = [&](int i) { return stages[i].fwd_ms; };
+  auto b = [&](int i) { return stages[i].bwd_ms; };
+
+  // Startup overhead (§II-B): the last stage receives the first micro-batch
+  // after every earlier stage's FP plus p-1 hops; slicing halves both terms.
+  for (int i = 0; i < p - 1; ++i) {
+    result.startup_before_ms += f(i) + comm_ms;
+    result.startup_after_ms += f(i) / 2 + comm_ms / 2;
+  }
+
+  if (p < 2 || micro_batches < 1) return result;  // nothing to slice
+
+  // ---- Algorithm 2, lines 4-15: initialise startt.
+  // startt[k] records when stage p-1-k is free for its first 1F1B forward:
+  // the first (half) micro-batch flows forward through the pipeline and its
+  // backward walks back down to each stage.
+  std::vector<double> startt(p, 0.0);
+  double tempt = 0.0;
+  for (int i = 0; i <= p - 2; ++i) tempt += f(i) / 2 + comm_ms / 2;
+  tempt += f(p - 1) / 2;
+  for (int i = p - 1; i >= 1; --i) {
+    tempt += b(i) + comm_ms;
+    startt[p - 1 - i] = tempt;
+  }
+  tempt += b(0);
+  startt[p - 1] = tempt;
+
+  // ---- Lines 16-38: roll split micro-batches through the pipeline until
+  // the first unbroken micro-batch no longer stalls behind them.
+  // endt[i][j]: end of half j of the current split micro-batch on stage i;
+  // the array carries over between iterations, so each pass appends the next
+  // split micro-batch's two halves.
+  std::vector<std::array<double, 2>> endt(p + 1, {0.0, 0.0});
+  int mb = 1;
+  while (true) {
+    for (int i = 0; i <= p - mb && i < p; ++i) {
+      for (int j = 0; j <= 1; ++j) {
+        endt[i][j] = endt[i][(j + 1) % 2] + f(i) / 2;
+        if (i > 0) {
+          endt[i][j] = std::max(endt[i][j], endt[i - 1][j] + f(i - 1) / 2);
+        }
+        if (i != p - 1) endt[i][j] += comm_ms / 2;
+        endt[i][j] = std::max(endt[i][j], endt[i + 1][(j + 1) % 2]);
+      }
+    }
+    // When must stage 0 start the first unbroken micro-batch so that it
+    // arrives at its consumer stage exactly on time? Walk back from the
+    // moment stage p-1-(mb-1)... becomes free (startt[mb-1]).
+    tempt = startt[mb - 1];
+    for (int i = p - 1 - mb; i >= 1; --i) tempt -= f(i) + comm_ms;
+    tempt -= f(0);
+    // Paper prose: return once the unbroken micro-batch's start time is >=
+    // the end of the split second half on stage 0 (the pseudocode's printed
+    // `<=` contradicts the prose and would return immediately; the prose
+    // direction is the converging one).
+    if (tempt >= endt[0][1]) break;
+    ++mb;
+    // Slicing beyond the Warmup depth cannot reduce startup further
+    // ("applying slicing to all micro-batches in Warmup is unnecessary").
+    if (mb >= p - 1 || mb >= micro_batches) break;
+  }
+  result.sliced_micro_batches = std::max(1, std::min({mb, p - 1, micro_batches}));
+  return result;
+}
+
+SlicerResult solve_slicing(const ModelConfig& config,
+                           const Partition& partition, int micro_batches) {
+  const std::vector<StageCost> costs = stage_costs(config, partition);
+  return solve_slicing(costs, config.comm_ms, micro_batches);
+}
+
+}  // namespace autopipe::core

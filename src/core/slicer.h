@@ -1,0 +1,44 @@
+// AutoPipe Slicer (§III-C, Algorithm 2).
+//
+// Halves the pipeline startup overhead by splitting the first `mb`
+// micro-batches into two halves and rescheduling the Warmup phase (Fig. 8).
+// Algorithm 2 solves the minimal `mb`: it tracks when each stage becomes
+// free for its first 1F1B forward (`startt`), rolls the half micro-batches
+// through the pipeline (`endt`, with halved forward and communication
+// costs), and stops as soon as the first unbroken micro-batch can be fed
+// without stalling behind the split halves.
+//
+// Slicing doubles the forward-communication count, so the first-half
+// transfer of the Warmup phase's last sliced forward is cancelled and
+// aggregated with the second half (the blockage fix of §III-C); the
+// schedule builder in core/schedule.h encodes that.
+#pragma once
+
+#include <span>
+
+#include "core/partition.h"
+
+namespace autopipe::core {
+
+struct SlicerResult {
+  /// Number of micro-batches to split (0 when slicing cannot help, e.g.
+  /// single-stage pipelines).
+  int sliced_micro_batches = 0;
+  /// Startup overhead estimate of the plain 1F1B schedule: the full-size
+  /// first micro-batch flowing to the last stage.
+  double startup_before_ms = 0;
+  /// Startup overhead estimate after slicing: the first half flowing to the
+  /// last stage (the "halve the startup overhead" claim).
+  double startup_after_ms = 0;
+};
+
+/// Runs Algorithm 2 on the per-stage costs of a partition scheme.
+/// `micro_batches` bounds the answer (cannot slice more micro-batches than
+/// an iteration has).
+SlicerResult solve_slicing(std::span<const StageCost> stages, double comm_ms,
+                           int micro_batches);
+
+SlicerResult solve_slicing(const ModelConfig& config,
+                           const Partition& partition, int micro_batches);
+
+}  // namespace autopipe::core

@@ -1,0 +1,171 @@
+#include "costmodel/analytic.h"
+
+#include <stdexcept>
+
+namespace autopipe::costmodel {
+
+const char* to_string(BlockKind kind) {
+  switch (kind) {
+    case BlockKind::Embedding: return "Embedding";
+    case BlockKind::Attention: return "ResidualAttentionBlock";
+    case BlockKind::FFN:       return "ResidualFFNBlock";
+    case BlockKind::Head:      return "FinalNormHead";
+  }
+  return "?";
+}
+
+double ModelConfig::total_fwd_ms() const {
+  double acc = 0;
+  for (const auto& b : blocks) acc += b.fwd_ms;
+  return acc;
+}
+
+double ModelConfig::total_bwd_ms() const {
+  double acc = 0;
+  for (const auto& b : blocks) acc += b.bwd_ms;
+  return acc;
+}
+
+double ModelConfig::total_param_bytes() const {
+  double acc = 0;
+  for (const auto& b : blocks) acc += b.param_bytes;
+  return acc;
+}
+
+double ModelConfig::total_layer_units() const {
+  double acc = 0;
+  for (const auto& b : blocks) acc += b.layer_units;
+  return acc;
+}
+
+namespace {
+
+constexpr double kBytesPerElem = 2.0;  // fp16 activations/params
+
+/// backward matmul work is 2x forward (dX and dW); with activation
+/// checkpointing the forward runs a second time before the backward.
+double backward_ms(double fwd_ms, bool recompute) {
+  return 2.0 * fwd_ms + (recompute ? fwd_ms : 0.0);
+}
+
+}  // namespace
+
+ModelConfig build_model_config(const ModelSpec& spec, const TrainConfig& train,
+                               const DeviceProfile& device,
+                               const LinkProfile& link) {
+  if (spec.num_layers <= 0 || spec.hidden <= 0) {
+    throw std::invalid_argument("model spec has no layers");
+  }
+  ModelConfig cfg;
+  cfg.spec = spec;
+  cfg.train = train;
+  if (cfg.train.seq_len <= 0) cfg.train.seq_len = spec.default_seq;
+  cfg.device = device;
+  cfg.link = link;
+
+  const double B = cfg.train.micro_batch_size;
+  const double s = cfg.train.seq_len;
+  const double h = spec.hidden;
+  const double V = spec.vocab;
+  const double heads = spec.heads;
+  const bool rc = cfg.train.recompute;
+  const double act_bytes = B * s * h * kBytesPerElem;  // one activation tensor
+
+  // --- Embedding: token + position lookup. Bandwidth bound (gather of
+  // B*s rows plus writing the activation); the parameter table is large but
+  // the compute is negligible -- the imbalance source §I calls out.
+  {
+    Block b;
+    b.name = "embedding";
+    b.kind = BlockKind::Embedding;
+    b.param_bytes = (V * h + s * h) * kBytesPerElem;
+    const double moved = 3.0 * act_bytes;  // gather read + write + pos add
+    b.fwd_ms = membound_ms(device, moved);
+    // Backward scatters gradients into the (huge) embedding table.
+    b.bwd_ms = membound_ms(device, 4.0 * act_bytes) + (rc ? b.fwd_ms : 0.0);
+    b.stash_bytes = B * s * 4.0;  // token ids (int32) suffice to recompute
+    b.work_bytes = 2.0 * act_bytes;
+    b.output_bytes = act_bytes;
+    b.layer_units = 0.0;
+    cfg.blocks.push_back(b);
+  }
+
+  // --- L x (ResidualAttentionBlock, ResidualFFNBlock), the sub-layer
+  // granularity of Fig. 3. Both keep the boundary activation at B*s*h, so
+  // cutting between them adds no communication volume.
+  for (int layer = 0; layer < spec.num_layers; ++layer) {
+    {
+      Block b;
+      b.name = "layer" + std::to_string(layer) + ".attn";
+      b.kind = BlockKind::Attention;
+      // QKV (6Bsh^2) + scores/context (4Bs^2h) + output projection (2Bsh^2)
+      const double flops = 8.0 * B * s * h * h + 4.0 * B * s * s * h;
+      // LayerNorm + residual + softmax are bandwidth bound.
+      const double moved =
+          8.0 * act_bytes + 2.0 * B * heads * s * s * kBytesPerElem;
+      b.fwd_ms = matmul_ms(device, flops) + membound_ms(device, moved);
+      b.bwd_ms = backward_ms(b.fwd_ms, rc);
+      b.param_bytes = (4.0 * h * h + 6.0 * h) * kBytesPerElem;
+      b.stash_bytes = act_bytes;  // block input, recomputed from here
+      b.work_bytes =
+          6.0 * act_bytes + 2.0 * B * heads * s * s * kBytesPerElem;
+      b.output_bytes = act_bytes;
+      b.layer_units = 0.5;
+      cfg.blocks.push_back(b);
+    }
+    {
+      Block b;
+      b.name = "layer" + std::to_string(layer) + ".ffn";
+      b.kind = BlockKind::FFN;
+      const double flops = 16.0 * B * s * h * h;  // h -> 4h -> h
+      const double moved = 4.0 * act_bytes + 2.0 * (B * s * 4.0 * h) * kBytesPerElem;
+      b.fwd_ms = matmul_ms(device, flops) + membound_ms(device, moved);
+      b.bwd_ms = backward_ms(b.fwd_ms, rc);
+      b.param_bytes = (8.0 * h * h + 7.0 * h) * kBytesPerElem;
+      b.stash_bytes = act_bytes;
+      b.work_bytes = 3.0 * (B * s * 4.0 * h) * kBytesPerElem;
+      b.output_bytes = act_bytes;
+      b.layer_units = 0.5;
+      cfg.blocks.push_back(b);
+    }
+  }
+
+  // --- Final norm + vocabulary head (+ loss). The logits matmul is the
+  // single most expensive block, which is why the planner assigns fewer
+  // transformer layers to the last stage (Table II).
+  {
+    Block b;
+    b.name = "head";
+    b.kind = BlockKind::Head;
+    const double flops = 2.0 * B * s * h * V;
+    const double logits_bytes = B * s * V * kBytesPerElem;
+    // The vocabulary projection is one enormous GEMM and reaches a much
+    // higher fraction of tensor-core peak than the smaller mixed kernels
+    // the matmul_tflops calibration reflects.
+    constexpr double kBigGemmEfficiency = 1.4;
+    b.fwd_ms = matmul_ms(device, flops) / kBigGemmEfficiency +
+               membound_ms(device, 3.0 * logits_bytes + 2.0 * act_bytes);
+    b.bwd_ms = backward_ms(b.fwd_ms, rc);
+    // Head weight is tied with the token embedding in GPT-2/BERT; Megatron
+    // still keeps a gradient buffer for it on the last stage.
+    b.param_bytes = (V * h + 2.0 * h) * kBytesPerElem;
+    b.stash_bytes = act_bytes;
+    // Peak transient of the loss computation: fp16 logits + the fp32 copy
+    // the fused cross-entropy keeps + the fp16 logits gradient = 8 bytes
+    // per (token, vocab) entry. This buffer is what makes large micro-batch
+    // configurations OOM on the last stage (Table IV, Fig. 14(a)).
+    b.work_bytes = 8.0 * B * s * V;
+    b.output_bytes = 0.0;
+    b.layer_units = 0.0;
+    cfg.blocks.push_back(b);
+  }
+
+  cfg.comm_ms = transfer_ms(link, act_bytes);
+  return cfg;
+}
+
+ModelConfig build_model_config(const ModelSpec& spec, const TrainConfig& train) {
+  return build_model_config(spec, train, rtx3090(), infiniband_100g());
+}
+
+}  // namespace autopipe::costmodel

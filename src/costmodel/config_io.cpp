@@ -1,0 +1,238 @@
+#include "costmodel/config_io.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace autopipe::costmodel {
+
+namespace {
+
+constexpr const char* kHeader = "# autopipe-model-config v1";
+
+std::string quote(const std::string& s) {
+  // Names with spaces are written with underscores; the format is
+  // whitespace-separated.
+  std::string out = s;
+  for (char& c : out) {
+    if (c == ' ') c = '_';
+  }
+  return out;
+}
+
+std::string unquote(std::string s) {
+  for (char& c : s) {
+    if (c == '_') c = ' ';
+  }
+  return s;
+}
+
+BlockKind kind_from(const std::string& name, int line) {
+  if (name == "Embedding") return BlockKind::Embedding;
+  if (name == "Attention") return BlockKind::Attention;
+  if (name == "FFN") return BlockKind::FFN;
+  if (name == "Head") return BlockKind::Head;
+  throw std::runtime_error("line " + std::to_string(line) +
+                           ": unknown block kind '" + name + "'");
+}
+
+const char* kind_name(BlockKind kind) {
+  switch (kind) {
+    case BlockKind::Embedding: return "Embedding";
+    case BlockKind::Attention: return "Attention";
+    case BlockKind::FFN:       return "FFN";
+    case BlockKind::Head:      return "Head";
+  }
+  return "?";
+}
+
+/// Parses "key=value" tokens into a map; throws on duplicates/malformed.
+std::map<std::string, std::string> kv_map(std::istringstream& in, int line) {
+  std::map<std::string, std::string> out;
+  std::string token;
+  while (in >> token) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("line " + std::to_string(line) +
+                               ": expected key=value, got '" + token + "'");
+    }
+    if (!out.emplace(token.substr(0, eq), token.substr(eq + 1)).second) {
+      throw std::runtime_error("line " + std::to_string(line) +
+                               ": duplicate key '" + token.substr(0, eq) +
+                               "'");
+    }
+  }
+  return out;
+}
+
+class KvReader {
+ public:
+  KvReader(std::map<std::string, std::string> kv, int line)
+      : kv_(std::move(kv)), line_(line) {}
+
+  double number(const std::string& key) {
+    return std::stod(take(key));
+  }
+  long integer(const std::string& key) {
+    return std::stol(take(key));
+  }
+  std::string text(const std::string& key) { return unquote(take(key)); }
+
+  void done() {
+    if (!kv_.empty()) {
+      throw std::runtime_error("line " + std::to_string(line_) +
+                               ": unknown key '" + kv_.begin()->first + "'");
+    }
+  }
+
+ private:
+  std::string take(const std::string& key) {
+    const auto it = kv_.find(key);
+    if (it == kv_.end()) {
+      throw std::runtime_error("line " + std::to_string(line_) +
+                               ": missing key '" + key + "'");
+    }
+    std::string value = it->second;
+    kv_.erase(it);
+    return value;
+  }
+
+  std::map<std::string, std::string> kv_;
+  int line_;
+};
+
+}  // namespace
+
+void save_model_config(const ModelConfig& config, std::ostream& out) {
+  out.precision(17);
+  out << kHeader << "\n";
+  out << "model " << quote(config.spec.name)
+      << " layers=" << config.spec.num_layers
+      << " hidden=" << config.spec.hidden << " heads=" << config.spec.heads
+      << " vocab=" << config.spec.vocab << " seq=" << config.spec.default_seq
+      << " causal=" << (config.spec.causal ? 1 : 0) << "\n";
+  out << "train micro_batch=" << config.train.micro_batch_size
+      << " seq_len=" << config.train.seq_len
+      << " recompute=" << (config.train.recompute ? 1 : 0) << "\n";
+  out << "device name=" << quote(config.device.name)
+      << " matmul_tflops=" << config.device.matmul_tflops
+      << " memband_gbps=" << config.device.memband_gbps
+      << " capacity_bytes=" << config.device.mem_capacity_bytes
+      << " launch_ms=" << config.device.kernel_launch_ms << "\n";
+  out << "link name=" << quote(config.link.name)
+      << " latency_ms=" << config.link.latency_ms
+      << " bandwidth_gbps=" << config.link.bandwidth_gbps << "\n";
+  out << "comm_ms " << config.comm_ms << "\n";
+  for (const Block& b : config.blocks) {
+    out << "block " << quote(b.name) << " kind=" << kind_name(b.kind)
+        << " fwd_ms=" << b.fwd_ms << " bwd_ms=" << b.bwd_ms
+        << " param_bytes=" << b.param_bytes
+        << " stash_bytes=" << b.stash_bytes << " work_bytes=" << b.work_bytes
+        << " output_bytes=" << b.output_bytes
+        << " layer_units=" << b.layer_units << "\n";
+  }
+}
+
+bool save_model_config(const ModelConfig& config, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    AP_LOG(error) << "cannot open " << path << " for writing";
+    return false;
+  }
+  save_model_config(config, out);
+  return static_cast<bool>(out);
+}
+
+ModelConfig load_model_config(std::istream& in) {
+  ModelConfig cfg;
+  std::string line;
+  int line_no = 0;
+  bool saw_header = false, saw_model = false, saw_comm = false;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      if (line == kHeader) saw_header = true;
+      continue;
+    }
+    std::istringstream tokens(line);
+    std::string directive;
+    tokens >> directive;
+    if (directive == "model") {
+      std::string name;
+      tokens >> name;
+      KvReader kv(kv_map(tokens, line_no), line_no);
+      cfg.spec.name = unquote(name);
+      cfg.spec.num_layers = static_cast<int>(kv.integer("layers"));
+      cfg.spec.hidden = static_cast<int>(kv.integer("hidden"));
+      cfg.spec.heads = static_cast<int>(kv.integer("heads"));
+      cfg.spec.vocab = static_cast<int>(kv.integer("vocab"));
+      cfg.spec.default_seq = static_cast<int>(kv.integer("seq"));
+      cfg.spec.causal = kv.integer("causal") != 0;
+      kv.done();
+      saw_model = true;
+    } else if (directive == "train") {
+      KvReader kv(kv_map(tokens, line_no), line_no);
+      cfg.train.micro_batch_size = static_cast<int>(kv.integer("micro_batch"));
+      cfg.train.seq_len = static_cast<int>(kv.integer("seq_len"));
+      cfg.train.recompute = kv.integer("recompute") != 0;
+      kv.done();
+    } else if (directive == "device") {
+      KvReader kv(kv_map(tokens, line_no), line_no);
+      cfg.device.name = kv.text("name");
+      cfg.device.matmul_tflops = kv.number("matmul_tflops");
+      cfg.device.memband_gbps = kv.number("memband_gbps");
+      cfg.device.mem_capacity_bytes = kv.number("capacity_bytes");
+      cfg.device.kernel_launch_ms = kv.number("launch_ms");
+      kv.done();
+    } else if (directive == "link") {
+      KvReader kv(kv_map(tokens, line_no), line_no);
+      cfg.link.name = kv.text("name");
+      cfg.link.latency_ms = kv.number("latency_ms");
+      cfg.link.bandwidth_gbps = kv.number("bandwidth_gbps");
+      kv.done();
+    } else if (directive == "comm_ms") {
+      if (!(tokens >> cfg.comm_ms)) {
+        throw std::runtime_error("line " + std::to_string(line_no) +
+                                 ": comm_ms needs a number");
+      }
+      saw_comm = true;
+    } else if (directive == "block") {
+      std::string name, kind;
+      tokens >> name;
+      KvReader kv(kv_map(tokens, line_no), line_no);
+      Block b;
+      b.name = unquote(name);
+      b.kind = kind_from(kv.text("kind"), line_no);
+      b.fwd_ms = kv.number("fwd_ms");
+      b.bwd_ms = kv.number("bwd_ms");
+      b.param_bytes = kv.number("param_bytes");
+      b.stash_bytes = kv.number("stash_bytes");
+      b.work_bytes = kv.number("work_bytes");
+      b.output_bytes = kv.number("output_bytes");
+      b.layer_units = kv.number("layer_units");
+      kv.done();
+      cfg.blocks.push_back(std::move(b));
+    } else {
+      throw std::runtime_error("line " + std::to_string(line_no) +
+                               ": unknown directive '" + directive + "'");
+    }
+  }
+  if (!saw_header) throw std::runtime_error("missing config header");
+  if (!saw_model || !saw_comm || cfg.blocks.empty()) {
+    throw std::runtime_error("config is missing model/comm_ms/blocks");
+  }
+  return cfg;
+}
+
+ModelConfig load_model_config_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return load_model_config(in);
+}
+
+}  // namespace autopipe::costmodel

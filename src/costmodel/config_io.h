@@ -1,0 +1,33 @@
+// Persistence for model configs (the "model configs" input of Fig. 2).
+//
+// In the paper the per-block runtime statistics are profiled offline and
+// fed to the Planner; this module defines a simple line-based text format
+// so profiles measured elsewhere (or edited by hand) can drive the Planner
+// instead of the built-in analytic model:
+//
+//   # autopipe-model-config v1
+//   model <name> layers=<L> hidden=<h> heads=<H> vocab=<V> seq=<s> causal=<0|1>
+//   train micro_batch=<B> seq_len=<s> recompute=<0|1>
+//   device name=<n> matmul_tflops=<..> memband_gbps=<..> capacity_bytes=<..> launch_ms=<..>
+//   comm_ms <Comm>
+//   block <name> kind=<Embedding|Attention|FFN|Head> fwd_ms=.. bwd_ms=..
+//         param_bytes=.. stash_bytes=.. work_bytes=.. output_bytes=.. layer_units=..
+//
+// Unknown keys are rejected (typos in a profile should fail loudly).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "costmodel/analytic.h"
+
+namespace autopipe::costmodel {
+
+void save_model_config(const ModelConfig& config, std::ostream& out);
+bool save_model_config(const ModelConfig& config, const std::string& path);
+
+/// Throws std::runtime_error with a line number on malformed input.
+ModelConfig load_model_config(std::istream& in);
+ModelConfig load_model_config_file(const std::string& path);
+
+}  // namespace autopipe::costmodel

@@ -1,0 +1,51 @@
+#include "costmodel/device.h"
+
+namespace autopipe::costmodel {
+
+DeviceProfile rtx3090() {
+  DeviceProfile d;
+  d.name = "RTX3090";
+  d.matmul_tflops = 30.0;
+  d.memband_gbps = 600.0;
+  d.mem_capacity_bytes = 16.8 * (1ull << 30);
+  d.kernel_launch_ms = 0.025;
+  return d;
+}
+
+LinkProfile pcie_p2p() {
+  LinkProfile l;
+  l.name = "PCIe4-P2P";
+  l.latency_ms = 0.015;
+  l.bandwidth_gbps = 12.0;
+  return l;
+}
+
+LinkProfile infiniband_100g() {
+  LinkProfile l;
+  l.name = "IB-100G";
+  l.latency_ms = 0.02;
+  // 100 Gbps line rate, ~80% achievable for large messages.
+  l.bandwidth_gbps = 10.0;
+  return l;
+}
+
+double transfer_ms(const LinkProfile& link, double bytes) {
+  return link.latency_ms + bytes / (link.bandwidth_gbps * 1e9) * 1e3;
+}
+
+double ring_allreduce_ms(const LinkProfile& link, double bytes, int ranks) {
+  if (ranks <= 1) return 0.0;
+  const double volume = 2.0 * (ranks - 1) / ranks * bytes;
+  return 2.0 * (ranks - 1) * link.latency_ms +
+         volume / (link.bandwidth_gbps * 1e9) * 1e3;
+}
+
+double matmul_ms(const DeviceProfile& device, double flops) {
+  return flops / (device.matmul_tflops * 1e12) * 1e3;
+}
+
+double membound_ms(const DeviceProfile& device, double bytes) {
+  return bytes / (device.memband_gbps * 1e9) * 1e3;
+}
+
+}  // namespace autopipe::costmodel

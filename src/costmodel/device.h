@@ -1,0 +1,58 @@
+// Device and interconnect profiles.
+//
+// The paper's testbed is a 4-node cluster of RTX 3090 GPUs (24 GB) joined by
+// 100 Gbps InfiniBand, with 4 GPUs per node on PCIe. The planner and slicer
+// only consume scalar per-block times and a scalar communication cost, so the
+// profiles below reduce the hardware to: an effective dense-matmul
+// throughput, an effective memory bandwidth for bandwidth-bound kernels, a
+// memory capacity for the OOM model, and a latency/bandwidth link model.
+#pragma once
+
+#include <string>
+
+namespace autopipe::costmodel {
+
+struct DeviceProfile {
+  std::string name;
+  double matmul_tflops = 30.0;   ///< effective fp16 tensor-core throughput
+  double memband_gbps = 600.0;   ///< effective DRAM bandwidth
+  /// Usable memory: 24 GB card minus CUDA context, NCCL buffers and
+  /// allocator fragmentation.
+  double mem_capacity_bytes = 16.8 * (1ull << 30);
+  double kernel_launch_ms = 0.025;  ///< fixed per-op overhead (event executor
+                                    ///< adds it; the analytic simulator does
+                                    ///< not — this is the stable bias of
+                                    ///< Fig. 11)
+};
+
+struct LinkProfile {
+  std::string name;
+  double latency_ms = 0.02;
+  double bandwidth_gbps = 12.0;  ///< per direction; sends and receives are
+                                 ///< concurrent, so bidirectional exchange
+                                 ///< costs the same as unidirectional (§II-B)
+};
+
+/// NVIDIA GeForce RTX 3090 (Ampere, 24 GB), as in the paper's cluster.
+DeviceProfile rtx3090();
+
+/// Intra-node PCIe 4.0 peer path (the paper's 4-GPU nodes have no NVLink).
+LinkProfile pcie_p2p();
+
+/// 100 Gbps InfiniBand between nodes.
+LinkProfile infiniband_100g();
+
+/// Point-to-point transfer time for `bytes` over `link`, in ms.
+double transfer_ms(const LinkProfile& link, double bytes);
+
+/// Ring all-reduce of `bytes` across `ranks` peers, in ms.
+/// Standard model: 2*(n-1)/n volume factor plus 2*(n-1) latency hops.
+double ring_allreduce_ms(const LinkProfile& link, double bytes, int ranks);
+
+/// Time to execute `flops` of dense matmul work, in ms.
+double matmul_ms(const DeviceProfile& device, double flops);
+
+/// Time to stream `bytes` through DRAM (bandwidth-bound kernels), in ms.
+double membound_ms(const DeviceProfile& device, double bytes);
+
+}  // namespace autopipe::costmodel

@@ -1,0 +1,70 @@
+#include "costmodel/memory.h"
+
+#include <algorithm>
+
+namespace autopipe::costmodel {
+
+const char* to_string(ScheduleKind kind) {
+  switch (kind) {
+    case ScheduleKind::OneFOneB:       return "1F1B";
+    case ScheduleKind::GPipe:          return "GPipe";
+    case ScheduleKind::Interleaved:    return "Interleaved-1F1B";
+    case ScheduleKind::AutoPipeSliced: return "AutoPipe-sliced-1F1B";
+  }
+  return "?";
+}
+
+MemoryEstimate stage_memory(const StageFootprint& footprint, int stage,
+                            int num_stages, ScheduleKind kind,
+                            int micro_batches, int chunks,
+                            double capacity_bytes) {
+  MemoryEstimate e;
+  e.parameter_state_bytes = footprint.param_bytes * kStateBytesPerParamByte;
+
+  const int n = num_stages;
+  const int m = micro_batches;
+  double stash_per_flight = footprint.stash_bytes;
+  int in_flight = 0;
+  switch (kind) {
+    case ScheduleKind::OneFOneB:
+    case ScheduleKind::AutoPipeSliced:
+      in_flight = std::min(m, n - stage);
+      break;
+    case ScheduleKind::GPipe:
+      in_flight = m;
+      break;
+    case ScheduleKind::Interleaved: {
+      // Megatron-LM interleaved warmup: (n - stage - 1)*2 + (v-1)*n chunks
+      // plus the one being computed plus one buffered for the overlapped
+      // next-chunk receive, each chunk stashing 1/v of the stage. This is
+      // the extra activation memory that makes the interleaved schedule
+      // OOM at large micro-batch sizes (Fig. 14(a)).
+      const int v = std::max(1, chunks);
+      in_flight = std::min(m * v, (n - stage - 1) * 2 + (v - 1) * n + 2);
+      stash_per_flight = footprint.stash_bytes / v;
+      break;
+    }
+  }
+  e.in_flight_micro_batches = in_flight;
+  e.activation_bytes = stash_per_flight * in_flight;
+  e.working_bytes = footprint.work_bytes;
+  e.total_bytes =
+      e.parameter_state_bytes + e.activation_bytes + e.working_bytes;
+  e.oom = e.total_bytes > capacity_bytes;
+  return e;
+}
+
+bool fits_memory(std::span<const StageFootprint> stages, ScheduleKind kind,
+                 int micro_batches, int chunks, double capacity_bytes) {
+  const int n = static_cast<int>(stages.size());
+  for (int s = 0; s < n; ++s) {
+    if (stage_memory(stages[s], s, n, kind, micro_batches, chunks,
+                     capacity_bytes)
+            .oom) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace autopipe::costmodel

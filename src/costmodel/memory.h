@@ -1,0 +1,64 @@
+// Per-stage GPU memory model.
+//
+// Reproduces the paper's OOM behaviour (Table IV, Fig. 14): with mixed
+// precision and Adam, every parameter costs 16 bytes (fp16 weight + fp16
+// gradient + fp32 master copy + two fp32 Adam moments, as Megatron-LM keeps
+// them); under activation checkpointing each in-flight micro-batch keeps
+// only the per-block stash, and the number of in-flight micro-batches is
+// schedule dependent:
+//
+//   1F1B          n - stage          (warmup depth + the one in flight)
+//   GPipe         m                  (all forwards before any backward)
+//   Interleaved   (v-1)*n + (n-stage) + 1 chunks of 1/v the stash
+//                 (the Megatron-LM interleaved warmup rule -- this is the
+//                  extra memory the paper says makes it OOM)
+//   AutoPipe      same as 1F1B: slicing halves micro-batches but never holds
+//                 more than one extra half in flight (§III-C: "without
+//                 introducing additional memory consumption")
+#pragma once
+
+#include <span>
+
+#include "costmodel/analytic.h"
+
+namespace autopipe::costmodel {
+
+enum class ScheduleKind { OneFOneB, GPipe, Interleaved, AutoPipeSliced };
+
+const char* to_string(ScheduleKind kind);
+
+/// Aggregates the memory model needs about one pipeline stage.
+struct StageFootprint {
+  double param_bytes = 0;  ///< parameters resident on the stage
+  double stash_bytes = 0;  ///< checkpoint stash of ONE micro-batch
+  double work_bytes = 0;   ///< transient peak of one micro-batch's compute
+};
+
+struct MemoryEstimate {
+  double parameter_state_bytes = 0;  ///< weights+grads+optimizer (16 B/param)
+  double activation_bytes = 0;       ///< in-flight checkpoint stashes
+  double working_bytes = 0;          ///< transient compute working set
+  double total_bytes = 0;
+  int in_flight_micro_batches = 0;
+  bool oom = false;
+};
+
+/// Peak memory for stage index `stage` of `num_stages` under `kind`, with
+/// `micro_batches` per iteration and (interleaved only) `chunks` model chunks
+/// per device. `capacity_bytes` marks the OOM flag.
+MemoryEstimate stage_memory(const StageFootprint& footprint, int stage,
+                            int num_stages, ScheduleKind kind,
+                            int micro_batches, int chunks,
+                            double capacity_bytes);
+
+/// True when every stage of the footprint list fits in `capacity_bytes`.
+bool fits_memory(std::span<const StageFootprint> stages, ScheduleKind kind,
+                 int micro_batches, int chunks, double capacity_bytes);
+
+/// Bytes of optimizer+weight+gradient state per fp16 parameter byte:
+/// Megatron-LM mixed precision keeps fp16 weights (2 B) + fp32 main
+/// gradients (4 B) + fp32 master weights and two Adam moments (12 B)
+/// = 18 bytes per parameter / 2 bytes per fp16 weight.
+inline constexpr double kStateBytesPerParamByte = 9.0;
+
+}  // namespace autopipe::costmodel

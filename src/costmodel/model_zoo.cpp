@@ -1,0 +1,45 @@
+#include "costmodel/model_zoo.h"
+
+#include <stdexcept>
+
+namespace autopipe::costmodel {
+
+ModelSpec gpt2_345m() {
+  return ModelSpec{"GPT-2 345M", 24, 1024, 16, 50257, 1024, true};
+}
+
+ModelSpec gpt2_762m() {
+  return ModelSpec{"GPT-2 762M", 36, 1280, 20, 50257, 1024, true};
+}
+
+ModelSpec gpt2_1_3b() {
+  return ModelSpec{"GPT-2 1.3B", 24, 2048, 32, 50257, 1024, true};
+}
+
+ModelSpec bert_large() {
+  return ModelSpec{"BERT-large", 24, 1024, 16, 30522, 512, false};
+}
+
+std::vector<ModelSpec> model_zoo() {
+  return {gpt2_345m(), gpt2_762m(), gpt2_1_3b(), bert_large()};
+}
+
+ModelSpec model_by_name(const std::string& name) {
+  if (name == "gpt2-345m") return gpt2_345m();
+  if (name == "gpt2-762m") return gpt2_762m();
+  if (name == "gpt2-1.3b") return gpt2_1_3b();
+  if (name == "bert-large") return bert_large();
+  throw std::invalid_argument("unknown model: " + name);
+}
+
+std::int64_t param_count(const ModelSpec& spec) {
+  const std::int64_t h = spec.hidden;
+  const std::int64_t per_layer = 12 * h * h + 13 * h;
+  const std::int64_t embeddings =
+      static_cast<std::int64_t>(spec.vocab) * h +
+      static_cast<std::int64_t>(spec.default_seq) * h;
+  const std::int64_t final_norm = 2 * h;
+  return embeddings + spec.num_layers * per_layer + final_norm;
+}
+
+}  // namespace autopipe::costmodel

@@ -1,0 +1,44 @@
+// The benchmark models of Table I.
+//
+// | Model      | layers | hidden | params (M) |
+// | GPT-2 345M | 24     | 1024   | 345        |
+// | GPT-2 762M | 36     | 1280   | 762        |
+// | GPT-2 1.3B | 24     | 2048   | 1314       |
+// | BERT-large | 24     | 1024   | 340        |
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace autopipe::costmodel {
+
+struct ModelSpec {
+  std::string name;
+  int num_layers = 0;
+  int hidden = 0;
+  int heads = 0;
+  int vocab = 0;
+  int default_seq = 0;
+  /// GPT-2 uses a tied LM head; BERT pre-training has an MLM head over its
+  /// vocabulary. Both project to vocab logits on the last stage.
+  bool causal = true;
+};
+
+ModelSpec gpt2_345m();
+ModelSpec gpt2_762m();
+ModelSpec gpt2_1_3b();
+ModelSpec bert_large();
+
+/// All four Table-I benchmarks, in paper order.
+std::vector<ModelSpec> model_zoo();
+
+/// Look up a zoo model by name ("gpt2-345m", "gpt2-762m", "gpt2-1.3b",
+/// "bert-large"); throws std::invalid_argument for unknown names.
+ModelSpec model_by_name(const std::string& name);
+
+/// Total trainable parameters: embeddings + 12*h^2(+13h) per layer + final
+/// layer norm. The LM head is weight-tied with the token embedding.
+std::int64_t param_count(const ModelSpec& spec);
+
+}  // namespace autopipe::costmodel

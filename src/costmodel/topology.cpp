@@ -1,0 +1,28 @@
+#include "costmodel/topology.h"
+
+#include <stdexcept>
+
+namespace autopipe::costmodel {
+
+ClusterTopology paper_cluster() { return ClusterTopology{}; }
+
+std::vector<double> boundary_comm_ms(const ClusterTopology& topology,
+                                     int stages, int first_device,
+                                     double bytes) {
+  if (stages < 1 || first_device < 0 || topology.gpus_per_node < 1) {
+    throw std::invalid_argument("bad topology query");
+  }
+  std::vector<double> out;
+  out.reserve(stages - 1);
+  for (int g = 0; g + 1 < stages; ++g) {
+    const int a = first_device + g;
+    const int b = first_device + g + 1;
+    const bool same_node = topology.node_of(a) == topology.node_of(b);
+    const LinkProfile& link =
+        same_node ? topology.intra_node : topology.inter_node;
+    out.push_back(transfer_ms(link, bytes));
+  }
+  return out;
+}
+
+}  // namespace autopipe::costmodel

@@ -1,0 +1,38 @@
+// Cluster topology: how pipeline stages map onto nodes and which link each
+// stage boundary crosses.
+//
+// The paper's testbed is 4 nodes x 4 GPUs: neighbouring pipeline stages
+// inside one node talk over PCIe peer-to-peer, stages that straddle a node
+// boundary cross 100 Gbps InfiniBand. The analytic planner uses one scalar
+// `Comm` (§III-B observes the volumes are too small to saturate either
+// link), but the event executor can price each boundary with its real
+// link, which is also the dimension DAPPLE's device-placement search
+// explores.
+#pragma once
+
+#include <vector>
+
+#include "costmodel/device.h"
+
+namespace autopipe::costmodel {
+
+struct ClusterTopology {
+  int gpus_per_node = 4;
+  LinkProfile intra_node = pcie_p2p();
+  LinkProfile inter_node = infiniband_100g();
+
+  /// Which node hosts (contiguously placed) device `d`?
+  int node_of(int device) const { return device / gpus_per_node; }
+};
+
+/// The paper's 4x4 RTX-3090 cluster.
+ClusterTopology paper_cluster();
+
+/// Per-boundary transfer times for a pipeline of `stages` devices placed
+/// contiguously starting at `first_device`, moving `bytes` per activation:
+/// result[g] is the cost of crossing boundary g -> g+1 (size stages-1).
+std::vector<double> boundary_comm_ms(const ClusterTopology& topology,
+                                     int stages, int first_device,
+                                     double bytes);
+
+}  // namespace autopipe::costmodel

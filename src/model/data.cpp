@@ -1,0 +1,55 @@
+#include "model/data.h"
+
+#include <stdexcept>
+
+namespace autopipe::model {
+
+SyntheticCorpus::SyntheticCorpus(int vocab, std::uint64_t seed)
+    : vocab_(vocab), rng_(seed) {
+  transition_.resize(vocab);
+  for (int t = 0; t < vocab; ++t) {
+    transition_[t] = static_cast<int>(rng_.next_below(vocab));
+  }
+}
+
+Batch SyntheticCorpus::next_batch(int batch, int seq) {
+  Batch out;
+  out.ids = Tensor({batch * seq, 1});
+  out.targets.resize(static_cast<std::size_t>(batch) * seq);
+  for (int b = 0; b < batch; ++b) {
+    int token = static_cast<int>(rng_.next_below(vocab_));
+    for (int s = 0; s < seq; ++s) {
+      out.ids.data()[b * seq + s] = static_cast<float>(token);
+      // 80% of the time follow the Markov rule; 20% noise.
+      int next = transition_[token];
+      if (rng_.next_double() < 0.2) {
+        next = static_cast<int>(rng_.next_below(vocab_));
+      }
+      out.targets[static_cast<std::size_t>(b) * seq + s] = next;
+      token = next;
+    }
+  }
+  return out;
+}
+
+std::vector<Batch> SyntheticCorpus::split_micro_batches(const Batch& batch,
+                                                        int seq, int micro) {
+  const int samples = batch.ids.dim(0) / seq;
+  if (micro <= 0 || samples % micro != 0) {
+    throw std::invalid_argument("micro-batch size must divide the batch");
+  }
+  std::vector<Batch> out;
+  for (int first = 0; first < samples; first += micro) {
+    Batch mb;
+    mb.ids = Tensor({micro * seq, 1});
+    mb.targets.resize(static_cast<std::size_t>(micro) * seq);
+    for (int i = 0; i < micro * seq; ++i) {
+      mb.ids.data()[i] = batch.ids.at(first * seq + i);
+      mb.targets[i] = batch.targets[first * seq + i];
+    }
+    out.push_back(std::move(mb));
+  }
+  return out;
+}
+
+}  // namespace autopipe::model

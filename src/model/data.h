@@ -1,0 +1,37 @@
+// Synthetic token streams (substitute for Wikipedia/BookCorpus/OpenWebText;
+// convergence is out of scope in the paper, §IV-A, so the data only needs
+// to be learnable and deterministic).
+#pragma once
+
+#include <vector>
+
+#include "model/tensor.h"
+
+namespace autopipe::model {
+
+struct Batch {
+  Tensor ids;                ///< [batch*seq, 1] input token ids as floats
+  std::vector<int> targets;  ///< next-token targets, batch*seq entries
+};
+
+/// Deterministic first-order Markov "language": token t+1 depends on token t
+/// through a fixed random transition table, which a causal LM can learn.
+class SyntheticCorpus {
+ public:
+  SyntheticCorpus(int vocab, std::uint64_t seed = 7);
+
+  /// Samples a [batch, seq] batch with next-token targets.
+  Batch next_batch(int batch, int seq);
+
+  /// Splits a batch into micro-batches of `micro` samples each; batch must
+  /// divide evenly.
+  static std::vector<Batch> split_micro_batches(const Batch& batch, int seq,
+                                                int micro);
+
+ private:
+  int vocab_;
+  std::vector<int> transition_;  ///< vocab entries: preferred successor
+  util::Rng rng_;
+};
+
+}  // namespace autopipe::model

@@ -1,0 +1,268 @@
+#include "model/ops.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace autopipe::model {
+
+namespace {
+
+void require(bool ok, const char* what) {
+  if (!ok) throw std::invalid_argument(what);
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  require(a.rank() == 2 && b.rank() == 2 && a.dim(1) == b.dim(0),
+          "matmul: shape mismatch");
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (int i = 0; i < m; ++i) {
+    for (int l = 0; l < k; ++l) {
+      const float av = pa[i * k + l];
+      if (av == 0.0f) continue;
+      const float* brow = pb + l * n;
+      float* crow = pc + i * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_grad_a(const Tensor& dc, const Tensor& b) {
+  require(dc.rank() == 2 && b.rank() == 2 && dc.dim(1) == b.dim(1),
+          "matmul_grad_a: shape mismatch");
+  const int m = dc.dim(0), n = dc.dim(1), k = b.dim(0);
+  Tensor da({m, k});
+  for (int i = 0; i < m; ++i) {
+    for (int l = 0; l < k; ++l) {
+      float acc = 0;
+      const float* dcrow = dc.data() + i * n;
+      const float* brow = b.data() + l * n;
+      for (int j = 0; j < n; ++j) acc += dcrow[j] * brow[j];
+      da.data()[i * k + l] = acc;
+    }
+  }
+  return da;
+}
+
+Tensor matmul_grad_b(const Tensor& a, const Tensor& dc) {
+  require(a.rank() == 2 && dc.rank() == 2 && a.dim(0) == dc.dim(0),
+          "matmul_grad_b: shape mismatch");
+  const int m = a.dim(0), k = a.dim(1), n = dc.dim(1);
+  Tensor db({k, n});
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    const float* dcrow = dc.data() + i * n;
+    for (int l = 0; l < k; ++l) {
+      const float av = arow[l];
+      if (av == 0.0f) continue;
+      float* dbrow = db.data() + l * n;
+      for (int j = 0; j < n; ++j) dbrow[j] += av * dcrow[j];
+    }
+  }
+  return db;
+}
+
+Tensor linear(const Tensor& x, const Tensor& w, const Tensor& bias) {
+  Tensor y = matmul(x, w);
+  require(bias.rank() == 1 && bias.dim(0) == y.dim(1), "linear: bias shape");
+  const int n = y.dim(1);
+  for (int i = 0; i < y.dim(0); ++i) {
+    float* row = y.data() + i * n;
+    for (int j = 0; j < n; ++j) row[j] += bias.at(j);
+  }
+  return y;
+}
+
+LinearGrads linear_backward(const Tensor& x, const Tensor& w,
+                            const Tensor& dy) {
+  LinearGrads g;
+  g.dx = matmul_grad_a(dy, w);
+  g.dw = matmul_grad_b(x, dy);
+  g.dbias = Tensor({dy.dim(1)});
+  for (int i = 0; i < dy.dim(0); ++i) {
+    const float* row = dy.data() + i * dy.dim(1);
+    for (int j = 0; j < dy.dim(1); ++j) g.dbias.data()[j] += row[j];
+  }
+  return g;
+}
+
+namespace {
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+}
+
+Tensor gelu(const Tensor& x) {
+  Tensor y(x.shape());
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    const float v = x.at(i);
+    y.data()[i] =
+        0.5f * v * (1.0f + std::tanh(kGeluC * (v + 0.044715f * v * v * v)));
+  }
+  return y;
+}
+
+Tensor gelu_backward(const Tensor& x, const Tensor& dy) {
+  require(x.same_shape(dy), "gelu_backward: shape mismatch");
+  Tensor dx(x.shape());
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    const float v = x.at(i);
+    const float u = kGeluC * (v + 0.044715f * v * v * v);
+    const float t = std::tanh(u);
+    const float du = kGeluC * (1.0f + 3.0f * 0.044715f * v * v);
+    const float grad = 0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * du;
+    dx.data()[i] = dy.at(i) * grad;
+  }
+  return dx;
+}
+
+Tensor layernorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                 LayerNormCache* cache) {
+  require(x.rank() == 2, "layernorm: rank");
+  const int rows = x.dim(0), d = x.dim(1);
+  require(gamma.dim(0) == d && beta.dim(0) == d, "layernorm: params");
+  Tensor y({rows, d});
+  if (cache) {
+    cache->normalized = Tensor({rows, d});
+    cache->inv_std.assign(rows, 0.0f);
+  }
+  constexpr float kEps = 1e-5f;
+  for (int i = 0; i < rows; ++i) {
+    const float* row = x.data() + i * d;
+    float mean = 0;
+    for (int j = 0; j < d; ++j) mean += row[j];
+    mean /= d;
+    float var = 0;
+    for (int j = 0; j < d; ++j) var += (row[j] - mean) * (row[j] - mean);
+    var /= d;
+    const float inv = 1.0f / std::sqrt(var + kEps);
+    for (int j = 0; j < d; ++j) {
+      const float norm = (row[j] - mean) * inv;
+      if (cache) cache->normalized.data()[i * d + j] = norm;
+      y.data()[i * d + j] = norm * gamma.at(j) + beta.at(j);
+    }
+    if (cache) cache->inv_std[i] = inv;
+  }
+  return y;
+}
+
+LayerNormGrads layernorm_backward(const LayerNormCache& cache,
+                                  const Tensor& gamma, const Tensor& dy) {
+  const int rows = dy.dim(0), d = dy.dim(1);
+  LayerNormGrads g;
+  g.dx = Tensor({rows, d});
+  g.dgamma = Tensor({d});
+  g.dbeta = Tensor({d});
+  for (int i = 0; i < rows; ++i) {
+    const float* dyr = dy.data() + i * d;
+    const float* nr = cache.normalized.data() + i * d;
+    float sum_dn = 0, sum_dnn = 0;
+    for (int j = 0; j < d; ++j) {
+      const float dnorm = dyr[j] * gamma.at(j);
+      sum_dn += dnorm;
+      sum_dnn += dnorm * nr[j];
+      g.dgamma.data()[j] += dyr[j] * nr[j];
+      g.dbeta.data()[j] += dyr[j];
+    }
+    const float inv = cache.inv_std[i];
+    for (int j = 0; j < d; ++j) {
+      const float dnorm = dyr[j] * gamma.at(j);
+      g.dx.data()[i * d + j] =
+          inv * (dnorm - sum_dn / d - nr[j] * sum_dnn / d);
+    }
+  }
+  return g;
+}
+
+Tensor softmax_rows(const Tensor& scores) {
+  require(scores.rank() == 2, "softmax: rank");
+  const int rows = scores.dim(0), n = scores.dim(1);
+  Tensor probs({rows, n});
+  for (int i = 0; i < rows; ++i) {
+    const float* row = scores.data() + i * n;
+    float mx = row[0];
+    for (int j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+    float denom = 0;
+    for (int j = 0; j < n; ++j) {
+      const float e = std::exp(row[j] - mx);
+      probs.data()[i * n + j] = e;
+      denom += e;
+    }
+    for (int j = 0; j < n; ++j) probs.data()[i * n + j] /= denom;
+  }
+  return probs;
+}
+
+Tensor softmax_backward(const Tensor& probs, const Tensor& dprobs) {
+  require(probs.same_shape(dprobs), "softmax_backward: shape");
+  const int rows = probs.dim(0), n = probs.dim(1);
+  Tensor ds({rows, n});
+  for (int i = 0; i < rows; ++i) {
+    const float* p = probs.data() + i * n;
+    const float* dp = dprobs.data() + i * n;
+    float dot = 0;
+    for (int j = 0; j < n; ++j) dot += p[j] * dp[j];
+    for (int j = 0; j < n; ++j) ds.data()[i * n + j] = p[j] * (dp[j] - dot);
+  }
+  return ds;
+}
+
+double cross_entropy(const Tensor& logits, std::span<const int> targets,
+                     double scale, Tensor* dlogits) {
+  require(logits.rank() == 2 &&
+              logits.dim(0) == static_cast<int>(targets.size()),
+          "cross_entropy: shape");
+  const int rows = logits.dim(0), v = logits.dim(1);
+  if (dlogits) *dlogits = Tensor({rows, v});
+  double loss = 0;
+  for (int i = 0; i < rows; ++i) {
+    const float* row = logits.data() + i * v;
+    require(targets[i] >= 0 && targets[i] < v, "cross_entropy: target range");
+    float mx = row[0];
+    for (int j = 1; j < v; ++j) mx = std::max(mx, row[j]);
+    double denom = 0;
+    for (int j = 0; j < v; ++j) denom += std::exp(static_cast<double>(row[j]) - mx);
+    const double log_denom = std::log(denom) + mx;
+    loss += (log_denom - row[targets[i]]) * scale;
+    if (dlogits) {
+      for (int j = 0; j < v; ++j) {
+        const double p = std::exp(static_cast<double>(row[j]) - log_denom);
+        dlogits->data()[i * v + j] =
+            static_cast<float>((p - (j == targets[i] ? 1.0 : 0.0)) * scale);
+      }
+    }
+  }
+  return loss;
+}
+
+Tensor embedding_lookup(const Tensor& table, std::span<const int> ids) {
+  require(table.rank() == 2, "embedding: table rank");
+  const int h = table.dim(1);
+  Tensor out({static_cast<int>(ids.size()), h});
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    require(ids[i] >= 0 && ids[i] < table.dim(0), "embedding: id range");
+    const float* src = table.data() + static_cast<std::size_t>(ids[i]) * h;
+    std::copy(src, src + h, out.data() + i * h);
+  }
+  return out;
+}
+
+void embedding_backward(std::span<const int> ids, const Tensor& dy,
+                        Tensor* dtable) {
+  require(dtable && dtable->rank() == 2 && dy.rank() == 2 &&
+              dy.dim(1) == dtable->dim(1) &&
+              dy.dim(0) == static_cast<int>(ids.size()),
+          "embedding_backward: shape");
+  const int h = dy.dim(1);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    float* dst = dtable->data() + static_cast<std::size_t>(ids[i]) * h;
+    const float* src = dy.data() + i * h;
+    for (int j = 0; j < h; ++j) dst[j] += src[j];
+  }
+}
+
+}  // namespace autopipe::model

@@ -1,0 +1,67 @@
+// Forward and backward primitive ops over 2-D views.
+//
+// Activations between transformer blocks are [tokens, features] matrices
+// (batch and sequence flattened); every primitive here has a hand-written
+// backward so the runtime's pipelined gradients can be checked exactly
+// against the single-process reference.
+#pragma once
+
+#include <span>
+
+#include "model/tensor.h"
+
+namespace autopipe::model {
+
+/// C[m,n] = A[m,k] * B[k,n].
+Tensor matmul(const Tensor& a, const Tensor& b);
+/// dA = dC * B^T.
+Tensor matmul_grad_a(const Tensor& dc, const Tensor& b);
+/// dB = A^T * dC.
+Tensor matmul_grad_b(const Tensor& a, const Tensor& dc);
+
+/// y = x*W + bias (bias broadcast over rows).
+Tensor linear(const Tensor& x, const Tensor& w, const Tensor& bias);
+struct LinearGrads {
+  Tensor dx, dw, dbias;
+};
+LinearGrads linear_backward(const Tensor& x, const Tensor& w,
+                            const Tensor& dy);
+
+/// GELU, tanh approximation (as GPT-2 uses).
+Tensor gelu(const Tensor& x);
+Tensor gelu_backward(const Tensor& x, const Tensor& dy);
+
+/// Per-row layer norm with scale gamma and shift beta (both [features]).
+struct LayerNormCache {
+  Tensor normalized;          ///< (x - mean) / std, per row
+  std::vector<float> inv_std; ///< 1/std per row
+};
+Tensor layernorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                 LayerNormCache* cache);
+struct LayerNormGrads {
+  Tensor dx, dgamma, dbeta;
+};
+LayerNormGrads layernorm_backward(const LayerNormCache& cache,
+                                  const Tensor& gamma, const Tensor& dy);
+
+/// Row-wise softmax (optionally causal when rows index query positions of a
+/// [s, s] score matrix).
+Tensor softmax_rows(const Tensor& scores);
+/// dScores from dProbs with probs = softmax(scores):
+/// dS = P o (dP - rowsum(dP o P)).
+Tensor softmax_backward(const Tensor& probs, const Tensor& dprobs);
+
+/// Mean-free cross entropy: loss = -sum_i log softmax(logits_i)[target_i]
+/// * scale. Returns loss and writes dlogits (same scale) -- using an
+/// explicit scale (1 / total mini-batch tokens) makes micro-batch gradients
+/// add up to exactly the full-batch gradients.
+double cross_entropy(const Tensor& logits, std::span<const int> targets,
+                     double scale, Tensor* dlogits);
+
+/// Gather rows of table[vocab, h] by ids.
+Tensor embedding_lookup(const Tensor& table, std::span<const int> ids);
+/// Scatter-add dy rows back into dtable.
+void embedding_backward(std::span<const int> ids, const Tensor& dy,
+                        Tensor* dtable);
+
+}  // namespace autopipe::model

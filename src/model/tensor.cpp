@@ -1,0 +1,102 @@
+#include "model/tensor.h"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace autopipe::model {
+
+namespace {
+
+std::size_t shape_numel(const std::vector<int>& shape) {
+  std::size_t n = 1;
+  for (int d : shape) {
+    if (d <= 0) throw std::invalid_argument("non-positive tensor dimension");
+    n *= static_cast<std::size_t>(d);
+  }
+  return n;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<int> shape)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
+
+Tensor Tensor::full(std::vector<int> shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill_(value);
+  return t;
+}
+
+Tensor Tensor::randn(std::vector<int> shape, util::Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& x : t.data_) {
+    x = static_cast<float>(rng.next_gaussian()) * stddev;
+  }
+  return t;
+}
+
+void Tensor::add_(const Tensor& other) {
+  if (!same_shape(other)) throw std::invalid_argument("add_: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::scale_(float factor) {
+  for (auto& x : data_) x *= factor;
+}
+
+void Tensor::fill_(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+std::pair<Tensor, Tensor> Tensor::split_rows(int rows) const {
+  if (rank() < 1 || rows <= 0 || rows >= dim(0)) {
+    throw std::invalid_argument("split_rows: bad row count");
+  }
+  std::vector<int> head_shape = shape_, tail_shape = shape_;
+  head_shape[0] = rows;
+  tail_shape[0] = dim(0) - rows;
+  Tensor head(head_shape), tail(tail_shape);
+  const std::size_t stride = numel() / static_cast<std::size_t>(dim(0));
+  std::copy(data_.begin(), data_.begin() + rows * stride, head.data_.begin());
+  std::copy(data_.begin() + rows * stride, data_.end(), tail.data_.begin());
+  return {std::move(head), std::move(tail)};
+}
+
+Tensor Tensor::concat_rows(const Tensor& a, const Tensor& b) {
+  if (a.rank() != b.rank() || a.rank() < 1) {
+    throw std::invalid_argument("concat_rows: rank mismatch");
+  }
+  for (int i = 1; i < a.rank(); ++i) {
+    if (a.dim(i) != b.dim(i)) {
+      throw std::invalid_argument("concat_rows: trailing shape mismatch");
+    }
+  }
+  std::vector<int> shape = a.shape_;
+  shape[0] = a.dim(0) + b.dim(0);
+  Tensor out(shape);
+  std::copy(a.data_.begin(), a.data_.end(), out.data_.begin());
+  std::copy(b.data_.begin(), b.data_.end(),
+            out.data_.begin() + static_cast<std::ptrdiff_t>(a.numel()));
+  return out;
+}
+
+std::string Tensor::shape_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (int i = 0; i < rank(); ++i) os << (i ? "x" : "") << shape_[i];
+  os << ']';
+  return os.str();
+}
+
+double max_abs_diff(const Tensor& a, const Tensor& b) {
+  if (!a.same_shape(b)) throw std::invalid_argument("max_abs_diff: shapes");
+  double worst = 0;
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    worst = std::max(worst, std::fabs(static_cast<double>(a.at(i)) - b.at(i)));
+  }
+  return worst;
+}
+
+}  // namespace autopipe::model

@@ -1,0 +1,61 @@
+// Minimal dense float32 tensor for the training-runtime substrate.
+//
+// The runtime exists to prove schedule *correctness* (pipelined gradients
+// match single-process gradients bit-closely), not performance, so the
+// representation is deliberately simple: contiguous row-major float storage
+// with rank <= 3 shapes.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace autopipe::model {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int> shape);
+
+  static Tensor zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
+  static Tensor full(std::vector<int> shape, float value);
+  /// Gaussian init with the given stddev (deterministic via rng).
+  static Tensor randn(std::vector<int> shape, util::Rng& rng,
+                      float stddev = 1.0f);
+
+  int rank() const { return static_cast<int>(shape_.size()); }
+  int dim(int i) const { return shape_[i]; }
+  const std::vector<int>& shape() const { return shape_; }
+  std::size_t numel() const { return data_.size(); }
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float& at(std::size_t i) { return data_[i]; }
+  float at(std::size_t i) const { return data_[i]; }
+
+  /// Elementwise in-place accumulate; shapes must match.
+  void add_(const Tensor& other);
+  void scale_(float factor);
+  void fill_(float value);
+
+  /// Splits along dim 0 into [0, rows) and [rows, dim0) -- micro-batch
+  /// slicing (§III-C) splits the batch dimension this way.
+  std::pair<Tensor, Tensor> split_rows(int rows) const;
+  /// Inverse of split_rows.
+  static Tensor concat_rows(const Tensor& a, const Tensor& b);
+
+  std::string shape_string() const;
+
+ private:
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+/// Max |a-b| over all elements; shapes must match.
+double max_abs_diff(const Tensor& a, const Tensor& b);
+
+}  // namespace autopipe::model

@@ -1,0 +1,62 @@
+// Whole-model assembly and the single-process reference implementation.
+//
+// TransformerModel owns the block list in exactly the order the cost model
+// and Planner see it; the reference train step (forward all blocks, cross
+// entropy, backward all blocks) is the ground truth the pipelined runtime's
+// gradients are checked against -- the "consistency between distributed
+// pipeline running and single machine running" property of §II-B.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "model/blocks.h"
+
+namespace autopipe::model {
+
+/// A laptop-scale transformer; defaults keep tests fast.
+struct TinySpec {
+  int layers = 2;
+  int hidden = 16;
+  int heads = 2;
+  int vocab = 64;
+  int seq = 8;
+  bool causal = true;
+  std::uint64_t seed = 42;
+};
+
+class TransformerModel {
+ public:
+  explicit TransformerModel(const TinySpec& spec);
+
+  const TinySpec& spec() const { return spec_; }
+  int num_blocks() const { return static_cast<int>(blocks_.size()); }
+  Block& block(int i) { return *blocks_[i]; }
+  const Block& block(int i) const { return *blocks_[i]; }
+
+  void zero_grads();
+  std::size_t param_count() const;
+
+  /// Forward the whole model; ids is [tokens, 1].
+  Tensor forward(const Tensor& ids) const;
+
+  /// Reference training step with recompute semantics: stashes every block
+  /// input, computes scaled cross entropy against targets, and walks the
+  /// blocks backward. Gradients accumulate into the blocks. Returns loss.
+  double reference_step(const Tensor& ids, std::span<const int> targets,
+                        double scale);
+
+  /// Largest |grad difference| across all parameters vs `other` (models
+  /// must have identical architecture).
+  double max_grad_diff(const TransformerModel& other) const;
+
+  /// Copies parameter VALUES from `other` (for twin-model experiments).
+  void copy_params_from(const TransformerModel& other);
+
+ private:
+  TinySpec spec_;
+  std::vector<std::unique_ptr<Block>> blocks_;
+};
+
+}  // namespace autopipe::model

@@ -1,0 +1,144 @@
+#include "planners/dapple.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "costmodel/memory.h"
+#include "planners/units.h"
+#include "util/logging.h"
+
+namespace autopipe::planners {
+
+namespace {
+
+/// DAPPLE's internal estimate of one iteration: steady-state bottleneck
+/// throughput (smooth 1/g scaling -- the optimism the paper exposes) plus a
+/// warmup/cooldown term and the slowest per-stage gradient all-reduce.
+double dapple_objective(const core::ModelConfig& config,
+                        const std::vector<LayerUnit>& units,
+                        const std::vector<int>& unit_counts,
+                        const std::vector<int>& replicas, long micro_batches,
+                        const costmodel::LinkProfile& link) {
+  const int d = static_cast<int>(replicas.size());
+  double bottleneck = 0, warmup = 0, allreduce = 0;
+  std::size_t unit = 0;
+  for (int s = 0; s < d; ++s) {
+    double load = 0, params = 0;
+    for (int i = 0; i < unit_counts[s]; ++i, ++unit) {
+      load += units[unit].load_ms;
+      params += units[unit].param_bytes;
+    }
+    bottleneck = std::max(bottleneck, load / replicas[s]);
+    warmup += load / replicas[s];
+    allreduce = std::max(
+        allreduce, costmodel::ring_allreduce_ms(link, params, replicas[s]));
+  }
+  return static_cast<double>(micro_batches) * bottleneck + warmup +
+         2.0 * (d - 1) * config.comm_ms + allreduce;
+}
+
+/// DAPPLE's memory check: parameter state only, and at the classic
+/// mixed-precision cost of 16 bytes/param (fp16 weight+grad + fp32 master
+/// and Adam moments). It misses both the activations and the fp32 main
+/// gradients the Megatron-LM backend actually allocates -- which is why its
+/// GPT-2 1.3B plans pass this check and then OOM at runtime (Table IV).
+bool dapple_memory_ok(const std::vector<LayerUnit>& units,
+                      const std::vector<int>& unit_counts,
+                      double capacity_bytes) {
+  constexpr double kDappleStateBytesPerParamByte = 8.0;  // 16 B / 2 B fp16
+  std::size_t unit = 0;
+  for (int count : unit_counts) {
+    double params = 0;
+    for (int i = 0; i < count; ++i, ++unit) params += units[unit].param_bytes;
+    if (params * kDappleStateBytesPerParamByte > capacity_bytes) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+core::ParallelPlan dapple_plan(const core::ModelConfig& config, int gpus,
+                               const DappleOptions& options) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<LayerUnit> units = layer_units(config);
+  const long m = std::max<long>(
+      1, options.global_batch / config.train.micro_batch_size);
+
+  core::ParallelPlan best;
+  best.algorithm = "dapple";
+  best.uniform_dp = false;
+  double best_obj = std::numeric_limits<double>::infinity();
+  // DAPPLE prefers larger data parallelism in later stages (§IV-D); among
+  // near-tied candidates (its cost model cannot distinguish configurations
+  // within its profiling noise) it keeps the one with the most replicas on
+  // the last stage.
+  constexpr double kTieBand = 1.10;
+  int best_tail_replicas = 0;
+
+  // DAPPLE's search space is pipelined hybrid configurations; plain data
+  // parallelism is outside it -- the paper observes it "tends to partition
+  // the model into a two-stage pipeline" even when pure DP is optimal
+  // (Table III).
+  const int max_d =
+      std::min({gpus, options.max_stages, static_cast<int>(units.size())});
+  for (int d = std::min(2, gpus); d <= max_d; ++d) {
+    for_each_composition(gpus, d, [&](const std::vector<int>& replicas) {
+      // Balance per-replica load under DAPPLE's smooth scaling.
+      std::vector<double> weights(d);
+      for (int s = 0; s < d; ++s) weights[s] = 1.0 / replicas[s];
+      const std::vector<int> unit_counts =
+          weighted_balanced_split(units, weights);
+      if (!dapple_memory_ok(units, unit_counts,
+                            config.device.mem_capacity_bytes)) {
+        return;
+      }
+      // Device-placement search (the dimension that blows up DAPPLE's
+      // planning time, Fig. 12): lay the replicas out contiguously at every
+      // cyclic device offset and score the stage-boundary hops with the
+      // node-aware link (PCIe inside a node, InfiniBand across).
+      const auto pcie = costmodel::pcie_p2p();
+      const auto ib = costmodel::infiniband_100g();
+      for (int offset = 0; offset < gpus; ++offset) {
+        double boundary_penalty = 0;
+        int device = offset;
+        for (int s = 0; s + 1 < d; ++s) {
+          device = (device + replicas[s]) % gpus;
+          const int prev_node = (device - 1 + gpus) % gpus / options.gpus_per_node;
+          const bool same_node = prev_node == device / options.gpus_per_node;
+          const auto& link = same_node ? pcie : ib;
+          boundary_penalty +=
+              2.0 * costmodel::transfer_ms(
+                        link, config.train.micro_batch_size *
+                                  static_cast<double>(config.train.seq_len) *
+                                  config.spec.hidden * 2.0);
+        }
+        const double obj =
+            dapple_objective(config, units, unit_counts, replicas, m,
+                             config.link) +
+            boundary_penalty;
+        const bool clearly_better = obj * kTieBand < best_obj;
+        const bool tie_preferred = obj < best_obj * kTieBand &&
+                                   replicas.back() > best_tail_replicas;
+        if (clearly_better || tie_preferred) {
+          best_obj = std::min(best_obj, obj);
+          best_tail_replicas = replicas.back();
+          best.partition = partition_from_unit_counts(units, unit_counts);
+          best.stage_devices = replicas;
+        }
+      }
+    });
+  }
+
+  best.planning_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+  AP_LOG(info) << "dapple: " << best.num_stages() << " stages, objective "
+               << best_obj << ", " << best.planning_ms << " ms";
+  return best;
+}
+
+}  // namespace autopipe::planners

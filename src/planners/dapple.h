@@ -1,0 +1,37 @@
+// DAPPLE Planner baseline (reimplementation).
+//
+// DAPPLE [12] plans at layer granularity and, unlike AutoPipe, searches the
+// device-assignment dimension: each pipeline stage may get a different
+// number of replicas, and each candidate is evaluated across device
+// placements (which GPUs of which node host which stage). Micro-batches are
+// sharded sample-wise across a stage's replicas.
+//
+// The reimplementation keeps DAPPLE's documented behaviours that the paper
+// measures against:
+//   * steady-state throughput objective with *smooth* 1/replicas scaling --
+//     it ignores sample-lumpiness (ceil(mbs/g)/mbs), so it happily picks
+//     shapes like 1+3 GPUs whose real throughput is worse (Table III);
+//   * all-reduce avoidance pushes the parameter-heavy embedding onto a
+//     single unreplicated first stage and crams the remaining layers into a
+//     heavily replicated second stage (the 7/17-layer split and the
+//     16-GPU 1+15 assignment whose 15 replicas exceed micro-batch size 4,
+//     the "-" runtime-error cells);
+//   * a parameters-only memory model that misses activations, so it selects
+//     2-stage plans for GPT-2 1.3B that OOM in practice (Table IV);
+//   * the largest search space of the three planners (Fig. 12).
+#pragma once
+
+#include "core/autopipe.h"
+
+namespace autopipe::planners {
+
+struct DappleOptions {
+  int max_stages = 8;
+  int gpus_per_node = 4;
+  long global_batch = 512;
+};
+
+core::ParallelPlan dapple_plan(const core::ModelConfig& config, int gpus,
+                               const DappleOptions& options);
+
+}  // namespace autopipe::planners

@@ -1,0 +1,85 @@
+#include "planners/megatron.h"
+
+#include <stdexcept>
+
+namespace autopipe::planners {
+
+bool megatron_supports(const core::ModelConfig& config, int stages) {
+  return stages >= 1 && config.spec.num_layers % stages == 0;
+}
+
+core::Partition megatron_partition(const core::ModelConfig& config,
+                                   int stages) {
+  if (!megatron_supports(config, stages)) {
+    throw std::invalid_argument(
+        "Megatron-LM requires the pipeline depth to be a factor of the "
+        "model layer count");
+  }
+  const int per_stage = config.spec.num_layers / stages;
+  core::Partition p;
+  for (int s = 0; s < stages; ++s) {
+    int blocks = 2 * per_stage;
+    if (s == 0) ++blocks;           // embedding
+    if (s == stages - 1) ++blocks;  // head
+    p.counts.push_back(blocks);
+  }
+  core::validate(config, p);
+  return p;
+}
+
+bool megatron_interleaved_supports(const core::ModelConfig& config, int stages,
+                                   int chunks) {
+  return chunks >= 1 && stages >= 1 &&
+         config.spec.num_layers % (stages * chunks) == 0;
+}
+
+std::vector<std::vector<core::StageCost>> megatron_interleaved_costs(
+    const core::ModelConfig& config, int stages, int chunks) {
+  if (!megatron_interleaved_supports(config, stages, chunks)) {
+    throw std::invalid_argument(
+        "interleaved schedule needs layers divisible by stages*chunks");
+  }
+  const int per_chunk = config.spec.num_layers / (stages * chunks);
+  std::vector<std::vector<core::StageCost>> costs(
+      stages, std::vector<core::StageCost>(chunks));
+  // Global model stage g = chunk*stages + device holds layers
+  // [g*per_chunk, (g+1)*per_chunk); block array is [emb][2 per layer][head].
+  for (int dev = 0; dev < stages; ++dev) {
+    for (int c = 0; c < chunks; ++c) {
+      const int g = c * stages + dev;
+      const int first_layer = g * per_chunk;
+      core::StageCost& sc = costs[dev][c];
+      for (int layer = first_layer; layer < first_layer + per_chunk; ++layer) {
+        for (int b = 1 + 2 * layer; b < 3 + 2 * layer; ++b) {
+          sc.fwd_ms += config.blocks[b].fwd_ms;
+          sc.bwd_ms += config.blocks[b].bwd_ms;
+        }
+      }
+      if (g == 0) {
+        sc.fwd_ms += config.blocks[0].fwd_ms;
+        sc.bwd_ms += config.blocks[0].bwd_ms;
+      }
+      if (g == stages * chunks - 1) {
+        const auto& head = config.blocks[config.num_blocks() - 1];
+        sc.fwd_ms += head.fwd_ms;
+        sc.bwd_ms += head.bwd_ms;
+      }
+    }
+  }
+  return costs;
+}
+
+core::ParallelPlan megatron_plan(const core::ModelConfig& config, int gpus,
+                                 int stages) {
+  if (gpus % stages != 0) {
+    throw std::invalid_argument("gpus must be a multiple of stages");
+  }
+  core::ParallelPlan plan;
+  plan.algorithm = "megatron";
+  plan.partition = megatron_partition(config, stages);
+  plan.uniform_dp = true;
+  plan.data_parallel = gpus / stages;
+  return plan;
+}
+
+}  // namespace autopipe::planners

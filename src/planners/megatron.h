@@ -1,0 +1,38 @@
+// Megatron-LM baseline partitioner and interleaved-schedule helper.
+//
+// Megatron-LM "evenly divides transformer layers into each pipeline stage"
+// (§IV-B) and therefore requires the pipeline depth to be a factor of the
+// layer count (which is why the paper's GPT-2 762M run uses a 9-stage
+// pipeline where the other models use 8). The interleaved schedule
+// additionally places `chunks` model chunks per device and needs the
+// per-stage layer count to divide evenly into chunks -- the "X" cells of
+// Fig. 14(b).
+#pragma once
+
+#include "core/autopipe.h"
+#include "core/partition.h"
+
+namespace autopipe::planners {
+
+/// Does Megatron's uniform partition exist for this depth?
+bool megatron_supports(const core::ModelConfig& config, int stages);
+
+/// Uniform partition: layers/stages transformer layers per stage, embedding
+/// on the first stage, head on the last. Throws when unsupported.
+core::Partition megatron_partition(const core::ModelConfig& config,
+                                   int stages);
+
+/// Can the interleaved schedule run with `chunks` model chunks per device?
+bool megatron_interleaved_supports(const core::ModelConfig& config, int stages,
+                                   int chunks);
+
+/// Per-device, per-chunk stage costs for the interleaved schedule: global
+/// model stage (chunk*stages + device) holds layers/(stages*chunks) layers.
+std::vector<std::vector<core::StageCost>> megatron_interleaved_costs(
+    const core::ModelConfig& config, int stages, int chunks);
+
+/// Full plan: uniform partition with data-parallel size gpus/stages.
+core::ParallelPlan megatron_plan(const core::ModelConfig& config, int gpus,
+                                 int stages);
+
+}  // namespace autopipe::planners

@@ -1,0 +1,30 @@
+// Piper baseline (reimplementation).
+//
+// Piper [23] minimizes Time-Per-Sample with a two-level search: contiguous
+// layer-granularity pipeline splits times a per-stage data-parallel width.
+// Relative to AutoPipe it
+//   * models activations in its memory constraint (so, unlike DAPPLE, it
+//     avoids OOM on GPT-2 1.3B, Table IV);
+//   * accounts for sample lumpiness when sharding micro-batches, so it
+//     never produces DAPPLE's infeasible 15-replica stages;
+//   * still plans at layer granularity and tolerates imbalance through its
+//     TPS objective, preferring deeper pipelines (4-6 stages) whose loads
+//     are uneven (Fig. 13);
+//   * searches the data-parallel dimension exhaustively, which makes its
+//     planning an order of magnitude slower than AutoPipe's heuristic
+//     (Fig. 12).
+#pragma once
+
+#include "core/autopipe.h"
+
+namespace autopipe::planners {
+
+struct PiperOptions {
+  int max_stages = 8;
+  long global_batch = 512;
+};
+
+core::ParallelPlan piper_plan(const core::ModelConfig& config, int gpus,
+                              const PiperOptions& options);
+
+}  // namespace autopipe::planners

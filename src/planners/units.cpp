@@ -1,0 +1,102 @@
+#include "planners/units.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace autopipe::planners {
+
+std::vector<LayerUnit> layer_units(const core::ModelConfig& config) {
+  std::vector<LayerUnit> units;
+  int block = 0;
+  const int n = config.num_blocks();
+  auto push = [&](int count) {
+    LayerUnit u;
+    u.first_block = block;
+    u.num_blocks = count;
+    for (int i = 0; i < count; ++i, ++block) {
+      const auto& b = config.blocks[block];
+      u.fwd_ms += b.fwd_ms;
+      u.bwd_ms += b.bwd_ms;
+      u.load_ms += b.fwd_ms + b.bwd_ms;
+      u.param_bytes += b.param_bytes;
+    }
+    units.push_back(u);
+  };
+  push(1);  // embedding
+  for (int layer = 0; layer < config.spec.num_layers; ++layer) {
+    push(2);  // attention + FFN stay fused at layer granularity
+  }
+  push(1);  // head
+  if (block != n) throw std::logic_error("unexpected block layout");
+  return units;
+}
+
+core::Partition partition_from_unit_counts(
+    const std::vector<LayerUnit>& units, const std::vector<int>& unit_counts) {
+  core::Partition p;
+  std::size_t unit = 0;
+  for (int count : unit_counts) {
+    int blocks = 0;
+    for (int i = 0; i < count; ++i, ++unit) blocks += units[unit].num_blocks;
+    p.counts.push_back(blocks);
+  }
+  if (unit != units.size()) {
+    throw std::invalid_argument("unit counts do not cover the model");
+  }
+  return p;
+}
+
+std::vector<int> weighted_balanced_split(const std::vector<LayerUnit>& units,
+                                         const std::vector<double>& weights) {
+  const int n = static_cast<int>(units.size());
+  const int p = static_cast<int>(weights.size());
+  if (p < 1 || p > n) throw std::invalid_argument("bad stage count");
+
+  std::vector<double> prefix(n + 1, 0.0);
+  for (int i = 1; i <= n; ++i) prefix[i] = prefix[i - 1] + units[i - 1].load_ms;
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> best(n + 1, std::vector<double>(p + 1, kInf));
+  std::vector<std::vector<int>> parent(n + 1, std::vector<int>(p + 1, -1));
+  best[0][0] = 0.0;
+  for (int i = 1; i <= n; ++i) {
+    for (int j = 1; j <= std::min(p, i); ++j) {
+      for (int k = j - 1; k <= i - 1; ++k) {
+        if (best[k][j - 1] == kInf) continue;
+        const double cand = std::max(
+            best[k][j - 1], (prefix[i] - prefix[k]) * weights[j - 1]);
+        if (cand < best[i][j]) {
+          best[i][j] = cand;
+          parent[i][j] = k;
+        }
+      }
+    }
+  }
+  std::vector<int> counts(p);
+  int i = n;
+  for (int j = p; j >= 1; --j) {
+    counts[j - 1] = i - parent[i][j];
+    i = parent[i][j];
+  }
+  return counts;
+}
+
+void for_each_composition(
+    int total, int parts,
+    const std::function<void(const std::vector<int>&)>& fn) {
+  std::vector<int> current(parts, 0);
+  const std::function<void(int, int)> recurse = [&](int index, int remaining) {
+    if (index == parts - 1) {
+      current[index] = remaining;
+      fn(current);
+      return;
+    }
+    for (int take = 1; take <= remaining - (parts - 1 - index); ++take) {
+      current[index] = take;
+      recurse(index + 1, remaining - take);
+    }
+  };
+  if (parts >= 1 && total >= parts) recurse(0, total);
+}
+
+}  // namespace autopipe::planners

@@ -1,0 +1,47 @@
+// Shared helpers for the baseline planners (DAPPLE, Piper).
+//
+// Both baselines plan at *layer* granularity (the paper's point: neither
+// splits transformer layers into sub-layer blocks, which is why their
+// schemes cannot balance the embedding/head asymmetry). A LayerUnit is one
+// indivisible planning unit: the embedding, one full transformer layer
+// (attention + FFN), or the head.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/partition.h"
+
+namespace autopipe::planners {
+
+struct LayerUnit {
+  double load_ms = 0;      ///< f + b of one micro-batch
+  double fwd_ms = 0;
+  double bwd_ms = 0;
+  double param_bytes = 0;
+  int first_block = 0;     ///< range into the config's block array
+  int num_blocks = 0;
+};
+
+/// Collapses a model's sub-layer blocks into layer-granularity units:
+/// [embedding][layer 0]...[layer L-1][head].
+std::vector<LayerUnit> layer_units(const core::ModelConfig& config);
+
+/// Converts a units-per-stage assignment back to a block partition.
+core::Partition partition_from_unit_counts(
+    const std::vector<LayerUnit>& units, const std::vector<int>& unit_counts);
+
+/// Contiguous split of `units` into `stages` parts minimizing
+/// max_s(stage_load_s * weight_s); weight_s models per-stage micro-batch
+/// sharding (e.g. 1/replicas). Returns units-per-stage counts.
+std::vector<int> weighted_balanced_split(const std::vector<LayerUnit>& units,
+                                         const std::vector<double>& weights);
+
+/// Enumerates all compositions of `total` devices into `parts` positive
+/// integers, invoking `fn` for each. Used by the baselines' device-
+/// assignment search (this is the dimension AutoPipe deliberately skips,
+/// §IV-D).
+void for_each_composition(int total, int parts,
+                          const std::function<void(const std::vector<int>&)>& fn);
+
+}  // namespace autopipe::planners

@@ -1,0 +1,39 @@
+#include "runtime/channel.h"
+
+#include <stdexcept>
+
+namespace autopipe::runtime {
+
+namespace {
+
+std::tuple<int, int, int> key_of(const MessageTag& tag) {
+  return {static_cast<int>(tag.type), tag.micro_batch, tag.half};
+}
+
+}  // namespace
+
+void Channel::send(const MessageTag& tag, model::Tensor payload) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto [it, inserted] = box_.emplace(key_of(tag), std::move(payload));
+    if (!inserted) {
+      throw std::logic_error("channel: duplicate send for one tag");
+    }
+  }
+  arrived_.notify_all();
+}
+
+model::Tensor Channel::recv(const MessageTag& tag) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto key = key_of(tag);
+  arrived_.wait(lock, [&] { return box_.count(key) > 0; });
+  auto node = box_.extract(key);
+  return std::move(node.mapped());
+}
+
+std::size_t Channel::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return box_.size();
+}
+
+}  // namespace autopipe::runtime

@@ -1,0 +1,48 @@
+// Tagged blocking mailbox between adjacent pipeline stages -- the NCCL
+// point-to-point substitute of the thread runtime.
+//
+// A Channel carries messages in one direction across one stage boundary.
+// Receivers block until the message with their exact tag (op type,
+// micro-batch, half) arrives, which realizes the communication-computation
+// dependencies of Fig. 1 without imposing any order beyond them: sends
+// never block (asynchronous NCCL sends with buffering), receives rendezvous
+// by tag.
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <tuple>
+
+#include "core/schedule.h"
+#include "model/tensor.h"
+
+namespace autopipe::runtime {
+
+struct MessageTag {
+  core::OpType type = core::OpType::Forward;
+  int micro_batch = 0;
+  int half = -1;
+
+  auto operator<=>(const MessageTag&) const = default;
+};
+
+class Channel {
+ public:
+  /// Deposits a tensor under `tag`; fails (throws std::logic_error) if the
+  /// tag is already occupied -- a schedule that sends twice is malformed.
+  void send(const MessageTag& tag, model::Tensor payload);
+
+  /// Blocks until a tensor tagged `tag` arrives, then removes and returns it.
+  model::Tensor recv(const MessageTag& tag);
+
+  /// Number of undelivered messages (for leak checks in tests).
+  std::size_t pending() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable arrived_;
+  std::map<std::tuple<int, int, int>, model::Tensor> box_;
+};
+
+}  // namespace autopipe::runtime

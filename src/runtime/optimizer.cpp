@@ -1,0 +1,49 @@
+#include "runtime/optimizer.h"
+
+#include <cmath>
+
+namespace autopipe::runtime {
+
+void Sgd::step(model::TransformerModel& model) {
+  for (int b = 0; b < model.num_blocks(); ++b) {
+    for (auto& p : model.block(b).params()) {
+      for (std::size_t i = 0; i < p.value.numel(); ++i) {
+        p.value.data()[i] -= static_cast<float>(lr_) * p.grad.at(i);
+      }
+    }
+  }
+}
+
+void Adam::step(model::TransformerModel& model) {
+  // Lazily allocate moments in (block, param) order.
+  if (m_.empty()) {
+    for (int b = 0; b < model.num_blocks(); ++b) {
+      for (auto& p : model.block(b).params()) {
+        m_.emplace_back(p.value.numel(), 0.0f);
+        v_.emplace_back(p.value.numel(), 0.0f);
+      }
+    }
+  }
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  std::size_t slot = 0;
+  for (int b = 0; b < model.num_blocks(); ++b) {
+    for (auto& p : model.block(b).params()) {
+      auto& m = m_[slot];
+      auto& v = v_[slot];
+      ++slot;
+      for (std::size_t i = 0; i < p.value.numel(); ++i) {
+        const double g = p.grad.at(i);
+        m[i] = static_cast<float>(beta1_ * m[i] + (1.0 - beta1_) * g);
+        v[i] = static_cast<float>(beta2_ * v[i] + (1.0 - beta2_) * g * g);
+        const double mh = m[i] / bc1;
+        const double vh = v[i] / bc2;
+        p.value.data()[i] -=
+            static_cast<float>(lr_ * mh / (std::sqrt(vh) + eps_));
+      }
+    }
+  }
+}
+
+}  // namespace autopipe::runtime

@@ -1,0 +1,43 @@
+// Optimizers for the training runtime: SGD and Adam (the paper's optimizer,
+// §II-A). State is held per parameter tensor inside the optimizer, so the
+// same model can be stepped by different optimizers in different tests.
+#pragma once
+
+#include <vector>
+
+#include "model/transformer.h"
+
+namespace autopipe::runtime {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// Applies accumulated gradients to the model's parameters and clears
+  /// nothing -- callers zero gradients when starting the next iteration.
+  virtual void step(model::TransformerModel& model) = 0;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(double lr) : lr_(lr) {}
+  void step(model::TransformerModel& model) override;
+
+ private:
+  double lr_;
+};
+
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+  void step(model::TransformerModel& model) override;
+
+ private:
+  double lr_, beta1_, beta2_, eps_;
+  long t_ = 0;
+  /// First/second moment per parameter tensor, lazily sized on first step.
+  std::vector<std::vector<float>> m_, v_;
+};
+
+}  // namespace autopipe::runtime

@@ -1,0 +1,127 @@
+#include "runtime/pipeline_runtime.h"
+
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+
+#include "runtime/channel.h"
+#include "runtime/stage_worker.h"
+
+namespace autopipe::runtime {
+
+PipelineRuntime::PipelineRuntime(model::TransformerModel& model,
+                                 std::vector<int> counts, int chunks)
+    : model_(model), counts_(std::move(counts)), chunks_(chunks) {
+  if (chunks_ < 1 || counts_.empty() ||
+      static_cast<int>(counts_.size()) % chunks_ != 0) {
+    throw std::invalid_argument("global stage count must be devices*chunks");
+  }
+  const int total = std::accumulate(counts_.begin(), counts_.end(), 0);
+  if (total != model_.num_blocks()) {
+    throw std::invalid_argument("partition does not cover the model blocks");
+  }
+  for (int c : counts_) {
+    if (c < 1) throw std::invalid_argument("empty pipeline stage");
+  }
+}
+
+core::Schedule PipelineRuntime::make_schedule(costmodel::ScheduleKind kind,
+                                              int micro_batches,
+                                              int sliced) const {
+  const int devices = num_devices();
+  switch (kind) {
+    case costmodel::ScheduleKind::OneFOneB:
+      return core::build_1f1b(
+          std::vector<core::StageCost>(devices, core::StageCost{1.0, 2.0}),
+          micro_batches, 0.1);
+    case costmodel::ScheduleKind::GPipe:
+      return core::build_gpipe(
+          std::vector<core::StageCost>(devices, core::StageCost{1.0, 2.0}),
+          micro_batches, 0.1);
+    case costmodel::ScheduleKind::AutoPipeSliced:
+      return core::build_sliced_1f1b(
+          std::vector<core::StageCost>(devices, core::StageCost{1.0, 2.0}),
+          micro_batches, 0.1, sliced);
+    case costmodel::ScheduleKind::Interleaved:
+      return core::build_interleaved(
+          std::vector<std::vector<core::StageCost>>(
+              devices,
+              std::vector<core::StageCost>(chunks_, core::StageCost{1.0, 2.0})),
+          micro_batches, 0.1);
+  }
+  throw std::invalid_argument("unknown schedule kind");
+}
+
+IterationResult PipelineRuntime::run_iteration(
+    const core::Schedule& schedule,
+    const std::vector<model::Batch>& micro_batches, double loss_scale,
+    bool recompute) {
+  const int devices = num_devices();
+  if (schedule.num_stages != devices || schedule.chunks != chunks_) {
+    throw std::invalid_argument("schedule shape mismatch");
+  }
+  if (schedule.num_micro_batches != static_cast<int>(micro_batches.size())) {
+    throw std::invalid_argument("schedule micro-batch count mismatch");
+  }
+  core::validate(schedule);
+
+  const int global_stages = devices * chunks_;
+  std::vector<Channel> forward_channels(std::max(0, global_stages - 1));
+  std::vector<Channel> backward_channels(std::max(0, global_stages - 1));
+  std::vector<double> losses(devices, 0.0);
+  std::vector<std::string> errors(devices);
+
+  // Global stage g starts at block prefix[g]; device d's chunk c covers
+  // global stage c*devices + d.
+  std::vector<int> prefix(global_stages, 0);
+  for (int g = 1; g < global_stages; ++g) {
+    prefix[g] = prefix[g - 1] + counts_[g - 1];
+  }
+
+  std::vector<std::thread> workers;
+  workers.reserve(devices);
+  for (int d = 0; d < devices; ++d) {
+    StageContext ctx;
+    ctx.device = d;
+    ctx.num_devices = devices;
+    ctx.chunks = chunks_;
+    for (int c = 0; c < chunks_; ++c) {
+      const int g = c * devices + d;
+      ctx.blocks.push_back({prefix[g], counts_[g]});
+    }
+    ctx.model = &model_;
+    ctx.schedule = &schedule;
+    ctx.micro_batches = &micro_batches;
+    ctx.loss_scale = loss_scale;
+    ctx.seq_len = model_.spec().seq;
+    ctx.forward_channels = &forward_channels;
+    ctx.backward_channels = &backward_channels;
+    ctx.recompute = recompute;
+    workers.emplace_back([ctx = std::move(ctx), d, &losses, &errors] {
+      try {
+        losses[d] = run_stage(ctx);
+      } catch (const std::exception& e) {
+        errors[d] = e.what();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (int d = 0; d < devices; ++d) {
+    if (!errors[d].empty()) {
+      throw std::runtime_error("device " + std::to_string(d) +
+                               " failed: " + errors[d]);
+    }
+  }
+  for (const auto& ch : forward_channels) {
+    if (ch.pending() != 0) throw std::logic_error("leaked forward messages");
+  }
+  for (const auto& ch : backward_channels) {
+    if (ch.pending() != 0) throw std::logic_error("leaked backward messages");
+  }
+
+  IterationResult result;
+  for (double l : losses) result.loss += l;
+  return result;
+}
+
+}  // namespace autopipe::runtime

@@ -1,0 +1,62 @@
+// Thread-per-device pipeline training runtime.
+//
+// Executes a core::Schedule (1F1B, GPipe, AutoPipe's sliced 1F1B, or
+// Megatron-LM's interleaved 1F1B) on a real TransformerModel partitioned
+// into global stages: one std::thread per device, tagged channels per
+// global-stage boundary for activations and gradients. Under the
+// interleaved schedule each device hosts `chunks` model chunks (global
+// stage g = chunk*devices + device). This is the repo's stand-in for the
+// paper's Megatron-LM + NCCL backend; its purpose is to demonstrate that
+// every schedule AutoPipe emits or compares against computes the same
+// gradients as single-process training (§II-B's consistency).
+#pragma once
+
+#include <vector>
+
+#include "core/partition.h"
+#include "core/schedule.h"
+#include "model/data.h"
+#include "model/transformer.h"
+
+namespace autopipe::runtime {
+
+struct IterationResult {
+  double loss = 0;  ///< scaled cross entropy summed over all micro-batches
+};
+
+class PipelineRuntime {
+ public:
+  /// `counts` assigns the model's blocks to global stages in global-stage
+  /// order (devices*chunks entries; with chunks == 1 this is the plain
+  /// per-stage partition). Device d hosts global stages
+  /// {d, devices + d, ...}.
+  PipelineRuntime(model::TransformerModel& model, std::vector<int> counts,
+                  int chunks = 1);
+
+  int num_devices() const {
+    return static_cast<int>(counts_.size()) / chunks_;
+  }
+  int chunks() const { return chunks_; }
+
+  /// Runs one training iteration under `schedule`. Gradients accumulate
+  /// into the model (call model.zero_grads() between iterations).
+  /// `loss_scale` should be 1 / total mini-batch tokens so micro-batch
+  /// gradients sum to full-batch gradients. `recompute` toggles activation
+  /// checkpointing (§II-C); both modes produce identical gradients.
+  IterationResult run_iteration(const core::Schedule& schedule,
+                                const std::vector<model::Batch>& micro_batches,
+                                double loss_scale, bool recompute = true);
+
+  /// Builds a neutral schedule (unit durations) of the given kind for this
+  /// partition -- durations are irrelevant to the runtime, only op order
+  /// and halving matter. `sliced` applies to AutoPipeSliced only.
+  core::Schedule make_schedule(costmodel::ScheduleKind kind, int micro_batches,
+                               int sliced = 0) const;
+
+ private:
+  model::TransformerModel& model_;
+  std::vector<int> counts_;  ///< blocks per global stage
+  int chunks_;
+};
+
+}  // namespace autopipe::runtime

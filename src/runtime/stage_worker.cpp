@@ -1,0 +1,117 @@
+#include "runtime/stage_worker.h"
+
+#include <stdexcept>
+
+namespace autopipe::runtime {
+
+model::Batch slice_half(const model::Batch& whole, int seq_len, int half) {
+  if (half < 0) return whole;
+  const int samples = whole.ids.dim(0) / seq_len;
+  if (samples < 2) {
+    throw std::invalid_argument("cannot slice a single-sample micro-batch");
+  }
+  const int first_rows = (samples / 2) * seq_len;
+  model::Batch out;
+  auto [head, tail] = whole.ids.split_rows(first_rows);
+  if (half == 0) {
+    out.ids = std::move(head);
+    out.targets.assign(whole.targets.begin(), whole.targets.begin() + first_rows);
+  } else {
+    out.ids = std::move(tail);
+    out.targets.assign(whole.targets.begin() + first_rows, whole.targets.end());
+  }
+  return out;
+}
+
+double run_stage(const StageContext& ctx) {
+  if (static_cast<int>(ctx.blocks.size()) != ctx.chunks) {
+    throw std::invalid_argument("block ranges do not match chunk count");
+  }
+  const int global_stages = ctx.num_devices * ctx.chunks;
+  double loss = 0;
+  // Per (micro_batch, half, chunk) stash. Under recompute (activation
+  // checkpointing) it holds exactly the per-block inputs; otherwise each
+  // block's forward cache.
+  struct Stash {
+    std::vector<model::Tensor> inputs;                       // recompute
+    std::vector<std::unique_ptr<model::Block::Cache>> caches;  // cached
+    model::Tensor head_input;  // the last block's input (loss recompute)
+  };
+  std::map<std::tuple<int, int, int>, Stash> stash;
+
+  for (const core::ScheduleOp& op : ctx.schedule->order[ctx.device]) {
+    const int global = ctx.schedule->global_stage(ctx.device, op.chunk);
+    const bool first = global == 0;
+    const bool last = global == global_stages - 1;
+    const BlockRange range = ctx.blocks[op.chunk];
+    const MessageTag tag{op.type, op.micro_batch, op.half};
+
+    if (op.type == core::OpType::Forward) {
+      model::Tensor x;
+      if (first) {
+        x = slice_half((*ctx.micro_batches)[op.micro_batch], ctx.seq_len,
+                       op.half)
+                .ids;
+      } else {
+        x = (*ctx.forward_channels)[global - 1].recv(tag);
+      }
+      auto& entry = stash[{op.micro_batch, op.half, op.chunk}];
+      entry = Stash{};
+      for (int b = range.first; b < range.first + range.count; ++b) {
+        if (last && b == range.first + range.count - 1) entry.head_input = x;
+        if (ctx.recompute) {
+          entry.inputs.push_back(x);
+          x = ctx.model->block(b).forward(x);
+        } else {
+          model::Tensor y;
+          entry.caches.push_back(ctx.model->block(b).forward_cached(x, &y));
+          x = std::move(y);
+        }
+      }
+      if (!last) {
+        (*ctx.forward_channels)[global].send(tag, std::move(x));
+      }
+      // The last stage discards logits here and recomputes them in the
+      // backward op -- even without checkpointing, keeping the huge logits
+      // tensor alive through the 1F1B phase would dominate memory.
+    } else {
+      const auto it = stash.find({op.micro_batch, op.half, op.chunk});
+      if (it == stash.end()) {
+        throw std::logic_error("backward before forward for a micro-batch");
+      }
+      Stash& entry = it->second;
+      model::Tensor dy;
+      if (last) {
+        // Recompute the logits from the head block's stashed input, then
+        // seed the backward pass with the cross-entropy gradient.
+        const model::Batch piece = slice_half(
+            (*ctx.micro_batches)[op.micro_batch], ctx.seq_len, op.half);
+        const int head = range.first + range.count - 1;
+        const model::Tensor logits =
+            ctx.model->block(head).forward(entry.head_input);
+        loss +=
+            model::cross_entropy(logits, piece.targets, ctx.loss_scale, &dy);
+      } else {
+        dy = (*ctx.backward_channels)[global].recv(tag);
+      }
+      for (int b = range.first + range.count - 1; b >= range.first; --b) {
+        model::Block& block = ctx.model->block(b);
+        if (ctx.recompute) {
+          dy = block.backward(entry.inputs[b - range.first], dy);
+        } else {
+          dy = block.backward_cached(*entry.caches[b - range.first], dy);
+        }
+      }
+      if (!first) {
+        (*ctx.backward_channels)[global - 1].send(tag, std::move(dy));
+      }
+      stash.erase(it);
+    }
+  }
+  if (!stash.empty()) {
+    throw std::logic_error("device finished with unconsumed activations");
+  }
+  return loss;
+}
+
+}  // namespace autopipe::runtime

@@ -1,0 +1,62 @@
+#include "sim/event_engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace autopipe::sim {
+
+int TaskGraph::add_task(double duration_ms) {
+  durations_.push_back(duration_ms);
+  return static_cast<int>(durations_.size()) - 1;
+}
+
+void TaskGraph::add_dep(int from, int to, double lag_ms) {
+  if (from < 0 || from >= size() || to < 0 || to >= size() || from == to) {
+    throw std::logic_error("invalid dependency edge");
+  }
+  edges_.push_back({from, to, lag_ms});
+}
+
+TaskGraph::Timing TaskGraph::run() const {
+  const int n = size();
+  std::vector<std::vector<int>> out(n);
+  std::vector<int> indegree(n, 0);
+  for (std::size_t e = 0; e < edges_.size(); ++e) {
+    out[edges_[e].from].push_back(static_cast<int>(e));
+    ++indegree[edges_[e].to];
+  }
+
+  Timing t;
+  t.start_ms.assign(n, 0.0);
+  t.binding_pred.assign(n, -1);
+
+  std::vector<int> ready;
+  for (int i = 0; i < n; ++i) {
+    if (indegree[i] == 0) ready.push_back(i);
+  }
+  t.end_ms.assign(n, 0.0);
+
+  int processed = 0;
+  while (!ready.empty()) {
+    const int id = ready.back();
+    ready.pop_back();
+    ++processed;
+    t.end_ms[id] = t.start_ms[id] + durations_[id];
+    t.makespan_ms = std::max(t.makespan_ms, t.end_ms[id]);
+    for (int e : out[id]) {
+      const Edge& edge = edges_[e];
+      const double candidate = t.end_ms[id] + edge.lag_ms;
+      if (candidate > t.start_ms[edge.to]) {
+        t.start_ms[edge.to] = candidate;
+        t.binding_pred[edge.to] = id;
+      }
+      if (--indegree[edge.to] == 0) ready.push_back(edge.to);
+    }
+  }
+  if (processed != n) {
+    throw std::logic_error("task graph has a cycle");
+  }
+  return t;
+}
+
+}  // namespace autopipe::sim

@@ -1,0 +1,50 @@
+// Generic dependency-graph scheduler.
+//
+// Tasks have fixed durations and lagged finish-to-start dependencies; the
+// engine computes earliest start/end times in topological order (Kahn).
+// Device serialization is expressed by chaining each device's ops with
+// zero-lag edges, and communication by cross-device edges whose lag is the
+// transfer time -- which makes this a compact discrete-event execution model
+// for pipeline schedules.
+#pragma once
+
+#include <vector>
+
+namespace autopipe::sim {
+
+class TaskGraph {
+ public:
+  /// Adds a task and returns its id (dense, starting at 0).
+  int add_task(double duration_ms);
+
+  /// `to` may start no earlier than end(`from`) + `lag_ms`.
+  void add_dep(int from, int to, double lag_ms = 0.0);
+
+  int size() const { return static_cast<int>(durations_.size()); }
+  double duration(int id) const { return durations_[id]; }
+  void set_duration(int id, double duration_ms) { durations_[id] = duration_ms; }
+
+  struct Timing {
+    std::vector<double> start_ms;
+    std::vector<double> end_ms;
+    double makespan_ms = 0;
+    /// For each task, the predecessor edge that bound its start (-1 if it
+    /// started at time zero); lets callers reconstruct critical paths.
+    std::vector<int> binding_pred;
+  };
+
+  /// Earliest-start schedule. Throws std::logic_error if the graph has a
+  /// cycle (a malformed pipeline schedule).
+  Timing run() const;
+
+ private:
+  struct Edge {
+    int from;
+    int to;
+    double lag_ms;
+  };
+  std::vector<double> durations_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace autopipe::sim

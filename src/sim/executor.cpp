@@ -1,0 +1,160 @@
+#include "sim/executor.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <tuple>
+
+#include "sim/event_engine.h"
+#include "util/rng.h"
+
+namespace autopipe::sim {
+
+namespace {
+
+// Key identifying one logical computation: (global stage, type, micro-batch,
+// half). Chunks are folded into the global stage.
+using OpKey = std::tuple<int, int, int, int>;
+
+}  // namespace
+
+ExecResult execute(const core::Schedule& schedule, const ExecOptions& options) {
+  core::validate(schedule);
+  const int n = schedule.num_stages;
+  const int last_global = schedule.chunks * n - 1;
+
+  util::Rng rng(options.seed);
+  TaskGraph graph;
+  std::map<OpKey, int> task_of;
+  // Flat list mirroring graph task ids.
+  std::vector<TimedOp> ops;
+
+  // Pass 1: create tasks (with overhead and jitter applied to durations) and
+  // intra-device serialization edges.
+  for (int dev = 0; dev < n; ++dev) {
+    int prev = -1;
+    for (const core::ScheduleOp& op : schedule.order[dev]) {
+      double duration =
+          schedule.op_duration_ms(dev, op) + options.per_op_overhead_ms;
+      if (options.jitter_frac > 0) {
+        duration *= 1.0 + options.jitter_frac * rng.uniform(-1.0, 1.0);
+      }
+      const int id = graph.add_task(duration);
+      const OpKey key{schedule.global_stage(dev, op.chunk),
+                      static_cast<int>(op.type), op.micro_batch, op.half};
+      if (!task_of.emplace(key, id).second) {
+        throw std::logic_error("duplicate op across devices");
+      }
+      ops.push_back({op, dev, 0, 0});
+      if (prev >= 0) graph.add_dep(prev, id, 0.0);
+      prev = id;
+    }
+  }
+
+  auto find = [&](int global, core::OpType type, int mb, int half) {
+    const auto it =
+        task_of.find({global, static_cast<int>(type), mb, half});
+    return it == task_of.end() ? -1 : it->second;
+  };
+
+  // Per-boundary transfer times (heterogeneous links) or the scalar.
+  if (!options.boundary_comm_ms.empty() &&
+      static_cast<int>(options.boundary_comm_ms.size()) !=
+          schedule.chunks * n - 1) {
+    throw std::invalid_argument(
+        "boundary_comm_ms must have one entry per global stage boundary");
+  }
+  auto hop_of = [&](int upstream_global) {
+    return options.boundary_comm_ms.empty()
+               ? schedule.comm_ms
+               : options.boundary_comm_ms[upstream_global];
+  };
+
+  // Pass 2: cross-stage transfer edges.
+  for (int id = 0; id < graph.size(); ++id) {
+    const core::ScheduleOp& op = ops[id].op;
+    const int global = schedule.global_stage(ops[id].device, op.chunk);
+    if (op.type == core::OpType::Forward && global > 0) {
+      const double whole_hop = hop_of(global - 1);
+      int producer = find(global - 1, core::OpType::Forward, op.micro_batch,
+                          op.half);
+      double lag = op.is_half() ? whole_hop / 2.0 : whole_hop;
+      if (producer >= 0 && op.half == 0 &&
+          ops[producer].op.aggregated_comm) {
+        // §III-C: the producer defers the first-half transfer and ships both
+        // halves after the second half completes, as one full-size message.
+        const int second =
+            find(global - 1, core::OpType::Forward, op.micro_batch, 1);
+        if (second >= 0) {
+          producer = second;
+          lag = whole_hop;
+        }
+      }
+      if (producer < 0) {
+        throw std::logic_error("forward op has no upstream producer");
+      }
+      graph.add_dep(producer, id, lag);
+    }
+    if (op.type == core::OpType::Backward && global < last_global) {
+      const double whole_hop = hop_of(global);
+      const int producer =
+          find(global + 1, core::OpType::Backward, op.micro_batch, op.half);
+      if (producer < 0) {
+        throw std::logic_error("backward op has no downstream producer");
+      }
+      graph.add_dep(producer, id, op.is_half() ? whole_hop / 2.0 : whole_hop);
+    }
+  }
+
+  // Hybrid data parallelism: append one all-reduce task per device, gated
+  // on that device's final op.
+  if (!options.allreduce_ms.empty()) {
+    if (static_cast<int>(options.allreduce_ms.size()) != n) {
+      throw std::invalid_argument("allreduce_ms must have one entry per device");
+    }
+    int cursor = 0;
+    for (int dev = 0; dev < n; ++dev) {
+      const int count = static_cast<int>(schedule.order[dev].size());
+      if (count > 0 && options.allreduce_ms[dev] > 0) {
+        const int ar = graph.add_task(options.allreduce_ms[dev]);
+        graph.add_dep(cursor + count - 1, ar, 0.0);
+      }
+      cursor += count;
+    }
+  }
+
+  const TaskGraph::Timing timing = graph.run();
+
+  ExecResult result;
+  result.iteration_ms = timing.makespan_ms;
+  result.device_busy_ms.assign(n, 0.0);
+  result.trace.reserve(ops.size());
+  result.startup_ms = 0;
+  bool startup_found = false;
+  // Compute ops only; trailing all-reduce tasks count toward the makespan
+  // but are not compute busy time.
+  for (int id = 0; id < static_cast<int>(ops.size()); ++id) {
+    TimedOp timed = ops[id];
+    timed.start_ms = timing.start_ms[id];
+    timed.end_ms = timing.end_ms[id];
+    result.device_busy_ms[timed.device] += graph.duration(id);
+    // Startup overhead (§II-B): when the last *device* starts computing its
+    // first forward. Under the interleaved schedule that is the device's
+    // first chunk -- the half-size chunks are exactly why interleaving
+    // halves startup.
+    if (timed.op.type == core::OpType::Forward && timed.device == n - 1 &&
+        (!startup_found || timed.start_ms < result.startup_ms)) {
+      result.startup_ms = timed.start_ms;
+      startup_found = true;
+    }
+    result.trace.push_back(timed);
+  }
+  std::sort(result.trace.begin(), result.trace.end(),
+            [](const TimedOp& a, const TimedOp& b) {
+              return std::tie(a.start_ms, a.device) <
+                     std::tie(b.start_ms, b.device);
+            });
+  return result;
+}
+
+}  // namespace autopipe::sim

@@ -1,0 +1,56 @@
+// Discrete-event execution of a pipeline Schedule.
+//
+// This is the "actual run" substitute for the paper's GPU cluster: every
+// schedule op becomes a task on its device (serialized in schedule order),
+// activations and gradients travel over lagged cross-device edges, and --
+// unlike the paper-faithful analytic simulator -- each op can pay a fixed
+// kernel-launch overhead and multiplicative jitter. The overhead term
+// produces the stable simulator-vs-actual bias of Fig. 11.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/schedule.h"
+
+namespace autopipe::sim {
+
+struct ExecOptions {
+  /// Fixed per-op overhead (kernel launches, framework bookkeeping).
+  double per_op_overhead_ms = 0.0;
+  /// Uniform multiplicative noise: duration *= 1 + jitter_frac*U(-1,1).
+  double jitter_frac = 0.0;
+  std::uint64_t seed = 1;
+  /// Heterogeneous interconnect: per-global-boundary transfer time
+  /// overriding the schedule's scalar comm_ms (size = global stages - 1;
+  /// empty = use the scalar). Build with costmodel::boundary_comm_ms to
+  /// price intra-node PCIe vs inter-node InfiniBand hops.
+  std::vector<double> boundary_comm_ms;
+  /// Hybrid data-parallel training: per-device gradient all-reduce time
+  /// (size = devices; empty = none). Each device's all-reduce starts after
+  /// its last backward, so early stages -- which drain last -- put theirs
+  /// on the critical path, exactly as Megatron-LM's non-overlapped reduce
+  /// does.
+  std::vector<double> allreduce_ms;
+};
+
+struct TimedOp {
+  core::ScheduleOp op;
+  int device = 0;
+  double start_ms = 0;
+  double end_ms = 0;
+};
+
+struct ExecResult {
+  double iteration_ms = 0;
+  /// Startup overhead: when the last device starts its first forward.
+  double startup_ms = 0;
+  std::vector<TimedOp> trace;          ///< all ops, in global start order
+  std::vector<double> device_busy_ms;  ///< total compute time per device
+};
+
+/// Times `schedule` on as many devices as it has stages. Validates the
+/// schedule first; throws std::logic_error on malformed schedules.
+ExecResult execute(const core::Schedule& schedule, const ExecOptions& = {});
+
+}  // namespace autopipe::sim

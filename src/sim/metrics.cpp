@@ -1,0 +1,42 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+
+#include "util/stats.h"
+
+namespace autopipe::sim {
+
+PipelineMetrics analyze(const ExecResult& result) {
+  PipelineMetrics m;
+  m.iteration_ms = result.iteration_ms;
+  m.startup_ms = result.startup_ms;
+  m.device_busy_ms = result.device_busy_ms;
+  const std::size_t devices = result.device_busy_ms.size();
+  m.device_first_start_ms.assign(devices, result.iteration_ms);
+  m.device_last_end_ms.assign(devices, 0.0);
+  for (const TimedOp& op : result.trace) {
+    auto& first = m.device_first_start_ms[op.device];
+    auto& last = m.device_last_end_ms[op.device];
+    first = std::min(first, op.start_ms);
+    last = std::max(last, op.end_ms);
+  }
+  double idle_total = 0, fill_drain_total = 0;
+  for (std::size_t d = 0; d < devices; ++d) {
+    const double idle = result.iteration_ms - result.device_busy_ms[d];
+    m.device_idle_ms.push_back(idle);
+    idle_total += idle;
+    fill_drain_total += m.device_first_start_ms[d] +
+                        (result.iteration_ms - m.device_last_end_ms[d]);
+  }
+  if (devices > 0 && m.iteration_ms > 0) {
+    m.bubble_fraction =
+        idle_total / (m.iteration_ms * static_cast<double>(devices));
+    if (idle_total > 0) {
+      m.fill_drain_fraction = fill_drain_total / idle_total;
+    }
+  }
+  m.busy_stddev_ms = util::stddev(m.device_busy_ms);
+  return m;
+}
+
+}  // namespace autopipe::sim

@@ -1,0 +1,30 @@
+// Derived pipeline-quality metrics from an execution trace.
+#pragma once
+
+#include <vector>
+
+#include "sim/executor.h"
+
+namespace autopipe::sim {
+
+struct PipelineMetrics {
+  double iteration_ms = 0;
+  double startup_ms = 0;
+  /// 1 - busy/makespan, averaged over devices: the pipeline-bubble share.
+  double bubble_fraction = 0;
+  /// Share of the bubble spent before a device's first op (Warmup fill) or
+  /// after its last op (Cooldown drain) -- the startup overhead the Slicer
+  /// attacks vs the interior bubbles the Planner attacks.
+  double fill_drain_fraction = 0;
+  /// Population stddev of per-device busy time (the Fig. 13 balance metric
+  /// measured on the executed trace instead of the static loads).
+  double busy_stddev_ms = 0;
+  std::vector<double> device_busy_ms;
+  std::vector<double> device_idle_ms;
+  std::vector<double> device_first_start_ms;  ///< Warmup fill per device
+  std::vector<double> device_last_end_ms;     ///< Cooldown drain boundary
+};
+
+PipelineMetrics analyze(const ExecResult& result);
+
+}  // namespace autopipe::sim

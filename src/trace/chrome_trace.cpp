@@ -1,0 +1,55 @@
+#include "trace/chrome_trace.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace autopipe::trace {
+
+namespace {
+
+std::string op_label(const core::ScheduleOp& op) {
+  std::string label =
+      (op.type == core::OpType::Forward ? "F" : "B") +
+      std::to_string(op.micro_batch);
+  if (op.half == 0) label += "a";
+  if (op.half == 1) label += "b";
+  if (op.chunk > 0) label += ".c" + std::to_string(op.chunk);
+  return label;
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const sim::ExecResult& result) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const sim::TimedOp& t : result.trace) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << op_label(t.op) << "\",\"ph\":\"X\",\"pid\":0"
+       << ",\"tid\":" << t.device
+       << ",\"ts\":" << static_cast<long long>(t.start_ms * 1000.0)
+       << ",\"dur\":"
+       << static_cast<long long>((t.end_ms - t.start_ms) * 1000.0)
+       << ",\"cat\":\""
+       << (t.op.type == core::OpType::Forward ? "forward" : "backward")
+       << "\"}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+bool write_chrome_trace(const sim::ExecResult& result,
+                        const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    AP_LOG(error) << "cannot open " << path;
+    return false;
+  }
+  out << to_chrome_trace(result);
+  return static_cast<bool>(out);
+}
+
+}  // namespace autopipe::trace

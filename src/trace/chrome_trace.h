@@ -1,0 +1,18 @@
+// Chrome-trace (chrome://tracing / Perfetto) export of executed schedules.
+#pragma once
+
+#include <string>
+
+#include "sim/executor.h"
+
+namespace autopipe::trace {
+
+/// Serializes an execution trace as a Chrome trace-event JSON document:
+/// one row per device, one complete event per op ("F3" = forward of
+/// micro-batch 3, halves suffixed "a"/"b", chunks ".c<k>").
+std::string to_chrome_trace(const sim::ExecResult& result);
+
+/// Writes to_chrome_trace() output to `path`; returns false on I/O failure.
+bool write_chrome_trace(const sim::ExecResult& result, const std::string& path);
+
+}  // namespace autopipe::trace

@@ -1,0 +1,48 @@
+#include "trace/timeline.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace autopipe::trace {
+
+std::string render_timeline(const sim::ExecResult& result,
+                            const TimelineOptions& options) {
+  int devices = 0;
+  for (const auto& t : result.trace) devices = std::max(devices, t.device + 1);
+  const double span = std::max(result.iteration_ms, 1e-9);
+  const int width = std::max(10, options.width);
+
+  std::vector<std::string> rows(devices, std::string(width, '.'));
+  for (const auto& t : result.trace) {
+    const int c0 = static_cast<int>(t.start_ms / span * width);
+    int c1 = static_cast<int>(t.end_ms / span * width);
+    c1 = std::max(c1, c0 + 1);
+    char glyph;
+    if (t.op.type == core::OpType::Forward) {
+      glyph = static_cast<char>('0' + t.op.micro_batch % 10);
+    } else {
+      glyph = static_cast<char>('a' + t.op.micro_batch % 26);
+    }
+    for (int c = c0; c < std::min(c1, width); ++c) {
+      rows[t.device][c] = glyph;
+    }
+    // Mark the start of a sliced half so halves are visible.
+    if (t.op.half >= 0 && c0 < width) {
+      rows[t.device][c0] = t.op.type == core::OpType::Forward ? '^' : 'v';
+    }
+  }
+
+  std::ostringstream os;
+  for (int d = 0; d < devices; ++d) {
+    os << "stage " << d << " |" << rows[d] << "|\n";
+  }
+  if (options.show_legend) {
+    os << "(digits: forward micro-batch, letters: backward, ^/v: sliced half "
+          "start, '.': idle; iteration "
+       << span << " ms)\n";
+  }
+  return os.str();
+}
+
+}  // namespace autopipe::trace

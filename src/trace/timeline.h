@@ -1,0 +1,21 @@
+// ASCII pipeline timelines, in the style of the paper's Fig. 5/8 diagrams.
+#pragma once
+
+#include <string>
+
+#include "sim/executor.h"
+
+namespace autopipe::trace {
+
+struct TimelineOptions {
+  int width = 100;  ///< character columns for the whole iteration
+  bool show_legend = true;
+};
+
+/// Renders one text row per device: forwards as digits (micro-batch id mod
+/// 10, uppercase-shifted when sliced halves), backwards as letters, idle as
+/// '.'. Useful for eyeballing Warmup/1F1B/Cooldown structure and bubbles.
+std::string render_timeline(const sim::ExecResult& result,
+                            const TimelineOptions& options = {});
+
+}  // namespace autopipe::trace

@@ -1,0 +1,35 @@
+// Tiny command-line flag parser for the examples and bench harnesses.
+//
+// Supports `--flag value`, `--flag=value` and boolean `--flag`. Unknown
+// flags are collected so callers can reject or forward them.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace autopipe::util {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  int get_int(const std::string& name, int fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace autopipe::util

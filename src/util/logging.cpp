@@ -1,0 +1,65 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+namespace autopipe::util {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::warn};
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::debug: return "DEBUG";
+    case LogLevel::info:  return "INFO ";
+    case LogLevel::warn:  return "WARN ";
+    case LogLevel::error: return "ERROR";
+    case LogLevel::off:   return "OFF  ";
+  }
+  return "?????";
+}
+
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "debug") return LogLevel::debug;
+  if (name == "info") return LogLevel::info;
+  if (name == "warn") return LogLevel::warn;
+  if (name == "error") return LogLevel::error;
+  if (name == "off") return LogLevel::off;
+  return LogLevel::warn;
+}
+
+namespace detail {
+
+LogLine::LogLine(LogLevel level, const char* file, int line)
+    : enabled_(level >= log_level() && level != LogLevel::off) {
+  if (!enabled_) return;
+  const char* base = std::strrchr(file, '/');
+  stream_ << "[" << level_tag(level) << " " << (base ? base + 1 : file) << ":"
+          << line << "] ";
+}
+
+LogLine::~LogLine() {
+  if (!enabled_) return;
+  stream_ << '\n';
+  const std::string text = stream_.str();
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  std::fwrite(text.data(), 1, text.size(), stderr);
+}
+
+}  // namespace detail
+
+}  // namespace autopipe::util

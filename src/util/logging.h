@@ -1,0 +1,50 @@
+// Minimal leveled logger.
+//
+// Usage:
+//   AP_LOG(info) << "planner converged after " << iters << " rounds";
+//
+// The global level defaults to `warn` so library code stays quiet inside
+// tests and benchmarks; binaries that want narration raise it explicitly.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace autopipe::util {
+
+enum class LogLevel { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+/// Sets the global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Parses "debug" / "info" / "warn" / "error" / "off"; unknown -> warn.
+LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line);
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine();
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace autopipe::util
+
+#define AP_LOG(level)                                              \
+  ::autopipe::util::detail::LogLine(                               \
+      ::autopipe::util::LogLevel::level, __FILE__, __LINE__)

@@ -1,0 +1,33 @@
+// Small descriptive-statistics helpers used by the balance metrics
+// (Fig. 13 uses the stddev of per-stage times) and the benchmark reports.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace autopipe::util {
+
+double mean(std::span<const double> xs);
+
+/// Population standard deviation (the paper's balance criterion divides by N).
+double stddev(std::span<const double> xs);
+
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+double sum(std::span<const double> xs);
+
+/// Linear-interpolated percentile, q in [0, 100].
+double percentile(std::vector<double> xs, double q);
+
+struct Summary {
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double max = 0;
+  double sum = 0;
+  std::size_t count = 0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+}  // namespace autopipe::util

@@ -1,0 +1,95 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace autopipe::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::fmt(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+std::string Table::to_ascii() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : header_[c];
+      os << ' ' << cell << std::string(width[c] - cell.size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+  auto emit_rule = [&] {
+    os << "+";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      os << std::string(width[c] + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+
+  emit_rule();
+  emit_row(header_);
+  emit_rule();
+  for (const auto& row : rows_) emit_row(row);
+  emit_rule();
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << (c ? "," : "") << escape(header_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      os << (c ? "," : "") << escape(c < row.size() ? row[c] : "");
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+bool Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    AP_LOG(error) << "cannot open " << path << " for writing";
+    return false;
+  }
+  out << to_csv();
+  return static_cast<bool>(out);
+}
+
+}  // namespace autopipe::util

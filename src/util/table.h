@@ -1,0 +1,38 @@
+// Console table and CSV emission for the benchmark harnesses.
+//
+// Every bench binary prints the same rows the paper's table/figure reports;
+// Table collects cells as strings and renders an aligned ASCII table plus,
+// optionally, a CSV file for downstream plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace autopipe::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; shorter rows are padded with empty cells.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string fmt(double value, int precision = 1);
+
+  std::string to_ascii() const;
+  std::string to_csv() const;
+
+  /// Writes CSV to `path`; returns false (and logs) on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return header_.size(); }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_[i]; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace autopipe::util

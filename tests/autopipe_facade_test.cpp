@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "core/autopipe.h"
+#include "planners/megatron.h"
+
+namespace autopipe::core {
+namespace {
+
+ModelConfig gpt2(int mbs) {
+  return costmodel::build_model_config(costmodel::gpt2_345m(), {mbs, 0, true});
+}
+
+// ----------------------------------------------------------- evaluate_plan
+
+TEST(EvaluatePlan, UniformDpSplitsMicroBatches) {
+  const auto cfg = gpt2(4);
+  ParallelPlan dp1, dp4;
+  dp1.partition.counts = {cfg.num_blocks()};
+  dp1.uniform_dp = true;
+  dp1.data_parallel = 1;
+  dp4 = dp1;
+  dp4.data_parallel = 4;
+  const auto e1 = evaluate_plan(cfg, dp1, 128);
+  const auto e4 = evaluate_plan(cfg, dp4, 128);
+  // 4-way data parallelism is ~4x faster minus all-reduce overhead.
+  EXPECT_GT(e1.iteration_ms / e4.iteration_ms, 3.0);
+  EXPECT_LT(e1.iteration_ms / e4.iteration_ms, 4.0);
+}
+
+TEST(EvaluatePlan, ShardedReplicaRuntimeError) {
+  const auto cfg = gpt2(4);
+  ParallelPlan plan;
+  plan.uniform_dp = false;
+  plan.shard_micro_batches = true;
+  plan.partition.counts = {25, 25};
+  plan.stage_devices = {8, 8};  // 8 replicas > micro-batch size 4
+  const auto ev = evaluate_plan(cfg, plan, 128);
+  EXPECT_TRUE(ev.runtime_error);
+  EXPECT_NE(ev.note.find("replicas"), std::string::npos);
+}
+
+TEST(EvaluatePlan, WholeMicroBatchReplicasNeverError) {
+  const auto cfg = gpt2(4);
+  ParallelPlan plan;
+  plan.uniform_dp = false;
+  plan.shard_micro_batches = false;
+  plan.partition.counts = {25, 25};
+  plan.stage_devices = {8, 8};
+  const auto ev = evaluate_plan(cfg, plan, 128);
+  EXPECT_FALSE(ev.runtime_error);
+}
+
+TEST(EvaluatePlan, LumpySharding) {
+  // 3 replicas of a stage sharding micro-batches of 4 samples leave
+  // ceil(4/3)=2 samples on the slowest replica: worse than the smooth 4/2
+  // of 2 replicas relative to their cost.
+  const auto cfg = gpt2(4);
+  ParallelPlan three, two;
+  three.uniform_dp = two.uniform_dp = false;
+  three.partition.counts = two.partition.counts = {25, 25};
+  three.stage_devices = {3, 3};  // 6 GPUs
+  two.stage_devices = {2, 2};    // 4 GPUs
+  const auto e3 = evaluate_plan(cfg, three, 128);
+  const auto e2 = evaluate_plan(cfg, two, 128);
+  // 1.5x the devices but sharding lumpiness eats the gain entirely.
+  EXPECT_GT(e3.iteration_ms, e2.iteration_ms * 0.95);
+}
+
+TEST(EvaluatePlan, OomDetection) {
+  const auto cfg = costmodel::build_model_config(costmodel::gpt2_1_3b(),
+                                                 {32, 0, true});
+  ParallelPlan plan;
+  plan.partition.counts = {cfg.num_blocks()};
+  plan.uniform_dp = true;
+  plan.data_parallel = 4;
+  const auto ev = evaluate_plan(cfg, plan, 512);
+  EXPECT_TRUE(ev.oom);
+  EXPECT_NE(ev.note.find("GiB"), std::string::npos);
+}
+
+TEST(EvaluatePlan, BalanceMetricUsesUnscaledLoads) {
+  const auto cfg = gpt2(4);
+  ParallelPlan plan;
+  plan.uniform_dp = false;
+  plan.partition.counts = {15, 35};
+  plan.stage_devices = {1, 3};
+  const auto ev = evaluate_plan(cfg, plan, 128);
+  ASSERT_EQ(ev.stage_loads_ms.size(), 2u);
+  EXPECT_GT(ev.stage_loads_ms[1], ev.stage_loads_ms[0]);
+  EXPECT_GT(ev.balance_stddev_ms, 0.0);
+}
+
+TEST(EvaluatePlan, MoreMicroBatchesAmortizeBubbles) {
+  const auto cfg = gpt2(4);
+  ParallelPlan plan;
+  plan.partition.counts = {25, 25};
+  plan.uniform_dp = true;
+  plan.data_parallel = 1;
+  const auto small = evaluate_plan(cfg, plan, 32);   // 8 micro-batches
+  const auto large = evaluate_plan(cfg, plan, 128);  // 32 micro-batches
+  // Per-sample cost shrinks as bubbles amortize.
+  EXPECT_LT(large.iteration_ms / 128.0, small.iteration_ms / 32.0);
+}
+
+// --------------------------------------------------------------- auto_plan
+
+TEST(AutoPlan, LowMemoryPicksPureDataParallelism) {
+  const auto cfg = gpt2(4);
+  const auto r = auto_plan(cfg, {4, 128, 0, true});
+  EXPECT_EQ(r.plan.num_stages(), 1);
+  EXPECT_EQ(r.plan.data_parallel, 4);
+  EXPECT_EQ(r.slicing.sliced_micro_batches, 0);  // nothing to slice
+}
+
+TEST(AutoPlan, HighMemoryAdoptsPipelineParallelism) {
+  const auto cfg = gpt2(32);
+  const auto r = auto_plan(cfg, {4, 512, 0, true});
+  EXPECT_GE(r.plan.num_stages(), 2);
+  EXPECT_EQ(r.plan.num_stages() * r.plan.data_parallel, 4);
+  EXPECT_FALSE(r.evaluation.oom);
+  EXPECT_GE(r.slicing.sliced_micro_batches, 1);
+  EXPECT_EQ(r.schedule.kind, costmodel::ScheduleKind::AutoPipeSliced);
+  EXPECT_NO_THROW(validate(r.schedule));
+}
+
+TEST(AutoPlan, ForcedStagesHonored) {
+  const auto cfg = gpt2(4);
+  const auto r = auto_plan(cfg, {8, 256, 4, true});
+  EXPECT_EQ(r.plan.num_stages(), 4);
+  EXPECT_EQ(r.plan.data_parallel, 2);
+}
+
+TEST(AutoPlan, SlicerCanBeDisabled) {
+  const auto cfg = gpt2(4);
+  const auto r = auto_plan(cfg, {8, 256, 4, false});
+  EXPECT_EQ(r.slicing.sliced_micro_batches, 0);
+  EXPECT_EQ(r.schedule.kind, costmodel::ScheduleKind::OneFOneB);
+}
+
+TEST(AutoPlan, BeatsMegatronUniformPlan) {
+  // The headline comparison of Figs. 9/10, at the plan level.
+  const auto cfg = gpt2(8);
+  const auto ours = auto_plan(cfg, {4, 256, 4, true});
+  const auto megatron = planners::megatron_plan(cfg, 4, 4);
+  const auto theirs = evaluate_plan(cfg, megatron, 256);
+  EXPECT_LT(ours.evaluation.iteration_ms, theirs.iteration_ms);
+}
+
+TEST(AutoPlan, ThrowsWhenNothingFits) {
+  // One GPU cannot hold GPT-2 1.3B at micro-batch 32 under any depth.
+  const auto cfg = costmodel::build_model_config(costmodel::gpt2_1_3b(),
+                                                 {32, 0, true});
+  EXPECT_THROW(auto_plan(cfg, {1, 512, 0, true}), std::runtime_error);
+}
+
+TEST(AutoPlan, PlanningTimeIsRecorded) {
+  const auto cfg = gpt2(4);
+  const auto r = auto_plan(cfg, {8, 256, 0, true});
+  EXPECT_GT(r.plan.planning_ms, 0.0);
+}
+
+TEST(ParallelPlanHelpers, TotalDevices) {
+  ParallelPlan plan;
+  plan.partition.counts = {1, 1};
+  plan.uniform_dp = true;
+  plan.data_parallel = 3;
+  EXPECT_EQ(plan.total_devices(), 6);
+  plan.uniform_dp = false;
+  plan.stage_devices = {1, 5};
+  EXPECT_EQ(plan.total_devices(), 6);
+}
+
+}  // namespace
+}  // namespace autopipe::core

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/balanced_dp.h"
+#include "util/rng.h"
+
+namespace autopipe::core {
+namespace {
+
+double max_stage_load(std::span<const double> loads,
+                      const std::vector<int>& counts) {
+  double worst = 0;
+  int i = 0;
+  for (int c : counts) {
+    double acc = 0;
+    for (int k = 0; k < c; ++k) acc += loads[i++];
+    worst = std::max(worst, acc);
+  }
+  return worst;
+}
+
+/// Brute-force optimum over all contiguous splits (small n only).
+double brute_force(std::span<const double> loads, int p) {
+  const int n = static_cast<int>(loads.size());
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<int> cuts(p - 1);
+  const std::function<void(int, int)> rec = [&](int idx, int from) {
+    if (idx == p - 1) {
+      std::vector<int> counts;
+      int prev = 0;
+      for (int c : cuts) {
+        counts.push_back(c - prev);
+        prev = c;
+      }
+      counts.push_back(n - prev);
+      best = std::min(best, max_stage_load(loads, counts));
+      return;
+    }
+    for (int c = from; c <= n - (p - 1 - idx); ++c) {
+      cuts[idx] = c;
+      rec(idx + 1, c + 1);
+    }
+  };
+  if (p == 1) return std::accumulate(loads.begin(), loads.end(), 0.0);
+  rec(0, 1);
+  return best;
+}
+
+TEST(BalancedDp, SingleStageTakesEverything) {
+  const std::vector<double> loads{1, 2, 3};
+  EXPECT_EQ(balanced_counts(loads, 1), (std::vector<int>{3}));
+  EXPECT_DOUBLE_EQ(balanced_bottleneck(loads, 1), 6.0);
+}
+
+TEST(BalancedDp, OneBlockPerStage) {
+  const std::vector<double> loads{5, 1, 4};
+  EXPECT_EQ(balanced_counts(loads, 3), (std::vector<int>{1, 1, 1}));
+  EXPECT_DOUBLE_EQ(balanced_bottleneck(loads, 3), 5.0);
+}
+
+TEST(BalancedDp, KnownSplit) {
+  // 8 equal blocks over 4 stages -> 2 each.
+  const std::vector<double> loads(8, 1.0);
+  EXPECT_EQ(balanced_counts(loads, 4), (std::vector<int>{2, 2, 2, 2}));
+}
+
+TEST(BalancedDp, HeavyTailPushesCutsLeft) {
+  const std::vector<double> loads{1, 1, 1, 1, 10};
+  const auto counts = balanced_counts(loads, 2);
+  EXPECT_DOUBLE_EQ(max_stage_load(loads, counts), 10.0);
+  EXPECT_EQ(counts.back(), 1);  // the heavy block sits alone
+}
+
+TEST(BalancedDp, RejectsBadDepths) {
+  const std::vector<double> loads{1, 2};
+  EXPECT_THROW(balanced_counts(loads, 0), std::invalid_argument);
+  EXPECT_THROW(balanced_counts(loads, 3), std::invalid_argument);
+}
+
+TEST(BalancedDp, EveryStageNonEmptyAndCovering) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 5 + static_cast<int>(rng.next_below(20));
+    std::vector<double> loads(n);
+    for (auto& l : loads) l = rng.uniform(0.1, 5.0);
+    const int p = 1 + static_cast<int>(rng.next_below(n));
+    const auto counts = balanced_counts(loads, p);
+    ASSERT_EQ(static_cast<int>(counts.size()), p);
+    int total = 0;
+    for (int c : counts) {
+      EXPECT_GE(c, 1);
+      total += c;
+    }
+    EXPECT_EQ(total, n);
+  }
+}
+
+// Property: the DP achieves the brute-force optimum (Algorithm 1 is exact
+// for its minimize-max objective).
+struct DpCase {
+  int n, p;
+  std::uint64_t seed;
+};
+
+class BalancedDpOptimality : public testing::TestWithParam<DpCase> {};
+
+TEST_P(BalancedDpOptimality, MatchesBruteForce) {
+  const auto [n, p, seed] = GetParam();
+  util::Rng rng(seed);
+  std::vector<double> loads(n);
+  for (auto& l : loads) l = rng.uniform(0.5, 4.0);
+  const auto counts = balanced_counts(loads, p);
+  EXPECT_NEAR(max_stage_load(loads, counts), brute_force(loads, p), 1e-9);
+  EXPECT_NEAR(balanced_bottleneck(loads, p), brute_force(loads, p), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomInstances, BalancedDpOptimality,
+    testing::Values(DpCase{6, 2, 1}, DpCase{6, 3, 2}, DpCase{8, 4, 3},
+                    DpCase{9, 2, 4}, DpCase{10, 5, 5}, DpCase{10, 3, 6},
+                    DpCase{12, 4, 7}, DpCase{12, 6, 8}, DpCase{7, 7, 9},
+                    DpCase{11, 2, 10}));
+
+TEST(BalancedDp, ModelConvenienceBalancesSubLayer) {
+  const auto cfg =
+      costmodel::build_model_config(costmodel::gpt2_345m(), {4, 0, true});
+  const Partition p = balanced_partition(cfg, 4);
+  EXPECT_EQ(p.num_stages(), 4);
+  // The seeded scheme is already far more balanced than the uniform split.
+  const auto loads = stage_loads(cfg, p);
+  const double worst = *std::max_element(loads.begin(), loads.end());
+  const double sum = std::accumulate(loads.begin(), loads.end(), 0.0);
+  EXPECT_LT(worst, sum / 4 * 1.25);
+}
+
+}  // namespace
+}  // namespace autopipe::core

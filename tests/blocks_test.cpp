@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "model/blocks.h"
+#include "model/transformer.h"
+
+namespace autopipe::model {
+namespace {
+
+/// Scalar loss over a block's output: weighted sum (fixed weights), so
+/// finite differences can validate both input and parameter gradients.
+class BlockGradCheck {
+ public:
+  BlockGradCheck(Block& block, const Tensor& x, std::uint64_t seed)
+      : block_(block), x_(x) {
+    util::Rng rng(seed);
+    weights_ = Tensor::randn(block.forward(x).shape(), rng);
+  }
+
+  double loss(const Tensor& x) const {
+    const Tensor y = block_.forward(x);
+    double acc = 0;
+    for (std::size_t i = 0; i < y.numel(); ++i) acc += y.at(i) * weights_.at(i);
+    return acc;
+  }
+
+  /// Analytic gradients via the block's recompute backward.
+  Tensor analytic_dx() {
+    block_.zero_grads();
+    return block_.backward(x_, weights_);
+  }
+
+  double numeric_dx(std::size_t index, double eps = 1e-3) const {
+    Tensor x = x_;
+    const float saved = x.at(index);
+    x.data()[index] = static_cast<float>(saved + eps);
+    const double plus = loss(x);
+    x.data()[index] = static_cast<float>(saved - eps);
+    const double minus = loss(x);
+    return (plus - minus) / (2 * eps);
+  }
+
+  double numeric_dparam(std::size_t param, std::size_t index,
+                        double eps = 1e-3) {
+    Tensor& value = block_.params()[param].value;
+    const float saved = value.at(index);
+    value.data()[index] = static_cast<float>(saved + eps);
+    const double plus = loss(x_);
+    value.data()[index] = static_cast<float>(saved - eps);
+    const double minus = loss(x_);
+    value.data()[index] = saved;
+    return (plus - minus) / (2 * eps);
+  }
+
+ private:
+  Block& block_;
+  Tensor x_;
+  Tensor weights_;
+};
+
+constexpr double kTol = 5e-2;
+
+TEST(Blocks, FFNGradients) {
+  util::Rng rng(21);
+  ResidualFFNBlock block(8, rng);
+  const Tensor x = Tensor::randn({6, 8}, rng);
+  BlockGradCheck check(block, x, 99);
+  const Tensor dx = check.analytic_dx();
+  for (std::size_t i : {std::size_t{0}, std::size_t{17}, std::size_t{40}}) {
+    EXPECT_NEAR(dx.at(i), check.numeric_dx(i), kTol);
+  }
+  // Spot-check one gradient entry of every parameter tensor.
+  for (std::size_t p = 0; p < block.params().size(); ++p) {
+    const std::size_t idx = block.params()[p].value.numel() / 2;
+    EXPECT_NEAR(block.params()[p].grad.at(idx), check.numeric_dparam(p, idx),
+                kTol)
+        << block.params()[p].name;
+  }
+}
+
+TEST(Blocks, AttentionGradientsCausal) {
+  util::Rng rng(22);
+  const int hidden = 8, heads = 2, seq = 4;
+  ResidualAttentionBlock block(hidden, heads, seq, /*causal=*/true, rng);
+  const Tensor x = Tensor::randn({2 * seq, hidden}, rng);  // batch of 2
+  BlockGradCheck check(block, x, 100);
+  const Tensor dx = check.analytic_dx();
+  for (std::size_t i : {std::size_t{0}, std::size_t{13}, std::size_t{37},
+                        std::size_t{63}}) {
+    EXPECT_NEAR(dx.at(i), check.numeric_dx(i), kTol) << "input " << i;
+  }
+  for (std::size_t p = 0; p < block.params().size(); ++p) {
+    const std::size_t idx = block.params()[p].value.numel() / 3;
+    EXPECT_NEAR(block.params()[p].grad.at(idx), check.numeric_dparam(p, idx),
+                kTol)
+        << block.params()[p].name;
+  }
+}
+
+TEST(Blocks, AttentionGradientsBidirectional) {
+  util::Rng rng(23);
+  ResidualAttentionBlock block(8, 2, 4, /*causal=*/false, rng);
+  const Tensor x = Tensor::randn({4, 8}, rng);
+  BlockGradCheck check(block, x, 101);
+  const Tensor dx = check.analytic_dx();
+  for (std::size_t i : {std::size_t{2}, std::size_t{19}}) {
+    EXPECT_NEAR(dx.at(i), check.numeric_dx(i), kTol);
+  }
+}
+
+TEST(Blocks, CausalMaskBlocksFutureInfluence) {
+  util::Rng rng(24);
+  const int seq = 4, hidden = 8;
+  ResidualAttentionBlock block(hidden, 2, seq, /*causal=*/true, rng);
+  Tensor x = Tensor::randn({seq, hidden}, rng);
+  const Tensor y0 = block.forward(x);
+  // Perturb the LAST position; earlier outputs must not change.
+  x.data()[(seq - 1) * hidden] += 10.0f;
+  const Tensor y1 = block.forward(x);
+  for (int i = 0; i < (seq - 1) * hidden; ++i) {
+    EXPECT_FLOAT_EQ(y0.at(i), y1.at(i)) << "leaked future at " << i;
+  }
+  // And the last position does change.
+  EXPECT_NE(y0.at((seq - 1) * hidden), y1.at((seq - 1) * hidden));
+}
+
+TEST(Blocks, HeadGradients) {
+  util::Rng rng(25);
+  HeadBlock block(8, 12, rng);
+  const Tensor x = Tensor::randn({5, 8}, rng);
+  BlockGradCheck check(block, x, 102);
+  const Tensor dx = check.analytic_dx();
+  for (std::size_t i : {std::size_t{1}, std::size_t{22}}) {
+    EXPECT_NEAR(dx.at(i), check.numeric_dx(i), kTol);
+  }
+  EXPECT_NEAR(block.params()[2].grad.at(10), check.numeric_dparam(2, 10),
+              kTol);
+}
+
+TEST(Blocks, EmbeddingForwardAndGrads) {
+  util::Rng rng(26);
+  const int vocab = 16, hidden = 8, seq = 4;
+  EmbeddingBlock block(vocab, hidden, seq, rng);
+  Tensor ids({seq, 1});
+  ids.data()[0] = 3; ids.data()[1] = 0; ids.data()[2] = 3; ids.data()[3] = 15;
+  const Tensor y = block.forward(ids);
+  EXPECT_EQ(y.dim(0), seq);
+  EXPECT_EQ(y.dim(1), hidden);
+  // y = tok[id] + pos[row].
+  EXPECT_FLOAT_EQ(y.at(0), block.params()[0].value.at(3 * hidden) +
+                               block.params()[1].value.at(0));
+  block.zero_grads();
+  const Tensor dy = Tensor::full({seq, hidden}, 1.0f);
+  const Tensor dx = block.backward(ids, dy);
+  EXPECT_EQ(dx.shape(), ids.shape());
+  // Token 3 hit twice.
+  EXPECT_FLOAT_EQ(block.params()[0].grad.at(3 * hidden), 2.0f);
+  EXPECT_FLOAT_EQ(block.params()[1].grad.at(0), 1.0f);
+  Tensor bad({2, 1});
+  bad.data()[0] = 99;
+  EXPECT_THROW(block.forward(bad), std::invalid_argument);
+}
+
+TEST(Blocks, ResidualPathIdentityAtZeroWeights) {
+  // With all projection weights at zero (but LN active), residual blocks
+  // reduce to x + f(LN(x)) where f is affine-with-zero-weight = bias only.
+  util::Rng rng(27);
+  ResidualFFNBlock block(8, rng);
+  for (auto& p : block.params()) {
+    if (p.name.rfind("w_", 0) == 0) p.value.fill_(0.0f);
+  }
+  const Tensor x = Tensor::randn({3, 8}, rng);
+  const Tensor y = block.forward(x);
+  EXPECT_NEAR(max_abs_diff(x, y), 0.0, 1e-6);
+}
+
+TEST(Blocks, ZeroGradsClearsEverything) {
+  util::Rng rng(28);
+  ResidualFFNBlock block(8, rng);
+  const Tensor x = Tensor::randn({4, 8}, rng);
+  block.backward(x, Tensor::full({4, 8}, 1.0f));
+  double before = 0;
+  for (const auto& p : block.params()) {
+    for (std::size_t i = 0; i < p.grad.numel(); ++i) {
+      before += std::abs(p.grad.at(i));
+    }
+  }
+  EXPECT_GT(before, 0.0);
+  block.zero_grads();
+  for (const auto& p : block.params()) {
+    for (std::size_t i = 0; i < p.grad.numel(); ++i) {
+      EXPECT_FLOAT_EQ(p.grad.at(i), 0.0f);
+    }
+  }
+}
+
+// Cached (no-recompute) path: forward_cached + backward_cached must equal
+// forward + backward for every block type -- both the returned dx and the
+// accumulated parameter gradients.
+TEST(Blocks, CachedBackwardMatchesRecompute) {
+  util::Rng rng(31);
+  const int hidden = 8, heads = 2, seq = 4, vocab = 12;
+  std::vector<std::unique_ptr<Block>> blocks;
+  blocks.push_back(std::make_unique<EmbeddingBlock>(vocab, hidden, seq, rng));
+  blocks.push_back(std::make_unique<ResidualAttentionBlock>(hidden, heads,
+                                                            seq, true, rng));
+  blocks.push_back(std::make_unique<ResidualFFNBlock>(hidden, rng));
+  blocks.push_back(std::make_unique<HeadBlock>(hidden, vocab, rng));
+
+  Tensor x({seq, 1});
+  for (int i = 0; i < seq; ++i) {
+    x.data()[i] = static_cast<float>(rng.next_below(vocab));
+  }
+  for (auto& block : blocks) {
+    // Same forward output.
+    Tensor y_cached;
+    auto cache = block->forward_cached(x, &y_cached);
+    const Tensor y_plain = block->forward(x);
+    EXPECT_LT(max_abs_diff(y_cached, y_plain), 1e-6) << block->kind();
+    EXPECT_GT(block->cache_bytes(x), 0u);
+
+    // Same gradients.
+    const Tensor dy = Tensor::full(y_plain.shape(), 0.5f);
+    block->zero_grads();
+    const Tensor dx_plain = block->backward(x, dy);
+    std::vector<Tensor> grads_plain;
+    for (const auto& p : block->params()) grads_plain.push_back(p.grad);
+
+    block->zero_grads();
+    const Tensor dx_cached = block->backward_cached(*cache, dy);
+    EXPECT_LT(max_abs_diff(dx_plain, dx_cached), 1e-5) << block->kind();
+    for (std::size_t p = 0; p < block->params().size(); ++p) {
+      EXPECT_LT(max_abs_diff(grads_plain[p], block->params()[p].grad), 1e-5)
+          << block->kind() << "/" << block->params()[p].name;
+    }
+    x = y_plain;
+  }
+}
+
+TEST(Blocks, SelectiveCachingKeepsMoreForFFN) {
+  // The FFN override keeps pre-activation/activation; the attention block
+  // falls back to input-only checkpointing (Megatron's selective policy).
+  util::Rng rng(32);
+  ResidualFFNBlock ffn(8, rng);
+  ResidualAttentionBlock attn(8, 2, 4, true, rng);
+  const Tensor x = Tensor::randn({4, 8}, rng);
+  EXPECT_GT(ffn.cache_bytes(x), attn.cache_bytes(x));
+  EXPECT_EQ(attn.cache_bytes(x), x.numel() * sizeof(float));
+}
+
+TEST(Blocks, TransformerModelAssembly) {
+  TinySpec spec;
+  spec.layers = 3;
+  TransformerModel model(spec);
+  EXPECT_EQ(model.num_blocks(), 2 * 3 + 2);
+  EXPECT_STREQ(model.block(0).kind(), "Embedding");
+  EXPECT_STREQ(model.block(1).kind(), "ResidualAttentionBlock");
+  EXPECT_STREQ(model.block(2).kind(), "ResidualFFNBlock");
+  EXPECT_STREQ(model.block(7).kind(), "FinalNormHead");
+  EXPECT_GT(model.param_count(), 0u);
+}
+
+TEST(Blocks, ForwardIsPure) {
+  TinySpec spec;
+  TransformerModel model(spec);
+  util::Rng rng(30);
+  Tensor ids({spec.seq, 1});
+  for (int i = 0; i < spec.seq; ++i) {
+    ids.data()[i] = static_cast<float>(rng.next_below(spec.vocab));
+  }
+  const Tensor a = model.forward(ids);
+  const Tensor b = model.forward(ids);
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 0.0);
+}
+
+}  // namespace
+}  // namespace autopipe::model

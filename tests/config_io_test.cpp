@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/planner.h"
+#include "costmodel/config_io.h"
+
+namespace autopipe::costmodel {
+namespace {
+
+ModelConfig sample() {
+  return build_model_config(gpt2_345m(), {4, 0, true});
+}
+
+TEST(ConfigIo, RoundTripPreservesEverything) {
+  const ModelConfig original = sample();
+  std::stringstream buffer;
+  save_model_config(original, buffer);
+  const ModelConfig loaded = load_model_config(buffer);
+
+  EXPECT_EQ(loaded.spec.name, original.spec.name);
+  EXPECT_EQ(loaded.spec.num_layers, original.spec.num_layers);
+  EXPECT_EQ(loaded.spec.vocab, original.spec.vocab);
+  EXPECT_EQ(loaded.spec.causal, original.spec.causal);
+  EXPECT_EQ(loaded.train.micro_batch_size, original.train.micro_batch_size);
+  EXPECT_EQ(loaded.train.recompute, original.train.recompute);
+  EXPECT_DOUBLE_EQ(loaded.device.matmul_tflops, original.device.matmul_tflops);
+  EXPECT_DOUBLE_EQ(loaded.device.mem_capacity_bytes,
+                   original.device.mem_capacity_bytes);
+  EXPECT_DOUBLE_EQ(loaded.link.bandwidth_gbps, original.link.bandwidth_gbps);
+  EXPECT_DOUBLE_EQ(loaded.comm_ms, original.comm_ms);
+  ASSERT_EQ(loaded.blocks.size(), original.blocks.size());
+  for (std::size_t i = 0; i < loaded.blocks.size(); ++i) {
+    EXPECT_EQ(loaded.blocks[i].name, original.blocks[i].name) << i;
+    EXPECT_EQ(loaded.blocks[i].kind, original.blocks[i].kind) << i;
+    EXPECT_DOUBLE_EQ(loaded.blocks[i].fwd_ms, original.blocks[i].fwd_ms) << i;
+    EXPECT_DOUBLE_EQ(loaded.blocks[i].bwd_ms, original.blocks[i].bwd_ms) << i;
+    EXPECT_DOUBLE_EQ(loaded.blocks[i].stash_bytes,
+                     original.blocks[i].stash_bytes)
+        << i;
+    EXPECT_DOUBLE_EQ(loaded.blocks[i].layer_units,
+                     original.blocks[i].layer_units)
+        << i;
+  }
+}
+
+TEST(ConfigIo, LoadedConfigDrivesThePlannerIdentically) {
+  const ModelConfig original = sample();
+  std::stringstream buffer;
+  save_model_config(original, buffer);
+  const ModelConfig loaded = load_model_config(buffer);
+  const auto a = core::plan(original, 4, 8);
+  const auto b = core::plan(loaded, 4, 8);
+  EXPECT_EQ(a.partition.counts, b.partition.counts);
+  EXPECT_DOUBLE_EQ(a.sim.iteration_ms, b.sim.iteration_ms);
+}
+
+TEST(ConfigIo, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/autopipe_config_test.cfg";
+  ASSERT_TRUE(save_model_config(sample(), path));
+  const ModelConfig loaded = load_model_config_file(path);
+  EXPECT_EQ(loaded.num_blocks(), sample().num_blocks());
+  EXPECT_THROW(load_model_config_file("/nonexistent/x.cfg"),
+               std::runtime_error);
+}
+
+TEST(ConfigIo, NamesWithSpacesSurvive) {
+  ModelConfig cfg = sample();
+  cfg.spec.name = "GPT-2 345M tuned";
+  std::stringstream buffer;
+  save_model_config(cfg, buffer);
+  EXPECT_EQ(load_model_config(buffer).spec.name, "GPT-2 345M tuned");
+}
+
+TEST(ConfigIo, RejectsMalformedInput) {
+  auto expect_reject = [](const std::string& text) {
+    std::stringstream in(text);
+    EXPECT_THROW(load_model_config(in), std::runtime_error) << text;
+  };
+  expect_reject("");  // no header
+  expect_reject("# autopipe-model-config v1\n");  // nothing else
+  expect_reject("# autopipe-model-config v1\nbogus directive\n");
+  expect_reject(
+      "# autopipe-model-config v1\n"
+      "model m layers=2 hidden=4 heads=2 vocab=8 seq=4 causal=1 extra=1\n");
+  expect_reject(
+      "# autopipe-model-config v1\n"
+      "model m layers=2 hidden=4 heads=2 vocab=8 seq=4\n");  // missing key
+  expect_reject(
+      "# autopipe-model-config v1\n"
+      "model m layers=2 hidden=4 heads=2 vocab=8 seq=4 causal=1\n"
+      "comm_ms 0.5\n"
+      "block b kind=Quantum fwd_ms=1 bwd_ms=2 param_bytes=0 stash_bytes=0 "
+      "work_bytes=0 output_bytes=0 layer_units=0\n");
+}
+
+TEST(ConfigIo, HandEditedProfileIsUsable) {
+  // A downstream user can write a profile by hand and plan on it.
+  const std::string text =
+      "# autopipe-model-config v1\n"
+      "model tiny layers=1 hidden=8 heads=2 vocab=16 seq=4 causal=1\n"
+      "train micro_batch=2 seq_len=4 recompute=1\n"
+      "comm_ms 0.25\n"
+      "block emb kind=Embedding fwd_ms=0.1 bwd_ms=0.2 param_bytes=1e6 "
+      "stash_bytes=10 work_bytes=10 output_bytes=100 layer_units=0\n"
+      "block a0 kind=Attention fwd_ms=1 bwd_ms=3 param_bytes=1e5 "
+      "stash_bytes=100 work_bytes=100 output_bytes=100 layer_units=0.5\n"
+      "block f0 kind=FFN fwd_ms=1.5 bwd_ms=4.5 param_bytes=2e5 "
+      "stash_bytes=100 work_bytes=100 output_bytes=100 layer_units=0.5\n"
+      "block head kind=Head fwd_ms=2 bwd_ms=6 param_bytes=1e6 "
+      "stash_bytes=100 work_bytes=200 output_bytes=0 layer_units=0\n";
+  std::stringstream in(text);
+  const ModelConfig cfg = load_model_config(in);
+  EXPECT_EQ(cfg.num_blocks(), 4);
+  const auto planned = core::plan(cfg, 2, 4);
+  EXPECT_EQ(planned.partition.num_stages(), 2);
+}
+
+}  // namespace
+}  // namespace autopipe::costmodel

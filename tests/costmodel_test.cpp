@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "costmodel/analytic.h"
+#include "costmodel/device.h"
+#include "costmodel/memory.h"
+#include "costmodel/model_zoo.h"
+
+namespace autopipe::costmodel {
+namespace {
+
+// --------------------------------------------------------------- model zoo
+
+TEST(ModelZoo, TableOneParameterCounts) {
+  // Table I: 345M / 762M / 1314M / 340M (within a few percent; the paper
+  // rounds and the positional table size varies by convention).
+  EXPECT_NEAR(param_count(gpt2_345m()) / 1e6, 345, 25);
+  EXPECT_NEAR(param_count(gpt2_762m()) / 1e6, 762, 40);
+  EXPECT_NEAR(param_count(gpt2_1_3b()) / 1e6, 1314, 70);
+  EXPECT_NEAR(param_count(bert_large()) / 1e6, 340, 25);
+}
+
+TEST(ModelZoo, TableOneShapes) {
+  EXPECT_EQ(gpt2_345m().num_layers, 24);
+  EXPECT_EQ(gpt2_345m().hidden, 1024);
+  EXPECT_EQ(gpt2_762m().num_layers, 36);
+  EXPECT_EQ(gpt2_762m().hidden, 1280);
+  EXPECT_EQ(gpt2_1_3b().num_layers, 24);
+  EXPECT_EQ(gpt2_1_3b().hidden, 2048);
+  EXPECT_EQ(bert_large().num_layers, 24);
+  EXPECT_EQ(bert_large().hidden, 1024);
+  EXPECT_FALSE(bert_large().causal);
+}
+
+TEST(ModelZoo, LookupByName) {
+  EXPECT_EQ(model_by_name("gpt2-345m").name, "GPT-2 345M");
+  EXPECT_EQ(model_by_name("bert-large").name, "BERT-large");
+  EXPECT_THROW(model_by_name("gpt5"), std::invalid_argument);
+  EXPECT_EQ(model_zoo().size(), 4u);
+}
+
+// ------------------------------------------------------------------ device
+
+TEST(Device, TransferScalesWithBytes) {
+  const LinkProfile link = infiniband_100g();
+  const double small = transfer_ms(link, 1e6);
+  const double large = transfer_ms(link, 1e8);
+  EXPECT_GT(large, small);
+  // Latency floor dominates tiny messages.
+  EXPECT_NEAR(transfer_ms(link, 0), link.latency_ms, 1e-12);
+}
+
+TEST(Device, AllreduceProperties) {
+  const LinkProfile link = infiniband_100g();
+  EXPECT_DOUBLE_EQ(ring_allreduce_ms(link, 1e9, 1), 0.0);
+  const double two = ring_allreduce_ms(link, 1e9, 2);
+  const double four = ring_allreduce_ms(link, 1e9, 4);
+  EXPECT_GT(two, 0.0);
+  // Ring volume factor 2(n-1)/n grows with n.
+  EXPECT_GT(four, two);
+}
+
+TEST(Device, MatmulAndMembound) {
+  const DeviceProfile dev = rtx3090();
+  EXPECT_NEAR(matmul_ms(dev, dev.matmul_tflops * 1e12), 1000.0, 1e-6);
+  EXPECT_NEAR(membound_ms(dev, dev.memband_gbps * 1e9), 1000.0, 1e-6);
+}
+
+// ---------------------------------------------------------------- analytic
+
+class AnalyticTest : public testing::Test {
+ protected:
+  ModelConfig cfg_ = build_model_config(gpt2_345m(), {4, 0, true});
+};
+
+TEST_F(AnalyticTest, BlockLayout) {
+  // [embedding][attn ffn]*24 [head]
+  ASSERT_EQ(cfg_.num_blocks(), 2 * 24 + 2);
+  EXPECT_EQ(cfg_.blocks.front().kind, BlockKind::Embedding);
+  EXPECT_EQ(cfg_.blocks[1].kind, BlockKind::Attention);
+  EXPECT_EQ(cfg_.blocks[2].kind, BlockKind::FFN);
+  EXPECT_EQ(cfg_.blocks.back().kind, BlockKind::Head);
+  EXPECT_DOUBLE_EQ(cfg_.total_layer_units(), 24.0);
+}
+
+TEST_F(AnalyticTest, EmbeddingIsMemoryHeavyComputeLight) {
+  // The §I imbalance source: big parameters, negligible compute.
+  const Block& emb = cfg_.blocks.front();
+  const Block& attn = cfg_.blocks[1];
+  EXPECT_GT(emb.param_bytes, attn.param_bytes);
+  EXPECT_LT(emb.fwd_ms, attn.fwd_ms / 10);
+}
+
+TEST_F(AnalyticTest, HeadIsTheMostExpensiveBlock) {
+  const Block& head = cfg_.blocks.back();
+  for (const Block& b : cfg_.blocks) {
+    EXPECT_LE(b.fwd_ms, head.fwd_ms);
+  }
+}
+
+TEST_F(AnalyticTest, RecomputeAddsOneForwardToBackward) {
+  const ModelConfig no_rc = build_model_config(gpt2_345m(), {4, 0, false});
+  for (int i = 1; i < cfg_.num_blocks() - 1; ++i) {
+    EXPECT_NEAR(cfg_.blocks[i].bwd_ms,
+                no_rc.blocks[i].bwd_ms + no_rc.blocks[i].fwd_ms, 1e-9);
+  }
+}
+
+TEST_F(AnalyticTest, CostsScaleWithMicroBatch) {
+  const ModelConfig big = build_model_config(gpt2_345m(), {8, 0, true});
+  EXPECT_NEAR(big.blocks[1].fwd_ms / cfg_.blocks[1].fwd_ms, 2.0, 0.01);
+  EXPECT_NEAR(big.comm_ms / cfg_.comm_ms, 2.0, 0.3);  // latency floor
+}
+
+TEST_F(AnalyticTest, AttentionAndFFNShareBoundaryVolume) {
+  // Sub-layer cuts add no communication (Fig. 3's key property).
+  EXPECT_DOUBLE_EQ(cfg_.blocks[1].output_bytes, cfg_.blocks[2].output_bytes);
+}
+
+TEST_F(AnalyticTest, DefaultSeqFromSpec) {
+  EXPECT_EQ(cfg_.train.seq_len, 1024);
+  const ModelConfig bert = build_model_config(bert_large(), {16, 0, true});
+  EXPECT_EQ(bert.train.seq_len, 512);
+}
+
+TEST_F(AnalyticTest, RejectsEmptyModel) {
+  ModelSpec broken = gpt2_345m();
+  broken.num_layers = 0;
+  EXPECT_THROW(build_model_config(broken, {4, 0, true}),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ memory
+
+TEST(Memory, InFlightRulePerSchedule) {
+  StageFootprint fp{1e9, 1e8, 1e8};
+  const double cap = 1e12;
+  // 1F1B at stage 0 of 4: 4 in flight; at stage 3: 1.
+  EXPECT_EQ(stage_memory(fp, 0, 4, ScheduleKind::OneFOneB, 8, 1, cap)
+                .in_flight_micro_batches,
+            4);
+  EXPECT_EQ(stage_memory(fp, 3, 4, ScheduleKind::OneFOneB, 8, 1, cap)
+                .in_flight_micro_batches,
+            1);
+  // GPipe keeps everything.
+  EXPECT_EQ(stage_memory(fp, 0, 4, ScheduleKind::GPipe, 8, 1, cap)
+                .in_flight_micro_batches,
+            8);
+  // AutoPipe slicing adds no memory (§III-C).
+  EXPECT_EQ(stage_memory(fp, 0, 4, ScheduleKind::AutoPipeSliced, 8, 1, cap)
+                .total_bytes,
+            stage_memory(fp, 0, 4, ScheduleKind::OneFOneB, 8, 1, cap)
+                .total_bytes);
+}
+
+TEST(Memory, InterleavedHoldsMoreThanOneFOneB) {
+  StageFootprint fp{0, 1e8, 0};
+  const double cap = 1e12;
+  for (int stage = 0; stage < 4; ++stage) {
+    const auto plain =
+        stage_memory(fp, stage, 4, ScheduleKind::OneFOneB, 32, 1, cap);
+    const auto inter =
+        stage_memory(fp, stage, 4, ScheduleKind::Interleaved, 32, 2, cap);
+    EXPECT_GT(inter.activation_bytes, plain.activation_bytes)
+        << "stage " << stage;
+  }
+}
+
+TEST(Memory, InFlightCappedByMicroBatchCount) {
+  StageFootprint fp{0, 1e8, 0};
+  const auto e = stage_memory(fp, 0, 8, ScheduleKind::OneFOneB, 4, 1, 1e12);
+  EXPECT_EQ(e.in_flight_micro_batches, 4);
+}
+
+TEST(Memory, OomFlagAndFitsMemory) {
+  StageFootprint heavy{2.5e9, 0, 0};  // 2.5 GB of params -> 22.5 GB state
+  const double cap = 16.8 * (1ull << 30);
+  EXPECT_TRUE(
+      stage_memory(heavy, 0, 1, ScheduleKind::OneFOneB, 1, 1, cap).oom);
+  StageFootprint light{1e8, 1e7, 1e7};
+  std::vector<StageFootprint> stages{light, light};
+  EXPECT_TRUE(fits_memory(stages, ScheduleKind::OneFOneB, 8, 1, cap));
+  stages.push_back(heavy);
+  EXPECT_FALSE(fits_memory(stages, ScheduleKind::OneFOneB, 8, 1, cap));
+}
+
+TEST(Memory, ScheduleKindNames) {
+  EXPECT_STREQ(to_string(ScheduleKind::OneFOneB), "1F1B");
+  EXPECT_STREQ(to_string(ScheduleKind::Interleaved), "Interleaved-1F1B");
+}
+
+}  // namespace
+}  // namespace autopipe::costmodel

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "sim/event_engine.h"
+
+namespace autopipe::sim {
+namespace {
+
+TEST(TaskGraph, EmptyGraph) {
+  TaskGraph g;
+  const auto t = g.run();
+  EXPECT_DOUBLE_EQ(t.makespan_ms, 0.0);
+  EXPECT_TRUE(t.start_ms.empty());
+}
+
+TEST(TaskGraph, ChainAccumulates) {
+  TaskGraph g;
+  const int a = g.add_task(2.0);
+  const int b = g.add_task(3.0);
+  const int c = g.add_task(1.0);
+  g.add_dep(a, b, 0.5);
+  g.add_dep(b, c, 0.0);
+  const auto t = g.run();
+  EXPECT_DOUBLE_EQ(t.start_ms[a], 0.0);
+  EXPECT_DOUBLE_EQ(t.start_ms[b], 2.5);
+  EXPECT_DOUBLE_EQ(t.start_ms[c], 5.5);
+  EXPECT_DOUBLE_EQ(t.makespan_ms, 6.5);
+  EXPECT_EQ(t.binding_pred[c], b);
+  EXPECT_EQ(t.binding_pred[a], -1);
+}
+
+TEST(TaskGraph, DiamondTakesLongestPath) {
+  TaskGraph g;
+  const int src = g.add_task(1.0);
+  const int fast = g.add_task(1.0);
+  const int slow = g.add_task(5.0);
+  const int sink = g.add_task(1.0);
+  g.add_dep(src, fast);
+  g.add_dep(src, slow);
+  g.add_dep(fast, sink);
+  g.add_dep(slow, sink);
+  const auto t = g.run();
+  EXPECT_DOUBLE_EQ(t.start_ms[sink], 6.0);
+  EXPECT_EQ(t.binding_pred[sink], slow);
+}
+
+TEST(TaskGraph, IndependentTasksStartAtZero) {
+  TaskGraph g;
+  const int a = g.add_task(4.0);
+  const int b = g.add_task(2.0);
+  const auto t = g.run();
+  EXPECT_DOUBLE_EQ(t.start_ms[a], 0.0);
+  EXPECT_DOUBLE_EQ(t.start_ms[b], 0.0);
+  EXPECT_DOUBLE_EQ(t.makespan_ms, 4.0);
+}
+
+TEST(TaskGraph, DetectsCycle) {
+  TaskGraph g;
+  const int a = g.add_task(1.0);
+  const int b = g.add_task(1.0);
+  g.add_dep(a, b);
+  g.add_dep(b, a);
+  EXPECT_THROW(g.run(), std::logic_error);
+}
+
+TEST(TaskGraph, RejectsBadEdges) {
+  TaskGraph g;
+  const int a = g.add_task(1.0);
+  EXPECT_THROW(g.add_dep(a, a), std::logic_error);
+  EXPECT_THROW(g.add_dep(a, 7), std::logic_error);
+  EXPECT_THROW(g.add_dep(-1, a), std::logic_error);
+}
+
+TEST(TaskGraph, SetDurationChangesSchedule) {
+  TaskGraph g;
+  const int a = g.add_task(1.0);
+  const int b = g.add_task(1.0);
+  g.add_dep(a, b);
+  g.set_duration(a, 10.0);
+  EXPECT_DOUBLE_EQ(g.duration(a), 10.0);
+  const auto t = g.run();
+  EXPECT_DOUBLE_EQ(t.start_ms[b], 10.0);
+}
+
+TEST(TaskGraph, LagsAreAdditivePerEdge) {
+  TaskGraph g;
+  const int a = g.add_task(1.0);
+  const int b = g.add_task(1.0);
+  g.add_dep(a, b, 2.0);
+  g.add_dep(a, b, 5.0);  // two parallel edges; the bigger lag binds
+  const auto t = g.run();
+  EXPECT_DOUBLE_EQ(t.start_ms[b], 6.0);
+}
+
+}  // namespace
+}  // namespace autopipe::sim

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "core/simulator.h"
+#include "sim/executor.h"
+#include "sim/metrics.h"
+#include "util/rng.h"
+
+namespace autopipe::sim {
+namespace {
+
+using core::StageCost;
+
+std::vector<StageCost> uniform_stages(int n, double f = 2.0, double b = 5.0) {
+  return std::vector<StageCost>(n, StageCost{f, b});
+}
+
+TEST(Executor, SingleStageSequential) {
+  const auto s = core::build_1f1b(uniform_stages(1, 2, 4), 5, 0.0);
+  const auto r = execute(s);
+  EXPECT_DOUBLE_EQ(r.iteration_ms, 30.0);
+  EXPECT_DOUBLE_EQ(r.device_busy_ms[0], 30.0);
+}
+
+// Cross-validation: the event executor and the analytic simulator are two
+// independent implementations of 1F1B timing; with zero overhead they must
+// agree closely across random shapes (the simulator's Comm-outside-max
+// convention makes it an upper bound within one comm per op chain).
+struct XCase {
+  int n, m;
+  double comm;
+  std::uint64_t seed;
+};
+
+class ExecutorVsSimulator : public testing::TestWithParam<XCase> {};
+
+TEST_P(ExecutorVsSimulator, AgreeOnIterationTime) {
+  const auto [n, m, comm, seed] = GetParam();
+  util::Rng rng(seed);
+  std::vector<StageCost> stages(n);
+  for (auto& s : stages) {
+    s.fwd_ms = rng.uniform(1.0, 3.0);
+    s.bwd_ms = rng.uniform(2.0, 7.0);
+  }
+  const auto sim_result = core::simulate_pipeline(stages, m, comm);
+  const auto exec_result = execute(core::build_1f1b(stages, m, comm));
+  // The executor never exceeds the simulator (which over-charges comm when
+  // the intra-stage dependency binds), and stays within the total slack of
+  // one comm per hop chain.
+  EXPECT_LE(exec_result.iteration_ms, sim_result.iteration_ms + 1e-6);
+  EXPECT_GE(exec_result.iteration_ms,
+            sim_result.iteration_ms - 2.0 * (n + m) * comm - 1e-6);
+  EXPECT_NEAR(exec_result.startup_ms, sim_result.startup_ms, n * comm + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomShapes, ExecutorVsSimulator,
+    testing::Values(XCase{2, 4, 0.1, 1}, XCase{3, 6, 0.0, 2},
+                    XCase{4, 8, 0.3, 3}, XCase{4, 16, 0.2, 4},
+                    XCase{6, 12, 0.1, 5}, XCase{8, 16, 0.05, 6},
+                    XCase{5, 5, 0.2, 7}));
+
+TEST(Executor, ZeroCommExactMatchWithSimulator) {
+  // With comm = 0 the two implementations solve the same recurrence.
+  util::Rng rng(11);
+  for (int trial = 0; trial < 5; ++trial) {
+    const int n = 2 + static_cast<int>(rng.next_below(5));
+    const int m = n + static_cast<int>(rng.next_below(10));
+    std::vector<StageCost> stages(n);
+    for (auto& s : stages) {
+      s.fwd_ms = rng.uniform(1.0, 3.0);
+      s.bwd_ms = rng.uniform(2.0, 7.0);
+    }
+    const auto sim_result = core::simulate_pipeline(stages, m, 0.0);
+    const auto exec_result = execute(core::build_1f1b(stages, m, 0.0));
+    EXPECT_NEAR(exec_result.iteration_ms, sim_result.iteration_ms, 1e-9);
+  }
+}
+
+TEST(Executor, SlicingHalvesStartup) {
+  const auto stages = uniform_stages(4, 4.0, 9.0);
+  const auto plain = execute(core::build_1f1b(stages, 8, 0.5));
+  const auto sliced = execute(core::build_sliced_1f1b(stages, 8, 0.5, 1));
+  EXPECT_NEAR(sliced.startup_ms, plain.startup_ms / 2, 1e-9);
+  EXPECT_LE(sliced.iteration_ms, plain.iteration_ms + 1e-9);
+}
+
+TEST(Executor, SlicingNeverSlowsBalancedPipelines) {
+  util::Rng rng(17);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int n = 2 + static_cast<int>(rng.next_below(6));
+    const int m = 2 * n;
+    const double f = rng.uniform(1.0, 4.0);
+    const auto stages = uniform_stages(n, f, 2.5 * f);
+    const auto plain = execute(core::build_1f1b(stages, m, 0.2));
+    for (int sliced = 1; sliced < n; ++sliced) {
+      const auto s = execute(core::build_sliced_1f1b(stages, m, 0.2, sliced));
+      EXPECT_LE(s.iteration_ms, plain.iteration_ms + 1e-9)
+          << "n=" << n << " sliced=" << sliced;
+    }
+  }
+}
+
+TEST(Executor, PerOpOverheadAddsStableBias) {
+  // Fig. 11's stable gap: actual (with launch overhead) > simulated, with
+  // the same ordering across schemes.
+  const auto stages = uniform_stages(4, 2.0, 5.0);
+  const auto schedule = core::build_1f1b(stages, 8, 0.3);
+  ExecOptions with_overhead;
+  with_overhead.per_op_overhead_ms = 0.1;
+  const auto plain = execute(schedule);
+  const auto biased = execute(schedule, with_overhead);
+  EXPECT_GT(biased.iteration_ms, plain.iteration_ms);
+}
+
+TEST(Executor, JitterIsDeterministicBySeed) {
+  const auto schedule = core::build_1f1b(uniform_stages(3), 6, 0.2);
+  ExecOptions opts;
+  opts.jitter_frac = 0.05;
+  opts.seed = 42;
+  const auto a = execute(schedule, opts);
+  const auto b = execute(schedule, opts);
+  EXPECT_DOUBLE_EQ(a.iteration_ms, b.iteration_ms);
+  opts.seed = 43;
+  const auto c = execute(schedule, opts);
+  EXPECT_NE(a.iteration_ms, c.iteration_ms);
+}
+
+TEST(Executor, AllreduceExtendsTheDrainingStage) {
+  // Device 0 finishes last (cooldown drains toward stage 0), so its
+  // all-reduce lands on the critical path; the last device's overlaps.
+  const auto stages = uniform_stages(4, 2.0, 5.0);
+  const auto schedule = core::build_1f1b(stages, 8, 0.0);
+  const auto plain = execute(schedule);
+  ExecOptions opts;
+  opts.allreduce_ms = {3.0, 3.0, 3.0, 3.0};
+  const auto hybrid = execute(schedule, opts);
+  EXPECT_NEAR(hybrid.iteration_ms, plain.iteration_ms + 3.0, 1e-9);
+  // Busy time excludes communication.
+  EXPECT_DOUBLE_EQ(hybrid.device_busy_ms[0], plain.device_busy_ms[0]);
+  // Wrong-size vector is rejected.
+  opts.allreduce_ms = {3.0};
+  EXPECT_THROW(execute(schedule, opts), std::invalid_argument);
+}
+
+TEST(Executor, OverlappedAllreduceOfEarlyFinishersIsFree) {
+  // Give only the LAST stage an all-reduce: it finishes its ops long
+  // before stage 0 drains, so a small reduce hides entirely.
+  const auto stages = uniform_stages(4, 2.0, 5.0);
+  const auto schedule = core::build_1f1b(stages, 8, 0.0);
+  const auto plain = execute(schedule);
+  ExecOptions opts;
+  opts.allreduce_ms = {0.0, 0.0, 0.0, 3.0};
+  const auto hybrid = execute(schedule, opts);
+  EXPECT_DOUBLE_EQ(hybrid.iteration_ms, plain.iteration_ms);
+}
+
+TEST(Executor, InterleavedSchedulesExecute) {
+  const std::vector<std::vector<StageCost>> chunks(
+      4, std::vector<StageCost>(2, StageCost{1.0, 2.0}));
+  const auto inter = execute(core::build_interleaved(chunks, 8, 0.1));
+  const auto plain =
+      execute(core::build_1f1b(uniform_stages(4, 2.0, 4.0), 8, 0.1));
+  // The interleaved schedule halves startup (its chunks are half-size).
+  EXPECT_LT(inter.startup_ms, plain.startup_ms * 0.75);
+}
+
+TEST(Executor, TraceIsSortedAndComplete) {
+  const auto s = core::build_1f1b(uniform_stages(3), 6, 0.2);
+  const auto r = execute(s);
+  EXPECT_EQ(r.trace.size(), 2u * 3 * 6);
+  for (std::size_t i = 1; i < r.trace.size(); ++i) {
+    EXPECT_LE(r.trace[i - 1].start_ms, r.trace[i].start_ms);
+  }
+}
+
+TEST(Executor, BusyTimeConservation) {
+  const auto stages = uniform_stages(3, 2.0, 5.0);
+  const auto r = execute(core::build_1f1b(stages, 6, 0.2));
+  for (int dev = 0; dev < 3; ++dev) {
+    EXPECT_NEAR(r.device_busy_ms[dev], 6 * (2.0 + 5.0), 1e-9);
+  }
+}
+
+TEST(Metrics, BubbleFractionAndBalance) {
+  const auto stages = uniform_stages(4, 2.0, 5.0);
+  const auto r = execute(core::build_1f1b(stages, 8, 0.2));
+  const auto m = analyze(r);
+  EXPECT_GT(m.bubble_fraction, 0.0);
+  EXPECT_LT(m.bubble_fraction, 0.5);
+  EXPECT_NEAR(m.busy_stddev_ms, 0.0, 1e-9);  // balanced stages
+  EXPECT_EQ(m.device_idle_ms.size(), 4u);
+  // Deeper pipeline with the same per-stage cost has more bubble.
+  const auto deep =
+      analyze(execute(core::build_1f1b(uniform_stages(8, 2.0, 5.0), 8, 0.2)));
+  EXPECT_GT(deep.bubble_fraction, m.bubble_fraction);
+}
+
+}  // namespace
+}  // namespace autopipe::sim

@@ -1,0 +1,181 @@
+// Randomized end-to-end property sweeps: synthetic model configs with
+// arbitrary block costs are pushed through the Planner, Slicer, schedule
+// builders, executor and (for a few shapes) the thread runtime, asserting
+// the invariants that must hold for ANY input -- not just the zoo models.
+#include <gtest/gtest.h>
+
+#include "core/autopipe.h"
+#include "core/balanced_dp.h"
+#include "core/planner.h"
+#include "core/slicer.h"
+#include "model/data.h"
+#include "runtime/pipeline_runtime.h"
+#include "sim/executor.h"
+#include "util/rng.h"
+
+namespace autopipe {
+namespace {
+
+/// A synthetic "model": random per-block costs with the usual layout
+/// (light embedding, alternating attention/FFN, heavy head).
+costmodel::ModelConfig random_config(util::Rng& rng, int layers) {
+  costmodel::ModelConfig cfg;
+  cfg.spec = costmodel::gpt2_345m();
+  cfg.spec.num_layers = layers;
+  cfg.comm_ms = rng.uniform(0.0, 0.5);
+  auto push = [&](costmodel::BlockKind kind, double f_lo, double f_hi,
+                  double units) {
+    costmodel::Block b;
+    b.name = "b" + std::to_string(cfg.blocks.size());
+    b.kind = kind;
+    b.fwd_ms = rng.uniform(f_lo, f_hi);
+    b.bwd_ms = b.fwd_ms * rng.uniform(1.5, 3.5);
+    b.param_bytes = rng.uniform(1e6, 1e8);
+    b.stash_bytes = rng.uniform(1e5, 1e7);
+    b.work_bytes = rng.uniform(1e6, 1e8);
+    b.output_bytes = 1e6;
+    b.layer_units = units;
+    cfg.blocks.push_back(b);
+  };
+  push(costmodel::BlockKind::Embedding, 0.01, 0.1, 0);
+  for (int l = 0; l < layers; ++l) {
+    push(costmodel::BlockKind::Attention, 0.5, 3.0, 0.5);
+    push(costmodel::BlockKind::FFN, 0.5, 3.0, 0.5);
+  }
+  push(costmodel::BlockKind::Head, 1.0, 8.0, 0);
+  return cfg;
+}
+
+class PlannerFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PlannerFuzz, FullPipelineInvariantsHold) {
+  util::Rng rng(GetParam());
+  const int layers = 3 + static_cast<int>(rng.next_below(12));
+  const auto cfg = random_config(rng, layers);
+  const int max_depth = std::min(8, cfg.num_blocks());
+  const int depth = 2 + static_cast<int>(rng.next_below(max_depth - 1));
+  const int m = depth + static_cast<int>(rng.next_below(2 * depth));
+
+  // Planner: valid output, never worse than its Algorithm-1 seed.
+  const auto planned = core::plan(cfg, depth, m);
+  ASSERT_NO_THROW(core::validate(cfg, planned.partition));
+  const auto seed = core::balanced_partition(cfg, depth);
+  const double seed_ms = core::simulate_pipeline(cfg, seed, m).iteration_ms;
+  EXPECT_LE(planned.sim.iteration_ms, seed_ms + 1e-9);
+
+  // Slicer: bounded answer, halved startup estimate.
+  const auto costs = core::stage_costs(cfg, planned.partition);
+  const auto slicing = core::solve_slicing(costs, cfg.comm_ms, m);
+  EXPECT_GE(slicing.sliced_micro_batches, 1);
+  EXPECT_LT(slicing.sliced_micro_batches, depth);
+  EXPECT_LE(slicing.sliced_micro_batches, m);
+  EXPECT_NEAR(slicing.startup_after_ms, slicing.startup_before_ms / 2, 1e-9);
+
+  // Schedules: structurally valid, executable, acyclic (executor throws on
+  // cycles), and the simulator/executor cross-check holds.
+  const auto plain = core::build_1f1b(costs, m, cfg.comm_ms);
+  const auto sliced = core::build_sliced_1f1b(costs, m, cfg.comm_ms,
+                                              slicing.sliced_micro_batches);
+  ASSERT_NO_THROW(core::validate(plain));
+  ASSERT_NO_THROW(core::validate(sliced));
+  const auto exec_plain = sim::execute(plain);
+  const auto exec_sliced = sim::execute(sliced);
+  EXPECT_LE(exec_plain.iteration_ms, planned.sim.iteration_ms + 1e-6)
+      << "executor must not exceed the comm-conservative simulator";
+  // Slicing halves startup on the executor too.
+  EXPECT_NEAR(exec_sliced.startup_ms, exec_plain.startup_ms / 2,
+              exec_plain.startup_ms * 0.05 + 1e-9);
+  // And never costs more than one sliced micro-batch of slack.
+  const double slack =
+      (costs[0].fwd_ms + costs[0].bwd_ms) * slicing.sliced_micro_batches;
+  EXPECT_LE(exec_sliced.iteration_ms, exec_plain.iteration_ms + slack);
+
+  // Iteration time lower bound: no device can beat its own busy time.
+  for (int s = 0; s < depth; ++s) {
+    EXPECT_GE(exec_plain.iteration_ms + 1e-9,
+              m * (costs[s].fwd_ms + costs[s].bwd_ms));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomModels, PlannerFuzz,
+                         testing::Range<std::uint64_t>(1, 21));
+
+class RuntimeFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RuntimeFuzz, RandomPartitionGradEquivalence) {
+  util::Rng rng(GetParam());
+  model::TinySpec spec;
+  spec.layers = 2 + static_cast<int>(rng.next_below(3));  // 6..10 blocks
+  spec.hidden = 8 * (1 + static_cast<int>(rng.next_below(2)));
+  spec.heads = 2;
+  spec.vocab = 16 + static_cast<int>(rng.next_below(32));
+  spec.seq = 4;
+  spec.seed = GetParam();
+  model::TransformerModel ref(spec), piped(spec);
+
+  // Random contiguous partition into 2..4 stages.
+  const int blocks = ref.num_blocks();
+  const int stages = 2 + static_cast<int>(rng.next_below(3));
+  std::vector<int> counts(stages, 1);
+  for (int extra = blocks - stages; extra > 0; --extra) {
+    ++counts[rng.next_below(stages)];
+  }
+
+  const int B = 2 + 2 * static_cast<int>(rng.next_below(2));
+  const int m = stages + static_cast<int>(rng.next_below(4));
+  const int sliced = static_cast<int>(rng.next_below(stages));
+
+  model::SyntheticCorpus corpus(spec.vocab, GetParam());
+  const auto batch = corpus.next_batch(B * m, spec.seq);
+  const auto micro =
+      model::SyntheticCorpus::split_micro_batches(batch, spec.seq, B);
+  const double scale = 1.0 / (B * m * spec.seq);
+
+  ref.zero_grads();
+  const double ref_loss = ref.reference_step(batch.ids, batch.targets, scale);
+
+  runtime::PipelineRuntime rt(piped, counts);
+  piped.zero_grads();
+  const auto schedule = rt.make_schedule(
+      sliced > 0 ? costmodel::ScheduleKind::AutoPipeSliced
+                 : costmodel::ScheduleKind::OneFOneB,
+      m, sliced);
+  const auto result = rt.run_iteration(schedule, micro, scale);
+  EXPECT_NEAR(result.loss, ref_loss, 1e-5);
+  EXPECT_LT(ref.max_grad_diff(piped), 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomShapes, RuntimeFuzz,
+                         testing::Range<std::uint64_t>(100, 108));
+
+TEST(EvaluatePlanFuzz, NeverCrashesAndStaysFinite) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto cfg = random_config(rng, 4 + static_cast<int>(rng.next_below(8)));
+    core::ParallelPlan plan;
+    const int d = 1 + static_cast<int>(rng.next_below(4));
+    plan.partition.counts.assign(d, 1);
+    for (int extra = cfg.num_blocks() - d; extra > 0; --extra) {
+      ++plan.partition.counts[rng.next_below(d)];
+    }
+    plan.uniform_dp = rng.next_below(2) == 0;
+    if (plan.uniform_dp) {
+      plan.data_parallel = 1 + static_cast<int>(rng.next_below(8));
+    } else {
+      plan.shard_micro_batches = rng.next_below(2) == 0;
+      for (int s = 0; s < d; ++s) {
+        plan.stage_devices.push_back(1 + static_cast<int>(rng.next_below(6)));
+      }
+    }
+    const long gbs = 16L << rng.next_below(6);
+    const auto ev = core::evaluate_plan(cfg, plan, gbs);
+    if (!ev.oom && !ev.runtime_error) {
+      EXPECT_GT(ev.iteration_ms, 0.0);
+      EXPECT_TRUE(std::isfinite(ev.iteration_ms));
+      EXPECT_EQ(ev.stage_loads_ms.size(), static_cast<std::size_t>(d));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace autopipe

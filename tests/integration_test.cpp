@@ -1,0 +1,189 @@
+// End-to-end integration: model configs -> Planner -> Slicer -> schedule ->
+// event executor -> thread runtime, plus cross-validation between the
+// paper-faithful analytic simulator and the independent event executor.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/autopipe.h"
+#include "core/planner.h"
+#include "model/data.h"
+#include "planners/megatron.h"
+#include "runtime/optimizer.h"
+#include "runtime/pipeline_runtime.h"
+#include "sim/executor.h"
+#include "sim/metrics.h"
+#include "trace/timeline.h"
+
+namespace autopipe {
+namespace {
+
+TEST(Integration, FullAutoPipeFlowOnGpt2) {
+  // Fig. 2 end to end: configs -> Planner -> Slicer -> schedule; then time
+  // the schedule on the event executor and compare with Megatron-LM's
+  // uniform 1F1B.
+  const auto cfg =
+      costmodel::build_model_config(costmodel::gpt2_345m(), {4, 0, true});
+  const auto result = core::auto_plan(cfg, {4, 32, 4, true});
+  ASSERT_EQ(result.plan.num_stages(), 4);
+
+  const auto megatron = planners::megatron_partition(cfg, 4);
+  const auto mega_costs = core::stage_costs(cfg, megatron);
+  const auto mega_exec =
+      sim::execute(core::build_1f1b(mega_costs, 8, cfg.comm_ms));
+  const auto ours_exec = sim::execute(result.schedule);
+
+  // Paper headline: 1.02x-1.30x over Megatron-LM.
+  const double speedup = mega_exec.iteration_ms / ours_exec.iteration_ms;
+  EXPECT_GT(speedup, 1.02);
+  EXPECT_LT(speedup, 1.6);
+  // Startup roughly halved vs the un-sliced plan on the same partition.
+  const auto plan_costs = core::stage_costs(cfg, result.plan.partition);
+  const auto unsliced_exec =
+      sim::execute(core::build_1f1b(plan_costs, 8, cfg.comm_ms));
+  EXPECT_NEAR(ours_exec.startup_ms, unsliced_exec.startup_ms / 2,
+              unsliced_exec.startup_ms * 0.1);
+}
+
+TEST(Integration, SimulatorTracksExecutorAcrossTableTwoSchemes) {
+  // Fig. 11's property: across the seven Table-II schemes the analytic
+  // simulator and the "actual" executor (with launch overhead) move
+  // together -- same ordering trend, stable gap.
+  const auto cfg =
+      costmodel::build_model_config(costmodel::gpt2_345m(), {4, 0, true});
+  const std::vector<std::vector<double>> schemes{
+      {5, 7, 6, 6},       {6, 6.5, 6.5, 5}, {6, 7, 6, 5},
+      {6.5, 6.5, 6.5, 4.5}, {6.5, 6.5, 6, 5}, {7, 5.5, 6, 5.5},
+      {7, 6.5, 5.5, 5}};
+  sim::ExecOptions actual;
+  actual.per_op_overhead_ms = cfg.device.kernel_launch_ms;
+
+  std::vector<double> sim_ms, act_ms;
+  for (const auto& layers : schemes) {
+    const auto p = core::partition_from_layers(cfg, layers);
+    sim_ms.push_back(core::simulate_pipeline(cfg, p, 8).iteration_ms);
+    const auto costs = core::stage_costs(cfg, p);
+    act_ms.push_back(
+        sim::execute(core::build_1f1b(costs, 8, cfg.comm_ms), actual)
+            .iteration_ms);
+  }
+  // The paper claims the gap is *stable* and the trend matches -- it does
+  // not fix the sign. Here the analytic simulator over-charges
+  // communication (Comm is added outside the max), so it sits consistently
+  // above the executor; the executor's launch overhead pulls the other
+  // way. Check: one consistent sign, small magnitude, low spread.
+  std::vector<double> gaps;
+  for (std::size_t i = 0; i < schemes.size(); ++i) {
+    gaps.push_back(act_ms[i] - sim_ms[i]);
+    EXPECT_LT(std::abs(gaps.back()), sim_ms[i] * 0.1) << i;
+    EXPECT_EQ(gaps.back() > 0, gaps.front() > 0) << "sign flip at " << i;
+  }
+  const double mean_gap =
+      std::accumulate(gaps.begin(), gaps.end(), 0.0) / gaps.size();
+  for (double g : gaps) {
+    EXPECT_LT(std::abs(g - mean_gap), std::abs(mean_gap) * 0.5 + 0.5);
+  }
+  // Rank correlation: the best scheme under the simulator is within the
+  // top two under the executor.
+  const auto best_sim =
+      std::min_element(sim_ms.begin(), sim_ms.end()) - sim_ms.begin();
+  std::vector<double> sorted = act_ms;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_LE(act_ms[best_sim], sorted[1] + 1e-9);
+}
+
+TEST(Integration, PlannedScheduleTrainsARealModel) {
+  // Take AutoPipe's planned partition shape (4 stages), map it onto a tiny
+  // real transformer, execute the sliced schedule with threads, and verify
+  // both gradient equivalence and that a few optimizer steps reduce loss.
+  model::TinySpec spec;
+  spec.layers = 4;  // 10 blocks
+  spec.hidden = 16;
+  spec.heads = 2;
+  spec.vocab = 32;
+  spec.seq = 4;
+  model::TransformerModel reference(spec), pipelined(spec);
+
+  const int m = 8, B = 2;
+  // Block partition: embedding+layer1 | layer2 | layer3 | layer4+head.
+  const std::vector<int> counts{3, 2, 2, 3};
+  runtime::PipelineRuntime rt(pipelined, counts);
+  const auto schedule =
+      rt.make_schedule(costmodel::ScheduleKind::AutoPipeSliced, m, 2);
+
+  model::SyntheticCorpus corpus(spec.vocab);
+  const auto batch = corpus.next_batch(B * m, spec.seq);
+  const auto micro =
+      model::SyntheticCorpus::split_micro_batches(batch, spec.seq, B);
+  const double scale = 1.0 / (B * m * spec.seq);
+
+  reference.zero_grads();
+  const double ref_loss =
+      reference.reference_step(batch.ids, batch.targets, scale);
+  pipelined.zero_grads();
+  const auto result = rt.run_iteration(schedule, micro, scale);
+  EXPECT_NEAR(result.loss, ref_loss, 1e-5);
+  EXPECT_LT(reference.max_grad_diff(pipelined), 1e-4);
+
+  runtime::Adam adam(3e-3);
+  double first = 0, last = 0;
+  for (int it = 0; it < 10; ++it) {
+    const auto b = corpus.next_batch(B * m, spec.seq);
+    const auto mbs =
+        model::SyntheticCorpus::split_micro_batches(b, spec.seq, B);
+    pipelined.zero_grads();
+    const auto r = rt.run_iteration(schedule, mbs, scale);
+    adam.step(pipelined);
+    if (it == 0) first = r.loss;
+    last = r.loss;
+  }
+  EXPECT_LT(last, first);
+}
+
+TEST(Integration, StagesPlusDataParallelEqualsGpus) {
+  // §IV-D: AutoPipe's data-parallel size is GPUs / pipeline stages for
+  // every GPU count it plans for.
+  const auto cfg =
+      costmodel::build_model_config(costmodel::gpt2_345m(), {4, 0, true});
+  for (int gpus : {1, 2, 4, 8, 16}) {
+    const auto r = core::auto_plan(cfg, {gpus, 256, 0, true});
+    EXPECT_EQ(r.plan.num_stages() * r.plan.data_parallel, gpus);
+    EXPECT_FALSE(r.evaluation.oom);
+  }
+}
+
+TEST(Integration, TimelineShowsSlicedWarmup) {
+  const auto cfg =
+      costmodel::build_model_config(costmodel::gpt2_345m(), {4, 0, true});
+  const auto result = core::auto_plan(cfg, {4, 32, 4, true});
+  const auto exec = sim::execute(result.schedule);
+  const std::string art = trace::render_timeline(exec, {100, false});
+  EXPECT_NE(art.find('^'), std::string::npos);  // sliced half markers
+  const auto metrics = sim::analyze(exec);
+  EXPECT_LT(metrics.bubble_fraction, 0.5);
+}
+
+TEST(Integration, SlicerHelpsDeepPipelinesNotShallow) {
+  // Fig. 10's Slicer observation: at depth 2 slicing does not help (it can
+  // slightly hurt); at depth 8 it reduces iteration time.
+  const auto cfg =
+      costmodel::build_model_config(costmodel::gpt2_345m(), {4, 0, true});
+  for (int depth : {2, 8}) {
+    const auto planned = core::plan(cfg, depth, 2 * depth);
+    const auto costs = core::stage_costs(cfg, planned.partition);
+    const auto slicing = core::solve_slicing(costs, cfg.comm_ms, 2 * depth);
+    const auto plain =
+        sim::execute(core::build_1f1b(costs, 2 * depth, cfg.comm_ms));
+    const auto sliced = sim::execute(core::build_sliced_1f1b(
+        costs, 2 * depth, cfg.comm_ms, slicing.sliced_micro_batches));
+    const double gain = plain.iteration_ms - sliced.iteration_ms;
+    if (depth == 8) {
+      EXPECT_GT(gain, 0.0);
+    } else {
+      EXPECT_GT(gain, -plain.iteration_ms * 0.05);  // never a big loss
+    }
+  }
+}
+
+}  // namespace
+}  // namespace autopipe

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "core/partition.h"
+#include "costmodel/model_zoo.h"
+
+namespace autopipe::core {
+namespace {
+
+class PartitionTest : public testing::Test {
+ protected:
+  ModelConfig cfg_ =
+      costmodel::build_model_config(costmodel::gpt2_345m(), {4, 0, true});
+};
+
+TEST_F(PartitionTest, StageRanges) {
+  Partition p{{3, 5, 42}};
+  EXPECT_EQ(p.num_stages(), 3);
+  EXPECT_EQ(p.stage_begin(0), 0);
+  EXPECT_EQ(p.stage_begin(1), 3);
+  EXPECT_EQ(p.stage_begin(2), 8);
+  EXPECT_EQ(p.stage_end(2), 50);
+  EXPECT_EQ(p.total_blocks(), 50);
+}
+
+TEST_F(PartitionTest, ValidateRejectsBadShapes) {
+  EXPECT_THROW(validate(cfg_, Partition{{}}), std::invalid_argument);
+  EXPECT_THROW(validate(cfg_, Partition{{50, 0}}), std::invalid_argument);
+  EXPECT_THROW(validate(cfg_, Partition{{10, 10}}), std::invalid_argument);
+  EXPECT_NO_THROW(validate(cfg_, Partition{{25, 25}}));
+}
+
+TEST_F(PartitionTest, StageCostsSumToModelTotals) {
+  Partition p{{11, 13, 12, 14}};
+  const auto costs = stage_costs(cfg_, p);
+  double f = 0, b = 0;
+  for (const auto& c : costs) {
+    f += c.fwd_ms;
+    b += c.bwd_ms;
+  }
+  EXPECT_NEAR(f, cfg_.total_fwd_ms(), 1e-9);
+  EXPECT_NEAR(b, cfg_.total_bwd_ms(), 1e-9);
+}
+
+TEST_F(PartitionTest, BalanceStddevZeroForPerfectBalance) {
+  // Two stages with identical synthetic loads.
+  ModelConfig uniform = cfg_;
+  for (auto& blk : uniform.blocks) {
+    blk.fwd_ms = 1.0;
+    blk.bwd_ms = 2.0;
+  }
+  EXPECT_DOUBLE_EQ(balance_stddev(uniform, Partition{{25, 25}}), 0.0);
+  EXPECT_GT(balance_stddev(uniform, Partition{{10, 40}}), 0.0);
+}
+
+TEST_F(PartitionTest, LayerUnitsCountTransformerLayersOnly) {
+  Partition p{{11, 13, 12, 14}};  // stage 0 has emb + 5 layers
+  const auto units = stage_layer_units(cfg_, p);
+  EXPECT_DOUBLE_EQ(units[0], 5.0);
+  EXPECT_DOUBLE_EQ(units[0] + units[1] + units[2] + units[3], 24.0);
+}
+
+// Table II round trip: every scheme in the paper's table maps to a valid
+// block partition whose layer units match.
+class TableTwoTest : public testing::TestWithParam<std::vector<double>> {};
+
+TEST_P(TableTwoTest, RoundTripsThroughBlocks) {
+  const ModelConfig cfg =
+      costmodel::build_model_config(costmodel::gpt2_345m(), {4, 0, true});
+  const auto& layers = GetParam();
+  const Partition p = partition_from_layers(cfg, layers);
+  const auto units = stage_layer_units(cfg, p);
+  ASSERT_EQ(units.size(), layers.size());
+  for (std::size_t s = 0; s < layers.size(); ++s) {
+    EXPECT_NEAR(units[s], layers[s], 1e-9) << "stage " << s;
+  }
+  // Embedding on stage 0, head on the last stage.
+  EXPECT_EQ(cfg.blocks[p.stage_begin(0)].kind, costmodel::BlockKind::Embedding);
+  EXPECT_EQ(cfg.blocks[p.stage_end(3) - 1].kind, costmodel::BlockKind::Head);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperSchemes, TableTwoTest,
+    testing::Values(std::vector<double>{5, 7, 6, 6},
+                    std::vector<double>{6, 6.5, 6.5, 5},
+                    std::vector<double>{6, 7, 6, 5},
+                    std::vector<double>{6.5, 6.5, 6.5, 4.5},
+                    std::vector<double>{6.5, 6.5, 6, 5},
+                    std::vector<double>{7, 5.5, 6, 5.5},
+                    std::vector<double>{7, 6.5, 5.5, 5}));
+
+TEST_F(PartitionTest, PartitionFromLayersRejectsBadSums) {
+  EXPECT_THROW(partition_from_layers(cfg_, std::vector<double>{6, 6, 6, 5}),
+               std::invalid_argument);
+  EXPECT_THROW(partition_from_layers(cfg_, std::vector<double>{6, 6, 6, 7}),
+               std::invalid_argument);
+}
+
+TEST_F(PartitionTest, MemoryHelpersCoverBlocks) {
+  Partition p{{11, 13, 12, 14}};
+  double params = 0;
+  for (int s = 0; s < 4; ++s) params += stage_param_bytes(cfg_, p, s);
+  EXPECT_NEAR(params, cfg_.total_param_bytes(), 1e-3);
+  // Stage working set is a max, not a sum.
+  EXPECT_LE(stage_work_bytes(cfg_, p, 0),
+            stage_work_bytes(cfg_, p, 3));  // head dominates
+}
+
+TEST_F(PartitionTest, DescribeMentionsStagesAndLoads) {
+  const std::string d = describe(cfg_, Partition{{25, 25}});
+  EXPECT_NE(d.find("stages=2"), std::string::npos);
+  EXPECT_NE(d.find("load_ms"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace autopipe::core

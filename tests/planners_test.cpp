@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "planners/dapple.h"
+#include "planners/megatron.h"
+#include "planners/piper.h"
+#include "planners/units.h"
+
+namespace autopipe::planners {
+namespace {
+
+core::ModelConfig gpt2(int mbs) {
+  return costmodel::build_model_config(costmodel::gpt2_345m(),
+                                       {mbs, 0, true});
+}
+
+// ---------------------------------------------------------------- units
+
+TEST(Units, LayerGranularityCollapsesSubLayers) {
+  const auto cfg = gpt2(4);
+  const auto units = layer_units(cfg);
+  ASSERT_EQ(units.size(), 24u + 2);  // emb + 24 layers + head
+  EXPECT_EQ(units.front().num_blocks, 1);
+  EXPECT_EQ(units[1].num_blocks, 2);
+  EXPECT_EQ(units.back().num_blocks, 1);
+  double total = 0;
+  for (const auto& u : units) total += u.load_ms;
+  EXPECT_NEAR(total, cfg.total_fwd_ms() + cfg.total_bwd_ms(), 1e-6);
+}
+
+TEST(Units, PartitionFromUnitCountsRoundTrips) {
+  const auto cfg = gpt2(4);
+  const auto units = layer_units(cfg);
+  const core::Partition p = partition_from_unit_counts(units, {7, 7, 6, 6});
+  EXPECT_NO_THROW(core::validate(cfg, p));
+  EXPECT_THROW(partition_from_unit_counts(units, {7, 7}),
+               std::invalid_argument);
+}
+
+TEST(Units, WeightedSplitRespondsToWeights) {
+  const auto cfg = gpt2(4);
+  const auto units = layer_units(cfg);
+  // A heavily discounted stage 1 should receive most of the model.
+  const auto counts = weighted_balanced_split(units, {1.0, 0.25});
+  EXPECT_GT(counts[1], counts[0] * 2);
+}
+
+TEST(Units, CompositionEnumeration) {
+  int count = 0;
+  std::vector<std::vector<int>> all;
+  for_each_composition(4, 2, [&](const std::vector<int>& c) {
+    ++count;
+    all.push_back(c);
+    EXPECT_EQ(c[0] + c[1], 4);
+    EXPECT_GE(c[0], 1);
+    EXPECT_GE(c[1], 1);
+  });
+  EXPECT_EQ(count, 3);  // (1,3) (2,2) (3,1)
+  // Degenerate shapes produce nothing.
+  for_each_composition(2, 3, [&](const std::vector<int>&) { FAIL(); });
+}
+
+// -------------------------------------------------------------- megatron
+
+TEST(Megatron, UniformPartitionAndFactorConstraint) {
+  const auto cfg = gpt2(4);
+  EXPECT_TRUE(megatron_supports(cfg, 4));
+  EXPECT_FALSE(megatron_supports(cfg, 5));  // 24 % 5 != 0
+  EXPECT_THROW(megatron_partition(cfg, 5), std::invalid_argument);
+  const core::Partition p = megatron_partition(cfg, 4);
+  const auto units = core::stage_layer_units(cfg, p);
+  for (double u : units) EXPECT_DOUBLE_EQ(u, 6.0);
+}
+
+TEST(Megatron, SevenSixtyTwoNeedsNineStages) {
+  // The paper's GPT-2 762M quirk: 36 layers, so 8 stages are impossible
+  // and the evaluation uses 9.
+  const auto cfg = costmodel::build_model_config(costmodel::gpt2_762m(),
+                                                 {4, 0, true});
+  EXPECT_FALSE(megatron_supports(cfg, 8));
+  EXPECT_TRUE(megatron_supports(cfg, 9));
+}
+
+TEST(Megatron, PlanUsesUniformDataParallelism) {
+  const auto cfg = gpt2(4);
+  const auto plan = megatron_plan(cfg, 16, 4);
+  EXPECT_TRUE(plan.uniform_dp);
+  EXPECT_EQ(plan.data_parallel, 4);
+  EXPECT_THROW(megatron_plan(cfg, 6, 4), std::invalid_argument);
+}
+
+TEST(Megatron, UniformPartitionIsImbalanced) {
+  // The motivation for the Planner: uniform layer counts leave the
+  // head-carrying stage much heavier.
+  const auto cfg = gpt2(4);
+  const auto loads =
+      core::stage_loads(cfg, megatron_partition(cfg, 4));
+  const double mn = *std::min_element(loads.begin(), loads.end());
+  const double mx = *std::max_element(loads.begin(), loads.end());
+  EXPECT_GT(mx / mn, 1.2);
+}
+
+// ---------------------------------------------------------------- dapple
+
+TEST(Dapple, AlwaysPipelines) {
+  // Low memory demand where pure DP is optimal: DAPPLE still returns a
+  // 2-stage scheme (Table III's observation).
+  const auto cfg = gpt2(4);
+  const auto plan = dapple_plan(cfg, 4, {8, 4, 128});
+  EXPECT_GE(plan.num_stages(), 2);
+  EXPECT_FALSE(plan.uniform_dp);
+  EXPECT_TRUE(plan.shard_micro_batches);
+}
+
+TEST(Dapple, PrefersReplicationHeavyLastStage) {
+  // §IV-D: "prefers to use larger data parallelism sizes in the second
+  // pipeline stage"; at 4 GPUs the 1+3 assignment crams ~17 of 24 layers
+  // into stage 2.
+  const auto cfg = gpt2(32);
+  const auto plan = dapple_plan(cfg, 4, {8, 4, 512});
+  ASSERT_EQ(plan.num_stages(), 2);
+  EXPECT_GT(plan.stage_devices.back(), plan.stage_devices.front());
+  const auto units = core::stage_layer_units(cfg, plan.partition);
+  EXPECT_GT(units[1], units[0] * 1.5);
+}
+
+TEST(Dapple, SixteenGpuPlanIsRuntimeInfeasible) {
+  // Table III's "-" cells: any 2-way split of 16 devices puts more replicas
+  // on a stage than micro-batch size 4 allows.
+  const auto cfg = gpt2(4);
+  const auto plan = dapple_plan(cfg, 16, {8, 4, 128});
+  const auto ev = core::evaluate_plan(cfg, plan, 128);
+  EXPECT_TRUE(ev.runtime_error);
+}
+
+TEST(Dapple, MemoryModelMissesActivations) {
+  // DAPPLE accepts a 2-stage plan for GPT-2 1.3B that OOMs when honestly
+  // evaluated (Table IV).
+  const auto cfg = costmodel::build_model_config(costmodel::gpt2_1_3b(),
+                                                 {16, 0, true});
+  const auto plan = dapple_plan(cfg, 4, {8, 4, 512});
+  EXPECT_EQ(plan.num_stages(), 2);
+  const auto ev = core::evaluate_plan(cfg, plan, 512);
+  EXPECT_TRUE(ev.oom);
+}
+
+TEST(Dapple, ReportsSearchTime) {
+  const auto cfg = gpt2(4);
+  const auto plan = dapple_plan(cfg, 8, {8, 4, 128});
+  EXPECT_GT(plan.planning_ms, 0.0);
+}
+
+// ----------------------------------------------------------------- piper
+
+TEST(Piper, LowMemoryUsesDataParallelism) {
+  // Table III: "both Piper and AutoPipe Planner use complete data
+  // parallelism" at 4 GPUs.
+  const auto cfg = gpt2(4);
+  const auto plan = piper_plan(cfg, 4, {8, 128});
+  EXPECT_EQ(plan.num_stages(), 1);
+  EXPECT_FALSE(plan.shard_micro_batches);
+  const auto ev = core::evaluate_plan(cfg, plan, 128);
+  EXPECT_FALSE(ev.oom);
+  EXPECT_FALSE(ev.runtime_error);
+}
+
+TEST(Piper, HighMemoryGoesDeeperThanTwoStages) {
+  // Table IV: "Piper adopts a pipeline with more than 2 stages".
+  const auto cfg = gpt2(32);
+  const auto plan = piper_plan(cfg, 4, {8, 512});
+  EXPECT_GT(plan.num_stages(), 2);
+}
+
+TEST(Piper, NeverOoms) {
+  for (int gpus : {4, 8}) {
+    const auto cfg = costmodel::build_model_config(costmodel::gpt2_1_3b(),
+                                                   {16, 0, true});
+    const auto plan = piper_plan(cfg, gpus, {8, 512});
+    const auto ev = core::evaluate_plan(cfg, plan, 512);
+    EXPECT_FALSE(ev.oom) << gpus << " GPUs";
+    EXPECT_FALSE(ev.runtime_error) << gpus << " GPUs";
+  }
+}
+
+TEST(Piper, LayerGranularityLeavesImbalance) {
+  // Fig. 13: Piper's layer-level splits cannot balance the embedding/head
+  // asymmetry that AutoPipe's sub-layer splits absorb.
+  const auto cfg = costmodel::build_model_config(costmodel::gpt2_1_3b(),
+                                                 {16, 0, true});
+  const auto piper = piper_plan(cfg, 4, {8, 512});
+  const auto piper_ev = core::evaluate_plan(cfg, piper, 512);
+  const auto auto_result = core::auto_plan(cfg, {4, 512, 0, true});
+  EXPECT_GT(piper_ev.balance_stddev_ms,
+            auto_result.evaluation.balance_stddev_ms * 1.5);
+}
+
+}  // namespace
+}  // namespace autopipe::planners

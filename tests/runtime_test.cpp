@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "model/data.h"
+#include "runtime/channel.h"
+#include "runtime/optimizer.h"
+#include "runtime/pipeline_runtime.h"
+#include "runtime/stage_worker.h"
+
+namespace autopipe::runtime {
+namespace {
+
+// ---------------------------------------------------------------- channel
+
+TEST(Channel, TagMatchedRendezvous) {
+  Channel ch;
+  ch.send({core::OpType::Forward, 2, -1}, model::Tensor::full({1, 1}, 7.0f));
+  ch.send({core::OpType::Forward, 1, -1}, model::Tensor::full({1, 1}, 5.0f));
+  // Receive out of send order: tags select the message.
+  EXPECT_FLOAT_EQ(ch.recv({core::OpType::Forward, 1, -1}).at(0), 5.0f);
+  EXPECT_FLOAT_EQ(ch.recv({core::OpType::Forward, 2, -1}).at(0), 7.0f);
+  EXPECT_EQ(ch.pending(), 0u);
+}
+
+TEST(Channel, HalvesAndTypesAreDistinctTags) {
+  Channel ch;
+  ch.send({core::OpType::Forward, 0, 0}, model::Tensor::full({1, 1}, 1.0f));
+  ch.send({core::OpType::Forward, 0, 1}, model::Tensor::full({1, 1}, 2.0f));
+  ch.send({core::OpType::Backward, 0, 0}, model::Tensor::full({1, 1}, 3.0f));
+  EXPECT_EQ(ch.pending(), 3u);
+  EXPECT_FLOAT_EQ(ch.recv({core::OpType::Backward, 0, 0}).at(0), 3.0f);
+  EXPECT_FLOAT_EQ(ch.recv({core::OpType::Forward, 0, 1}).at(0), 2.0f);
+  EXPECT_FLOAT_EQ(ch.recv({core::OpType::Forward, 0, 0}).at(0), 1.0f);
+}
+
+TEST(Channel, DuplicateSendIsAnError) {
+  Channel ch;
+  ch.send({core::OpType::Forward, 0, -1}, model::Tensor({1, 1}));
+  EXPECT_THROW(ch.send({core::OpType::Forward, 0, -1}, model::Tensor({1, 1})),
+               std::logic_error);
+}
+
+TEST(Channel, RecvBlocksUntilSend) {
+  Channel ch;
+  std::thread producer([&ch] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ch.send({core::OpType::Forward, 0, -1},
+            model::Tensor::full({1, 1}, 9.0f));
+  });
+  EXPECT_FLOAT_EQ(ch.recv({core::OpType::Forward, 0, -1}).at(0), 9.0f);
+  producer.join();
+}
+
+// ------------------------------------------------------------ slice_half
+
+TEST(SliceHalf, SplitsSamplesNotTokens) {
+  model::Batch whole;
+  const int seq = 3, samples = 4;
+  whole.ids = model::Tensor({samples * seq, 1});
+  whole.targets.resize(samples * seq);
+  for (int i = 0; i < samples * seq; ++i) {
+    whole.ids.data()[i] = static_cast<float>(i);
+    whole.targets[i] = i;
+  }
+  const auto h0 = slice_half(whole, seq, 0);
+  const auto h1 = slice_half(whole, seq, 1);
+  EXPECT_EQ(h0.ids.dim(0), 2 * seq);
+  EXPECT_EQ(h1.ids.dim(0), 2 * seq);
+  EXPECT_FLOAT_EQ(h1.ids.at(0), 2 * seq);
+  EXPECT_EQ(h1.targets.front(), 2 * seq);
+  const auto whole_again = slice_half(whole, seq, -1);
+  EXPECT_EQ(whole_again.ids.dim(0), samples * seq);
+  model::Batch tiny;
+  tiny.ids = model::Tensor({seq, 1});
+  EXPECT_THROW(slice_half(tiny, seq, 0), std::invalid_argument);
+}
+
+// -------------------------------------------------- gradient equivalence
+
+struct EquivalenceCase {
+  costmodel::ScheduleKind kind;
+  std::vector<int> counts;  // blocks per stage (model has 8 blocks)
+  int micro_batches;
+  int sliced;
+};
+
+class GradientEquivalence : public testing::TestWithParam<EquivalenceCase> {
+ protected:
+  static model::TinySpec spec() {
+    model::TinySpec s;
+    s.layers = 3;  // 8 blocks
+    s.hidden = 16;
+    s.heads = 2;
+    s.vocab = 32;
+    s.seq = 4;
+    return s;
+  }
+};
+
+TEST_P(GradientEquivalence, PipelinedGradsMatchReference) {
+  const auto& param = GetParam();
+  model::TransformerModel ref(spec()), piped(spec());
+
+  model::SyntheticCorpus corpus(spec().vocab);
+  const int B = 4;
+  const int m = param.micro_batches;
+  const auto batch = corpus.next_batch(B * m, spec().seq);
+  const auto micro =
+      model::SyntheticCorpus::split_micro_batches(batch, spec().seq, B);
+  const double scale = 1.0 / (B * m * spec().seq);
+
+  ref.zero_grads();
+  const double ref_loss = ref.reference_step(batch.ids, batch.targets, scale);
+
+  PipelineRuntime rt(piped, param.counts);
+  piped.zero_grads();
+  const auto schedule = rt.make_schedule(param.kind, m, param.sliced);
+  const auto result = rt.run_iteration(schedule, micro, scale);
+
+  // The consistency property of §II-B: distributed pipeline == single
+  // machine, for loss and every parameter gradient.
+  EXPECT_NEAR(result.loss, ref_loss, 1e-5);
+  EXPECT_LT(ref.max_grad_diff(piped), 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchedulesAndPartitions, GradientEquivalence,
+    testing::Values(
+        EquivalenceCase{costmodel::ScheduleKind::OneFOneB, {2, 3, 3}, 6, 0},
+        EquivalenceCase{costmodel::ScheduleKind::OneFOneB, {4, 4}, 4, 0},
+        EquivalenceCase{costmodel::ScheduleKind::OneFOneB, {1, 2, 2, 3}, 8, 0},
+        EquivalenceCase{costmodel::ScheduleKind::OneFOneB, {8}, 3, 0},
+        EquivalenceCase{
+            costmodel::ScheduleKind::AutoPipeSliced, {2, 3, 3}, 6, 1},
+        EquivalenceCase{
+            costmodel::ScheduleKind::AutoPipeSliced, {2, 3, 3}, 6, 2},
+        EquivalenceCase{
+            costmodel::ScheduleKind::AutoPipeSliced, {1, 2, 2, 3}, 4, 3},
+        EquivalenceCase{costmodel::ScheduleKind::GPipe, {2, 3, 3}, 6, 0},
+        EquivalenceCase{costmodel::ScheduleKind::GPipe, {4, 4}, 2, 0}));
+
+TEST(Runtime, NoRecomputeModeMatchesReference) {
+  // Disabling activation checkpointing (§II-C's other side of the
+  // tradeoff) must not change the gradients.
+  model::TinySpec spec;
+  spec.layers = 3;
+  spec.hidden = 16;
+  spec.heads = 2;
+  spec.vocab = 32;
+  spec.seq = 4;
+  model::TransformerModel ref(spec), piped(spec);
+  model::SyntheticCorpus corpus(spec.vocab);
+  const int B = 4, m = 6;
+  const auto batch = corpus.next_batch(B * m, spec.seq);
+  const auto micro =
+      model::SyntheticCorpus::split_micro_batches(batch, spec.seq, B);
+  const double scale = 1.0 / (B * m * spec.seq);
+  ref.zero_grads();
+  const double ref_loss = ref.reference_step(batch.ids, batch.targets, scale);
+  PipelineRuntime rt(piped, {2, 3, 3});
+  piped.zero_grads();
+  const auto schedule =
+      rt.make_schedule(costmodel::ScheduleKind::OneFOneB, m);
+  const auto result =
+      rt.run_iteration(schedule, micro, scale, /*recompute=*/false);
+  EXPECT_NEAR(result.loss, ref_loss, 1e-5);
+  EXPECT_LT(ref.max_grad_diff(piped), 1e-4);
+}
+
+TEST(Runtime, InterleavedScheduleMatchesReference) {
+  // Megatron-LM's interleaved 1F1B on real blocks: 2 devices x 2 chunks
+  // over an 8-block model; gradients must still equal the single-process
+  // reference (and the wrap-around channel from device 1 chunk 0 to
+  // device 0 chunk 1 must route correctly).
+  model::TinySpec spec;
+  spec.layers = 3;  // 8 blocks
+  spec.hidden = 16;
+  spec.heads = 2;
+  spec.vocab = 32;
+  spec.seq = 4;
+  model::TransformerModel ref(spec), piped(spec);
+
+  model::SyntheticCorpus corpus(spec.vocab);
+  const int B = 4, m = 4;
+  const auto batch = corpus.next_batch(B * m, spec.seq);
+  const auto micro =
+      model::SyntheticCorpus::split_micro_batches(batch, spec.seq, B);
+  const double scale = 1.0 / (B * m * spec.seq);
+
+  ref.zero_grads();
+  const double ref_loss = ref.reference_step(batch.ids, batch.targets, scale);
+
+  PipelineRuntime rt(piped, {2, 2, 2, 2}, /*chunks=*/2);
+  EXPECT_EQ(rt.num_devices(), 2);
+  piped.zero_grads();
+  const auto schedule =
+      rt.make_schedule(costmodel::ScheduleKind::Interleaved, m);
+  const auto result = rt.run_iteration(schedule, micro, scale);
+  EXPECT_NEAR(result.loss, ref_loss, 1e-5);
+  EXPECT_LT(ref.max_grad_diff(piped), 1e-4);
+}
+
+TEST(Runtime, InterleavedFourDevicesTwoChunks) {
+  model::TinySpec spec;
+  spec.layers = 7;  // 16 blocks -> 8 global stages of 2 blocks
+  spec.hidden = 8;
+  spec.heads = 2;
+  spec.vocab = 16;
+  spec.seq = 4;
+  model::TransformerModel ref(spec), piped(spec);
+  model::SyntheticCorpus corpus(spec.vocab);
+  const int B = 2, m = 8;
+  const auto batch = corpus.next_batch(B * m, spec.seq);
+  const auto micro =
+      model::SyntheticCorpus::split_micro_batches(batch, spec.seq, B);
+  const double scale = 1.0 / (B * m * spec.seq);
+  ref.zero_grads();
+  const double ref_loss = ref.reference_step(batch.ids, batch.targets, scale);
+  PipelineRuntime rt(piped, std::vector<int>(8, 2), /*chunks=*/2);
+  piped.zero_grads();
+  const auto result = rt.run_iteration(
+      rt.make_schedule(costmodel::ScheduleKind::Interleaved, m), micro, scale);
+  EXPECT_NEAR(result.loss, ref_loss, 1e-5);
+  EXPECT_LT(ref.max_grad_diff(piped), 1e-4);
+}
+
+TEST(Runtime, InterleavedRejectsBadShapes) {
+  model::TinySpec spec;  // 2 layers -> 6 blocks
+  model::TransformerModel m(spec);
+  // devices*chunks must divide the global stage list.
+  EXPECT_THROW(PipelineRuntime(m, {2, 2, 2}, 2), std::invalid_argument);
+  PipelineRuntime rt(m, {2, 1, 1, 2}, 2);
+  // Interleaved needs micro_batches % devices == 0.
+  EXPECT_THROW(rt.make_schedule(costmodel::ScheduleKind::Interleaved, 3),
+               std::invalid_argument);
+}
+
+TEST(Runtime, LossDecreasesUnderTraining) {
+  model::TinySpec spec;
+  spec.layers = 2;
+  spec.hidden = 16;
+  spec.heads = 2;
+  spec.vocab = 24;
+  spec.seq = 4;
+  model::TransformerModel m(spec);
+  PipelineRuntime rt(m, {3, 3});
+  model::SyntheticCorpus corpus(spec.vocab);
+  const int B = 4, micro_count = 4;
+  const double scale = 1.0 / (B * micro_count * spec.seq);
+  const auto schedule =
+      rt.make_schedule(costmodel::ScheduleKind::AutoPipeSliced, micro_count, 1);
+  Adam adam(3e-3);
+  double first = 0, last = 0;
+  for (int it = 0; it < 12; ++it) {
+    const auto batch = corpus.next_batch(B * micro_count, spec.seq);
+    const auto micro =
+        model::SyntheticCorpus::split_micro_batches(batch, spec.seq, B);
+    m.zero_grads();
+    const auto r = rt.run_iteration(schedule, micro, scale);
+    adam.step(m);
+    if (it == 0) first = r.loss;
+    last = r.loss;
+  }
+  EXPECT_LT(last, first * 0.97);
+}
+
+TEST(Runtime, SgdAndAdamMoveParameters) {
+  model::TinySpec spec;
+  model::TransformerModel m(spec);
+  model::SyntheticCorpus corpus(spec.vocab);
+  const auto batch = corpus.next_batch(2, spec.seq);
+  m.zero_grads();
+  m.reference_step(batch.ids, batch.targets, 1.0 / (2 * spec.seq));
+  const float before = m.block(1).params()[2].value.at(0);
+  Sgd sgd(0.1);
+  sgd.step(m);
+  const float after_sgd = m.block(1).params()[2].value.at(0);
+  EXPECT_NE(before, after_sgd);
+  Adam adam(0.01);
+  adam.step(m);
+  EXPECT_NE(after_sgd, m.block(1).params()[2].value.at(0));
+}
+
+TEST(Runtime, RejectsMismatchedConfigs) {
+  model::TinySpec spec;  // 2 layers -> 6 blocks
+  model::TransformerModel m(spec);
+  EXPECT_THROW(PipelineRuntime(m, {2, 2}), std::invalid_argument);
+  EXPECT_THROW(PipelineRuntime(m, {6, 0}), std::invalid_argument);
+  PipelineRuntime rt(m, {3, 3});
+  const auto schedule =
+      rt.make_schedule(costmodel::ScheduleKind::OneFOneB, 4, 0);
+  model::SyntheticCorpus corpus(spec.vocab);
+  const auto batch = corpus.next_batch(8, spec.seq);
+  const auto micro =
+      model::SyntheticCorpus::split_micro_batches(batch, spec.seq, 2);
+  // 4 micro-batches expected, give 2.
+  const std::vector<model::Batch> wrong(micro.begin(), micro.begin() + 2);
+  EXPECT_THROW(rt.run_iteration(schedule, wrong, 1.0), std::invalid_argument);
+}
+
+TEST(Runtime, CorpusIsLearnableAndDeterministic) {
+  model::SyntheticCorpus a(32, 5), b(32, 5);
+  const auto ba = a.next_batch(2, 6);
+  const auto bb = b.next_batch(2, 6);
+  EXPECT_DOUBLE_EQ(model::max_abs_diff(ba.ids, bb.ids), 0.0);
+  EXPECT_EQ(ba.targets, bb.targets);
+  EXPECT_THROW(model::SyntheticCorpus::split_micro_batches(ba, 6, 3),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace autopipe::runtime

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "core/schedule.h"
+#include "planners/megatron.h"
+
+namespace autopipe::core {
+namespace {
+
+std::vector<StageCost> uniform_stages(int n, double f = 1.0, double b = 2.0) {
+  return std::vector<StageCost>(n, StageCost{f, b});
+}
+
+// Every builder must satisfy the structural invariants for a sweep of
+// shapes -- validate() throws on violation.
+struct ShapeCase {
+  int stages, micro_batches, sliced;
+};
+
+class OneFOneBShapes : public testing::TestWithParam<ShapeCase> {};
+
+TEST_P(OneFOneBShapes, BuildsValidSchedules) {
+  const auto [n, m, sliced] = GetParam();
+  const auto plain = build_1f1b(uniform_stages(n), m, 0.1);
+  EXPECT_NO_THROW(validate(plain));
+  EXPECT_EQ(plain.kind, ScheduleKind::OneFOneB);
+  const auto gp = build_gpipe(uniform_stages(n), m, 0.1);
+  EXPECT_NO_THROW(validate(gp));
+  const auto sl = build_sliced_1f1b(uniform_stages(n), m, 0.1, sliced);
+  EXPECT_NO_THROW(validate(sl));
+  if (sliced > 0) EXPECT_EQ(sl.kind, ScheduleKind::AutoPipeSliced);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, OneFOneBShapes,
+    testing::Values(ShapeCase{1, 4, 0}, ShapeCase{2, 4, 1},
+                    ShapeCase{4, 8, 0}, ShapeCase{4, 8, 1},
+                    ShapeCase{4, 8, 3}, ShapeCase{8, 16, 2},
+                    ShapeCase{3, 3, 1}, ShapeCase{12, 24, 4},
+                    ShapeCase{5, 20, 4}));
+
+TEST(Schedule, OneFOneBWarmupDepth) {
+  const auto s = build_1f1b(uniform_stages(4), 8, 0.1);
+  // Stage 0 runs 3 warmup forwards before its first backward.
+  int leading_forwards = 0;
+  for (const auto& op : s.order[0]) {
+    if (op.type == OpType::Forward) {
+      ++leading_forwards;
+    } else {
+      break;
+    }
+  }
+  EXPECT_EQ(leading_forwards, 4);  // 3 warmup + the first 1F1B block forward
+  // The last stage alternates from the start.
+  EXPECT_EQ(s.order[3][0].type, OpType::Forward);
+  EXPECT_EQ(s.order[3][1].type, OpType::Backward);
+}
+
+TEST(Schedule, GPipeRunsAllForwardsFirst) {
+  const auto s = build_gpipe(uniform_stages(3), 5, 0.1);
+  for (int dev = 0; dev < 3; ++dev) {
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_EQ(s.order[dev][i].type, OpType::Forward);
+      EXPECT_EQ(s.order[dev][i + 5].type, OpType::Backward);
+    }
+    // Backwards run in reverse micro-batch order.
+    EXPECT_EQ(s.order[dev][5].micro_batch, 4);
+    EXPECT_EQ(s.order[dev][9].micro_batch, 0);
+  }
+}
+
+TEST(Schedule, SlicedOpsAreHalvedAndPaired) {
+  const auto s = build_sliced_1f1b(uniform_stages(4), 8, 0.1, 2);
+  for (int dev = 0; dev < 4; ++dev) {
+    int halves = 0;
+    for (std::size_t i = 0; i < s.order[dev].size(); ++i) {
+      const auto& op = s.order[dev][i];
+      if (op.micro_batch < 2) {
+        EXPECT_TRUE(op.is_half());
+        ++halves;
+        if (op.half == 0) {
+          // The sibling half follows immediately.
+          ASSERT_LT(i + 1, s.order[dev].size());
+          EXPECT_EQ(s.order[dev][i + 1].half, 1);
+          EXPECT_EQ(s.order[dev][i + 1].micro_batch, op.micro_batch);
+        }
+      } else {
+        EXPECT_FALSE(op.is_half());
+      }
+    }
+    EXPECT_EQ(halves, 2 * 2 * 2);  // 2 micro-batches x F/B x 2 halves
+  }
+}
+
+TEST(Schedule, HalfOpsHaveHalfDuration) {
+  const auto s = build_sliced_1f1b(uniform_stages(2, 3.0, 5.0), 4, 0.1, 1);
+  for (const auto& op : s.order[0]) {
+    const double d = s.op_duration_ms(0, op);
+    const double whole = op.type == OpType::Forward ? 3.0 : 5.0;
+    EXPECT_DOUBLE_EQ(d, op.is_half() ? whole / 2 : whole);
+  }
+}
+
+TEST(Schedule, AggregatedCommMarksLaterSlicedHalvesOnly) {
+  const auto s = build_sliced_1f1b(uniform_stages(4), 8, 0.1, 3);
+  for (int dev = 0; dev < 4; ++dev) {
+    for (const auto& op : s.order[dev]) {
+      if (!op.aggregated_comm) continue;
+      EXPECT_EQ(op.type, OpType::Forward);
+      EXPECT_EQ(op.half, 0);
+      EXPECT_GE(op.micro_batch, 1);  // micro-batch 0 carries the startup win
+      EXPECT_LT(op.micro_batch, 3);
+      EXPECT_LT(dev, 3);  // the last stage sends nothing forward
+    }
+  }
+}
+
+TEST(Schedule, RejectsBadArguments) {
+  EXPECT_THROW(build_1f1b(uniform_stages(4), 3, 0.1), std::invalid_argument);
+  EXPECT_THROW(build_sliced_1f1b(uniform_stages(4), 8, 0.1, 9),
+               std::invalid_argument);
+  EXPECT_THROW(build_gpipe({}, 4, 0.1), std::invalid_argument);
+}
+
+TEST(Schedule, InterleavedRequiresDivisibility) {
+  const std::vector<std::vector<StageCost>> chunks(
+      4, std::vector<StageCost>(2, StageCost{1, 2}));
+  EXPECT_THROW(build_interleaved(chunks, 6, 0.1), std::invalid_argument);
+  EXPECT_NO_THROW(build_interleaved(chunks, 8, 0.1));
+}
+
+TEST(Schedule, InterleavedCoversEveryChunk) {
+  const std::vector<std::vector<StageCost>> chunks(
+      2, std::vector<StageCost>(3, StageCost{1, 2}));
+  const auto s = build_interleaved(chunks, 4, 0.1);
+  EXPECT_NO_THROW(validate(s));
+  EXPECT_EQ(s.chunks, 3);
+  // Each device executes m forwards and m backwards per chunk.
+  for (int dev = 0; dev < 2; ++dev) {
+    EXPECT_EQ(s.order[dev].size(), 2u * 4 * 3);
+  }
+}
+
+TEST(Schedule, InterleavedWarmupIsDeeperThanPlain) {
+  const std::vector<std::vector<StageCost>> chunks(
+      4, std::vector<StageCost>(2, StageCost{1, 2}));
+  const auto inter = build_interleaved(chunks, 8, 0.1);
+  // Device 0 warmup: (4-0-1)*2 + (2-1)*4 = 10 leading forwards.
+  int leading = 0;
+  for (const auto& op : inter.order[0]) {
+    if (op.type != OpType::Forward) break;
+    ++leading;
+  }
+  EXPECT_EQ(leading, 11);  // 10 warmup + first steady forward
+}
+
+TEST(Schedule, MegatronInterleavedCostsSplitLayers) {
+  const auto cfg =
+      costmodel::build_model_config(costmodel::gpt2_345m(), {4, 0, true});
+  ASSERT_TRUE(planners::megatron_interleaved_supports(cfg, 4, 2));
+  const auto costs = planners::megatron_interleaved_costs(cfg, 4, 2);
+  ASSERT_EQ(costs.size(), 4u);
+  ASSERT_EQ(costs[0].size(), 2u);
+  // Total forward time across all chunks equals the model total.
+  double total = 0;
+  for (const auto& dev : costs) {
+    for (const auto& c : dev) total += c.fwd_ms;
+  }
+  EXPECT_NEAR(total, cfg.total_fwd_ms(), 1e-9);
+  // 24 layers over 8 global stages -> 3 layers per chunk; the last global
+  // stage also holds the expensive head.
+  EXPECT_GT(costs[3][1].fwd_ms, costs[1][0].fwd_ms * 1.3);
+  EXPECT_FALSE(planners::megatron_interleaved_supports(cfg, 4, 5));
+}
+
+TEST(Schedule, ValidateCatchesCorruption) {
+  auto s = build_1f1b(uniform_stages(2), 4, 0.1);
+  auto broken = s;
+  broken.order[0].pop_back();  // drop an op
+  EXPECT_THROW(validate(broken), std::logic_error);
+  broken = s;
+  broken.order[1][0].micro_batch = 99;
+  EXPECT_THROW(validate(broken), std::logic_error);
+}
+
+}  // namespace
+}  // namespace autopipe::core

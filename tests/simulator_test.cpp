@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/simulator.h"
+#include "util/rng.h"
+
+namespace autopipe::core {
+namespace {
+
+std::vector<StageCost> uniform_stages(int n, double f, double b) {
+  return std::vector<StageCost>(n, StageCost{f, b});
+}
+
+TEST(Simulator, SingleStageIsSequential) {
+  const auto r = simulate_pipeline(uniform_stages(1, 2.0, 4.0), 5, 1.0);
+  EXPECT_DOUBLE_EQ(r.iteration_ms, 5 * 6.0);
+  EXPECT_DOUBLE_EQ(r.startup_ms, 0.0);
+  EXPECT_EQ(static_cast<int>(r.ops.size()), 10);
+}
+
+TEST(Simulator, RejectsFewerMicroBatchesThanStages) {
+  EXPECT_THROW(simulate_pipeline(uniform_stages(4, 1, 2), 3, 0.1),
+               std::invalid_argument);
+  EXPECT_THROW(simulate_pipeline({}, 3, 0.1), std::invalid_argument);
+}
+
+TEST(Simulator, StartupIsForwardChainPlusComms) {
+  // Balanced pipeline: the last stage's first FP starts after every earlier
+  // stage's FP plus one hop each (§II-B).
+  const int n = 4;
+  const auto stages = uniform_stages(n, 3.0, 9.0);
+  const auto r = simulate_pipeline(stages, 8, 0.5);
+  EXPECT_NEAR(r.startup_ms, 3 * 3.0 + 3 * 0.5, 1e-9);
+  EXPECT_NEAR(r.warmup_estimate_ms, 4 * 3.0 + 3 * 0.5, 1e-9);
+}
+
+TEST(Simulator, BalancedPipelineIterationFormula) {
+  // For a perfectly balanced pipeline with b = 2f and negligible comm, the
+  // last stage runs continuously after startup: iter ~ startup + m*(f+b) +
+  // backward drain through the earlier stages.
+  const int n = 4, m = 8;
+  const double f = 2.0, b = 4.0;
+  const auto r = simulate_pipeline(uniform_stages(n, f, b), m, 0.0);
+  const double expected = (n - 1) * f + m * (f + b) + (n - 1) * b;
+  EXPECT_NEAR(r.iteration_ms, expected, 1e-9);
+}
+
+TEST(Simulator, OpCountsAndCoverage) {
+  const int n = 3, m = 7;
+  const auto r = simulate_pipeline(uniform_stages(n, 1, 2), m, 0.1);
+  ASSERT_EQ(static_cast<int>(r.ops.size()), 2 * n * m);
+  // Each stage has exactly m forwards and m backwards.
+  std::map<std::pair<int, int>, int> counts;  // (stage, type)
+  for (const auto& op : r.ops) {
+    ASSERT_GE(op.id, 0) << "uninitialized op slot";
+    counts[{op.stage, static_cast<int>(op.type)}]++;
+  }
+  for (int x = 0; x < n; ++x) {
+    EXPECT_EQ((counts[{x, 0}]), m);
+    EXPECT_EQ((counts[{x, 1}]), m);
+  }
+}
+
+// Property: every printed recurrence holds on the computed start times.
+struct SimCase {
+  int n, m;
+  double comm;
+  std::uint64_t seed;
+};
+
+class SimulatorDependencies : public testing::TestWithParam<SimCase> {};
+
+TEST_P(SimulatorDependencies, StartTimesRespectEveryDependency) {
+  const auto [n, m, comm, seed] = GetParam();
+  util::Rng rng(seed);
+  std::vector<StageCost> stages(n);
+  for (auto& s : stages) {
+    s.fwd_ms = rng.uniform(0.5, 3.0);
+    s.bwd_ms = rng.uniform(1.0, 6.0);
+  }
+  const auto r = simulate_pipeline(stages, m, comm);
+
+  // Index ops by (stage, micro-batch, type).
+  std::map<std::tuple<int, int, int>, const SimOp*> by_key;
+  for (const auto& op : r.ops) {
+    by_key[{op.stage, op.micro_batch, static_cast<int>(op.type)}] = &op;
+  }
+  auto end_of = [&](int stage, int mb, OpType type) {
+    return by_key.at({stage, mb, static_cast<int>(type)})->end_ms;
+  };
+
+  constexpr double kTol = 1e-9;
+  for (const auto& op : r.ops) {
+    EXPECT_NEAR(op.end_ms - op.start_ms,
+                op.type == OpType::Forward ? stages[op.stage].fwd_ms
+                                           : stages[op.stage].bwd_ms,
+                kTol);
+    if (op.type == OpType::Forward && op.stage > 0) {
+      // Activation arrival: producer end + comm.
+      EXPECT_GE(op.start_ms + kTol,
+                end_of(op.stage - 1, op.micro_batch, OpType::Forward) + comm);
+    }
+    if (op.type == OpType::Backward && op.stage < n - 1) {
+      EXPECT_GE(op.start_ms + kTol,
+                end_of(op.stage + 1, op.micro_batch, OpType::Backward) + comm);
+    }
+    if (op.type == OpType::Backward) {
+      // A backward always follows its own forward.
+      EXPECT_GE(op.start_ms + kTol,
+                end_of(op.stage, op.micro_batch, OpType::Forward));
+    }
+  }
+
+  // Per-stage ops never overlap.
+  std::map<int, std::vector<const SimOp*>> per_stage;
+  for (const auto& op : r.ops) per_stage[op.stage].push_back(&op);
+  for (auto& [stage, ops] : per_stage) {
+    std::sort(ops.begin(), ops.end(), [](const SimOp* a, const SimOp* b) {
+      return a->start_ms < b->start_ms;
+    });
+    for (std::size_t i = 1; i < ops.size(); ++i) {
+      EXPECT_GE(ops[i]->start_ms + kTol, ops[i - 1]->end_ms)
+          << "overlap on stage " << stage;
+    }
+  }
+
+  // Iteration time is the max end.
+  double max_end = 0;
+  for (const auto& op : r.ops) max_end = std::max(max_end, op.end_ms);
+  EXPECT_DOUBLE_EQ(r.iteration_ms, max_end);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SimulatorDependencies,
+    testing::Values(SimCase{2, 4, 0.2, 1}, SimCase{3, 6, 0.0, 2},
+                    SimCase{4, 8, 0.5, 3}, SimCase{4, 4, 0.3, 4},
+                    SimCase{5, 12, 0.1, 5}, SimCase{8, 16, 0.4, 6},
+                    SimCase{6, 7, 1.5, 7}, SimCase{1, 5, 0.2, 8},
+                    SimCase{12, 24, 0.05, 9}));
+
+TEST(Simulator, CriticalPathIsConnectedAndEndsLast) {
+  const auto r = simulate_pipeline(uniform_stages(4, 2, 5), 8, 0.3);
+  ASSERT_FALSE(r.critical_path.empty());
+  // Ends at the op with the latest finish.
+  EXPECT_DOUBLE_EQ(r.ops[r.critical_path.back()].end_ms, r.iteration_ms);
+  // Each consecutive pair is linked via critical_pred.
+  for (std::size_t i = 1; i < r.critical_path.size(); ++i) {
+    EXPECT_EQ(r.ops[r.critical_path[i]].critical_pred, r.critical_path[i - 1]);
+    EXPECT_LE(r.ops[r.critical_path[i - 1]].end_ms,
+              r.ops[r.critical_path[i]].start_ms + 1e-9);
+  }
+  for (int id : r.critical_path) {
+    EXPECT_TRUE(r.ops[id].on_critical_path);
+  }
+}
+
+TEST(Simulator, MasterStageIsTheHeaviest) {
+  // Make stage 2 clearly dominant: the critical path must ride it.
+  std::vector<StageCost> stages{{1, 2}, {1, 2}, {4, 8}, {1, 2}};
+  const auto r = simulate_pipeline(stages, 8, 0.1);
+  EXPECT_EQ(r.master_stage, 2);
+}
+
+TEST(Simulator, BalancedTieBreaksTowardLastStage) {
+  // Perfectly balanced: multiple longest paths exist; the unique critical
+  // path must be the one closest to the last stage (Fig. 4).
+  const auto r = simulate_pipeline(uniform_stages(4, 2, 4), 8, 0.0);
+  EXPECT_EQ(r.master_stage, 3);
+}
+
+TEST(Simulator, ForwardMasterMovementReducesIteration) {
+  // Fig. 7: swapping load so the master moves to an earlier stage shortens
+  // the pipeline.
+  std::vector<StageCost> late_heavy{{1, 3}, {1, 3}, {2, 6}, {1, 3}};
+  std::vector<StageCost> early_heavy{{1, 3}, {2, 6}, {1, 3}, {1, 3}};
+  const auto late = simulate_pipeline(late_heavy, 8, 0.1);
+  const auto early = simulate_pipeline(early_heavy, 8, 0.1);
+  EXPECT_GT(late.master_stage, early.master_stage);
+  EXPECT_LT(early.iteration_ms, late.iteration_ms);
+}
+
+TEST(Simulator, MonotoneInLoad) {
+  const auto base = simulate_pipeline(uniform_stages(4, 2, 4), 8, 0.2);
+  for (int x = 0; x < 4; ++x) {
+    auto heavier = uniform_stages(4, 2, 4);
+    heavier[x].bwd_ms += 1.0;
+    const auto r = simulate_pipeline(heavier, 8, 0.2);
+    EXPECT_GE(r.iteration_ms, base.iteration_ms) << "stage " << x;
+  }
+}
+
+TEST(Simulator, MonotoneInCommCost) {
+  const auto cheap = simulate_pipeline(uniform_stages(4, 2, 4), 8, 0.0);
+  const auto pricey = simulate_pipeline(uniform_stages(4, 2, 4), 8, 1.0);
+  EXPECT_GT(pricey.iteration_ms, cheap.iteration_ms);
+  EXPECT_GT(pricey.startup_ms, cheap.startup_ms);
+}
+
+TEST(Simulator, ExactlyAsManyMicroBatchesAsStages) {
+  // m == n: every stage owns exactly one 1F1B block; warmup/cooldown cover
+  // the rest. All the renumbering edge cases collapse here.
+  const int n = 5;
+  const auto r = simulate_pipeline(uniform_stages(n, 2, 4), n, 0.1);
+  EXPECT_EQ(static_cast<int>(r.ops.size()), 2 * n * n);
+  // First stage's steady phase is one block; it still produces n forwards.
+  int forwards = 0;
+  for (const auto& op : r.ops) {
+    if (op.stage == 0 && op.type == OpType::Forward) ++forwards;
+  }
+  EXPECT_EQ(forwards, n);
+  EXPECT_GT(r.iteration_ms, n * 6.0);  // more than one stage's serial work
+}
+
+TEST(Simulator, ZeroCostStagesDoNotBreakOrdering) {
+  std::vector<StageCost> stages{{0, 0}, {1, 2}, {0, 0}, {1, 2}};
+  const auto r = simulate_pipeline(stages, 8, 0.0);
+  EXPECT_GT(r.iteration_ms, 0.0);
+  for (const auto& op : r.ops) {
+    EXPECT_GE(op.end_ms, op.start_ms);
+  }
+}
+
+TEST(Simulator, PartitionOverloadMatchesStageCosts) {
+  const auto cfg =
+      costmodel::build_model_config(costmodel::gpt2_345m(), {4, 0, true});
+  const Partition p{{11, 13, 12, 14}};
+  const auto via_partition = simulate_pipeline(cfg, p, 8);
+  const auto costs = stage_costs(cfg, p);
+  const auto direct = simulate_pipeline(costs, 8, cfg.comm_ms);
+  EXPECT_DOUBLE_EQ(via_partition.iteration_ms, direct.iteration_ms);
+}
+
+}  // namespace
+}  // namespace autopipe::core

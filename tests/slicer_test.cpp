@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "core/planner.h"
+#include "core/slicer.h"
+
+namespace autopipe::core {
+namespace {
+
+std::vector<StageCost> uniform_stages(int n, double f, double b) {
+  return std::vector<StageCost>(n, StageCost{f, b});
+}
+
+TEST(Slicer, SingleStageHasNothingToSlice) {
+  const auto r = solve_slicing(uniform_stages(1, 2, 4), 0.5, 8);
+  EXPECT_EQ(r.sliced_micro_batches, 0);
+  EXPECT_DOUBLE_EQ(r.startup_before_ms, 0.0);
+}
+
+TEST(Slicer, HalvesStartupEstimate) {
+  // The headline claim: slicing halves the startup overhead (§III-C).
+  for (int n : {2, 4, 8, 12}) {
+    const auto r = solve_slicing(uniform_stages(n, 3, 7), 0.4, 2 * n);
+    EXPECT_NEAR(r.startup_after_ms, r.startup_before_ms / 2, 1e-9) << n;
+    EXPECT_GE(r.sliced_micro_batches, 1);
+  }
+}
+
+TEST(Slicer, SliceCountBounded) {
+  for (int n : {2, 3, 4, 8, 16}) {
+    const auto r = solve_slicing(uniform_stages(n, 2, 6), 0.3, 2 * n);
+    EXPECT_GE(r.sliced_micro_batches, 1) << n;
+    EXPECT_LT(r.sliced_micro_batches, n) << n;  // warmup depth bound
+  }
+}
+
+TEST(Slicer, NeverSlicesMoreThanMicroBatches) {
+  const auto r = solve_slicing(uniform_stages(8, 2, 6), 0.3, 2);
+  EXPECT_LE(r.sliced_micro_batches, 2);
+}
+
+TEST(Slicer, ShallowPipelineSlicesJustOne) {
+  // A 2-stage pipeline has a single warmup micro-batch; Algorithm 2 must
+  // not slice beyond it.
+  const auto r = solve_slicing(uniform_stages(2, 2, 6), 0.3, 8);
+  EXPECT_EQ(r.sliced_micro_batches, 1);
+}
+
+TEST(Slicer, DeeperPipelinesNeedMoreSlices) {
+  // The number of split micro-batches grows (weakly) with pipeline depth:
+  // deeper pipelines have longer warmups to cover.
+  int last = 1;
+  for (int n : {4, 8, 16}) {
+    const auto r = solve_slicing(uniform_stages(n, 2.0, 2.2), 0.01, 2 * n);
+    EXPECT_GE(r.sliced_micro_batches, last) << "depth " << n;
+    last = r.sliced_micro_batches;
+  }
+}
+
+TEST(Slicer, HeavyBackwardNeedsFewerSlices) {
+  // With b >> f the 1F1B phase is backward-dominated and the unbroken
+  // micro-batch start is late: fewer slices suffice.
+  const auto heavy = solve_slicing(uniform_stages(8, 1.0, 9.0), 0.1, 16);
+  const auto light = solve_slicing(uniform_stages(8, 1.0, 1.0), 0.1, 16);
+  EXPECT_LE(heavy.sliced_micro_batches, light.sliced_micro_batches);
+}
+
+TEST(Slicer, DeterministicAndPartitionOverloadAgrees) {
+  const auto cfg =
+      costmodel::build_model_config(costmodel::gpt2_345m(), {4, 0, true});
+  const PlannerResult planned = plan(cfg, 4, 8);
+  const auto a = solve_slicing(cfg, planned.partition, 8);
+  const auto costs = stage_costs(cfg, planned.partition);
+  const auto b = solve_slicing(costs, cfg.comm_ms, 8);
+  EXPECT_EQ(a.sliced_micro_batches, b.sliced_micro_batches);
+  EXPECT_DOUBLE_EQ(a.startup_before_ms, b.startup_before_ms);
+}
+
+TEST(Slicer, StartupBeforeMatchesSimulator) {
+  const auto cfg =
+      costmodel::build_model_config(costmodel::gpt2_345m(), {4, 0, true});
+  const Partition p{{11, 13, 12, 14}};
+  const auto costs = stage_costs(cfg, p);
+  const auto sliced = solve_slicing(costs, cfg.comm_ms, 8);
+  const auto sim = simulate_pipeline(costs, 8, cfg.comm_ms);
+  EXPECT_NEAR(sliced.startup_before_ms, sim.startup_ms, 1e-6);
+}
+
+}  // namespace
+}  // namespace autopipe::core

@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "model/ops.h"
+
+namespace autopipe::model {
+namespace {
+
+// Central finite difference of a scalar function of one tensor entry.
+double numeric_grad(const std::function<double(const Tensor&)>& f, Tensor x,
+                    std::size_t index, double eps = 1e-3) {
+  const float saved = x.at(index);
+  x.data()[index] = static_cast<float>(saved + eps);
+  const double plus = f(x);
+  x.data()[index] = static_cast<float>(saved - eps);
+  const double minus = f(x);
+  return (plus - minus) / (2 * eps);
+}
+
+/// Sum-of-entries loss wrapper: dL/dy = all ones.
+Tensor ones_like(const Tensor& t) { return Tensor::full(t.shape(), 1.0f); }
+
+double sum_all(const Tensor& t) {
+  double acc = 0;
+  for (std::size_t i = 0; i < t.numel(); ++i) acc += t.at(i);
+  return acc;
+}
+
+// ----------------------------------------------------------------- tensor
+
+TEST(Tensor, ConstructionAndFill) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6u);
+  EXPECT_EQ(t.rank(), 2);
+  t.fill_(2.5f);
+  EXPECT_FLOAT_EQ(t.at(5), 2.5f);
+  EXPECT_EQ(t.shape_string(), "[2x3]");
+  EXPECT_THROW(Tensor({0, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, SplitAndConcatRowsRoundTrip) {
+  util::Rng rng(5);
+  const Tensor t = Tensor::randn({6, 4}, rng);
+  const auto [head, tail] = t.split_rows(2);
+  EXPECT_EQ(head.dim(0), 2);
+  EXPECT_EQ(tail.dim(0), 4);
+  const Tensor back = Tensor::concat_rows(head, tail);
+  EXPECT_DOUBLE_EQ(max_abs_diff(t, back), 0.0);
+  EXPECT_THROW(t.split_rows(0), std::invalid_argument);
+  EXPECT_THROW(t.split_rows(6), std::invalid_argument);
+}
+
+TEST(Tensor, AddAndScale) {
+  Tensor a = Tensor::full({2, 2}, 1.0f);
+  Tensor b = Tensor::full({2, 2}, 2.0f);
+  a.add_(b);
+  a.scale_(3.0f);
+  EXPECT_FLOAT_EQ(a.at(0), 9.0f);
+  Tensor mismatched({3, 2});
+  EXPECT_THROW(a.add_(mismatched), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- matmul
+
+TEST(Ops, MatmulKnownValues) {
+  Tensor a({2, 2});
+  a.data()[0] = 1; a.data()[1] = 2; a.data()[2] = 3; a.data()[3] = 4;
+  Tensor b({2, 2});
+  b.data()[0] = 5; b.data()[1] = 6; b.data()[2] = 7; b.data()[3] = 8;
+  const Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0), 19);
+  EXPECT_FLOAT_EQ(c.at(1), 22);
+  EXPECT_FLOAT_EQ(c.at(2), 43);
+  EXPECT_FLOAT_EQ(c.at(3), 50);
+  EXPECT_THROW(matmul(a, Tensor({3, 2})), std::invalid_argument);
+}
+
+TEST(Ops, MatmulGradientsMatchFiniteDifferences) {
+  util::Rng rng(1);
+  const Tensor a = Tensor::randn({3, 4}, rng);
+  const Tensor b = Tensor::randn({4, 2}, rng);
+  const Tensor dc = ones_like(matmul(a, b));
+  const Tensor da = matmul_grad_a(dc, b);
+  const Tensor db = matmul_grad_b(a, dc);
+  for (std::size_t i : {std::size_t{0}, std::size_t{5}, std::size_t{11}}) {
+    const double fd = numeric_grad(
+        [&](const Tensor& x) { return sum_all(matmul(x, b)); }, a, i);
+    EXPECT_NEAR(da.at(i), fd, 1e-2);
+  }
+  for (std::size_t i : {std::size_t{0}, std::size_t{3}, std::size_t{7}}) {
+    const double fd = numeric_grad(
+        [&](const Tensor& x) { return sum_all(matmul(a, x)); }, b, i);
+    EXPECT_NEAR(db.at(i), fd, 1e-2);
+  }
+}
+
+// ----------------------------------------------------------------- linear
+
+TEST(Ops, LinearBiasAndGradients) {
+  util::Rng rng(2);
+  const Tensor x = Tensor::randn({3, 4}, rng);
+  const Tensor w = Tensor::randn({4, 5}, rng);
+  const Tensor bias = Tensor::randn({5}, rng);
+  const Tensor y = linear(x, w, bias);
+  EXPECT_EQ(y.dim(1), 5);
+  const LinearGrads g = linear_backward(x, w, ones_like(y));
+  // dbias = column sums of dy = row count.
+  for (int j = 0; j < 5; ++j) EXPECT_FLOAT_EQ(g.dbias.at(j), 3.0f);
+  const double fd = numeric_grad(
+      [&](const Tensor& t) { return sum_all(linear(t, w, bias)); }, x, 2);
+  EXPECT_NEAR(g.dx.at(2), fd, 1e-2);
+}
+
+// ------------------------------------------------------------------- gelu
+
+TEST(Ops, GeluValuesAndGradient) {
+  Tensor x({1, 3});
+  x.data()[0] = -2.0f; x.data()[1] = 0.0f; x.data()[2] = 2.0f;
+  const Tensor y = gelu(x);
+  EXPECT_NEAR(y.at(1), 0.0, 1e-6);
+  EXPECT_NEAR(y.at(2), 1.9546, 1e-3);  // known GELU(2)
+  EXPECT_NEAR(y.at(0), -0.0454, 1e-3);
+  const Tensor dx = gelu_backward(x, ones_like(x));
+  for (std::size_t i = 0; i < 3; ++i) {
+    const double fd = numeric_grad(
+        [&](const Tensor& t) { return sum_all(gelu(t)); }, x, i, 1e-3);
+    EXPECT_NEAR(dx.at(i), fd, 1e-2);
+  }
+}
+
+// -------------------------------------------------------------- layernorm
+
+TEST(Ops, LayerNormNormalizesRows) {
+  util::Rng rng(3);
+  const Tensor x = Tensor::randn({4, 8}, rng, 3.0f);
+  const Tensor gamma = Tensor::full({8}, 1.0f);
+  const Tensor beta = Tensor({8});
+  LayerNormCache cache;
+  const Tensor y = layernorm(x, gamma, beta, &cache);
+  for (int i = 0; i < 4; ++i) {
+    double mean = 0, var = 0;
+    for (int j = 0; j < 8; ++j) mean += y.at(i * 8 + j);
+    mean /= 8;
+    for (int j = 0; j < 8; ++j) {
+      var += (y.at(i * 8 + j) - mean) * (y.at(i * 8 + j) - mean);
+    }
+    EXPECT_NEAR(mean, 0.0, 1e-5);
+    EXPECT_NEAR(var / 8, 1.0, 1e-3);
+  }
+}
+
+TEST(Ops, LayerNormGradientMatchesFiniteDifferences) {
+  util::Rng rng(4);
+  const Tensor x = Tensor::randn({2, 6}, rng);
+  Tensor gamma = Tensor::randn({6}, rng, 0.5f);
+  gamma.add_(Tensor::full({6}, 1.0f));
+  const Tensor beta = Tensor::randn({6}, rng, 0.2f);
+  // Weighted loss to exercise non-uniform dy.
+  Tensor weights = Tensor::randn({2, 6}, rng);
+  auto loss = [&](const Tensor& t) {
+    LayerNormCache c;
+    const Tensor y = layernorm(t, gamma, beta, &c);
+    double acc = 0;
+    for (std::size_t i = 0; i < y.numel(); ++i) acc += y.at(i) * weights.at(i);
+    return acc;
+  };
+  LayerNormCache cache;
+  layernorm(x, gamma, beta, &cache);
+  const LayerNormGrads g = layernorm_backward(cache, gamma, weights);
+  for (std::size_t i : {std::size_t{0}, std::size_t{4}, std::size_t{9}}) {
+    EXPECT_NEAR(g.dx.at(i), numeric_grad(loss, x, i), 2e-2);
+  }
+}
+
+// ---------------------------------------------------------------- softmax
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  util::Rng rng(6);
+  const Tensor s = Tensor::randn({3, 5}, rng, 2.0f);
+  const Tensor p = softmax_rows(s);
+  for (int i = 0; i < 3; ++i) {
+    double sum = 0;
+    for (int j = 0; j < 5; ++j) {
+      sum += p.at(i * 5 + j);
+      EXPECT_GT(p.at(i * 5 + j), 0.0f);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+  }
+}
+
+TEST(Ops, SoftmaxGradientMatchesFiniteDifferences) {
+  util::Rng rng(7);
+  const Tensor s = Tensor::randn({2, 4}, rng);
+  Tensor weights = Tensor::randn({2, 4}, rng);
+  auto loss = [&](const Tensor& t) {
+    const Tensor p = softmax_rows(t);
+    double acc = 0;
+    for (std::size_t i = 0; i < p.numel(); ++i) acc += p.at(i) * weights.at(i);
+    return acc;
+  };
+  const Tensor p = softmax_rows(s);
+  const Tensor ds = softmax_backward(p, weights);
+  for (std::size_t i = 0; i < s.numel(); ++i) {
+    EXPECT_NEAR(ds.at(i), numeric_grad(loss, s, i), 1e-2);
+  }
+}
+
+// ----------------------------------------------------------- cross entropy
+
+TEST(Ops, CrossEntropyUniformLogits) {
+  const Tensor logits({2, 4});  // all zeros -> uniform
+  const std::vector<int> targets{1, 3};
+  Tensor dlogits;
+  const double loss = cross_entropy(logits, targets, 0.5, &dlogits);
+  EXPECT_NEAR(loss, 2 * std::log(4.0) * 0.5, 1e-6);
+  // Gradient: (p - onehot) * scale.
+  EXPECT_NEAR(dlogits.at(0), 0.25 * 0.5, 1e-6);
+  EXPECT_NEAR(dlogits.at(1), (0.25 - 1.0) * 0.5, 1e-6);
+}
+
+TEST(Ops, CrossEntropyGradientMatchesFiniteDifferences) {
+  util::Rng rng(8);
+  const Tensor logits = Tensor::randn({3, 5}, rng);
+  const std::vector<int> targets{4, 0, 2};
+  Tensor dlogits;
+  cross_entropy(logits, targets, 1.0, &dlogits);
+  auto loss = [&](const Tensor& t) {
+    return cross_entropy(t, targets, 1.0, nullptr);
+  };
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    EXPECT_NEAR(dlogits.at(i), numeric_grad(loss, logits, i), 1e-2);
+  }
+}
+
+TEST(Ops, CrossEntropyValidatesTargets) {
+  const Tensor logits({1, 3});
+  const std::vector<int> bad{5};
+  EXPECT_THROW(cross_entropy(logits, bad, 1.0, nullptr),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- embedding
+
+TEST(Ops, EmbeddingLookupAndScatter) {
+  util::Rng rng(9);
+  const Tensor table = Tensor::randn({10, 4}, rng);
+  const std::vector<int> ids{3, 3, 7};
+  const Tensor out = embedding_lookup(table, ids);
+  EXPECT_FLOAT_EQ(out.at(0), table.at(3 * 4));
+  EXPECT_FLOAT_EQ(out.at(2 * 4 + 1), table.at(7 * 4 + 1));
+  Tensor dtable({10, 4});
+  const Tensor dy = Tensor::full({3, 4}, 1.0f);
+  embedding_backward(ids, dy, &dtable);
+  EXPECT_FLOAT_EQ(dtable.at(3 * 4), 2.0f);  // id 3 hit twice
+  EXPECT_FLOAT_EQ(dtable.at(7 * 4), 1.0f);
+  EXPECT_FLOAT_EQ(dtable.at(0), 0.0f);
+  const std::vector<int> bad{12};
+  EXPECT_THROW(embedding_lookup(table, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace autopipe::model

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "core/schedule.h"
+#include "costmodel/topology.h"
+#include "sim/executor.h"
+#include "sim/metrics.h"
+
+namespace autopipe {
+namespace {
+
+using costmodel::ClusterTopology;
+
+TEST(Topology, NodeMapping) {
+  const ClusterTopology t = costmodel::paper_cluster();
+  EXPECT_EQ(t.gpus_per_node, 4);
+  EXPECT_EQ(t.node_of(0), 0);
+  EXPECT_EQ(t.node_of(3), 0);
+  EXPECT_EQ(t.node_of(4), 1);
+  EXPECT_EQ(t.node_of(15), 3);
+}
+
+TEST(Topology, BoundaryLinksFollowNodeEdges) {
+  const ClusterTopology t = costmodel::paper_cluster();
+  const double bytes = 8e6;  // one activation tensor
+  const auto comms = costmodel::boundary_comm_ms(t, 8, 0, bytes);
+  ASSERT_EQ(comms.size(), 7u);
+  const double intra = costmodel::transfer_ms(t.intra_node, bytes);
+  const double inter = costmodel::transfer_ms(t.inter_node, bytes);
+  // Boundaries 0,1,2 inside node 0; boundary 3 crosses to node 1; etc.
+  EXPECT_DOUBLE_EQ(comms[0], intra);
+  EXPECT_DOUBLE_EQ(comms[2], intra);
+  EXPECT_DOUBLE_EQ(comms[3], inter);
+  EXPECT_DOUBLE_EQ(comms[4], intra);
+  // Offset placement shifts the node edge.
+  const auto shifted = costmodel::boundary_comm_ms(t, 4, 2, bytes);
+  EXPECT_DOUBLE_EQ(shifted[0], intra);  // devices 2-3
+  EXPECT_DOUBLE_EQ(shifted[1], inter);  // devices 3-4 cross nodes
+  EXPECT_DOUBLE_EQ(shifted[2], intra);  // devices 4-5
+}
+
+TEST(Topology, RejectsBadQueries) {
+  const ClusterTopology t = costmodel::paper_cluster();
+  EXPECT_THROW(costmodel::boundary_comm_ms(t, 0, 0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(costmodel::boundary_comm_ms(t, 4, -1, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Topology, ExecutorUsesHeterogeneousBoundaries) {
+  // An 8-stage pipeline spanning two nodes: pricing the node-crossing
+  // boundary with a slow link must delay startup by exactly the extra lag
+  // of that one hop.
+  const std::vector<core::StageCost> stages(8, core::StageCost{2.0, 4.0});
+  const auto schedule = core::build_1f1b(stages, 16, 0.0);
+
+  ClusterTopology t;
+  t.gpus_per_node = 4;
+  t.intra_node.latency_ms = 0.0;
+  t.intra_node.bandwidth_gbps = 1e9;  // free
+  t.inter_node.latency_ms = 5.0;
+  t.inter_node.bandwidth_gbps = 1e9;
+
+  sim::ExecOptions opts;
+  opts.boundary_comm_ms = costmodel::boundary_comm_ms(t, 8, 0, 0.0);
+  const auto hetero = sim::execute(schedule, opts);
+  const auto uniform = sim::execute(schedule);  // scalar comm 0
+  EXPECT_NEAR(hetero.startup_ms, uniform.startup_ms + 5.0, 1e-9);
+}
+
+TEST(Topology, ExecutorValidatesBoundaryVectorSize) {
+  const std::vector<core::StageCost> stages(4, core::StageCost{1.0, 2.0});
+  const auto schedule = core::build_1f1b(stages, 8, 0.1);
+  sim::ExecOptions opts;
+  opts.boundary_comm_ms = {0.1, 0.1};  // needs 3 entries
+  EXPECT_THROW(sim::execute(schedule, opts), std::invalid_argument);
+}
+
+TEST(Metrics, FillDrainDecomposition) {
+  // 1F1B on a balanced pipeline: half the bubble is Warmup fill + Cooldown
+  // drain; the other half is the interior stall where early stages wait for
+  // the first gradients to walk back (the last stage's b_x per micro-batch
+  // gates everyone). The per-device fill/drain boundaries must bracket the
+  // iteration.
+  const std::vector<core::StageCost> stages(4, core::StageCost{2.0, 4.0});
+  const auto exec = sim::execute(core::build_1f1b(stages, 8, 0.0));
+  const auto m = sim::analyze(exec);
+  EXPECT_GT(m.fill_drain_fraction, 0.0);
+  EXPECT_LE(m.fill_drain_fraction, 1.0);
+  ASSERT_EQ(m.device_first_start_ms.size(), 4u);
+  EXPECT_DOUBLE_EQ(m.device_first_start_ms[0], 0.0);
+  EXPECT_GT(m.device_first_start_ms[3], 0.0);
+  EXPECT_DOUBLE_EQ(m.device_last_end_ms[0], m.iteration_ms);
+  // The last stage never idles in the interior: its idle is exactly fill +
+  // drain.
+  EXPECT_NEAR(m.device_idle_ms[3],
+              m.device_first_start_ms[3] +
+                  (m.iteration_ms - m.device_last_end_ms[3]),
+              1e-9);
+}
+
+TEST(Metrics, ImbalanceCreatesInteriorBubbles) {
+  // An unbalanced pipeline stalls devices *between* ops as well; the
+  // fill/drain share of the bubble drops relative to the balanced case.
+  const std::vector<core::StageCost> balanced(4, core::StageCost{2.0, 4.0});
+  const std::vector<core::StageCost> skewed{
+      {2.0, 4.0}, {4.0, 8.0}, {2.0, 4.0}, {2.0, 4.0}};
+  const auto mb = sim::analyze(sim::execute(core::build_1f1b(balanced, 8, 0.0)));
+  const auto ms = sim::analyze(sim::execute(core::build_1f1b(skewed, 8, 0.0)));
+  EXPECT_LT(ms.fill_drain_fraction, mb.fill_drain_fraction);
+  EXPECT_GT(ms.busy_stddev_ms, 0.0);
+  EXPECT_GT(ms.bubble_fraction, mb.bubble_fraction);
+}
+
+}  // namespace
+}  // namespace autopipe

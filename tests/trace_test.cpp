@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "trace/chrome_trace.h"
+#include "trace/timeline.h"
+
+namespace autopipe::trace {
+namespace {
+
+sim::ExecResult sample_result() {
+  const std::vector<core::StageCost> stages(3, core::StageCost{2.0, 4.0});
+  return sim::execute(core::build_sliced_1f1b(stages, 6, 0.2, 1));
+}
+
+TEST(ChromeTrace, EmitsOneEventPerOp) {
+  const auto result = sample_result();
+  const std::string json = to_chrome_trace(result);
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_EQ(json.back(), '}');
+  std::size_t events = 0, pos = 0;
+  while ((pos = json.find("\"ph\":\"X\"", pos)) != std::string::npos) {
+    ++events;
+    pos += 1;
+  }
+  EXPECT_EQ(events, result.trace.size());
+  // Sliced halves are labelled a/b.
+  EXPECT_NE(json.find("\"F0a\""), std::string::npos);
+  EXPECT_NE(json.find("\"F0b\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"backward\""), std::string::npos);
+}
+
+TEST(ChromeTrace, WritesFile) {
+  const auto result = sample_result();
+  const std::string path = testing::TempDir() + "/autopipe_trace_test.json";
+  ASSERT_TRUE(write_chrome_trace(result, path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first_chunk(16, '\0');
+  in.read(first_chunk.data(), 16);
+  EXPECT_EQ(first_chunk.substr(0, 2), "{\"");
+  EXPECT_FALSE(write_chrome_trace(result, "/nonexistent-dir/x.json"));
+}
+
+TEST(ChromeTrace, InterleavedChunksLabelled) {
+  const std::vector<std::vector<core::StageCost>> chunks(
+      2, std::vector<core::StageCost>(2, core::StageCost{1, 2}));
+  const auto result = sim::execute(core::build_interleaved(chunks, 4, 0.1));
+  const std::string json = to_chrome_trace(result);
+  EXPECT_NE(json.find(".c1"), std::string::npos);
+}
+
+TEST(Timeline, OneRowPerDeviceWithLegend) {
+  const auto result = sample_result();
+  const std::string art = render_timeline(result, {80, true});
+  EXPECT_NE(art.find("stage 0 |"), std::string::npos);
+  EXPECT_NE(art.find("stage 2 |"), std::string::npos);
+  EXPECT_EQ(art.find("stage 3"), std::string::npos);
+  EXPECT_NE(art.find("idle"), std::string::npos);  // legend
+  // Sliced half markers present.
+  EXPECT_NE(art.find('^'), std::string::npos);
+}
+
+TEST(Timeline, WarmupShapeVisible) {
+  // Stage 0 starts busy at column 0; the last stage starts idle.
+  const std::vector<core::StageCost> stages(4, core::StageCost{2.0, 4.0});
+  const auto result = sim::execute(core::build_1f1b(stages, 8, 0.5));
+  const std::string art = render_timeline(result, {60, false});
+  const auto row0 = art.find("stage 0 |");
+  const auto row3 = art.find("stage 3 |");
+  ASSERT_NE(row0, std::string::npos);
+  ASSERT_NE(row3, std::string::npos);
+  EXPECT_EQ(art[row0 + 9], '0');  // first forward glyph
+  EXPECT_EQ(art[row3 + 9], '.');  // startup idle
+}
+
+TEST(Timeline, LegendCanBeDisabled) {
+  const auto result = sample_result();
+  const std::string art = render_timeline(result, {50, false});
+  EXPECT_EQ(art.find("idle"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace autopipe::trace

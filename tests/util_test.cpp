@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "util/cli.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace autopipe::util {
+namespace {
+
+// ---------------------------------------------------------------- stats
+
+TEST(Stats, MeanAndStddevBasics) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);  // classic population-stddev example
+  EXPECT_DOUBLE_EQ(min_of(xs), 2.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 9.0);
+  EXPECT_DOUBLE_EQ(sum(xs), 40.0);
+}
+
+TEST(Stats, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+  const std::vector<double> one{3.0};
+  EXPECT_DOUBLE_EQ(stddev(one), 0.0);
+  EXPECT_DOUBLE_EQ(mean(one), 3.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25);
+}
+
+TEST(Stats, PercentileRejectsEmpty) {
+  EXPECT_THROW(percentile({}, 50), std::invalid_argument);
+}
+
+TEST(Stats, SummarizeAggregatesEverything) {
+  const std::vector<double> xs{1, 2, 3};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.sum, 6.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+}
+
+// ------------------------------------------------------------------ rng
+
+TEST(Rng, DeterministicBySeed) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    const auto v = rng.next_below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit in 200 draws
+}
+
+TEST(Rng, GaussianHasReasonableMoments) {
+  Rng rng(11);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.next_gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+// ---------------------------------------------------------------- table
+
+TEST(Table, AsciiAlignsAndCsvEscapes) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b,c", "2"});
+  const std::string ascii = t.to_ascii();
+  EXPECT_NE(ascii.find("| name"), std::string::npos);
+  EXPECT_NE(ascii.find("alpha"), std::string::npos);
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"b,c\""), std::string::npos);
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_EQ(t.row(0).size(), 3u);
+  EXPECT_EQ(t.row(0)[1], "");
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(2.0, 0), "2");
+}
+
+TEST(Table, WriteCsvRoundTrip) {
+  Table t({"x"});
+  t.add_row({"42"});
+  const std::string path = testing::TempDir() + "/autopipe_table_test.csv";
+  ASSERT_TRUE(t.write_csv(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  ASSERT_NE(std::fgets(buf, sizeof buf, f), nullptr);
+  EXPECT_STREQ(buf, "x\n");
+  std::fclose(f);
+}
+
+// ------------------------------------------------------------------ cli
+
+TEST(Cli, ParsesAllFlagForms) {
+  const char* argv[] = {"prog",  "--model",  "gpt2-345m", "--stages=4",
+                        "pos1",  "--verbose"};
+  Cli cli(6, argv);
+  EXPECT_EQ(cli.get("model", ""), "gpt2-345m");
+  EXPECT_EQ(cli.get_int("stages", 0), 4);
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+  EXPECT_EQ(cli.get("missing", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(cli.get_double("missing", 1.5), 1.5);
+}
+
+TEST(Cli, BooleanFollowedByFlag) {
+  const char* argv[] = {"prog", "--flag", "--other", "7"};
+  Cli cli(4, argv);
+  EXPECT_TRUE(cli.get_bool("flag", false));
+  EXPECT_EQ(cli.get_int("other", 0), 7);
+}
+
+TEST(Cli, ExplicitFalse) {
+  const char* argv[] = {"prog", "--opt=false"};
+  Cli cli(2, argv);
+  EXPECT_FALSE(cli.get_bool("opt", true));
+}
+
+// -------------------------------------------------------------- logging
+
+TEST(Logging, ParseLevels) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::debug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::info);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::off);
+  EXPECT_EQ(parse_log_level("nonsense"), LogLevel::warn);
+}
+
+TEST(Logging, LevelRoundTrips) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::error);
+  EXPECT_EQ(log_level(), LogLevel::error);
+  AP_LOG(debug) << "suppressed at error level";  // must not crash
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace autopipe::util
