@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_startup.dir/bench_fig14_startup.cpp.o"
+  "CMakeFiles/bench_fig14_startup.dir/bench_fig14_startup.cpp.o.d"
+  "bench_fig14_startup"
+  "bench_fig14_startup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_startup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

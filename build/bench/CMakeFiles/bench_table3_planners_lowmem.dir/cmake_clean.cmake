@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_planners_lowmem.dir/bench_table3_planners_lowmem.cpp.o"
+  "CMakeFiles/bench_table3_planners_lowmem.dir/bench_table3_planners_lowmem.cpp.o.d"
+  "bench_table3_planners_lowmem"
+  "bench_table3_planners_lowmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_planners_lowmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_planners_highmem.dir/bench_table4_planners_highmem.cpp.o"
+  "CMakeFiles/bench_table4_planners_highmem.dir/bench_table4_planners_highmem.cpp.o.d"
+  "bench_table4_planners_highmem"
+  "bench_table4_planners_highmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_planners_highmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

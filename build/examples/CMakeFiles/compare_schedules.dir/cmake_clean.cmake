@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_schedules.dir/compare_schedules.cpp.o"
+  "CMakeFiles/compare_schedules.dir/compare_schedules.cpp.o.d"
+  "compare_schedules"
+  "compare_schedules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_schedules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

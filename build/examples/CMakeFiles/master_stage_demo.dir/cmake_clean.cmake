@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/master_stage_demo.dir/master_stage_demo.cpp.o"
+  "CMakeFiles/master_stage_demo.dir/master_stage_demo.cpp.o.d"
+  "master_stage_demo"
+  "master_stage_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/master_stage_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

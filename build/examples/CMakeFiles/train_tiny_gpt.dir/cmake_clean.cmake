@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_tiny_gpt.dir/train_tiny_gpt.cpp.o"
+  "CMakeFiles/train_tiny_gpt.dir/train_tiny_gpt.cpp.o.d"
+  "train_tiny_gpt"
+  "train_tiny_gpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_tiny_gpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/autopipe.cpp" "src/CMakeFiles/autopipe.dir/core/autopipe.cpp.o" "gcc" "src/CMakeFiles/autopipe.dir/core/autopipe.cpp.o.d"
+  "/root/repo/src/core/balanced_dp.cpp" "src/CMakeFiles/autopipe.dir/core/balanced_dp.cpp.o" "gcc" "src/CMakeFiles/autopipe.dir/core/balanced_dp.cpp.o.d"
+  "/root/repo/src/core/partition.cpp" "src/CMakeFiles/autopipe.dir/core/partition.cpp.o" "gcc" "src/CMakeFiles/autopipe.dir/core/partition.cpp.o.d"
+  "/root/repo/src/core/planner.cpp" "src/CMakeFiles/autopipe.dir/core/planner.cpp.o" "gcc" "src/CMakeFiles/autopipe.dir/core/planner.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/CMakeFiles/autopipe.dir/core/schedule.cpp.o" "gcc" "src/CMakeFiles/autopipe.dir/core/schedule.cpp.o.d"
+  "/root/repo/src/core/simulator.cpp" "src/CMakeFiles/autopipe.dir/core/simulator.cpp.o" "gcc" "src/CMakeFiles/autopipe.dir/core/simulator.cpp.o.d"
+  "/root/repo/src/core/slicer.cpp" "src/CMakeFiles/autopipe.dir/core/slicer.cpp.o" "gcc" "src/CMakeFiles/autopipe.dir/core/slicer.cpp.o.d"
+  "/root/repo/src/costmodel/analytic.cpp" "src/CMakeFiles/autopipe.dir/costmodel/analytic.cpp.o" "gcc" "src/CMakeFiles/autopipe.dir/costmodel/analytic.cpp.o.d"
+  "/root/repo/src/costmodel/config_io.cpp" "src/CMakeFiles/autopipe.dir/costmodel/config_io.cpp.o" "gcc" "src/CMakeFiles/autopipe.dir/costmodel/config_io.cpp.o.d"
+  "/root/repo/src/costmodel/device.cpp" "src/CMakeFiles/autopipe.dir/costmodel/device.cpp.o" "gcc" "src/CMakeFiles/autopipe.dir/costmodel/device.cpp.o.d"
+  "/root/repo/src/costmodel/memory.cpp" "src/CMakeFiles/autopipe.dir/costmodel/memory.cpp.o" "gcc" "src/CMakeFiles/autopipe.dir/costmodel/memory.cpp.o.d"
+  "/root/repo/src/costmodel/model_zoo.cpp" "src/CMakeFiles/autopipe.dir/costmodel/model_zoo.cpp.o" "gcc" "src/CMakeFiles/autopipe.dir/costmodel/model_zoo.cpp.o.d"
+  "/root/repo/src/costmodel/topology.cpp" "src/CMakeFiles/autopipe.dir/costmodel/topology.cpp.o" "gcc" "src/CMakeFiles/autopipe.dir/costmodel/topology.cpp.o.d"
+  "/root/repo/src/model/blocks.cpp" "src/CMakeFiles/autopipe.dir/model/blocks.cpp.o" "gcc" "src/CMakeFiles/autopipe.dir/model/blocks.cpp.o.d"
+  "/root/repo/src/model/data.cpp" "src/CMakeFiles/autopipe.dir/model/data.cpp.o" "gcc" "src/CMakeFiles/autopipe.dir/model/data.cpp.o.d"
+  "/root/repo/src/model/ops.cpp" "src/CMakeFiles/autopipe.dir/model/ops.cpp.o" "gcc" "src/CMakeFiles/autopipe.dir/model/ops.cpp.o.d"
+  "/root/repo/src/model/tensor.cpp" "src/CMakeFiles/autopipe.dir/model/tensor.cpp.o" "gcc" "src/CMakeFiles/autopipe.dir/model/tensor.cpp.o.d"
+  "/root/repo/src/model/transformer.cpp" "src/CMakeFiles/autopipe.dir/model/transformer.cpp.o" "gcc" "src/CMakeFiles/autopipe.dir/model/transformer.cpp.o.d"
+  "/root/repo/src/planners/dapple.cpp" "src/CMakeFiles/autopipe.dir/planners/dapple.cpp.o" "gcc" "src/CMakeFiles/autopipe.dir/planners/dapple.cpp.o.d"
+  "/root/repo/src/planners/megatron.cpp" "src/CMakeFiles/autopipe.dir/planners/megatron.cpp.o" "gcc" "src/CMakeFiles/autopipe.dir/planners/megatron.cpp.o.d"
+  "/root/repo/src/planners/piper.cpp" "src/CMakeFiles/autopipe.dir/planners/piper.cpp.o" "gcc" "src/CMakeFiles/autopipe.dir/planners/piper.cpp.o.d"
+  "/root/repo/src/planners/units.cpp" "src/CMakeFiles/autopipe.dir/planners/units.cpp.o" "gcc" "src/CMakeFiles/autopipe.dir/planners/units.cpp.o.d"
+  "/root/repo/src/runtime/channel.cpp" "src/CMakeFiles/autopipe.dir/runtime/channel.cpp.o" "gcc" "src/CMakeFiles/autopipe.dir/runtime/channel.cpp.o.d"
+  "/root/repo/src/runtime/optimizer.cpp" "src/CMakeFiles/autopipe.dir/runtime/optimizer.cpp.o" "gcc" "src/CMakeFiles/autopipe.dir/runtime/optimizer.cpp.o.d"
+  "/root/repo/src/runtime/pipeline_runtime.cpp" "src/CMakeFiles/autopipe.dir/runtime/pipeline_runtime.cpp.o" "gcc" "src/CMakeFiles/autopipe.dir/runtime/pipeline_runtime.cpp.o.d"
+  "/root/repo/src/runtime/stage_worker.cpp" "src/CMakeFiles/autopipe.dir/runtime/stage_worker.cpp.o" "gcc" "src/CMakeFiles/autopipe.dir/runtime/stage_worker.cpp.o.d"
+  "/root/repo/src/sim/event_engine.cpp" "src/CMakeFiles/autopipe.dir/sim/event_engine.cpp.o" "gcc" "src/CMakeFiles/autopipe.dir/sim/event_engine.cpp.o.d"
+  "/root/repo/src/sim/executor.cpp" "src/CMakeFiles/autopipe.dir/sim/executor.cpp.o" "gcc" "src/CMakeFiles/autopipe.dir/sim/executor.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/CMakeFiles/autopipe.dir/sim/metrics.cpp.o" "gcc" "src/CMakeFiles/autopipe.dir/sim/metrics.cpp.o.d"
+  "/root/repo/src/trace/chrome_trace.cpp" "src/CMakeFiles/autopipe.dir/trace/chrome_trace.cpp.o" "gcc" "src/CMakeFiles/autopipe.dir/trace/chrome_trace.cpp.o.d"
+  "/root/repo/src/trace/timeline.cpp" "src/CMakeFiles/autopipe.dir/trace/timeline.cpp.o" "gcc" "src/CMakeFiles/autopipe.dir/trace/timeline.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/autopipe.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/autopipe.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/autopipe.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/autopipe.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/autopipe.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/autopipe.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/autopipe.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/autopipe.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/autopipe_facade_test.cpp" "tests/CMakeFiles/autopipe_tests.dir/autopipe_facade_test.cpp.o" "gcc" "tests/CMakeFiles/autopipe_tests.dir/autopipe_facade_test.cpp.o.d"
+  "/root/repo/tests/balanced_dp_test.cpp" "tests/CMakeFiles/autopipe_tests.dir/balanced_dp_test.cpp.o" "gcc" "tests/CMakeFiles/autopipe_tests.dir/balanced_dp_test.cpp.o.d"
+  "/root/repo/tests/blocks_test.cpp" "tests/CMakeFiles/autopipe_tests.dir/blocks_test.cpp.o" "gcc" "tests/CMakeFiles/autopipe_tests.dir/blocks_test.cpp.o.d"
+  "/root/repo/tests/config_io_test.cpp" "tests/CMakeFiles/autopipe_tests.dir/config_io_test.cpp.o" "gcc" "tests/CMakeFiles/autopipe_tests.dir/config_io_test.cpp.o.d"
+  "/root/repo/tests/costmodel_test.cpp" "tests/CMakeFiles/autopipe_tests.dir/costmodel_test.cpp.o" "gcc" "tests/CMakeFiles/autopipe_tests.dir/costmodel_test.cpp.o.d"
+  "/root/repo/tests/event_engine_test.cpp" "tests/CMakeFiles/autopipe_tests.dir/event_engine_test.cpp.o" "gcc" "tests/CMakeFiles/autopipe_tests.dir/event_engine_test.cpp.o.d"
+  "/root/repo/tests/executor_test.cpp" "tests/CMakeFiles/autopipe_tests.dir/executor_test.cpp.o" "gcc" "tests/CMakeFiles/autopipe_tests.dir/executor_test.cpp.o.d"
+  "/root/repo/tests/fuzz_test.cpp" "tests/CMakeFiles/autopipe_tests.dir/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/autopipe_tests.dir/fuzz_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/autopipe_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/autopipe_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/partition_test.cpp" "tests/CMakeFiles/autopipe_tests.dir/partition_test.cpp.o" "gcc" "tests/CMakeFiles/autopipe_tests.dir/partition_test.cpp.o.d"
+  "/root/repo/tests/planner_test.cpp" "tests/CMakeFiles/autopipe_tests.dir/planner_test.cpp.o" "gcc" "tests/CMakeFiles/autopipe_tests.dir/planner_test.cpp.o.d"
+  "/root/repo/tests/planners_test.cpp" "tests/CMakeFiles/autopipe_tests.dir/planners_test.cpp.o" "gcc" "tests/CMakeFiles/autopipe_tests.dir/planners_test.cpp.o.d"
+  "/root/repo/tests/runtime_test.cpp" "tests/CMakeFiles/autopipe_tests.dir/runtime_test.cpp.o" "gcc" "tests/CMakeFiles/autopipe_tests.dir/runtime_test.cpp.o.d"
+  "/root/repo/tests/schedule_test.cpp" "tests/CMakeFiles/autopipe_tests.dir/schedule_test.cpp.o" "gcc" "tests/CMakeFiles/autopipe_tests.dir/schedule_test.cpp.o.d"
+  "/root/repo/tests/simulator_test.cpp" "tests/CMakeFiles/autopipe_tests.dir/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/autopipe_tests.dir/simulator_test.cpp.o.d"
+  "/root/repo/tests/slicer_test.cpp" "tests/CMakeFiles/autopipe_tests.dir/slicer_test.cpp.o" "gcc" "tests/CMakeFiles/autopipe_tests.dir/slicer_test.cpp.o.d"
+  "/root/repo/tests/tensor_ops_test.cpp" "tests/CMakeFiles/autopipe_tests.dir/tensor_ops_test.cpp.o" "gcc" "tests/CMakeFiles/autopipe_tests.dir/tensor_ops_test.cpp.o.d"
+  "/root/repo/tests/topology_test.cpp" "tests/CMakeFiles/autopipe_tests.dir/topology_test.cpp.o" "gcc" "tests/CMakeFiles/autopipe_tests.dir/topology_test.cpp.o.d"
+  "/root/repo/tests/trace_test.cpp" "tests/CMakeFiles/autopipe_tests.dir/trace_test.cpp.o" "gcc" "tests/CMakeFiles/autopipe_tests.dir/trace_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/autopipe_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/autopipe_tests.dir/util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/autopipe.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
