@@ -1,0 +1,73 @@
+// Analytic-vs-measured calibration trajectory for the model zoo.
+//
+// For every Table-I model this harness profiles the real CPU tensor blocks
+// (BlockProfiler) and compares against the analytic cost model for the
+// *same* shape, emitting one JSON line per model so the analytic model's
+// accuracy can be tracked across PRs:
+//
+//   {"bench":"profiler_calibration","model":"gpt2-345m","mbs":1,"seq":32,
+//    "vocab":2048,"mean_rel_err":...,"max_rel_err":...,"per_block":[...]}
+//
+// The zoo dimensions are clamped (--seq, --vocab, --mbs flags; defaults
+// keep the run CPU-tractable: full-width hidden/heads, short sequences,
+// truncated vocabulary) -- the clamped dimensions are part of the JSON so
+// runs stay comparable. Layer timings are shared across layers (identical
+// architecture), so per-block error covers the four distinct block kinds.
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "costmodel/model_zoo.h"
+#include "profiler/block_profiler.h"
+#include "profiler/calibration.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace autopipe;
+  const util::Cli cli(argc, argv);
+  const int mbs = cli.get_int("mbs", 1);
+  const int seq_cap = cli.get_int("seq", 32);
+  const int vocab_cap = cli.get_int("vocab", 2048);
+
+  profiler::ProfilerOptions opts;
+  opts.warmup = cli.get_int("warmup", 1);
+  opts.samples = cli.get_int("samples", 3);
+  const profiler::BlockProfiler prof(opts);
+
+  std::printf("profiler calibration (mbs %d, seq<=%d, vocab<=%d)\n", mbs,
+              seq_cap, vocab_cap);
+  for (costmodel::ModelSpec spec : costmodel::model_zoo()) {
+    spec.default_seq = std::min(spec.default_seq, seq_cap);
+    spec.vocab = std::min(spec.vocab, vocab_cap);
+    const costmodel::TrainConfig train{mbs, 0, true};
+
+    const profiler::ProfileResult measured = prof.profile(spec, train);
+    const auto analytic = costmodel::build_model_config(spec, train);
+    const auto report = profiler::calibrate(measured.config, analytic);
+
+    std::ostringstream json;
+    json.precision(6);
+    json << "{\"bench\":\"profiler_calibration\",\"model\":\"" << spec.name
+         << "\",\"mbs\":" << mbs << ",\"seq\":" << spec.default_seq
+         << ",\"vocab\":" << spec.vocab
+         << ",\"profile_wall_ms\":" << measured.wall_ms
+         << ",\"mean_rel_err\":" << report.mean_rel_err
+         << ",\"max_rel_err\":" << report.max_rel_err << ",\"per_block\":[";
+    bool first = true;
+    for (const auto& row : report.rows) {
+      // One entry per distinct block kind (layers share timings).
+      if (row.name.rfind("layer0.", 0) != 0 && row.name.find('.') !=
+          std::string::npos) {
+        continue;
+      }
+      if (!first) json << ",";
+      first = false;
+      json << "{\"name\":\"" << row.name
+           << "\",\"fwd_rel_err\":" << row.fwd_rel_err
+           << ",\"bwd_rel_err\":" << row.bwd_rel_err << "}";
+    }
+    json << "]}";
+    std::printf("%s\n", json.str().c_str());
+  }
+  return 0;
+}

@@ -266,4 +266,14 @@ AutoPipeResult auto_plan(const ModelConfig& config,
   return best;
 }
 
+ProfiledPlanResult auto_plan_profiled(const costmodel::ModelSpec& spec,
+                                      const costmodel::TrainConfig& train,
+                                      const profiler::SessionOptions& source,
+                                      const AutoPipeOptions& options) {
+  ProfiledPlanResult out;
+  out.source = profiler::obtain_profile(spec, train, source);
+  out.result = auto_plan(out.source.config, options);
+  return out;
+}
+
 }  // namespace autopipe::core

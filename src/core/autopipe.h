@@ -22,6 +22,7 @@
 #include "core/simulator.h"
 #include "core/slicer.h"
 #include "costmodel/memory.h"
+#include "profiler/session.h"
 
 namespace autopipe::core {
 
@@ -93,5 +94,19 @@ struct AutoPipeResult {
 /// Warmup reschedule.
 AutoPipeResult auto_plan(const ModelConfig& config,
                          const AutoPipeOptions& options);
+
+struct ProfiledPlanResult {
+  profiler::SessionResult source;  ///< where the config came from
+  AutoPipeResult result;
+};
+
+/// Measurement-driven flavour of auto_plan -- the complete Fig. 2 loop on
+/// real hardware: obtain the ModelConfig from the profile cache (running
+/// the BlockProfiler on a miss), then plan from it. The Planner/Slicer path
+/// is byte-identical to the analytic flow; only the config source differs.
+ProfiledPlanResult auto_plan_profiled(const costmodel::ModelSpec& spec,
+                                      const costmodel::TrainConfig& train,
+                                      const profiler::SessionOptions& source,
+                                      const AutoPipeOptions& options);
 
 }  // namespace autopipe::core

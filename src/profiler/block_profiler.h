@@ -1,0 +1,100 @@
+// Offline block profiler -- the measuring front-end of the paper's Fig. 2.
+//
+// The paper collects per-block runtime statistics by running each block on
+// the target hardware for a few minutes before planning; this repo has so
+// far substituted the analytic FLOP model (costmodel/analytic.h). The
+// BlockProfiler closes that gap for the hardware we *do* have: it times the
+// real `model/` tensor blocks (EmbeddingBlock, ResidualAttentionBlock,
+// ResidualFFNBlock, HeadBlock) forward and backward on synthetic batches,
+// with warmup iterations and repeated timed samples reduced by a robust
+// estimator (median / trimmed mean, util/stats), and emits a measured
+// costmodel::ModelConfig that is a drop-in replacement for the analytic one:
+// the Planner/Slicer consume it through the exact same plan() entry point.
+//
+// Only fwd_ms/bwd_ms are measured. Memory fields (param/stash/work/output
+// bytes), the device capacity, and comm_ms still come from the analytic
+// model -- ProfileResult::memory_fields_analytic flags this, and the
+// calibration report (calibration.h) quantifies the timing disagreement.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "costmodel/analytic.h"
+#include "util/stats.h"
+
+namespace autopipe::profiler {
+
+/// Robust reduction applied to the timed samples of one block+direction.
+enum class TimingEstimator { Median, TrimmedMean };
+
+struct ProfilerOptions {
+  int warmup = 2;            ///< untimed executions before sampling
+  int samples = 5;           ///< timed samples per block and direction
+  int inner_iterations = 1;  ///< block executions averaged per sample
+  TimingEstimator estimator = TimingEstimator::Median;
+  double trim_frac = 0.2;  ///< for TimingEstimator::TrimmedMean
+  std::uint64_t seed = 42; ///< weight init + synthetic batch contents
+  /// Transformer layers are architecturally identical, so by default one
+  /// attention and one FFN block are timed and the result is shared across
+  /// every layer (this is what keeps the paper's offline profiling at "a
+  /// few minutes"). Set false to time each layer individually.
+  bool share_layer_timings = true;
+  /// Injectable monotonic clock returning milliseconds. Tests substitute a
+  /// deterministic fake so two profiler runs agree bit-exactly; empty means
+  /// std::chrono::steady_clock.
+  std::function<double()> clock_ms;
+  /// Profiles whose *capacity* and comm fields fill the non-measured parts
+  /// of the emitted config; empty names mean the default RTX-3090 / 100G
+  /// profiles the analytic model uses.
+  costmodel::DeviceProfile device{};
+  costmodel::LinkProfile link{};
+};
+
+struct BlockMeasurement {
+  std::string name;
+  costmodel::BlockKind kind = costmodel::BlockKind::Attention;
+  util::Summary fwd;  ///< raw per-sample statistics (ms)
+  util::Summary bwd;
+  double fwd_ms = 0;  ///< robust estimate written into the config
+  double bwd_ms = 0;
+  bool shared = false;  ///< copied from the profiled twin layer, not timed
+};
+
+struct ProfileResult {
+  /// Measured drop-in for build_model_config(): fwd_ms/bwd_ms from the
+  /// clock, everything else analytic.
+  costmodel::ModelConfig config;
+  /// One entry per config block, in block order.
+  std::vector<BlockMeasurement> measurements;
+  double wall_ms = 0;  ///< total profiling time
+  std::string host;    ///< host fingerprint the timings belong to
+  bool memory_fields_analytic = true;
+};
+
+/// Fingerprint of the machine the measurements are valid for (arch, OS,
+/// hostname, hardware threads). Part of the profile-cache key: a profile
+/// measured elsewhere must not silently drive planning here.
+std::string host_fingerprint();
+
+class BlockProfiler {
+ public:
+  explicit BlockProfiler(ProfilerOptions options = {});
+
+  /// Measures every block of the Fig. 3 decomposition for (spec, train) and
+  /// returns the measured config plus per-block statistics. Respects
+  /// train.recompute: with recompute the timed backward re-runs the forward
+  /// from the stashed input (matching the analytic bwd_ms semantics);
+  /// without it the cached-activation backward path is timed instead.
+  ProfileResult profile(const costmodel::ModelSpec& spec,
+                        const costmodel::TrainConfig& train) const;
+
+  const ProfilerOptions& options() const { return options_; }
+
+ private:
+  ProfilerOptions options_;
+};
+
+}  // namespace autopipe::profiler

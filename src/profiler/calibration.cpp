@@ -1,0 +1,87 @@
+#include "profiler/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace autopipe::profiler {
+
+namespace {
+
+double rel_err(double truth, double estimate) {
+  const double denom = std::max(std::abs(truth), 1e-9);
+  return std::abs(estimate - truth) / denom;
+}
+
+}  // namespace
+
+CalibrationReport calibrate(const costmodel::ModelConfig& measured,
+                            const costmodel::ModelConfig& analytic) {
+  if (measured.blocks.size() != analytic.blocks.size()) {
+    throw std::invalid_argument("calibrate: block count mismatch");
+  }
+  CalibrationReport report;
+  report.model = measured.spec.name;
+  double err_sum = 0;
+  for (std::size_t i = 0; i < measured.blocks.size(); ++i) {
+    const costmodel::Block& m = measured.blocks[i];
+    const costmodel::Block& a = analytic.blocks[i];
+    if (m.name != a.name || m.kind != a.kind) {
+      throw std::invalid_argument("calibrate: block structure mismatch at '" +
+                                  m.name + "' vs '" + a.name + "'");
+    }
+    CalibrationRow row;
+    row.name = m.name;
+    row.kind = m.kind;
+    row.measured_fwd_ms = m.fwd_ms;
+    row.analytic_fwd_ms = a.fwd_ms;
+    row.fwd_rel_err = rel_err(m.fwd_ms, a.fwd_ms);
+    row.measured_bwd_ms = m.bwd_ms;
+    row.analytic_bwd_ms = a.bwd_ms;
+    row.bwd_rel_err = rel_err(m.bwd_ms, a.bwd_ms);
+    err_sum += row.fwd_rel_err + row.bwd_rel_err;
+    report.max_rel_err =
+        std::max({report.max_rel_err, row.fwd_rel_err, row.bwd_rel_err});
+    report.rows.push_back(std::move(row));
+  }
+  if (!report.rows.empty()) {
+    err_sum /= static_cast<double>(2 * report.rows.size());
+  }
+  report.mean_rel_err = err_sum;
+  return report;
+}
+
+util::Table CalibrationReport::table() const {
+  util::Table t({"block", "kind", "fwd meas (ms)", "fwd analytic (ms)",
+                 "fwd err", "bwd meas (ms)", "bwd analytic (ms)", "bwd err"});
+  for (const CalibrationRow& r : rows) {
+    t.add_row({r.name, costmodel::to_string(r.kind),
+               util::Table::fmt(r.measured_fwd_ms, 4),
+               util::Table::fmt(r.analytic_fwd_ms, 4),
+               util::Table::fmt(r.fwd_rel_err, 3),
+               util::Table::fmt(r.measured_bwd_ms, 4),
+               util::Table::fmt(r.analytic_bwd_ms, 4),
+               util::Table::fmt(r.bwd_rel_err, 3)});
+  }
+  return t;
+}
+
+std::string CalibrationReport::json() const {
+  std::ostringstream out;
+  out.precision(6);
+  out << "{\"bench\":\"profiler_calibration\",\"model\":\"" << model
+      << "\",\"blocks\":" << rows.size()
+      << ",\"mean_rel_err\":" << mean_rel_err
+      << ",\"max_rel_err\":" << max_rel_err << ",\"per_block\":[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i) out << ",";
+    out << "{\"name\":\"" << rows[i].name
+        << "\",\"fwd_rel_err\":" << rows[i].fwd_rel_err
+        << ",\"bwd_rel_err\":" << rows[i].bwd_rel_err << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace autopipe::profiler

@@ -1,0 +1,49 @@
+// Calibration report: how far the analytic FLOP model is from measured
+// per-block times.
+//
+// The paper trusts its offline profiler; this repo grew up on the analytic
+// model, and the two now coexist. calibrate() lines the two configs up
+// block-by-block and reports the relative timing error (measured is treated
+// as ground truth), so the analytic model's accuracy can be tracked as a
+// first-class number -- per block for debugging, mean/max for the
+// bench_profiler_calibration trajectory across PRs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "costmodel/analytic.h"
+#include "util/table.h"
+
+namespace autopipe::profiler {
+
+struct CalibrationRow {
+  std::string name;
+  costmodel::BlockKind kind = costmodel::BlockKind::Attention;
+  double measured_fwd_ms = 0;
+  double analytic_fwd_ms = 0;
+  double fwd_rel_err = 0;  ///< |analytic - measured| / measured
+  double measured_bwd_ms = 0;
+  double analytic_bwd_ms = 0;
+  double bwd_rel_err = 0;
+};
+
+struct CalibrationReport {
+  std::string model;
+  std::vector<CalibrationRow> rows;
+  double mean_rel_err = 0;  ///< over every fwd and bwd entry
+  double max_rel_err = 0;
+
+  /// Per-block ASCII table (util/table) for the `calibrate` CLI verb.
+  util::Table table() const;
+  /// One JSON line for the calibration-trajectory bench.
+  std::string json() const;
+};
+
+/// Compares two configs of identical block structure (same names/kinds in
+/// the same order; throws std::invalid_argument otherwise). `measured` is
+/// the ground truth the relative errors are computed against.
+CalibrationReport calibrate(const costmodel::ModelConfig& measured,
+                            const costmodel::ModelConfig& analytic);
+
+}  // namespace autopipe::profiler

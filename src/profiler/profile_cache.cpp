@@ -1,0 +1,158 @@
+#include "profiler/profile_cache.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+
+#include "costmodel/config_io.h"
+#include "util/logging.h"
+
+namespace autopipe::profiler {
+
+namespace {
+
+int effective_seq(const CacheKey& key) {
+  return key.train.seq_len > 0 ? key.train.seq_len : key.spec.default_seq;
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+std::string sanitize(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '.';
+    out.push_back(ok ? c : '_');
+  }
+  return out.empty() ? "model" : out;
+}
+
+}  // namespace
+
+std::string cache_key_string(const CacheKey& key) {
+  std::ostringstream out;
+  out << "cachev" << kProfileCacheVersion << "|model=" << key.spec.name
+      << "|layers=" << key.spec.num_layers << "|hidden=" << key.spec.hidden
+      << "|heads=" << key.spec.heads << "|vocab=" << key.spec.vocab
+      << "|causal=" << (key.spec.causal ? 1 : 0)
+      << "|mb=" << key.train.micro_batch_size << "|seq=" << effective_seq(key)
+      << "|recompute=" << (key.train.recompute ? 1 : 0)
+      << "|host=" << key.host;
+  return out.str();
+}
+
+std::string cache_key_digest(const CacheKey& key) {
+  return hex64(fnv1a(cache_key_string(key)));
+}
+
+std::string cache_file_name(const CacheKey& key) {
+  return sanitize(key.spec.name) + "-mb" +
+         std::to_string(key.train.micro_batch_size) + "-seq" +
+         std::to_string(effective_seq(key)) + ".profile.cfg";
+}
+
+CacheLookup load_cached_profile(const std::string& dir, const CacheKey& key,
+                                long max_age_seconds) {
+  CacheLookup out;
+  out.path = dir + "/" + cache_file_name(key);
+
+  std::ifstream in(out.path);
+  if (!in) {
+    out.miss_reason = "absent";
+    return out;
+  }
+
+  // Scan the comment header block (metadata precedes the first directive).
+  int version = -1;
+  std::string digest;
+  long created = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] != '#') break;
+    std::istringstream tokens(line);
+    std::string hash, tag;
+    tokens >> hash >> tag;
+    if (tag == "autopipe-profile-cache") {
+      std::string v;
+      tokens >> v;
+      if (v.size() > 1 && v[0] == 'v') version = std::atoi(v.c_str() + 1);
+    } else if (tag == "profile-key") {
+      tokens >> digest;
+    } else if (tag == "profile-created") {
+      tokens >> created;
+    }
+  }
+
+  if (version != kProfileCacheVersion) {
+    out.miss_reason = "version";
+    return out;
+  }
+  if (digest != cache_key_digest(key)) {
+    out.miss_reason = "key";
+    return out;
+  }
+  if (max_age_seconds > 0) {
+    const long age = static_cast<long>(std::time(nullptr)) - created;
+    if (created <= 0 || age > max_age_seconds) {
+      out.miss_reason = "stale";
+      return out;
+    }
+  }
+
+  try {
+    out.config = costmodel::load_model_config_file(out.path);
+  } catch (const std::exception& e) {
+    AP_LOG(warn) << "profile cache entry " << out.path
+                 << " failed to parse: " << e.what();
+    out.miss_reason = "parse";
+    return out;
+  }
+  out.hit = true;
+  return out;
+}
+
+std::string store_profile(const std::string& dir, const CacheKey& key,
+                          const costmodel::ModelConfig& config,
+                          long created_unix) {
+  const std::string path = dir + "/" + cache_file_name(key);
+  std::ofstream out(path);
+  if (!out) {
+    AP_LOG(error) << "cannot open " << path << " for writing";
+    return "";
+  }
+  if (created_unix == 0) created_unix = static_cast<long>(std::time(nullptr));
+  // Cache metadata rides in leading comments; save_model_config writes the
+  // config_io header itself, so the file stays a valid plain model config.
+  out << "# autopipe-profile-cache v" << kProfileCacheVersion << "\n";
+  out << "# profile-key " << cache_key_digest(key) << "\n";
+  out << "# profile-host " << key.host << "\n";
+  out << "# profile-created " << created_unix << "\n";
+  costmodel::save_model_config(config, out);
+  if (!out) {
+    AP_LOG(error) << "short write to " << path;
+    return "";
+  }
+  return path;
+}
+
+}  // namespace autopipe::profiler

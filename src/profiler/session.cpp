@@ -1,0 +1,43 @@
+#include "profiler/session.h"
+
+#include "util/logging.h"
+
+namespace autopipe::profiler {
+
+SessionResult obtain_profile(const costmodel::ModelSpec& spec,
+                             const costmodel::TrainConfig& train,
+                             const SessionOptions& options) {
+  SessionResult result;
+  CacheKey key;
+  key.spec = spec;
+  key.train = train;
+  key.host = options.host_override.empty() ? host_fingerprint()
+                                           : options.host_override;
+
+  if (!options.force_remeasure) {
+    CacheLookup lookup =
+        load_cached_profile(options.cache_dir, key, options.max_age_seconds);
+    if (lookup.hit) {
+      result.config = std::move(lookup.config);
+      result.from_cache = true;
+      result.cache_path = std::move(lookup.path);
+      AP_LOG(info) << "profile cache hit: " << result.cache_path;
+      return result;
+    }
+    result.miss_reason = lookup.miss_reason;
+  } else {
+    result.miss_reason = "forced";
+  }
+
+  const BlockProfiler profiler(options.profiler);
+  result.measurement = profiler.profile(spec, train);
+  result.config = result.measurement.config;
+  result.cache_path = store_profile(options.cache_dir, key, result.config);
+  if (result.cache_path.empty()) {
+    AP_LOG(warn) << "measured profile for " << spec.name
+                 << " could not be cached in " << options.cache_dir;
+  }
+  return result;
+}
+
+}  // namespace autopipe::profiler

@@ -1,0 +1,43 @@
+// Profile-once, plan-forever: the cache-aware profiling session that the
+// facade and the CLI drive.
+//
+// obtain_profile() is the complete Fig. 2 front-end: consult the on-disk
+// cache for a profile matching (model spec, micro-batch, seq len, host);
+// on a hit return it without touching the hardware, on a miss run the
+// BlockProfiler and store the result. The returned ModelConfig feeds the
+// unchanged core::auto_plan()/core::plan() entry points.
+#pragma once
+
+#include <string>
+
+#include "profiler/block_profiler.h"
+#include "profiler/profile_cache.h"
+
+namespace autopipe::profiler {
+
+struct SessionOptions {
+  std::string cache_dir = ".";
+  bool force_remeasure = false;  ///< skip the lookup, overwrite the entry
+  long max_age_seconds = 0;      ///< <= 0: cached profiles never go stale
+  ProfilerOptions profiler;
+  /// Overrides host_fingerprint() in the cache key (tests simulate foreign
+  /// hosts this way).
+  std::string host_override;
+};
+
+struct SessionResult {
+  costmodel::ModelConfig config;
+  bool from_cache = false;
+  std::string cache_path;
+  /// Why the cache missed and a measurement ran ("forced", "absent",
+  /// "version", "key", "stale", "parse"); empty on a hit.
+  std::string miss_reason;
+  /// Populated only when a measurement actually ran.
+  ProfileResult measurement;
+};
+
+SessionResult obtain_profile(const costmodel::ModelSpec& spec,
+                             const costmodel::TrainConfig& train,
+                             const SessionOptions& options);
+
+}  // namespace autopipe::profiler

@@ -48,6 +48,74 @@ double percentile(std::vector<double> xs, double q) {
   return xs[lo] * (1.0 - frac) + xs[hi] * frac;
 }
 
+namespace {
+
+/// Copies xs without NaNs, sorted ascending.
+std::vector<double> sorted_finite(std::span<const double> xs) {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (double x : xs) {
+    if (!std::isnan(x)) out.push_back(x);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double median_sorted(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  const std::size_t n = xs.size();
+  if (n % 2 == 1) return xs[n / 2];
+  return 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+}  // namespace
+
+double median(std::span<const double> xs) {
+  return median_sorted(sorted_finite(xs));
+}
+
+double trimmed_mean(std::span<const double> xs, double frac) {
+  const std::vector<double> sorted = sorted_finite(xs);
+  if (sorted.empty()) return 0.0;
+  frac = std::clamp(frac, 0.0, 0.5);
+  const auto cut = static_cast<std::size_t>(
+      static_cast<double>(sorted.size()) * frac);
+  if (2 * cut >= sorted.size()) return median_sorted(sorted);
+  double acc = 0.0;
+  for (std::size_t i = cut; i < sorted.size() - cut; ++i) acc += sorted[i];
+  return acc / static_cast<double>(sorted.size() - 2 * cut);
+}
+
+void Welford::add(double x) {
+  if (std::isnan(x)) {
+    ++nan_count_;
+    return;
+  }
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double Welford::stddev() const { return std::sqrt(variance()); }
+
+Summary Welford::summary() const {
+  Summary s;
+  s.count = count_;
+  s.mean = mean();
+  s.stddev = stddev();
+  s.min = min();
+  s.max = max();
+  s.sum = sum();
+  return s;
+}
+
 Summary summarize(std::span<const double> xs) {
   Summary s;
   s.count = xs.size();

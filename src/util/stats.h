@@ -1,7 +1,9 @@
 // Small descriptive-statistics helpers used by the balance metrics
-// (Fig. 13 uses the stddev of per-stage times) and the benchmark reports.
+// (Fig. 13 uses the stddev of per-stage times), the benchmark reports, and
+// the block profiler's robust timing estimates.
 #pragma once
 
+#include <cstddef>
 #include <span>
 #include <vector>
 
@@ -18,6 +20,46 @@ double sum(std::span<const double> xs);
 
 /// Linear-interpolated percentile, q in [0, 100].
 double percentile(std::vector<double> xs, double q);
+
+/// Median, robust to outliers and NaNs: NaN entries are dropped before
+/// sorting (a NaN would make the sort order unspecified). Empty input, or
+/// input that is all NaNs, returns 0.0 like `mean`.
+double median(std::span<const double> xs);
+
+/// Mean of the values left after dropping floor(n*frac) smallest and
+/// largest samples (frac clamped to [0, 0.5]); NaNs are dropped first.
+/// Falls back to the median when trimming would remove everything, and to
+/// 0.0 on empty/all-NaN input. The profiler's default timing estimator.
+double trimmed_mean(std::span<const double> xs, double frac);
+
+/// Welford's streaming mean/variance accumulator: numerically stable
+/// one-pass statistics for the profiler's timing samples (no need to keep
+/// every sample when only a Summary is wanted). NaN samples are counted
+/// separately and excluded from the moments.
+class Welford {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  std::size_t nan_count() const { return nan_count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Population variance, matching stddev() above.
+  double variance() const { return count_ ? m2_ / static_cast<double>(count_) : 0.0; }
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return count_ ? mean_ * static_cast<double>(count_) : 0.0; }
+
+  struct Summary summary() const;
+
+ private:
+  std::size_t count_ = 0;
+  std::size_t nan_count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
 
 struct Summary {
   double mean = 0;

@@ -1,0 +1,392 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "core/autopipe.h"
+#include "core/planner.h"
+#include "costmodel/config_io.h"
+#include "profiler/block_profiler.h"
+#include "profiler/calibration.h"
+#include "profiler/profile_cache.h"
+#include "profiler/session.h"
+
+namespace autopipe::profiler {
+namespace {
+
+costmodel::ModelSpec tiny_spec(const std::string& name = "unit-tiny") {
+  costmodel::ModelSpec spec;
+  spec.name = name;
+  spec.num_layers = 2;
+  spec.hidden = 16;
+  spec.heads = 2;
+  spec.vocab = 32;
+  spec.default_seq = 8;
+  spec.causal = true;
+  return spec;
+}
+
+costmodel::TrainConfig tiny_train() { return {2, 0, true}; }
+
+/// Deterministic fake clock: every call advances by a fixed step, so two
+/// profiler runs observe identical "timings".
+std::function<double()> fake_clock(double step_ms = 0.5) {
+  auto t = std::make_shared<double>(0.0);
+  return [t, step_ms] { return *t += step_ms; };
+}
+
+ProfilerOptions fast_options() {
+  ProfilerOptions opts;
+  opts.warmup = 0;
+  opts.samples = 1;
+  return opts;
+}
+
+// ----------------------------------------------------------- BlockProfiler
+
+TEST(BlockProfiler, MeasuredConfigIsDropInForAnalytic) {
+  const auto spec = tiny_spec();
+  const auto train = tiny_train();
+  const BlockProfiler profiler(fast_options());
+  const ProfileResult result = profiler.profile(spec, train);
+  const auto analytic = costmodel::build_model_config(spec, train);
+
+  ASSERT_EQ(result.config.blocks.size(), analytic.blocks.size());
+  ASSERT_EQ(result.measurements.size(), analytic.blocks.size());
+  EXPECT_TRUE(result.memory_fields_analytic);
+  EXPECT_FALSE(result.host.empty());
+  for (std::size_t i = 0; i < analytic.blocks.size(); ++i) {
+    const auto& m = result.config.blocks[i];
+    const auto& a = analytic.blocks[i];
+    EXPECT_EQ(m.name, a.name) << i;
+    EXPECT_EQ(m.kind, a.kind) << i;
+    // Timings are measured (real wall clock here: positive, not analytic).
+    EXPECT_GT(m.fwd_ms, 0.0) << i;
+    EXPECT_GT(m.bwd_ms, 0.0) << i;
+    // Memory fields are carried over from the analytic model unchanged.
+    EXPECT_DOUBLE_EQ(m.param_bytes, a.param_bytes) << i;
+    EXPECT_DOUBLE_EQ(m.stash_bytes, a.stash_bytes) << i;
+    EXPECT_DOUBLE_EQ(m.work_bytes, a.work_bytes) << i;
+    EXPECT_DOUBLE_EQ(m.output_bytes, a.output_bytes) << i;
+    EXPECT_DOUBLE_EQ(m.layer_units, a.layer_units) << i;
+  }
+  EXPECT_DOUBLE_EQ(result.config.comm_ms, analytic.comm_ms);
+  // The device name flags the measured provenance.
+  EXPECT_NE(result.config.device.name.find("measured("), std::string::npos);
+}
+
+TEST(BlockProfiler, SharedLayerTimingsAreMarkedAndEqual) {
+  const BlockProfiler profiler(fast_options());
+  const ProfileResult result = profiler.profile(tiny_spec(), tiny_train());
+  // Blocks: embedding, l0.attn, l0.ffn, l1.attn, l1.ffn, head.
+  ASSERT_EQ(result.measurements.size(), 6u);
+  EXPECT_FALSE(result.measurements[1].shared);
+  EXPECT_TRUE(result.measurements[3].shared);
+  EXPECT_DOUBLE_EQ(result.measurements[1].fwd_ms,
+                   result.measurements[3].fwd_ms);
+  EXPECT_DOUBLE_EQ(result.measurements[2].bwd_ms,
+                   result.measurements[4].bwd_ms);
+}
+
+TEST(BlockProfiler, DeterministicWithSeededClockAndInputs) {
+  // The satellite determinism contract: same seed, samples=1, warmup=0,
+  // and a deterministic clock -> two runs agree bit-exactly.
+  ProfilerOptions opts = fast_options();
+  opts.seed = 7;
+
+  auto run = [&] {
+    ProfilerOptions o = opts;
+    o.clock_ms = fake_clock();
+    return BlockProfiler(o).profile(tiny_spec(), tiny_train());
+  };
+  const ProfileResult a = run();
+  const ProfileResult b = run();
+
+  ASSERT_EQ(a.config.blocks.size(), b.config.blocks.size());
+  for (std::size_t i = 0; i < a.config.blocks.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.config.blocks[i].fwd_ms, b.config.blocks[i].fwd_ms);
+    EXPECT_DOUBLE_EQ(a.config.blocks[i].bwd_ms, b.config.blocks[i].bwd_ms);
+  }
+  EXPECT_DOUBLE_EQ(a.wall_ms, b.wall_ms);
+  // Byte-identical serialized profiles.
+  std::stringstream sa, sb;
+  costmodel::save_model_config(a.config, sa);
+  costmodel::save_model_config(b.config, sb);
+  EXPECT_EQ(sa.str(), sb.str());
+}
+
+TEST(BlockProfiler, RespectsNoRecomputeBackwardPath) {
+  // Smoke: the cached-backward path must also produce positive timings.
+  costmodel::TrainConfig train = tiny_train();
+  train.recompute = false;
+  const ProfileResult result =
+      BlockProfiler(fast_options()).profile(tiny_spec(), train);
+  for (const auto& b : result.config.blocks) {
+    EXPECT_GT(b.fwd_ms, 0.0);
+    EXPECT_GT(b.bwd_ms, 0.0);
+  }
+}
+
+TEST(BlockProfiler, RejectsNonsenseOptions) {
+  ProfilerOptions opts;
+  opts.samples = 0;
+  EXPECT_THROW(BlockProfiler{opts}, std::invalid_argument);
+  opts = {};
+  opts.warmup = -1;
+  EXPECT_THROW(BlockProfiler{opts}, std::invalid_argument);
+}
+
+// ------------------------------------------------- measured profile I/O
+
+TEST(ProfilerRoundTrip, MeasuredProfileDrivesPlannerIdentically) {
+  const ProfileResult measured =
+      BlockProfiler(fast_options()).profile(tiny_spec(), tiny_train());
+
+  std::stringstream buffer;
+  costmodel::save_model_config(measured.config, buffer);
+  const costmodel::ModelConfig loaded = costmodel::load_model_config(buffer);
+
+  const auto a = core::plan(measured.config, 2, 4);
+  const auto b = core::plan(loaded, 2, 4);
+  EXPECT_EQ(a.partition.counts, b.partition.counts);
+  EXPECT_DOUBLE_EQ(a.sim.iteration_ms, b.sim.iteration_ms);
+
+  // And the full facade agrees too (same plan() entry point, zero forks).
+  const auto pa = core::auto_plan(measured.config, {4, 64, 2, true});
+  const auto pb = core::auto_plan(loaded, {4, 64, 2, true});
+  EXPECT_EQ(pa.plan.partition.counts, pb.plan.partition.counts);
+  EXPECT_DOUBLE_EQ(pa.evaluation.iteration_ms, pb.evaluation.iteration_ms);
+}
+
+// ----------------------------------------------------------- profile cache
+
+CacheKey test_key(const std::string& model_name, const std::string& host) {
+  CacheKey key;
+  key.spec = tiny_spec(model_name);
+  key.train = tiny_train();
+  key.host = host;
+  return key;
+}
+
+TEST(ProfileCache, StoreThenLookupHits) {
+  const std::string dir = testing::TempDir();
+  const CacheKey key = test_key("cache-hit-model", "hostA");
+  const auto cfg = costmodel::build_model_config(key.spec, key.train);
+  const std::string path = store_profile(dir, key, cfg);
+  ASSERT_FALSE(path.empty());
+
+  const CacheLookup hit = load_cached_profile(dir, key);
+  EXPECT_TRUE(hit.hit);
+  EXPECT_EQ(hit.path, path);
+  EXPECT_EQ(hit.config.num_blocks(), cfg.num_blocks());
+  EXPECT_EQ(hit.config.spec.name, "cache-hit-model");
+}
+
+TEST(ProfileCache, MissesWhenAbsent) {
+  const CacheLookup miss =
+      load_cached_profile(testing::TempDir(), test_key("never-stored", "h"));
+  EXPECT_FALSE(miss.hit);
+  EXPECT_EQ(miss.miss_reason, "absent");
+}
+
+TEST(ProfileCache, ForeignHostOrDimensionsMiss) {
+  const std::string dir = testing::TempDir();
+  const CacheKey key = test_key("cache-key-model", "hostA");
+  const auto cfg = costmodel::build_model_config(key.spec, key.train);
+  ASSERT_FALSE(store_profile(dir, key, cfg).empty());
+
+  // Same path, different host -> key digest mismatch.
+  CacheKey foreign = key;
+  foreign.host = "hostB";
+  const CacheLookup by_host = load_cached_profile(dir, foreign);
+  EXPECT_FALSE(by_host.hit);
+  EXPECT_EQ(by_host.miss_reason, "key");
+
+  // Same name and batch shape but different hidden size -> also a key miss.
+  CacheKey resized = key;
+  resized.spec.hidden *= 2;
+  const CacheLookup by_dim = load_cached_profile(dir, resized);
+  EXPECT_FALSE(by_dim.hit);
+  EXPECT_EQ(by_dim.miss_reason, "key");
+
+  // Different micro-batch -> different file entirely.
+  CacheKey rebatched = key;
+  rebatched.train.micro_batch_size = 8;
+  EXPECT_EQ(load_cached_profile(dir, rebatched).miss_reason, "absent");
+}
+
+TEST(ProfileCache, VersionMismatchMisses) {
+  const std::string dir = testing::TempDir();
+  const CacheKey key = test_key("cache-version-model", "hostA");
+  const auto cfg = costmodel::build_model_config(key.spec, key.train);
+  const std::string path = store_profile(dir, key, cfg);
+  ASSERT_FALSE(path.empty());
+
+  // Rewrite the entry as if an older profiler had produced it.
+  std::ifstream in(path);
+  std::stringstream contents;
+  contents << in.rdbuf();
+  in.close();
+  std::string text = contents.str();
+  const std::string current =
+      "autopipe-profile-cache v" + std::to_string(kProfileCacheVersion);
+  const auto pos = text.find(current);
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, current.size(), "autopipe-profile-cache v0");
+  std::ofstream(path) << text;
+
+  const CacheLookup stale = load_cached_profile(dir, key);
+  EXPECT_FALSE(stale.hit);
+  EXPECT_EQ(stale.miss_reason, "version");
+}
+
+TEST(ProfileCache, StalenessCheck) {
+  const std::string dir = testing::TempDir();
+  const CacheKey key = test_key("cache-stale-model", "hostA");
+  const auto cfg = costmodel::build_model_config(key.spec, key.train);
+  const long old_stamp = static_cast<long>(std::time(nullptr)) - 10'000;
+  ASSERT_FALSE(store_profile(dir, key, cfg, old_stamp).empty());
+
+  EXPECT_TRUE(load_cached_profile(dir, key).hit);  // no age limit
+  EXPECT_TRUE(load_cached_profile(dir, key, 100'000).hit);
+  const CacheLookup stale = load_cached_profile(dir, key, 100);
+  EXPECT_FALSE(stale.hit);
+  EXPECT_EQ(stale.miss_reason, "stale");
+}
+
+TEST(ProfileCache, EntryIsAPlainModelConfig) {
+  // A cache entry must load through the vanilla config_io entry point.
+  const std::string dir = testing::TempDir();
+  const CacheKey key = test_key("cache-plain-model", "hostA");
+  const auto cfg = costmodel::build_model_config(key.spec, key.train);
+  const std::string path = store_profile(dir, key, cfg);
+  const costmodel::ModelConfig loaded = costmodel::load_model_config_file(path);
+  EXPECT_EQ(loaded.num_blocks(), cfg.num_blocks());
+  EXPECT_DOUBLE_EQ(loaded.comm_ms, cfg.comm_ms);
+}
+
+// ---------------------------------------------------------------- session
+
+/// Drops any entry a previous test-binary run left behind, so the miss ->
+/// hit sequence starts clean.
+void wipe_cache_entry(const std::string& dir, const costmodel::ModelSpec& spec,
+                      const std::string& host) {
+  CacheKey key;
+  key.spec = spec;
+  key.train = tiny_train();
+  key.host = host;
+  std::remove((dir + "/" + cache_file_name(key)).c_str());
+}
+
+TEST(Session, MissMeasuresThenHitSkipsMeasurement) {
+  SessionOptions session;
+  session.cache_dir = testing::TempDir();
+  session.profiler = fast_options();
+  session.host_override = "session-host";
+  const auto spec = tiny_spec("session-model");
+  wipe_cache_entry(session.cache_dir, spec, session.host_override);
+
+  const SessionResult first = obtain_profile(spec, tiny_train(), session);
+  EXPECT_FALSE(first.from_cache);
+  EXPECT_EQ(first.miss_reason, "absent");
+  EXPECT_FALSE(first.cache_path.empty());
+  EXPECT_FALSE(first.measurement.measurements.empty());
+
+  const SessionResult second = obtain_profile(spec, tiny_train(), session);
+  EXPECT_TRUE(second.from_cache);
+  EXPECT_TRUE(second.miss_reason.empty());
+  EXPECT_TRUE(second.measurement.measurements.empty());
+  // The reloaded config matches what the first run measured.
+  ASSERT_EQ(second.config.blocks.size(), first.config.blocks.size());
+  for (std::size_t i = 0; i < first.config.blocks.size(); ++i) {
+    EXPECT_DOUBLE_EQ(second.config.blocks[i].fwd_ms,
+                     first.config.blocks[i].fwd_ms);
+  }
+
+  SessionOptions forced = session;
+  forced.force_remeasure = true;
+  const SessionResult third = obtain_profile(spec, tiny_train(), forced);
+  EXPECT_FALSE(third.from_cache);
+  EXPECT_EQ(third.miss_reason, "forced");
+}
+
+TEST(Session, FacadePlansFromMeasuredProfile) {
+  SessionOptions session;
+  session.cache_dir = testing::TempDir();
+  session.profiler = fast_options();
+  session.host_override = "facade-host";
+  const auto spec = tiny_spec("facade-model");
+  wipe_cache_entry(session.cache_dir, spec, session.host_override);
+
+  const auto planned =
+      core::auto_plan_profiled(spec, tiny_train(), session, {4, 64, 2, true});
+  EXPECT_FALSE(planned.source.from_cache);
+  EXPECT_EQ(planned.result.plan.num_stages(), 2);
+  EXPECT_FALSE(planned.result.evaluation.oom);
+
+  const auto replanned =
+      core::auto_plan_profiled(spec, tiny_train(), session, {4, 64, 2, true});
+  EXPECT_TRUE(replanned.source.from_cache);
+  EXPECT_EQ(replanned.result.plan.partition.counts,
+            planned.result.plan.partition.counts);
+  EXPECT_DOUBLE_EQ(replanned.result.evaluation.iteration_ms,
+                   planned.result.evaluation.iteration_ms);
+}
+
+// ------------------------------------------------------------- calibration
+
+TEST(Calibration, IdenticalConfigsHaveZeroError) {
+  const auto cfg = costmodel::build_model_config(tiny_spec(), tiny_train());
+  const CalibrationReport report = calibrate(cfg, cfg);
+  EXPECT_EQ(report.rows.size(), cfg.blocks.size());
+  EXPECT_DOUBLE_EQ(report.mean_rel_err, 0.0);
+  EXPECT_DOUBLE_EQ(report.max_rel_err, 0.0);
+}
+
+TEST(Calibration, ReportsRelativeErrorAgainstMeasured) {
+  const auto analytic = costmodel::build_model_config(tiny_spec(), tiny_train());
+  costmodel::ModelConfig measured = analytic;
+  for (auto& b : measured.blocks) {
+    b.fwd_ms *= 2.0;  // analytic underestimates by half -> rel err 0.5
+    b.bwd_ms *= 2.0;
+  }
+  const CalibrationReport report = calibrate(measured, analytic);
+  EXPECT_NEAR(report.mean_rel_err, 0.5, 1e-12);
+  EXPECT_NEAR(report.max_rel_err, 0.5, 1e-12);
+  const std::string json = report.json();
+  EXPECT_NE(json.find("\"bench\":\"profiler_calibration\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"model\":\"unit-tiny\""), std::string::npos);
+  // Table renders one row per block.
+  EXPECT_EQ(report.table().rows(), measured.blocks.size());
+}
+
+TEST(Calibration, RejectsMismatchedStructure) {
+  const auto a = costmodel::build_model_config(tiny_spec(), tiny_train());
+  auto b = a;
+  b.blocks.pop_back();
+  EXPECT_THROW(calibrate(a, b), std::invalid_argument);
+  auto c = a;
+  c.blocks[1].name = "imposter";
+  EXPECT_THROW(calibrate(a, c), std::invalid_argument);
+}
+
+TEST(Calibration, MeasuredProfileVsAnalyticEndToEnd) {
+  const ProfileResult measured =
+      BlockProfiler(fast_options()).profile(tiny_spec(), tiny_train());
+  const auto analytic = costmodel::build_model_config(tiny_spec(), tiny_train());
+  const CalibrationReport report = calibrate(measured.config, analytic);
+  ASSERT_EQ(report.rows.size(), measured.config.blocks.size());
+  for (const auto& row : report.rows) {
+    EXPECT_GE(row.fwd_rel_err, 0.0);
+    EXPECT_TRUE(std::isfinite(row.fwd_rel_err)) << row.name;
+    EXPECT_TRUE(std::isfinite(row.bwd_rel_err)) << row.name;
+  }
+  EXPECT_GE(report.max_rel_err, report.mean_rel_err);
+}
+
+}  // namespace
+}  // namespace autopipe::profiler

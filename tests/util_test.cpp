@@ -53,6 +53,66 @@ TEST(Stats, SummarizeAggregatesEverything) {
   EXPECT_DOUBLE_EQ(s.max, 3.0);
 }
 
+TEST(Stats, MedianOddEvenAndUnsorted) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{5}), 5.0);
+}
+
+TEST(Stats, MedianIgnoresNansAndHandlesEmpty) {
+  const double nan = std::nan("");
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{nan, nan}), 0.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{nan, 7.0, nan, 9.0}), 8.0);
+}
+
+TEST(Stats, TrimmedMeanDropsOutliers) {
+  // 20% trim of 10 samples drops the 2 extremes (1000 and -1000).
+  const std::vector<double> xs{1, 2, 3, 4, 1000, -1000, 5, 6, 7, 8};
+  EXPECT_DOUBLE_EQ(trimmed_mean(xs, 0.1), 4.5);
+  // frac 0 is the plain mean.
+  EXPECT_DOUBLE_EQ(trimmed_mean(std::vector<double>{1, 2, 3}, 0.0), 2.0);
+}
+
+TEST(Stats, TrimmedMeanEdgeCases) {
+  EXPECT_DOUBLE_EQ(trimmed_mean({}, 0.2), 0.0);
+  // Trimming everything falls back to the median.
+  EXPECT_DOUBLE_EQ(trimmed_mean(std::vector<double>{1, 9}, 0.5), 5.0);
+  // Out-of-range fracs are clamped, NaNs dropped before trimming.
+  const double nan = std::nan("");
+  EXPECT_DOUBLE_EQ(trimmed_mean(std::vector<double>{nan, 2, 4}, -1.0), 3.0);
+  EXPECT_DOUBLE_EQ(trimmed_mean(std::vector<double>{nan}, 0.2), 0.0);
+}
+
+TEST(Stats, WelfordMatchesBatchStats) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  Welford w;
+  for (double x : xs) w.add(x);
+  EXPECT_EQ(w.count(), xs.size());
+  EXPECT_DOUBLE_EQ(w.mean(), mean(xs));
+  EXPECT_NEAR(w.stddev(), stddev(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(w.min(), 2.0);
+  EXPECT_DOUBLE_EQ(w.max(), 9.0);
+  EXPECT_DOUBLE_EQ(w.sum(), 40.0);
+  const Summary s = w.summary();
+  EXPECT_EQ(s.count, xs.size());
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+}
+
+TEST(Stats, WelfordEmptyAndNan) {
+  Welford w;
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(w.stddev(), 0.0);
+  w.add(std::nan(""));
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_EQ(w.nan_count(), 1u);
+  w.add(3.0);
+  EXPECT_EQ(w.count(), 1u);
+  EXPECT_DOUBLE_EQ(w.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+}
+
 // ------------------------------------------------------------------ rng
 
 TEST(Rng, DeterministicBySeed) {
