@@ -15,7 +15,8 @@
 // override its shape with --layers/--hidden/--heads/--vocab), --mbs, --seq,
 // --warmup, --samples, --inner, --estimator median|trimmed, --trim, --seed,
 // --every-layer (time every layer instead of sharing layer-0 timings),
-// --max-age <seconds>, --gpus, --gbs, --stages.
+// --max-age <seconds>, --gpus, --gbs, --stages, --threads (planner worker
+// threads: 1 = serial, 0 = auto; the plan is identical at any value).
 #include <cstdio>
 #include <string>
 
@@ -111,7 +112,8 @@ int do_plan(const util::Cli& cli, const costmodel::ModelSpec& spec,
   const int gpus = cli.get_int("gpus", 4);
   const long gbs = cli.get_int("gbs", 64);
   const int stages = cli.get_int("stages", 0);
-  const core::AutoPipeOptions options{gpus, gbs, stages, true};
+  const int threads = cli.get_int("threads", 1);
+  const core::AutoPipeOptions options{gpus, gbs, stages, true, threads};
 
   core::AutoPipeResult result;
   std::string config_source;
@@ -177,7 +179,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s profile|plan|calibrate [--model tiny|<zoo>] "
                  "[--mbs N] [--seq N] [--cache-dir DIR] [--force] "
-                 "[--from-profile[=FILE]] [--gpus N] [--gbs N] [--stages N]\n",
+                 "[--from-profile[=FILE]] [--gpus N] [--gbs N] [--stages N] "
+                 "[--threads N]\n",
                  cli.program().c_str());
     return 2;
   }

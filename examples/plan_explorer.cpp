@@ -2,7 +2,7 @@
 // traces.
 //
 //   ./plan_explorer --model gpt2-1.3b --gpus 8 --mbs 16 --gbs 512
-//                   [--trace /tmp/autopipe.trace.json]
+//                   [--threads 8] [--trace /tmp/autopipe.trace.json]
 //                   [--config profile.cfg] [--save-config profile.cfg]
 //
 // Prints a Table III/IV style comparison row (DAPPLE / Piper / AutoPipe /
@@ -47,6 +47,9 @@ int main(int argc, char** argv) {
   const int gpus = cli.get_int("gpus", 4);
   const int mbs = cli.get_int("mbs", 32);
   const long gbs = cli.get_int("gbs", 512);
+  // Planner worker threads (1 = serial, 0 = auto). Every planner returns
+  // the same plan at any value; only the wall clock changes.
+  const int threads = cli.get_int("threads", 1);
 
   const auto cfg =
       cli.has("config")
@@ -78,9 +81,9 @@ int main(int argc, char** argv) {
                    util::Table::fmt(plan.planning_ms, 1)});
   };
 
-  add("DAPPLE", planners::dapple_plan(cfg, gpus, {8, 4, gbs}));
-  add("Piper", planners::piper_plan(cfg, gpus, {8, gbs}));
-  const auto ours = core::auto_plan(cfg, {gpus, gbs, 0, true});
+  add("DAPPLE", planners::dapple_plan(cfg, gpus, {8, 4, gbs, threads}));
+  add("Piper", planners::piper_plan(cfg, gpus, {8, gbs, threads}));
+  const auto ours = core::auto_plan(cfg, {gpus, gbs, 0, true, threads});
   add("AutoPipe", ours.plan);
   if (planners::megatron_supports(cfg, ours.plan.num_stages()) &&
       gpus % ours.plan.num_stages() == 0) {

@@ -77,6 +77,10 @@ struct AutoPipeOptions {
   /// stages").
   int forced_stages = 0;
   bool enable_slicer = true;
+  /// Planner worker threads (PlannerOptions::threads: 1 = serial, 0 = auto,
+  /// N = pool of N). One pool is shared across the whole depth sweep; the
+  /// chosen plan is bit-identical for every value.
+  int threads = 1;
 };
 
 struct AutoPipeResult {

@@ -34,6 +34,18 @@ void validate(const ModelConfig& config, const Partition& partition) {
   }
 }
 
+std::uint64_t scheme_hash(std::span<const int> counts) {
+  std::uint64_t h = 14695981039346656037ull;  // FNV-1a offset basis
+  for (int c : counts) {
+    auto u = static_cast<std::uint32_t>(c);
+    for (int byte = 0; byte < 4; ++byte) {
+      h ^= (u >> (8 * byte)) & 0xffu;
+      h *= 1099511628211ull;  // FNV prime
+    }
+  }
+  return h;
+}
+
 std::vector<StageCost> stage_costs(const ModelConfig& config,
                                    const Partition& partition) {
   validate(config, partition);

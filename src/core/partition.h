@@ -6,6 +6,7 @@
 // (Table II); helpers convert between that display form and block counts.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -34,6 +35,15 @@ struct Partition {
 /// Throws std::invalid_argument unless the partition is well-formed for the
 /// config (all counts >= 1, sum == num_blocks).
 void validate(const ModelConfig& config, const Partition& partition);
+
+/// Canonical 64-bit hash (FNV-1a over the per-stage block counts) of a
+/// partition scheme. Platform-independent; the planner uses it both as the
+/// memoization-cache key hash and as the deterministic tie-break between
+/// schemes with bit-equal simulated iteration times.
+std::uint64_t scheme_hash(std::span<const int> counts);
+inline std::uint64_t scheme_hash(const Partition& p) {
+  return scheme_hash(p.counts);
+}
 
 /// Per-stage forward/backward durations of one micro-batch.
 struct StageCost {

@@ -1,13 +1,47 @@
 #include "core/planner.h"
 
 #include <chrono>
+#include <memory>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "core/balanced_dp.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace autopipe::core {
+
+const SimResult& SimMemo::get(const Partition& p) {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  std::promise<SimResult> promise;
+  std::shared_future<SimResult> future;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(p.counts);
+    if (it == entries_.end()) {
+      owner = true;
+      future = promise.get_future().share();
+      entries_.emplace(p.counts, future);
+    } else {
+      future = it->second;
+    }
+  }
+  if (owner) {
+    // Single-flight: exactly one caller simulates; concurrent lookups of
+    // the same scheme block on the shared_future instead of re-simulating.
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    try {
+      promise.set_value(simulate_pipeline(config_, p, micro_batches_));
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+    }
+  }
+  // The map keeps a shared_future alive for the memo's lifetime, so the
+  // reference into its shared state stays valid.
+  return future.get();
+}
 
 namespace {
 
@@ -33,10 +67,58 @@ Partition move_block(const Partition& p, int from, int to) {
   return out;
 }
 
+/// Step 3 of the heuristic: the master-stage candidate set of `scheme` with
+/// master `i` -- each boundary move with and without re-balancing the
+/// affected stage prefix via Algorithm 1. Pure; order is fixed so the
+/// downstream reduction is deterministic.
+std::vector<Partition> master_shift_candidates(
+    const Partition& scheme, int i, const std::vector<double>& loads) {
+  std::vector<Partition> candidates;
+  if (scheme.counts[i] < 2) return candidates;
+  // (a) first block of stage i -> stage i-1.
+  const Partition moved = move_block(scheme, i, i - 1);
+  candidates.push_back(moved);
+  // Re-balance the stages before the master over their enlarged prefix.
+  const int prefix_blocks = moved.stage_begin(i);
+  if (prefix_blocks >= i) {
+    Partition rebal = moved;
+    const std::vector<int> head =
+        balanced_counts(std::span(loads).subspan(0, prefix_blocks), i);
+    for (int s = 0; s < i; ++s) rebal.counts[s] = head[s];
+    candidates.push_back(std::move(rebal));
+  }
+  // (b) last block of stage i -> stage i+1.
+  if (i + 1 < scheme.num_stages()) {
+    const Partition moved_b = move_block(scheme, i, i + 1);
+    candidates.push_back(moved_b);
+    const int prefix_b = moved_b.stage_begin(i + 1);
+    if (prefix_b >= i + 1) {
+      Partition rebal = moved_b;
+      const std::vector<int> head =
+          balanced_counts(std::span(loads).subspan(0, prefix_b), i + 1);
+      for (int s = 0; s <= i; ++s) rebal.counts[s] = head[s];
+      candidates.push_back(std::move(rebal));
+    }
+  }
+  return candidates;
+}
+
+/// One frontier scheme's work in a wave: its simulation, the optional
+/// cooldown-adjusted scheme, and the simulated master-shift candidates.
+struct Step {
+  Partition scheme;
+  const SimResult* scheme_sim = nullptr;
+  bool adjusted = false;
+  Partition adj;
+  const SimResult* adj_sim = nullptr;
+  std::vector<Partition> candidates;
+  std::vector<const SimResult*> cand_sims;
+};
+
 }  // namespace
 
 Partition cooldown_adjust(const ModelConfig& config, const Partition& start,
-                          int master, int micro_batches) {
+                          int master, int micro_batches, SimMemo& memo) {
   Partition current = start;
   const int n = current.num_stages();
   // Each move shifts one block toward the tail; bounded by blocks * stages.
@@ -47,104 +129,166 @@ Partition cooldown_adjust(const ModelConfig& config, const Partition& start,
     if (s < 0 || s >= n - 1) break;     // satisfied, or nothing behind s
     if (current.counts[s] <= 1) break;  // cannot empty a stage
     const Partition next = move_block(current, s, s + 1);
-    const SimResult sim = simulate_pipeline(config, next, micro_batches);
+    const int next_master = memo.get(next).master_stage;
     current = next;
-    if (sim.master_stage != master) break;  // paper: stop when master moves
+    if (next_master != master) break;  // paper: stop when master moves
   }
   return current;
+}
+
+Partition cooldown_adjust(const ModelConfig& config, const Partition& start,
+                          int master, int micro_batches) {
+  SimMemo memo(config, micro_batches);
+  return cooldown_adjust(config, start, master, micro_batches, memo);
 }
 
 PlannerResult plan(const ModelConfig& config, int stages, int micro_batches,
                    const PlannerOptions& options) {
   const auto t0 = std::chrono::steady_clock::now();
 
+  // threads == 1 runs the identical wave algorithm inline (pool == null);
+  // the wave composition never depends on the worker count, so the result
+  // is bit-identical for every thread count.
+  util::ThreadPool* pool = options.pool;
+  std::unique_ptr<util::ThreadPool> owned;
+  if (pool == nullptr) {
+    const int threads = util::resolve_threads(options.threads);
+    if (threads > 1) {
+      owned = std::make_unique<util::ThreadPool>(threads);
+      pool = owned.get();
+    }
+  }
+
+  SimMemo memo(config, micro_batches);
+  const std::vector<double> loads = block_loads(config);
+
   PlannerResult result;
   int evals = 0;
   bool has_best = false;
   bool best_feasible = false;
+  std::uint64_t best_hash = 0;
   Partition fallback;      // time-optimal regardless of feasibility
   SimResult fallback_sim;
+  std::uint64_t fallback_hash = 0;
   bool has_fallback = false;
 
-  auto evaluate = [&](const Partition& p) -> SimResult {
-    ++evals;
-    SimResult sim = simulate_pipeline(config, p, micro_batches);
-    if (!has_fallback || sim.iteration_ms < fallback_sim.iteration_ms) {
+  // Explicit total order on schemes: iteration time, then scheme hash.
+  // Every evaluated scheme passes through this reduction in a fixed order,
+  // so the winner does not depend on which thread simulated what first.
+  const auto better = [](double ms, std::uint64_t h, double best_ms,
+                         std::uint64_t best_h) {
+    return ms < best_ms || (ms == best_ms && h < best_h);
+  };
+  auto consider = [&](const Partition& p, const SimResult& sim) {
+    const std::uint64_t h = scheme_hash(p);
+    if (!has_fallback || better(sim.iteration_ms, h, fallback_sim.iteration_ms,
+                                fallback_hash)) {
       has_fallback = true;
       fallback = p;
       fallback_sim = sim;
+      fallback_hash = h;
     }
     const bool ok = !options.feasible || options.feasible(p);
     // Feasible schemes strictly dominate infeasible ones; among equals the
-    // faster wins.
+    // (time, hash) order decides.
     if (!has_best || (ok && !best_feasible) ||
-        (ok == best_feasible && sim.iteration_ms < result.sim.iteration_ms)) {
+        (ok == best_feasible &&
+         better(sim.iteration_ms, h, result.sim.iteration_ms, best_hash))) {
       has_best = true;
       best_feasible = ok;
       result.partition = p;
       result.sim = sim;
+      best_hash = h;
     }
-    return sim;
   };
 
-  const std::vector<double> loads = block_loads(config);
-
   std::set<std::vector<int>> visited;
-  std::vector<Partition> stack;
-  stack.push_back(balanced_partition(config, stages));
+  std::vector<Partition> frontier;
+  frontier.push_back(balanced_partition(config, stages));
 
-  while (!stack.empty() && evals < options.max_evaluations) {
-    Partition scheme = std::move(stack.back());
-    stack.pop_back();
-    if (!visited.insert(scheme.counts).second) continue;
-
-    SimResult sim = evaluate(scheme);
-
-    // Step 2: Eq. (1) cooldown adjustment.
-    Partition adjusted =
-        cooldown_adjust(config, scheme, sim.master_stage, micro_batches);
-    if (!(adjusted == scheme)) {
-      sim = evaluate(adjusted);
-      scheme = std::move(adjusted);
-    }
-    const int i = sim.master_stage;
-    if (i == 0) continue;  // step 3 terminates at the first stage
-
-    // Step 3: shift the master forward. Candidate moves, each with and
-    // without re-balancing the affected stage prefix via Algorithm 1.
-    std::vector<Partition> candidates;
-    if (scheme.counts[i] >= 2) {
-      // (a) first block of stage i -> stage i-1.
-      const Partition moved = move_block(scheme, i, i - 1);
-      candidates.push_back(moved);
-      // Re-balance the stages before the master over their enlarged prefix.
-      const int prefix_blocks = moved.stage_begin(i);
-      if (prefix_blocks >= i) {
-        Partition rebal = moved;
-        const std::vector<int> head = balanced_counts(
-            std::span(loads).subspan(0, prefix_blocks), i);
-        for (int s = 0; s < i; ++s) rebal.counts[s] = head[s];
-        candidates.push_back(std::move(rebal));
+  while (!frontier.empty() && evals < options.max_evaluations) {
+    // Wave = the current frontier, deduplicated in order.
+    std::vector<Step> steps;
+    steps.reserve(frontier.size());
+    for (Partition& p : frontier) {
+      if (visited.insert(p.counts).second) {
+        Step st;
+        st.scheme = std::move(p);
+        steps.push_back(std::move(st));
       }
-      // (b) last block of stage i -> stage i+1.
-      if (i + 1 < scheme.num_stages()) {
-        const Partition moved_b = move_block(scheme, i, i + 1);
-        candidates.push_back(moved_b);
-        const int prefix_b = moved_b.stage_begin(i + 1);
-        if (prefix_b >= i + 1) {
-          Partition rebal = moved_b;
-          const std::vector<int> head = balanced_counts(
-              std::span(loads).subspan(0, prefix_b), i + 1);
-          for (int s = 0; s <= i; ++s) rebal.counts[s] = head[s];
-          candidates.push_back(std::move(rebal));
+    }
+    frontier.clear();
+    if (steps.empty()) break;
+
+    // Phase 1 (parallel over schemes): simulate, cooldown-adjust (Step 2,
+    // Eq. (1)), and generate the master-stage candidate set. `visited` is
+    // only read during the wave, so the snapshot filter is race-free.
+    util::parallel_for(pool, static_cast<int>(steps.size()), [&](int idx) {
+      Step& st = steps[static_cast<std::size_t>(idx)];
+      st.scheme_sim = &memo.get(st.scheme);
+      const Partition adjusted = cooldown_adjust(
+          config, st.scheme, st.scheme_sim->master_stage, micro_batches, memo);
+      const SimResult* sim = st.scheme_sim;
+      const Partition* base = &st.scheme;
+      if (!(adjusted == st.scheme)) {
+        st.adjusted = true;
+        st.adj = adjusted;
+        st.adj_sim = &memo.get(st.adj);
+        sim = st.adj_sim;
+        base = &st.adj;
+      }
+      if (sim->master_stage > 0) {  // step 3 terminates at the first stage
+        st.candidates = master_shift_candidates(*base, sim->master_stage, loads);
+        std::erase_if(st.candidates, [&](const Partition& c) {
+          return visited.count(c.counts) > 0;
+        });
+      }
+      st.cand_sims.resize(st.candidates.size());
+    });
+
+    // Phase 2 (parallel over all candidates of the wave): the fan-out of
+    // the master-stage candidate set. Duplicates across steps collapse in
+    // the memo.
+    std::vector<std::pair<int, int>> flat;
+    for (std::size_t s = 0; s < steps.size(); ++s) {
+      for (std::size_t c = 0; c < steps[s].candidates.size(); ++c) {
+        flat.emplace_back(static_cast<int>(s), static_cast<int>(c));
+      }
+    }
+    util::parallel_for(pool, static_cast<int>(flat.size()), [&](int idx) {
+      const auto [s, c] = flat[static_cast<std::size_t>(idx)];
+      steps[s].cand_sims[c] = &memo.get(steps[s].candidates[c]);
+    });
+
+    // Phase 3 (sequential, wave order): best-scheme reduction, evaluation
+    // budget, and the next frontier. Past the budget, computed results are
+    // discarded unseen -- the budget cut-off point is order-defined, hence
+    // thread-count independent.
+    bool exhausted = false;
+    for (Step& st : steps) {
+      if (evals >= options.max_evaluations) break;
+      ++evals;
+      consider(st.scheme, *st.scheme_sim);
+      const SimResult* sim = st.scheme_sim;
+      if (st.adjusted) {
+        if (evals >= options.max_evaluations) break;
+        ++evals;
+        consider(st.adj, *st.adj_sim);
+        sim = st.adj_sim;
+      }
+      const int i = sim->master_stage;
+      for (std::size_t k = 0; k < st.candidates.size(); ++k) {
+        if (evals >= options.max_evaluations) {
+          exhausted = true;
+          break;
+        }
+        ++evals;
+        consider(st.candidates[k], *st.cand_sims[k]);
+        if (st.cand_sims[k]->master_stage <= i) {
+          frontier.push_back(std::move(st.candidates[k]));
         }
       }
-    }
-    for (Partition& c : candidates) {
-      if (visited.count(c.counts)) continue;
-      const SimResult cs = evaluate(c);
-      if (cs.master_stage <= i) stack.push_back(std::move(c));
-      if (evals >= options.max_evaluations) break;
+      if (exhausted) break;
     }
   }
 
@@ -154,10 +298,14 @@ PlannerResult plan(const ModelConfig& config, int stages, int micro_batches,
     result.sim = fallback_sim;
   }
   result.evaluations = evals;
+  result.unique_simulations = memo.misses();
+  result.cache_hits = memo.hits();
   result.search_ms = std::chrono::duration<double, std::milli>(
                          std::chrono::steady_clock::now() - t0)
                          .count();
-  AP_LOG(info) << "planner: " << evals << " evaluations, best "
+  AP_LOG(info) << "planner: " << evals << " evaluations ("
+               << result.unique_simulations << " simulated, "
+               << result.cache_hits << " memo hits), best "
                << result.sim.iteration_ms << " ms, master "
                << result.sim.master_stage;
   return result;

@@ -11,15 +11,72 @@
 //       without re-running Algorithm 1 on the affected stage prefix; every
 //       candidate is simulated, and candidates whose master stays <= i are
 //       searched recursively.
-// The best (minimum simulated iteration time) scheme ever seen is returned.
+// The best scheme ever seen is returned, ordered by (simulated iteration
+// time, scheme_hash) -- the hash tie-break plus a fixed candidate ordering
+// make the result independent of evaluation order.
+//
+// The search runs as a sequence of frontier waves. Within a wave every
+// scheme's step (simulate + cooldown + candidate generation) and every
+// generated candidate's simulation fan out across a thread pool; the
+// best-scheme reduction then replays the wave in its fixed order on the
+// calling thread. Simulations are pure and memoized (SimMemo), so the
+// returned PlannerResult is bit-identical for every `threads` value,
+// including 1 (which also runs the waves, just inline).
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
+#include <future>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
 
 #include "core/partition.h"
 #include "core/simulator.h"
 
+namespace autopipe::util {
+class ThreadPool;
+}
+
 namespace autopipe::core {
+
+/// Thread-safe, single-flight memoization of simulate_pipeline() results
+/// keyed by the partition scheme (hashed with scheme_hash). "Single-flight"
+/// means concurrent lookups of the same scheme simulate it exactly once --
+/// the first caller computes, the rest wait on its shared_future -- so the
+/// miss count equals the number of unique schemes touched regardless of the
+/// thread count. The move/re-balance candidates of the planner re-generate
+/// duplicate schemes constantly, which is what makes the cache pay off.
+class SimMemo {
+ public:
+  SimMemo(const ModelConfig& config, int micro_batches)
+      : config_(config), micro_batches_(micro_batches) {}
+
+  /// Returns the simulation of `p`, computing it at most once per scheme.
+  /// The reference stays valid for the lifetime of the memo.
+  const SimResult& get(const Partition& p);
+
+  int lookups() const { return lookups_.load(std::memory_order_relaxed); }
+  int misses() const { return misses_.load(std::memory_order_relaxed); }
+  int hits() const { return lookups() - misses(); }
+
+ private:
+  struct CountsHash {
+    std::size_t operator()(const std::vector<int>& c) const {
+      return static_cast<std::size_t>(scheme_hash(c));
+    }
+  };
+
+  const ModelConfig& config_;
+  int micro_batches_;
+  std::mutex mu_;
+  std::unordered_map<std::vector<int>, std::shared_future<SimResult>,
+                     CountsHash>
+      entries_;
+  std::atomic<int> lookups_{0};
+  std::atomic<int> misses_{0};
+};
 
 struct PlannerOptions {
   /// Safety cap on simulator evaluations; the heuristic needs far fewer
@@ -28,14 +85,25 @@ struct PlannerOptions {
   /// Optional feasibility predicate (e.g. the per-stage memory model):
   /// infeasible schemes still steer the heuristic but are never returned
   /// as the best. If nothing feasible is found the time-optimal scheme is
-  /// returned with `feasible = false` in the result.
+  /// returned with `feasible = false` in the result. Only invoked from the
+  /// calling thread (during the sequential reduction), so it need not be
+  /// thread-safe.
   std::function<bool(const Partition&)> feasible;
+  /// Worker threads for the wave fan-out: 1 = inline/serial (default),
+  /// 0 = hardware concurrency, N = a pool of N workers. The result is
+  /// bit-identical for every value.
+  int threads = 1;
+  /// Optional externally owned pool, reused across plan() calls (e.g. the
+  /// auto_plan depth sweep shares one). Overrides `threads` when set.
+  util::ThreadPool* pool = nullptr;
 };
 
 struct PlannerResult {
   Partition partition;
   SimResult sim;              ///< simulation of the winning scheme
-  int evaluations = 0;        ///< simulator calls spent
+  int evaluations = 0;        ///< scheme evaluations spent (incl. memo hits)
+  int unique_simulations = 0; ///< simulator runs (memo misses, all callers)
+  int cache_hits = 0;         ///< memoized lookups that skipped a simulation
   double search_ms = 0;       ///< wall-clock planning time (Fig. 12)
   bool feasible = true;       ///< satisfied PlannerOptions::feasible
 };
@@ -49,5 +117,10 @@ PlannerResult plan(const ModelConfig& config, int stages, int micro_batches,
 /// returns the adjusted partition; stops early when the master stage moves.
 Partition cooldown_adjust(const ModelConfig& config, const Partition& start,
                           int master, int micro_batches);
+
+/// Memoized flavour used inside plan(): identical result, but intermediate
+/// simulations go through (and populate) `memo`.
+Partition cooldown_adjust(const ModelConfig& config, const Partition& start,
+                          int master, int micro_batches, SimMemo& memo);
 
 }  // namespace autopipe::core

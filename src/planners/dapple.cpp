@@ -8,6 +8,7 @@
 #include "costmodel/memory.h"
 #include "planners/units.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace autopipe::planners {
 
@@ -82,62 +83,114 @@ core::ParallelPlan dapple_plan(const core::ModelConfig& config, int gpus,
   // DAPPLE's search space is pipelined hybrid configurations; plain data
   // parallelism is outside it -- the paper observes it "tends to partition
   // the model into a two-stage pipeline" even when pure DP is optimal
-  // (Table III).
+  // (Table III). Materialized up front so scoring can fan out on a pool;
+  // the tie-band update below is order-sensitive, so the reduction stays a
+  // sequential walk in enumeration order (making the result independent of
+  // the thread count).
+  struct Candidate {
+    int d;
+    std::vector<int> replicas;
+  };
+  std::vector<Candidate> candidates;
   const int max_d =
       std::min({gpus, options.max_stages, static_cast<int>(units.size())});
   for (int d = std::min(2, gpus); d <= max_d; ++d) {
     for_each_composition(gpus, d, [&](const std::vector<int>& replicas) {
-      // Balance per-replica load under DAPPLE's smooth scaling.
-      std::vector<double> weights(d);
-      for (int s = 0; s < d; ++s) weights[s] = 1.0 / replicas[s];
-      const std::vector<int> unit_counts =
-          weighted_balanced_split(units, weights);
-      if (!dapple_memory_ok(units, unit_counts,
-                            config.device.mem_capacity_bytes)) {
-        return;
-      }
-      // Device-placement search (the dimension that blows up DAPPLE's
-      // planning time, Fig. 12): lay the replicas out contiguously at every
-      // cyclic device offset and score the stage-boundary hops with the
-      // node-aware link (PCIe inside a node, InfiniBand across).
-      const auto pcie = costmodel::pcie_p2p();
-      const auto ib = costmodel::infiniband_100g();
-      for (int offset = 0; offset < gpus; ++offset) {
-        double boundary_penalty = 0;
-        int device = offset;
-        for (int s = 0; s + 1 < d; ++s) {
-          device = (device + replicas[s]) % gpus;
-          const int prev_node = (device - 1 + gpus) % gpus / options.gpus_per_node;
-          const bool same_node = prev_node == device / options.gpus_per_node;
-          const auto& link = same_node ? pcie : ib;
-          boundary_penalty +=
-              2.0 * costmodel::transfer_ms(
-                        link, config.train.micro_batch_size *
-                                  static_cast<double>(config.train.seq_len) *
-                                  config.spec.hidden * 2.0);
-        }
-        const double obj =
-            dapple_objective(config, units, unit_counts, replicas, m,
-                             config.link) +
-            boundary_penalty;
-        const bool clearly_better = obj * kTieBand < best_obj;
-        const bool tie_preferred = obj < best_obj * kTieBand &&
-                                   replicas.back() > best_tail_replicas;
-        if (clearly_better || tie_preferred) {
-          best_obj = std::min(best_obj, obj);
-          best_tail_replicas = replicas.back();
-          best.partition = partition_from_unit_counts(units, unit_counts);
-          best.stage_devices = replicas;
-        }
-      }
+      candidates.push_back({d, replicas});
     });
+  }
+
+  struct Score {
+    bool ok = false;
+    std::vector<int> unit_counts;
+    std::vector<double> offset_objs;  ///< objective at each placement offset
+  };
+  std::vector<Score> scores(candidates.size());
+  const auto pcie = costmodel::pcie_p2p();
+  const auto ib = costmodel::infiniband_100g();
+  auto score_one = [&](int idx) {
+    const Candidate& cand = candidates[static_cast<std::size_t>(idx)];
+    Score& out = scores[static_cast<std::size_t>(idx)];
+    const int d = cand.d;
+    const std::vector<int>& replicas = cand.replicas;
+    // Balance per-replica load under DAPPLE's smooth scaling.
+    std::vector<double> weights(d);
+    for (int s = 0; s < d; ++s) weights[s] = 1.0 / replicas[s];
+    const std::vector<int> unit_counts =
+        weighted_balanced_split(units, weights);
+    if (!dapple_memory_ok(units, unit_counts,
+                          config.device.mem_capacity_bytes)) {
+      return;
+    }
+    // Device-placement search (the dimension that blows up DAPPLE's
+    // planning time, Fig. 12): lay the replicas out contiguously at every
+    // cyclic device offset and score the stage-boundary hops with the
+    // node-aware link (PCIe inside a node, InfiniBand across).
+    out.offset_objs.resize(gpus);
+    for (int offset = 0; offset < gpus; ++offset) {
+      double boundary_penalty = 0;
+      int device = offset;
+      for (int s = 0; s + 1 < d; ++s) {
+        device = (device + replicas[s]) % gpus;
+        const int prev_node = (device - 1 + gpus) % gpus / options.gpus_per_node;
+        const bool same_node = prev_node == device / options.gpus_per_node;
+        const auto& link = same_node ? pcie : ib;
+        boundary_penalty +=
+            2.0 * costmodel::transfer_ms(
+                      link, config.train.micro_batch_size *
+                                static_cast<double>(config.train.seq_len) *
+                                config.spec.hidden * 2.0);
+      }
+      out.offset_objs[offset] =
+          dapple_objective(config, units, unit_counts, replicas, m,
+                           config.link) +
+          boundary_penalty;
+    }
+    out.unit_counts = unit_counts;
+    out.ok = true;
+  };
+
+  const int threads = util::resolve_threads(options.threads);
+  if (threads > 1 && candidates.size() > 1) {
+    util::ThreadPool pool(threads);
+    const int n = static_cast<int>(candidates.size());
+    const int chunks = std::min(n, threads * 4);
+    const int chunk = (n + chunks - 1) / chunks;
+    util::parallel_for(&pool, chunks, [&](int c) {
+      const int lo = c * chunk;
+      const int hi = std::min(n, lo + chunk);
+      for (int i = lo; i < hi; ++i) score_one(i);
+    });
+  } else {
+    for (int i = 0; i < static_cast<int>(candidates.size()); ++i) {
+      score_one(i);
+    }
+  }
+
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (!scores[i].ok) continue;
+    const std::vector<int>& replicas = candidates[i].replicas;
+    for (int offset = 0; offset < gpus; ++offset) {
+      const double obj = scores[i].offset_objs[offset];
+      const bool clearly_better = obj * kTieBand < best_obj;
+      const bool tie_preferred = obj < best_obj * kTieBand &&
+                                 replicas.back() > best_tail_replicas;
+      if (clearly_better || tie_preferred) {
+        best_obj = std::min(best_obj, obj);
+        best_tail_replicas = replicas.back();
+        best.partition = partition_from_unit_counts(units, scores[i].unit_counts);
+        best.stage_devices = replicas;
+      }
+    }
   }
 
   best.planning_ms = std::chrono::duration<double, std::milli>(
                          std::chrono::steady_clock::now() - t0)
                          .count();
   AP_LOG(info) << "dapple: " << best.num_stages() << " stages, objective "
-               << best_obj << ", " << best.planning_ms << " ms";
+               << best_obj << ", " << best.planning_ms << " ms ("
+               << candidates.size() << " candidates x " << gpus
+               << " placements, " << threads << " threads)";
   return best;
 }
 

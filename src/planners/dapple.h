@@ -29,6 +29,11 @@ struct DappleOptions {
   int max_stages = 8;
   int gpus_per_node = 4;
   long global_batch = 512;
+  /// Worker threads for scoring the (depth x composition x placement)
+  /// search space (1 = serial, 0 = auto). Scoring is parallel; the
+  /// tie-band reduction stays sequential in enumeration order, so the
+  /// chosen plan is identical for every value.
+  int threads = 1;
 };
 
 core::ParallelPlan dapple_plan(const core::ModelConfig& config, int gpus,

@@ -8,6 +8,7 @@
 #include "costmodel/memory.h"
 #include "planners/units.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace autopipe::planners {
 
@@ -57,60 +58,109 @@ core::ParallelPlan piper_plan(const core::ModelConfig& config, int gpus,
   best.shard_micro_batches = false;  // replicas process whole micro-batches
   double best_obj = std::numeric_limits<double>::infinity();
 
+  // Materialize the DP search space (depth x device composition) up front
+  // so candidates can be scored on a pool; the reduction below walks them
+  // in enumeration order, which makes the parallel plan identical to the
+  // serial scan (first strict minimum wins).
+  struct Candidate {
+    int d;
+    std::vector<int> replicas;
+  };
+  std::vector<Candidate> candidates;
   const int max_d =
       std::min({gpus, options.max_stages, static_cast<int>(units.size())});
   for (int d = 1; d <= max_d; ++d) {
     for_each_composition(gpus, d, [&](const std::vector<int>& replicas) {
-      // Replicas of a stage process whole micro-batches round-robin:
-      // effective per-micro-batch throughput cost is load * ceil(m/g)/m.
-      std::vector<double> weights(d);
-      for (int s = 0; s < d; ++s) {
-        if (replicas[s] > m) return;  // an idle replica is never optimal
-        weights[s] = static_cast<double>(ceil_div(m, replicas[s])) /
-                     static_cast<double>(m);
-      }
-      const std::vector<int> unit_counts =
-          weighted_balanced_split(units, weights);
-      const std::vector<StageView> stage = views(config, units, unit_counts);
-
-      // Memory constraint with activation accounting. Whole-micro-batch
-      // replication keeps full-size activations on every replica, and
-      // Piper's model is coarser than exact 1F1B accounting -- it charges
-      // every stage the full pipeline depth of in-flight stashes. Both
-      // steer it away from shallow pipelines toward the deeper schemes the
-      // paper observes (4 stages at 4 GPUs, 5-6 at 8 GPUs).
-      for (int s = 0; s < d; ++s) {
-        const double total =
-            stage[s].param_bytes * costmodel::kStateBytesPerParamByte +
-            stage[s].stash_bytes * d + stage[s].work_bytes;
-        if (total > config.device.mem_capacity_bytes) return;
-      }
-
-      // TPS objective: (m + d - 1) * bottleneck plus the slowest stage
-      // all-reduce, per iteration (constant 1/global_batch factor dropped).
-      double bottleneck = 0, allreduce = 0;
-      for (int s = 0; s < d; ++s) {
-        bottleneck = std::max(bottleneck, stage[s].load_ms * weights[s]);
-        allreduce = std::max(allreduce,
-                             costmodel::ring_allreduce_ms(
-                                 config.link, stage[s].param_bytes,
-                                 replicas[s]));
-      }
-      const double obj = static_cast<double>(m + d - 1) * bottleneck +
-                         2.0 * (d - 1) * config.comm_ms + allreduce;
-      if (obj < best_obj) {
-        best_obj = obj;
-        best.partition = partition_from_unit_counts(units, unit_counts);
-        best.stage_devices = replicas;
-      }
+      candidates.push_back({d, replicas});
     });
+  }
+
+  struct Score {
+    bool ok = false;
+    double obj = 0;
+    std::vector<int> unit_counts;
+  };
+  std::vector<Score> scores(candidates.size());
+  auto score_one = [&](int idx) {
+    const Candidate& cand = candidates[static_cast<std::size_t>(idx)];
+    Score& out = scores[static_cast<std::size_t>(idx)];
+    const int d = cand.d;
+    const std::vector<int>& replicas = cand.replicas;
+    // Replicas of a stage process whole micro-batches round-robin:
+    // effective per-micro-batch throughput cost is load * ceil(m/g)/m.
+    std::vector<double> weights(d);
+    for (int s = 0; s < d; ++s) {
+      if (replicas[s] > m) return;  // an idle replica is never optimal
+      weights[s] = static_cast<double>(ceil_div(m, replicas[s])) /
+                   static_cast<double>(m);
+    }
+    const std::vector<int> unit_counts =
+        weighted_balanced_split(units, weights);
+    const std::vector<StageView> stage = views(config, units, unit_counts);
+
+    // Memory constraint with activation accounting. Whole-micro-batch
+    // replication keeps full-size activations on every replica, and
+    // Piper's model is coarser than exact 1F1B accounting -- it charges
+    // every stage the full pipeline depth of in-flight stashes. Both
+    // steer it away from shallow pipelines toward the deeper schemes the
+    // paper observes (4 stages at 4 GPUs, 5-6 at 8 GPUs).
+    for (int s = 0; s < d; ++s) {
+      const double total =
+          stage[s].param_bytes * costmodel::kStateBytesPerParamByte +
+          stage[s].stash_bytes * d + stage[s].work_bytes;
+      if (total > config.device.mem_capacity_bytes) return;
+    }
+
+    // TPS objective: (m + d - 1) * bottleneck plus the slowest stage
+    // all-reduce, per iteration (constant 1/global_batch factor dropped).
+    double bottleneck = 0, allreduce = 0;
+    for (int s = 0; s < d; ++s) {
+      bottleneck = std::max(bottleneck, stage[s].load_ms * weights[s]);
+      allreduce = std::max(allreduce,
+                           costmodel::ring_allreduce_ms(
+                               config.link, stage[s].param_bytes,
+                               replicas[s]));
+    }
+    out.obj = static_cast<double>(m + d - 1) * bottleneck +
+              2.0 * (d - 1) * config.comm_ms + allreduce;
+    out.unit_counts = unit_counts;
+    out.ok = true;
+  };
+
+  const int threads = util::resolve_threads(options.threads);
+  if (threads > 1 && candidates.size() > 1) {
+    util::ThreadPool pool(threads);
+    // Chunked fan-out: one task per slab of candidates keeps the
+    // per-task overhead negligible against the split DP inside.
+    const int n = static_cast<int>(candidates.size());
+    const int chunks = std::min(n, threads * 4);
+    const int chunk = (n + chunks - 1) / chunks;
+    util::parallel_for(&pool, chunks, [&](int c) {
+      const int lo = c * chunk;
+      const int hi = std::min(n, lo + chunk);
+      for (int i = lo; i < hi; ++i) score_one(i);
+    });
+  } else {
+    for (int i = 0; i < static_cast<int>(candidates.size()); ++i) {
+      score_one(i);
+    }
+  }
+
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (scores[i].ok && scores[i].obj < best_obj) {
+      best_obj = scores[i].obj;
+      best.partition = partition_from_unit_counts(units, scores[i].unit_counts);
+      best.stage_devices = candidates[i].replicas;
+    }
   }
 
   best.planning_ms = std::chrono::duration<double, std::milli>(
                          std::chrono::steady_clock::now() - t0)
                          .count();
   AP_LOG(info) << "piper: " << best.num_stages() << " stages, objective "
-               << best_obj << ", " << best.planning_ms << " ms";
+               << best_obj << ", " << best.planning_ms << " ms ("
+               << candidates.size() << " candidates, " << threads
+               << " threads)";
   return best;
 }
 

@@ -22,6 +22,11 @@ namespace autopipe::planners {
 struct PiperOptions {
   int max_stages = 8;
   long global_batch = 512;
+  /// Worker threads for scoring the (depth x replica-assignment) DP
+  /// candidates (1 = serial, 0 = auto). Candidates are scored in parallel
+  /// but reduced in enumeration order, so the chosen plan is identical for
+  /// every value.
+  int threads = 1;
 };
 
 core::ParallelPlan piper_plan(const core::ModelConfig& config, int gpus,

@@ -1,0 +1,71 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+
+namespace autopipe::util {
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = std::max(1, threads);
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task captures any exception into the future
+  }
+}
+
+int ThreadPool::default_threads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+int resolve_threads(int requested) {
+  if (requested == 0) return ThreadPool::default_threads();
+  return std::max(1, requested);
+}
+
+void parallel_for(ThreadPool* pool, int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  if (pool == nullptr || n == 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    futures.push_back(pool->submit([&fn, i] { fn(i); }));
+  }
+  // Collect in index order so the surfaced exception is deterministic.
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+}  // namespace autopipe::util

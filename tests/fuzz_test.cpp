@@ -97,6 +97,54 @@ TEST_P(PlannerFuzz, FullPipelineInvariantsHold) {
   }
 }
 
+TEST_P(PlannerFuzz, PlanIsBitIdenticalAcrossThreadCounts) {
+  // The tentpole's acceptance gate: the parallel search is a deterministic
+  // algorithm whose waves never depend on the worker count, so plan() must
+  // return a bit-identical PlannerResult for threads 1, 2 and 8 -- same
+  // partition scheme, same (exact, not approximate) iteration time, same
+  // master stage, and same evaluation accounting.
+  util::Rng rng(GetParam() * 7919 + 13);
+  const int layers = 3 + static_cast<int>(rng.next_below(12));
+  const auto cfg = random_config(rng, layers);
+  const int max_depth = std::min(8, cfg.num_blocks());
+  const int depth = 2 + static_cast<int>(rng.next_below(max_depth - 1));
+  const int m = depth + static_cast<int>(rng.next_below(2 * depth));
+
+  core::PlannerOptions serial;
+  serial.threads = 1;
+  const auto base = core::plan(cfg, depth, m, serial);
+  for (int threads : {2, 8}) {
+    core::PlannerOptions opts;
+    opts.threads = threads;
+    const auto r = core::plan(cfg, depth, m, opts);
+    EXPECT_EQ(r.partition.counts, base.partition.counts)
+        << "threads " << threads;
+    EXPECT_EQ(r.sim.iteration_ms, base.sim.iteration_ms)  // bitwise equality
+        << "threads " << threads;
+    EXPECT_EQ(r.sim.master_stage, base.sim.master_stage)
+        << "threads " << threads;
+    EXPECT_EQ(r.evaluations, base.evaluations) << "threads " << threads;
+    EXPECT_EQ(r.unique_simulations, base.unique_simulations)
+        << "threads " << threads;
+    EXPECT_EQ(r.cache_hits, base.cache_hits) << "threads " << threads;
+    EXPECT_EQ(r.feasible, base.feasible) << "threads " << threads;
+  }
+
+  // Same property under a feasibility predicate (the memory-aware path).
+  core::PlannerOptions constrained_serial;
+  constrained_serial.threads = 1;
+  constrained_serial.feasible = [&](const core::Partition& p) {
+    return core::partition_fits_memory(cfg, p, m);
+  };
+  const auto cbase = core::plan(cfg, depth, m, constrained_serial);
+  core::PlannerOptions constrained = constrained_serial;
+  constrained.threads = 8;
+  const auto cr = core::plan(cfg, depth, m, constrained);
+  EXPECT_EQ(cr.partition.counts, cbase.partition.counts);
+  EXPECT_EQ(cr.sim.iteration_ms, cbase.sim.iteration_ms);
+  EXPECT_EQ(cr.feasible, cbase.feasible);
+}
+
 INSTANTIATE_TEST_SUITE_P(RandomModels, PlannerFuzz,
                          testing::Range<std::uint64_t>(1, 21));
 

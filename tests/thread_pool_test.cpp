@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "core/planner.h"
+#include "util/thread_pool.h"
+
+namespace autopipe::util {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasksAndReturnsValues) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(futures[i].get(), i * i);
+  }
+}
+
+TEST(ThreadPool, ClampsToAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1);
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, ResultIndependentOfCompletionOrder) {
+  // Tasks finish in arbitrary order; collecting futures by index must give
+  // the same reduction as a serial loop.
+  ThreadPool pool(8);
+  std::vector<std::future<long>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([i] { return static_cast<long>(i) * 3; }));
+  }
+  long sum = 0;
+  for (auto& f : futures) sum += f.get();
+  EXPECT_EQ(sum, 3L * 200 * 199 / 2);
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto bad = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  auto good = pool.submit([] { return 1; });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  EXPECT_EQ(good.get(), 1);  // one failing task does not poison the pool
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnceAndRethrows) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  parallel_for(&pool, 100, [&](int i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+
+  // Inline fallback (no pool) behaves identically.
+  std::vector<int> inline_hits(10, 0);
+  parallel_for(nullptr, 10, [&](int i) { ++inline_hits[i]; });
+  EXPECT_EQ(std::accumulate(inline_hits.begin(), inline_hits.end(), 0), 10);
+
+  EXPECT_THROW(parallel_for(&pool, 8,
+                            [](int i) {
+                              if (i == 3) throw std::invalid_argument("x");
+                            }),
+               std::invalid_argument);
+}
+
+TEST(ThreadPool, ReusableAcrossPlanCalls) {
+  // One pool serves successive plan() calls (the auto_plan depth-sweep
+  // pattern) and keeps producing results identical to the serial planner.
+  const auto cfg =
+      costmodel::build_model_config(costmodel::gpt2_345m(), {4, 0, true});
+  const core::PlannerResult serial = core::plan(cfg, 4, 8);
+
+  ThreadPool pool(3);
+  for (int call = 0; call < 3; ++call) {
+    core::PlannerOptions opts;
+    opts.pool = &pool;
+    const core::PlannerResult r = core::plan(cfg, 4, 8, opts);
+    EXPECT_EQ(r.partition.counts, serial.partition.counts) << "call " << call;
+    EXPECT_EQ(r.sim.iteration_ms, serial.sim.iteration_ms) << "call " << call;
+    EXPECT_EQ(r.evaluations, serial.evaluations) << "call " << call;
+  }
+  // The pool is still usable for plain tasks afterwards.
+  EXPECT_EQ(pool.submit([] { return 42; }).get(), 42);
+}
+
+TEST(ThreadPool, ResolveThreadsConvention) {
+  EXPECT_EQ(resolve_threads(1), 1);
+  EXPECT_EQ(resolve_threads(5), 5);
+  EXPECT_EQ(resolve_threads(-2), 1);
+  EXPECT_GE(resolve_threads(0), 1);  // auto = hardware concurrency
+}
+
+}  // namespace
+}  // namespace autopipe::util
