@@ -109,10 +109,10 @@ int do_profile(const costmodel::ModelSpec& spec,
 int do_plan(const util::Cli& cli, const costmodel::ModelSpec& spec,
             const costmodel::TrainConfig& train,
             const profiler::SessionOptions& session) {
-  const int gpus = cli.get_int("gpus", 4);
-  const long gbs = cli.get_int("gbs", 64);
-  const int stages = cli.get_int("stages", 0);
-  const int threads = cli.get_int("threads", 1);
+  const int gpus = cli.checked_int("gpus", 4, 1, 1 << 20);
+  const long gbs = cli.checked_int("gbs", 64, 1, 1 << 30);
+  const int stages = cli.checked_int("stages", 0, 0, 1 << 20);
+  const int threads = cli.checked_int("threads", 1, 0, 4096);
   const core::AutoPipeOptions options{gpus, gbs, stages, true, threads};
 
   core::AutoPipeResult result;
@@ -185,13 +185,14 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string verb = cli.positional()[0];
-  const costmodel::ModelSpec spec = spec_from(cli);
-  const costmodel::TrainConfig train{cli.get_int("mbs", 2),
-                                     cli.get_int("seq", 0),
-                                     cli.get_bool("recompute", true)};
-  const profiler::SessionOptions session = session_from(cli);
-
   try {
+    // Flag parsing sits inside the try as well: a bad --threads or an
+    // unknown --model is a one-line `error:` + exit 1, not a terminate.
+    const costmodel::ModelSpec spec = spec_from(cli);
+    const costmodel::TrainConfig train{cli.checked_int("mbs", 2, 1, 1 << 20),
+                                       cli.checked_int("seq", 0, 0, 1 << 20),
+                                       cli.get_bool("recompute", true)};
+    const profiler::SessionOptions session = session_from(cli);
     if (verb == "profile") return do_profile(spec, train, session);
     if (verb == "plan") return do_plan(cli, spec, train, session);
     if (verb == "calibrate") return do_calibrate(spec, train, session);

@@ -12,6 +12,7 @@
 // instead of the analytic model; --save-config dumps the analytic profile
 // as a starting point for hand tuning.
 #include <cstdio>
+#include <exception>
 #include <string>
 
 #include "core/autopipe.h"
@@ -40,16 +41,16 @@ std::string devices_of(const autopipe::core::ParallelPlan& plan) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace autopipe;
   const util::Cli cli(argc, argv);
   const std::string model = cli.get("model", "gpt2-345m");
-  const int gpus = cli.get_int("gpus", 4);
-  const int mbs = cli.get_int("mbs", 32);
-  const long gbs = cli.get_int("gbs", 512);
+  const int gpus = cli.checked_int("gpus", 4, 1, 1 << 20);
+  const int mbs = cli.checked_int("mbs", 32, 1, 1 << 20);
+  const long gbs = cli.checked_int("gbs", 512, 1, 1 << 30);
   // Planner worker threads (1 = serial, 0 = auto). Every planner returns
   // the same plan at any value; only the wall clock changes.
-  const int threads = cli.get_int("threads", 1);
+  const int threads = cli.checked_int("threads", 1, 0, 4096);
 
   const auto cfg =
       cli.has("config")
@@ -102,4 +103,9 @@ int main(int argc, char** argv) {
     }
   }
   return 0;
+} catch (const std::exception& e) {
+  // One-line diagnostic and a nonzero exit on malformed profile files, bad
+  // flag values, or any other configuration error -- never a raw terminate.
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
 }

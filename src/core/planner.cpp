@@ -1,5 +1,6 @@
 #include "core/planner.h"
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
 #include <set>
@@ -7,6 +8,7 @@
 #include <vector>
 
 #include "core/balanced_dp.h"
+#include "core/schedule.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -103,6 +105,15 @@ std::vector<Partition> master_shift_candidates(
   return candidates;
 }
 
+/// A scheme retained for robustness re-ranking, with the keys of the
+/// search's total order so the top-K set is insertion-order independent.
+struct RankedScheme {
+  Partition partition;
+  SimResult sim;
+  std::uint64_t hash = 0;
+  bool ok = false;  ///< satisfied PlannerOptions::feasible
+};
+
 /// One frontier scheme's work in a wave: its simulation, the optional
 /// cooldown-adjusted scheme, and the simulated master-shift candidates.
 struct Step {
@@ -179,6 +190,19 @@ PlannerResult plan(const ModelConfig& config, int stages, int micro_batches,
                          std::uint64_t best_h) {
     return ms < best_ms || (ms == best_ms && h < best_h);
   };
+  // Top-K schemes for robustness re-ranking, kept sorted by the same total
+  // order the best-scheme selection uses (feasible first, then time, then
+  // hash); with a total order, the retained K-set is independent of the
+  // order schemes were considered in.
+  const int keep =
+      options.robustness.enabled() ? std::max(1, options.robustness.candidates)
+                                   : 0;
+  std::vector<RankedScheme> ranked;
+  const auto ranked_before = [&](const RankedScheme& a, const RankedScheme& b) {
+    if (a.ok != b.ok) return a.ok;
+    return a.sim.iteration_ms < b.sim.iteration_ms ||
+           (a.sim.iteration_ms == b.sim.iteration_ms && a.hash < b.hash);
+  };
   auto consider = [&](const Partition& p, const SimResult& sim) {
     const std::uint64_t h = scheme_hash(p);
     if (!has_fallback || better(sim.iteration_ms, h, fallback_sim.iteration_ms,
@@ -189,6 +213,21 @@ PlannerResult plan(const ModelConfig& config, int stages, int micro_batches,
       fallback_hash = h;
     }
     const bool ok = !options.feasible || options.feasible(p);
+    if (keep > 0) {
+      // A scheme can be considered twice (as a wave member and earlier as a
+      // candidate); the hash dedupes it.
+      const bool seen = std::any_of(ranked.begin(), ranked.end(),
+                                    [&](const RankedScheme& r) {
+                                      return r.hash == h;
+                                    });
+      if (!seen) {
+        RankedScheme r{p, sim, h, ok};
+        const auto pos =
+            std::upper_bound(ranked.begin(), ranked.end(), r, ranked_before);
+        ranked.insert(pos, std::move(r));
+        if (static_cast<int>(ranked.size()) > keep) ranked.pop_back();
+      }
+    }
     // Feasible schemes strictly dominate infeasible ones; among equals the
     // (time, hash) order decides.
     if (!has_best || (ok && !best_feasible) ||
@@ -297,6 +336,42 @@ PlannerResult plan(const ModelConfig& config, int stages, int micro_batches,
     result.partition = fallback;
     result.sim = fallback_sim;
   }
+
+  // Robustness re-ranking: Monte-Carlo each retained scheme's 1F1B schedule
+  // under the identical seeded fault scenarios and let the ranking quantile
+  // pick the winner. Candidates run sequentially in their fixed order; the
+  // trial fan-out inside evaluate_robustness uses the pool.
+  if (keep > 0 && !ranked.empty()) {
+    // Never let an infeasible scheme beat a feasible one on robustness.
+    if (ranked.front().ok) {
+      std::erase_if(ranked, [](const RankedScheme& r) { return !r.ok; });
+    }
+    int best_idx = -1;
+    faults::RobustnessReport best_report;
+    for (std::size_t k = 0; k < ranked.size(); ++k) {
+      const auto costs = stage_costs(config, ranked[k].partition);
+      const Schedule schedule =
+          build_1f1b(costs, micro_batches, config.comm_ms);
+      const faults::RobustnessReport report = faults::evaluate_robustness(
+          schedule, sim::ExecOptions{}, options.robustness, pool);
+      if (best_idx < 0 || report.score_ms < best_report.score_ms ||
+          (report.score_ms == best_report.score_ms &&
+           ranked[k].hash < ranked[static_cast<std::size_t>(best_idx)].hash)) {
+        best_idx = static_cast<int>(k);
+        best_report = report;
+      }
+    }
+    RankedScheme& winner = ranked[static_cast<std::size_t>(best_idx)];
+    result.partition = std::move(winner.partition);
+    result.sim = winner.sim;
+    result.robustness = best_report;
+    result.robust_ranked = true;
+    AP_LOG(info) << "planner: robust re-rank over " << ranked.size()
+                 << " scheme(s), winner p" << options.robustness.quantile
+                 << " = " << best_report.score_ms << " ms (nominal "
+                 << best_report.nominal_ms << " ms)";
+  }
+
   result.evaluations = evals;
   result.unique_simulations = memo.misses();
   result.cache_hits = memo.hits();

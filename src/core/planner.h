@@ -34,6 +34,7 @@
 
 #include "core/partition.h"
 #include "core/simulator.h"
+#include "faults/robustness.h"
 
 namespace autopipe::util {
 class ThreadPool;
@@ -96,6 +97,15 @@ struct PlannerOptions {
   /// Optional externally owned pool, reused across plan() calls (e.g. the
   /// auto_plan depth sweep shares one). Overrides `threads` when set.
   util::ThreadPool* pool = nullptr;
+  /// Robustness-aware re-ranking (faults/robustness.h): when
+  /// `robustness.trials > 0`, the search keeps its `robustness.candidates`
+  /// best schemes, Monte-Carlo-simulates each one's 1F1B schedule under
+  /// `robustness.dist` straggler/link noise, and returns the scheme with
+  /// the lowest `robustness.quantile` iteration time instead of the lowest
+  /// nominal time. Every candidate sees the identical fault scenarios
+  /// (common random numbers), so the ranking is a paired comparison and --
+  /// like the rest of the search -- bit-identical for every thread count.
+  faults::RobustnessOptions robustness;
 };
 
 struct PlannerResult {
@@ -106,6 +116,10 @@ struct PlannerResult {
   int cache_hits = 0;         ///< memoized lookups that skipped a simulation
   double search_ms = 0;       ///< wall-clock planning time (Fig. 12)
   bool feasible = true;       ///< satisfied PlannerOptions::feasible
+  /// Monte-Carlo report of the winning scheme when robust ranking ran
+  /// (PlannerOptions::robustness); default-initialized otherwise.
+  faults::RobustnessReport robustness;
+  bool robust_ranked = false;  ///< robustness re-ranking picked the winner
 };
 
 /// Plans a `stages`-deep pipeline for `config` processing `micro_batches`

@@ -1,0 +1,44 @@
+#include "core/replan.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace autopipe::core {
+
+ReplanResult replan_on_failure(const ModelConfig& config,
+                               const AutoPipeOptions& original,
+                               int failed_device) {
+  if (original.num_gpus < 2) {
+    throw std::invalid_argument(
+        "replan_on_failure: no surviving device to re-plan on");
+  }
+  if (failed_device < 0 || failed_device >= original.num_gpus) {
+    throw std::invalid_argument("replan_on_failure: failed device index");
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+
+  ReplanResult out;
+  out.failed_device = failed_device;
+  out.surviving_devices = original.num_gpus - 1;
+
+  AutoPipeOptions degraded = original;
+  degraded.num_gpus = out.surviving_devices;
+  if (degraded.forced_stages > 0) {
+    degraded.forced_stages =
+        std::min(degraded.forced_stages, out.surviving_devices);
+  }
+  out.result = auto_plan(config, degraded);
+  out.replan_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  AP_LOG(info) << "replan_on_failure: device " << failed_device << " lost, "
+               << out.surviving_devices << " survivors -> "
+               << out.result.plan.num_stages() << " stage(s) in "
+               << out.replan_ms << " ms";
+  return out;
+}
+
+}  // namespace autopipe::core

@@ -1,0 +1,34 @@
+// Degraded re-planning after a permanent device loss.
+//
+// When the runtime reports a StageFailure of kind Crash, the cluster has
+// N-1 usable devices. replan_on_failure re-runs the full AutoPipe flow
+// (Planner + Slicer, core/autopipe.h) on the surviving device count and
+// returns the degraded plan; the caller rebuilds its PipelineRuntime from
+// the new partition and re-executes the iteration. The fault-injection
+// tests verify that the degraded pipeline computes gradients bit-identical
+// to a fault-free run of the same degraded partition, and matches the
+// single-process reference -- degraded operation trades throughput, never
+// correctness (DESIGN.md §6).
+#pragma once
+
+#include "core/autopipe.h"
+
+namespace autopipe::core {
+
+struct ReplanResult {
+  AutoPipeResult result;      ///< plan for the surviving cluster
+  int failed_device = -1;
+  int surviving_devices = 0;
+  double replan_ms = 0;       ///< wall-clock spent re-planning
+};
+
+/// Re-plans `original` (the options the lost cluster was planned with) on
+/// one device fewer. A forced pipeline depth is clamped to the surviving
+/// count; an unforced depth re-searches the divisors of N-1 as usual.
+/// Throws std::invalid_argument when no device survives and
+/// std::runtime_error when nothing feasible fits the smaller cluster.
+ReplanResult replan_on_failure(const ModelConfig& config,
+                               const AutoPipeOptions& original,
+                               int failed_device);
+
+}  // namespace autopipe::core

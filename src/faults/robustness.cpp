@@ -1,0 +1,68 @@
+#include "faults/robustness.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "util/stats.h"
+#include "util/thread_pool.h"
+
+namespace autopipe::faults {
+
+RobustnessReport evaluate_robustness(const core::Schedule& schedule,
+                                     const sim::ExecOptions& exec,
+                                     const RobustnessOptions& options,
+                                     util::ThreadPool* pool) {
+  if (options.trials < 0) {
+    throw std::invalid_argument("robustness: trials must be >= 0");
+  }
+  if (options.quantile < 0 || options.quantile > 100) {
+    throw std::invalid_argument("robustness: quantile must be in [0, 100]");
+  }
+  const int devices = schedule.num_stages;
+  const int boundaries = schedule.num_stages * schedule.chunks - 1;
+
+  sim::ExecOptions nominal_exec = exec;
+  nominal_exec.faults = nullptr;
+  const sim::ExecResult nominal = sim::execute(schedule, nominal_exec);
+
+  RobustnessReport report;
+  report.trials = options.trials;
+  report.nominal_ms = nominal.iteration_ms;
+  if (options.trials == 0) {
+    report.mean_ms = report.p50_ms = report.p95_ms = report.p99_ms =
+        report.worst_ms = report.score_ms = nominal.iteration_ms;
+    return report;
+  }
+
+  // Trial i is fully determined by seed + i: the sampled plan, and thus the
+  // executed timing, never depends on which worker thread ran it. Results
+  // land in index order, so the reduction below is thread-count invariant.
+  std::vector<double> samples(static_cast<std::size_t>(options.trials), 0.0);
+  std::vector<int> retries(static_cast<std::size_t>(options.trials), 0);
+  util::parallel_for(pool, options.trials, [&](int i) {
+    const FaultPlan plan = sample_fault_plan(
+        options.dist, devices, boundaries, nominal.iteration_ms,
+        options.seed + static_cast<std::uint64_t>(i));
+    sim::ExecOptions trial_exec = exec;
+    trial_exec.faults = &plan;
+    const sim::ExecResult r = sim::execute(schedule, trial_exec);
+    samples[static_cast<std::size_t>(i)] = r.iteration_ms;
+    retries[static_cast<std::size_t>(i)] = r.link_retries;
+  });
+
+  double sum = 0;
+  for (int i = 0; i < options.trials; ++i) {
+    sum += samples[static_cast<std::size_t>(i)];
+    report.link_retries += retries[static_cast<std::size_t>(i)];
+  }
+  report.mean_ms = sum / options.trials;
+  report.worst_ms = *std::max_element(samples.begin(), samples.end());
+  report.p50_ms = util::percentile(samples, 50.0);
+  report.p95_ms = util::percentile(samples, 95.0);
+  report.p99_ms = util::percentile(samples, 99.0);
+  report.score_ms = util::percentile(samples, options.quantile);
+  return report;
+}
+
+}  // namespace autopipe::faults

@@ -1,0 +1,68 @@
+// Monte-Carlo robustness evaluation of pipeline schedules.
+//
+// A schedule that wins on fault-free timing can lose badly once a straggler
+// or a flaky link appears (the Luo et al. observation in PAPERS.md:
+// schedule quality must survive real-cluster variance). This evaluator
+// replays one schedule through the discrete-event executor under `trials`
+// independently seeded FaultPlans drawn from a FaultDistribution and
+// reports the p50/p95/p99 iteration-time quantiles. Trial i always uses
+// seed base+i, and the trial loop fans out over the shared thread pool with
+// an index-ordered reduction, so the report is bit-identical for every
+// thread count -- the same determinism contract as the planner search.
+//
+// PlannerOptions::robustness plugs this in as a re-ranking stage: the wave
+// search keeps its top-K schemes by nominal time, each gets Monte-Carlo'd,
+// and the scheme with the best ranking quantile (tie-broken by scheme hash)
+// wins.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/schedule.h"
+#include "faults/fault_plan.h"
+#include "sim/executor.h"
+
+namespace autopipe::util {
+class ThreadPool;
+}
+
+namespace autopipe::faults {
+
+struct RobustnessOptions {
+  /// Monte-Carlo trials; 0 disables robustness evaluation entirely (the
+  /// planner knob's off position).
+  int trials = 0;
+  std::uint64_t seed = 1;
+  /// Ranking quantile in [0, 100] (the planner picks the scheme minimizing
+  /// this percentile of iteration time).
+  double quantile = 95.0;
+  /// Top-K nominal-time schemes the planner re-ranks (>= 1).
+  int candidates = 4;
+  FaultDistribution dist;
+
+  bool enabled() const { return trials > 0; }
+};
+
+struct RobustnessReport {
+  int trials = 0;
+  double nominal_ms = 0;  ///< fault-free iteration time
+  double mean_ms = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+  double worst_ms = 0;
+  /// The ranking quantile (RobustnessOptions::quantile) of the samples.
+  double score_ms = 0;
+  int link_retries = 0;  ///< total outage retries across all trials
+};
+
+/// Monte-Carlo`s `options.trials` fault scenarios over `schedule` executed
+/// with `exec` (any fault plan already in `exec` is ignored; each trial
+/// installs its own). `pool` may be null (inline loop, same result).
+RobustnessReport evaluate_robustness(const core::Schedule& schedule,
+                                     const sim::ExecOptions& exec,
+                                     const RobustnessOptions& options,
+                                     util::ThreadPool* pool = nullptr);
+
+}  // namespace autopipe::faults

@@ -1,5 +1,6 @@
 #include "runtime/channel.h"
 
+#include <chrono>
 #include <stdexcept>
 
 namespace autopipe::runtime {
@@ -12,9 +13,15 @@ std::tuple<int, int, int> key_of(const MessageTag& tag) {
 
 }  // namespace
 
+void Channel::throw_closed_locked() const {
+  throw StageFailure(FailureKind::PeerClosed, -1,
+                     "channel closed: " + close_reason_);
+}
+
 void Channel::send(const MessageTag& tag, model::Tensor payload) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) throw_closed_locked();
     const auto [it, inserted] = box_.emplace(key_of(tag), std::move(payload));
     if (!inserted) {
       throw std::logic_error("channel: duplicate send for one tag");
@@ -23,12 +30,59 @@ void Channel::send(const MessageTag& tag, model::Tensor payload) {
   arrived_.notify_all();
 }
 
+model::Tensor Channel::take_locked(const MessageTag& tag,
+                                   std::unique_lock<std::mutex>& lock) {
+  (void)lock;  // caller holds mutex_
+  auto node = box_.extract(key_of(tag));
+  return std::move(node.mapped());
+}
+
 model::Tensor Channel::recv(const MessageTag& tag) {
   std::unique_lock<std::mutex> lock(mutex_);
   const auto key = key_of(tag);
-  arrived_.wait(lock, [&] { return box_.count(key) > 0; });
-  auto node = box_.extract(key);
-  return std::move(node.mapped());
+  arrived_.wait(lock, [&] { return closed_ || box_.count(key) > 0; });
+  // A message already in the box still delivers on a closed channel only if
+  // closure kept it -- close() drops everything, so closed_ means gone.
+  if (box_.count(key) == 0) throw_closed_locked();
+  return take_locked(tag, lock);
+}
+
+model::Tensor Channel::recv_for(const MessageTag& tag, double timeout_ms) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto key = key_of(tag);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(timeout_ms));
+  const bool got = arrived_.wait_until(
+      lock, deadline, [&] { return closed_ || box_.count(key) > 0; });
+  if (box_.count(key) > 0) return take_locked(tag, lock);
+  if (closed_) throw_closed_locked();
+  (void)got;
+  throw StageFailure(FailureKind::Timeout, -1,
+                     "channel recv deadline expired (peer hung or dead)");
+}
+
+void Channel::close(const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!closed_) {
+      closed_ = true;
+      close_reason_ = reason;
+    }
+    box_.clear();  // poisoned: undelivered messages are gone either way
+  }
+  arrived_.notify_all();
+}
+
+bool Channel::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::string Channel::close_reason() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return close_reason_;
 }
 
 std::size_t Channel::pending() const {

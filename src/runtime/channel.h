@@ -7,15 +7,26 @@
 // dependencies of Fig. 1 without imposing any order beyond them: sends
 // never block (asynchronous NCCL sends with buffering), receives rendezvous
 // by tag.
+//
+// Failure semantics: a channel can be *closed* (poisoned) with a reason.
+// Closing wakes every blocked receiver and makes all subsequent sends and
+// receives throw StageFailure(PeerClosed) instead of deadlocking -- a failed
+// StageWorker closes every channel of the iteration, so one worker's death
+// propagates as typed failures within one scheduling quantum rather than
+// hanging peers forever in recv. recv_for additionally bounds the wait with
+// a deadline, turning a silently hung peer into StageFailure(Timeout).
 #pragma once
 
 #include <condition_variable>
 #include <map>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <tuple>
 
 #include "core/schedule.h"
 #include "model/tensor.h"
+#include "runtime/stage_failure.h"
 
 namespace autopipe::runtime {
 
@@ -31,18 +42,40 @@ class Channel {
  public:
   /// Deposits a tensor under `tag`; fails (throws std::logic_error) if the
   /// tag is already occupied -- a schedule that sends twice is malformed.
+  /// Throws StageFailure(PeerClosed) on a closed channel.
   void send(const MessageTag& tag, model::Tensor payload);
 
-  /// Blocks until a tensor tagged `tag` arrives, then removes and returns it.
+  /// Blocks until a tensor tagged `tag` arrives, then removes and returns
+  /// it. Throws StageFailure(PeerClosed) if the channel is closed before
+  /// (or while) waiting.
   model::Tensor recv(const MessageTag& tag);
 
-  /// Number of undelivered messages (for leak checks in tests).
+  /// recv with a deadline: waits at most `timeout_ms`, then throws
+  /// StageFailure(Timeout). Throws StageFailure(PeerClosed) on closure.
+  model::Tensor recv_for(const MessageTag& tag, double timeout_ms);
+
+  /// Poisons the channel: drops undelivered messages, wakes all waiters,
+  /// and makes every later send/recv throw StageFailure(PeerClosed)
+  /// carrying `reason`. Idempotent (the first reason wins).
+  void close(const std::string& reason);
+
+  bool closed() const;
+  std::string close_reason() const;
+
+  /// Number of undelivered messages (for leak checks in tests). Always 0
+  /// after close().
   std::size_t pending() const;
 
  private:
+  model::Tensor take_locked(const MessageTag& tag,
+                            std::unique_lock<std::mutex>& lock);
+  [[noreturn]] void throw_closed_locked() const;
+
   mutable std::mutex mutex_;
   std::condition_variable arrived_;
   std::map<std::tuple<int, int, int>, model::Tensor> box_;
+  bool closed_ = false;
+  std::string close_reason_;
 };
 
 }  // namespace autopipe::runtime

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "runtime/channel.h"
+#include "runtime/stage_failure.h"
 #include "runtime/stage_worker.h"
 
 namespace autopipe::runtime {
@@ -56,6 +57,15 @@ IterationResult PipelineRuntime::run_iteration(
     const core::Schedule& schedule,
     const std::vector<model::Batch>& micro_batches, double loss_scale,
     bool recompute) {
+  RunOptions options;
+  options.recompute = recompute;
+  return run_iteration(schedule, micro_batches, loss_scale, options);
+}
+
+IterationResult PipelineRuntime::run_iteration(
+    const core::Schedule& schedule,
+    const std::vector<model::Batch>& micro_batches, double loss_scale,
+    const RunOptions& options) {
   const int devices = num_devices();
   if (schedule.num_stages != devices || schedule.chunks != chunks_) {
     throw std::invalid_argument("schedule shape mismatch");
@@ -65,11 +75,24 @@ IterationResult PipelineRuntime::run_iteration(
   }
   core::validate(schedule);
 
+  if (options.faults != nullptr && !options.faults->empty()) {
+    options.faults->validate(devices, devices * chunks_ - 1);
+  }
+
   const int global_stages = devices * chunks_;
   std::vector<Channel> forward_channels(std::max(0, global_stages - 1));
   std::vector<Channel> backward_channels(std::max(0, global_stages - 1));
   std::vector<double> losses(devices, 0.0);
   std::vector<std::string> errors(devices);
+  std::vector<FailureKind> error_kinds(devices, FailureKind::Crash);
+  std::vector<int> retries(devices, 0);
+  // One worker's death poisons every channel so no peer can block past its
+  // next wait -- the failure cascades as StageFailure(PeerClosed) instead of
+  // the pre-fault-subsystem deadlock.
+  const auto poison_all = [&](const std::string& reason) {
+    for (auto& ch : forward_channels) ch.close(reason);
+    for (auto& ch : backward_channels) ch.close(reason);
+  };
 
   // Global stage g starts at block prefix[g]; device d's chunk c covers
   // global stage c*devices + d.
@@ -96,21 +119,43 @@ IterationResult PipelineRuntime::run_iteration(
     ctx.seq_len = model_.spec().seq;
     ctx.forward_channels = &forward_channels;
     ctx.backward_channels = &backward_channels;
-    ctx.recompute = recompute;
-    workers.emplace_back([ctx = std::move(ctx), d, &losses, &errors] {
+    ctx.recompute = options.recompute;
+    ctx.faults = options.faults;
+    ctx.recv_deadline_ms = options.recv_deadline_ms;
+    ctx.backoff_base_ms = options.backoff_base_ms;
+    ctx.max_transient_retries = options.max_transient_retries;
+    ctx.transient_retries = &retries[d];
+    workers.emplace_back([ctx = std::move(ctx), d, &losses, &errors,
+                          &error_kinds, &poison_all] {
       try {
         losses[d] = run_stage(ctx);
-      } catch (const std::exception& e) {
+      } catch (const StageFailure& e) {
+        error_kinds[d] = e.kind();
         errors[d] = e.what();
+        poison_all("device " + std::to_string(d) + ": " + e.what());
+      } catch (const std::exception& e) {
+        error_kinds[d] = FailureKind::Crash;
+        errors[d] = e.what();
+        poison_all("device " + std::to_string(d) + ": " + e.what());
       }
     });
   }
   for (auto& w : workers) w.join();
+  // Report the *origin* failure, not the PeerClosed echoes it caused in the
+  // other workers: real failure kinds (crash/transient/timeout) outrank
+  // PeerClosed, ties break toward the lower device id.
+  int origin = -1;
   for (int d = 0; d < devices; ++d) {
-    if (!errors[d].empty()) {
-      throw std::runtime_error("device " + std::to_string(d) +
-                               " failed: " + errors[d]);
+    if (errors[d].empty()) continue;
+    if (origin < 0 || (error_kinds[origin] == FailureKind::PeerClosed &&
+                       error_kinds[d] != FailureKind::PeerClosed)) {
+      origin = d;
     }
+  }
+  if (origin >= 0) {
+    throw StageFailure(error_kinds[origin], origin,
+                       "device " + std::to_string(origin) +
+                           " failed: " + errors[origin]);
   }
   for (const auto& ch : forward_channels) {
     if (ch.pending() != 0) throw std::logic_error("leaked forward messages");
@@ -121,6 +166,7 @@ IterationResult PipelineRuntime::run_iteration(
 
   IterationResult result;
   for (double l : losses) result.loss += l;
+  for (int r : retries) result.transient_retries += r;
   return result;
 }
 

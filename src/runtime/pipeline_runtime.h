@@ -15,6 +15,7 @@
 
 #include "core/partition.h"
 #include "core/schedule.h"
+#include "faults/fault_plan.h"
 #include "model/data.h"
 #include "model/transformer.h"
 
@@ -22,6 +23,31 @@ namespace autopipe::runtime {
 
 struct IterationResult {
   double loss = 0;  ///< scaled cross entropy summed over all micro-batches
+  /// Transient op faults absorbed in place by worker-level retry (summed
+  /// over devices); 0 on fault-free runs.
+  int transient_retries = 0;
+};
+
+/// Per-iteration knobs beyond the schedule itself. Defaults reproduce the
+/// historical run_iteration behaviour except that channel waits are bounded
+/// by `recv_deadline_ms` -- nothing in a healthy iteration waits that long,
+/// and a hung/dead peer now surfaces as StageFailure instead of deadlock.
+struct RunOptions {
+  /// Activation checkpointing (§II-C); both modes produce identical
+  /// gradients.
+  bool recompute = true;
+  /// Deterministic fault injection (null or empty = bit-identical to the
+  /// fault-free path).
+  const faults::FaultPlan* faults = nullptr;
+  /// Watchdog deadline for every channel wait (0 = wait forever,
+  /// closure-aware). Generous default: a healthy iteration never waits
+  /// seconds on one message, but sanitizer builds are slow.
+  double recv_deadline_ms = 30000;
+  /// Exponential-backoff base for in-place transient retries.
+  double backoff_base_ms = 0.05;
+  /// Transient faults injecting more failures than this escalate to
+  /// StageFailure(Transient).
+  int max_transient_retries = 3;
 };
 
 class PipelineRuntime {
@@ -46,6 +72,15 @@ class PipelineRuntime {
   IterationResult run_iteration(const core::Schedule& schedule,
                                 const std::vector<model::Batch>& micro_batches,
                                 double loss_scale, bool recompute = true);
+
+  /// Fault-aware flavour: same contract, plus the RunOptions knobs. A
+  /// worker failure closes every channel (so no peer blocks past one
+  /// scheduling quantum) and rethrows as StageFailure; gradients
+  /// accumulated before the failure are left in the model -- the recovery
+  /// layer (runtime/recovery.h) snapshots and restores around attempts.
+  IterationResult run_iteration(const core::Schedule& schedule,
+                                const std::vector<model::Batch>& micro_batches,
+                                double loss_scale, const RunOptions& options);
 
   /// Builds a neutral schedule (unit durations) of the given kind for this
   /// partition -- durations are irrelevant to the runtime, only op order

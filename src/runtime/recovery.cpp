@@ -1,0 +1,144 @@
+#include "runtime/recovery.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "core/replan.h"
+#include "util/logging.h"
+
+namespace autopipe::runtime {
+
+std::vector<model::Tensor> snapshot_grads(
+    const model::TransformerModel& model) {
+  std::vector<model::Tensor> out;
+  for (int b = 0; b < model.num_blocks(); ++b) {
+    for (const model::ParamTensor& p : model.block(b).params()) {
+      out.push_back(p.grad);
+    }
+  }
+  return out;
+}
+
+void restore_grads(model::TransformerModel& model,
+                   const std::vector<model::Tensor>& snapshot) {
+  std::size_t i = 0;
+  for (int b = 0; b < model.num_blocks(); ++b) {
+    for (model::ParamTensor& p : model.block(b).params()) {
+      if (i >= snapshot.size()) {
+        throw std::invalid_argument("gradient snapshot shape mismatch");
+      }
+      p.grad = snapshot[i++];
+    }
+  }
+  if (i != snapshot.size()) {
+    throw std::invalid_argument("gradient snapshot shape mismatch");
+  }
+}
+
+RecoveryReport run_iteration_with_recovery(
+    model::TransformerModel& model, const core::ModelConfig& config,
+    std::vector<int> counts, const std::vector<model::Batch>& micro_batches,
+    double loss_scale, const RecoveryOptions& options) {
+  if (config.num_blocks() != model.num_blocks()) {
+    throw std::invalid_argument(
+        "recovery: ModelConfig does not describe this model's blocks");
+  }
+  if (options.max_attempts < 1) {
+    throw std::invalid_argument("recovery: need at least one attempt");
+  }
+  using clock = std::chrono::steady_clock;
+
+  RecoveryReport report;
+  // The mutable fault state the attempts consume: crashes remove devices,
+  // escalated transients burn out.
+  faults::FaultPlan active;
+  if (options.run.faults != nullptr) active = *options.run.faults;
+
+  const std::vector<model::Tensor> grads_before = snapshot_grads(model);
+  const int initial_devices = static_cast<int>(counts.size());
+  bool failed_once = false;
+  clock::time_point first_failure{};
+
+  for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
+    AttemptRecord rec;
+    rec.attempt = attempt;
+    rec.devices = static_cast<int>(counts.size());
+    RunOptions run = options.run;
+    run.faults = active.empty() ? nullptr : &active;
+    try {
+      PipelineRuntime rt(model, counts);
+      const core::Schedule schedule = rt.make_schedule(
+          options.kind, static_cast<int>(micro_batches.size()),
+          options.sliced);
+      report.result =
+          rt.run_iteration(schedule, micro_batches, loss_scale, run);
+      rec.ok = true;
+      report.attempts.push_back(rec);
+      report.recovered = failed_once;
+      report.degraded = static_cast<int>(counts.size()) < initial_devices;
+      report.devices_used = static_cast<int>(counts.size());
+      report.final_counts = counts;
+      if (failed_once) {
+        report.recovery_ms = std::chrono::duration<double, std::milli>(
+                                 clock::now() - first_failure)
+                                 .count();
+      }
+      return report;
+    } catch (const StageFailure& e) {
+      if (!failed_once) {
+        failed_once = true;
+        first_failure = clock::now();
+      }
+      rec.kind = e.kind();
+      rec.failed_device = e.device();
+      rec.what = e.what();
+      // Atomicity: drop this attempt's partial gradients before deciding
+      // what to do next.
+      restore_grads(model, grads_before);
+      if (attempt + 1 >= options.max_attempts) {
+        report.attempts.push_back(rec);
+        throw;
+      }
+      const double backoff =
+          options.backoff_base_ms * static_cast<double>(1 << attempt);
+      rec.backoff_ms = backoff;
+      report.attempts.push_back(rec);
+      if (backoff > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(backoff));
+      }
+
+      if (e.kind() == FailureKind::Transient) {
+        // The hiccup cleared: consume the escalated fault and retry on the
+        // same partition.
+        std::erase_if(active.transients,
+                      [&](const faults::TransientOpFault& t) {
+                        return t.device == e.device();
+                      });
+        continue;
+      }
+      // Permanent loss (crash, or a peer hung past its deadline): shrink
+      // the cluster and re-plan the pipeline over the survivors.
+      const int devices = static_cast<int>(counts.size());
+      const int lost = e.device() >= 0 && e.device() < devices ? e.device()
+                                                               : devices - 1;
+      core::AutoPipeOptions plan_opts = options.plan;
+      plan_opts.num_gpus = devices;
+      plan_opts.forced_stages = devices - 1;  // pipeline-only recovery
+      const core::ReplanResult replanned =
+          core::replan_on_failure(config, plan_opts, lost);
+      report.replan_ms += replanned.replan_ms;
+      counts = replanned.result.plan.partition.counts;
+      active = active.without_device(lost);
+      AP_LOG(warn) << "recovery: device " << lost << " lost ("
+                   << to_string(e.kind()) << "), degraded to "
+                   << counts.size() << " stage(s)";
+    }
+  }
+  // Unreachable: the loop either returns or rethrows on its last attempt.
+  throw std::logic_error("recovery loop fell through");
+}
+
+}  // namespace autopipe::runtime

@@ -1,0 +1,92 @@
+// Crash-safe iteration driver: retry, degrade, re-plan.
+//
+// run_iteration_with_recovery wraps PipelineRuntime::run_iteration in the
+// recovery policy of DESIGN.md §6:
+//
+//   Transient escalation  (StageFailure::Transient) -- restore the gradient
+//     snapshot, back off exponentially, and retry the iteration on the same
+//     devices; the offending fault is consumed, mirroring a hiccup that
+//     clears on retry. (Transients within the worker's in-place retry
+//     budget never reach this layer at all.)
+//   Permanent loss  (Crash / Timeout) -- restore the snapshot, invoke
+//     core::replan_on_failure for a pipeline over the N-1 survivors,
+//     rebuild the runtime on the degraded partition, and re-execute.
+//     Remaining faults are remapped onto the surviving device indices, so
+//     cascading crashes degrade step by step until one device remains.
+//
+// Gradients are snapshotted before the first attempt and restored before
+// every retry, making the whole operation atomic from the optimizer's view:
+// either the iteration's full gradient lands in the model or (on rethrow)
+// the model is exactly as it was.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/autopipe.h"
+#include "costmodel/memory.h"
+#include "model/transformer.h"
+#include "runtime/pipeline_runtime.h"
+#include "runtime/stage_failure.h"
+
+namespace autopipe::runtime {
+
+struct RecoveryOptions {
+  /// Iteration attempts including the first (so max_attempts - 1 retries).
+  int max_attempts = 4;
+  /// Sleep before retry k is backoff_base_ms * 2^k (0 disables sleeping;
+  /// the recorded backoff is still reported).
+  double backoff_base_ms = 0.5;
+  /// Per-attempt execution knobs; `run.faults` seeds the mutable fault
+  /// state the recovery loop consumes faults from.
+  RunOptions run;
+  /// Planner configuration for replan_on_failure. `plan.num_gpus` is
+  /// overwritten with the surviving device count on every replan; a forced
+  /// depth equal to the surviving count is imposed (pipeline-only
+  /// recovery), keeping the runtime shape equal to the cluster size.
+  core::AutoPipeOptions plan;
+  costmodel::ScheduleKind kind = costmodel::ScheduleKind::OneFOneB;
+  /// Sliced micro-batches for ScheduleKind::AutoPipeSliced.
+  int sliced = 0;
+};
+
+struct AttemptRecord {
+  int attempt = 0;
+  bool ok = false;
+  FailureKind kind = FailureKind::Crash;  ///< meaningful when !ok
+  int failed_device = -1;
+  int devices = 0;          ///< devices this attempt ran on
+  double backoff_ms = 0;    ///< backoff charged after this attempt
+  std::string what;
+};
+
+struct RecoveryReport {
+  IterationResult result;
+  bool recovered = false;   ///< at least one failure, final attempt succeeded
+  bool degraded = false;    ///< re-planned onto fewer devices
+  int devices_used = 0;     ///< device count of the successful attempt
+  std::vector<int> final_counts;  ///< partition of the successful attempt
+  double replan_ms = 0;     ///< total wall-clock spent in replan_on_failure
+  double recovery_ms = 0;   ///< first failure -> successful completion
+  std::vector<AttemptRecord> attempts;
+};
+
+/// Runs one iteration of `micro_batches` on `model` partitioned as `counts`
+/// (plain schedules only: one chunk per device), recovering per the policy
+/// above. `config` must describe the same block array as `model` (e.g. from
+/// the profiler or costmodel::build_model_config on a matching spec) -- it
+/// is what the planner re-partitions on failure. Throws the last
+/// StageFailure when max_attempts is exhausted, with gradients restored.
+RecoveryReport run_iteration_with_recovery(
+    model::TransformerModel& model, const core::ModelConfig& config,
+    std::vector<int> counts, const std::vector<model::Batch>& micro_batches,
+    double loss_scale, const RecoveryOptions& options);
+
+/// Flat copy of every parameter gradient (block order, param order).
+std::vector<model::Tensor> snapshot_grads(const model::TransformerModel& model);
+
+/// Writes a snapshot_grads() copy back into the model.
+void restore_grads(model::TransformerModel& model,
+                   const std::vector<model::Tensor>& snapshot);
+
+}  // namespace autopipe::runtime

@@ -1,0 +1,48 @@
+// Typed failure propagation for the thread runtime.
+//
+// A StageWorker that dies must not leave its peers blocked in Channel::recv
+// forever (the pre-fault-subsystem behaviour): failures surface as a
+// StageFailure carrying *which* device failed and *why*, so the recovery
+// policy (runtime/recovery.h) can distinguish a transient hiccup worth
+// retrying from a permanent device loss that needs re-planning on the
+// surviving devices.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace autopipe::runtime {
+
+enum class FailureKind {
+  Transient,   ///< op failed more times than the in-place retry budget
+  Crash,       ///< injected (or real) permanent device loss
+  Timeout,     ///< a bounded recv deadline expired (hung peer)
+  PeerClosed,  ///< a channel was closed/poisoned by a failing peer
+};
+
+inline const char* to_string(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::Transient: return "transient";
+    case FailureKind::Crash: return "crash";
+    case FailureKind::Timeout: return "timeout";
+    case FailureKind::PeerClosed: return "peer-closed";
+  }
+  return "unknown";
+}
+
+class StageFailure : public std::runtime_error {
+ public:
+  StageFailure(FailureKind kind, int device, const std::string& what)
+      : std::runtime_error(what), kind_(kind), device_(device) {}
+
+  FailureKind kind() const { return kind_; }
+  /// Device the failure originated on (-1 when unknown, e.g. a peer's
+  /// closure observed from the receiving side before the reason arrives).
+  int device() const { return device_; }
+
+ private:
+  FailureKind kind_;
+  int device_;
+};
+
+}  // namespace autopipe::runtime

@@ -1,6 +1,11 @@
 #include "runtime/stage_worker.h"
 
+#include <chrono>
 #include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "runtime/stage_failure.h"
 
 namespace autopipe::runtime {
 
@@ -23,12 +28,53 @@ model::Batch slice_half(const model::Batch& whole, int seq_len, int half) {
   return out;
 }
 
+namespace {
+
+/// Crash/transient gate executed before each schedule op. A transient fault
+/// burns `failures` attempts with exponential backoff; within the retry
+/// budget the op then executes normally (the fault was absorbed in place),
+/// beyond it the worker escalates to a typed StageFailure so the
+/// iteration-level recovery policy takes over.
+void check_faults_before_op(const StageContext& ctx, int op_index) {
+  const faults::FaultPlan* plan = ctx.faults;
+  if (plan == nullptr || plan->empty()) return;
+  if (plan->crashes_before_op(ctx.device, op_index)) {
+    throw StageFailure(FailureKind::Crash, ctx.device,
+                       "device " + std::to_string(ctx.device) +
+                           " crashed before op " + std::to_string(op_index));
+  }
+  if (const faults::TransientOpFault* fault =
+          plan->transient_for(ctx.device, op_index)) {
+    if (fault->failures > ctx.max_transient_retries) {
+      throw StageFailure(
+          FailureKind::Transient, ctx.device,
+          "device " + std::to_string(ctx.device) + " op " +
+              std::to_string(op_index) + " failed " +
+              std::to_string(fault->failures) + " times (retry budget " +
+              std::to_string(ctx.max_transient_retries) + ")");
+    }
+    for (int attempt = 0; attempt < fault->failures; ++attempt) {
+      if (ctx.backoff_base_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            ctx.backoff_base_ms * static_cast<double>(1 << attempt)));
+      }
+      if (ctx.transient_retries) ++*ctx.transient_retries;
+    }
+  }
+}
+
+}  // namespace
+
 double run_stage(const StageContext& ctx) {
   if (static_cast<int>(ctx.blocks.size()) != ctx.chunks) {
     throw std::invalid_argument("block ranges do not match chunk count");
   }
   const int global_stages = ctx.num_devices * ctx.chunks;
   double loss = 0;
+  const auto receive = [&ctx](Channel& ch, const MessageTag& tag) {
+    return ctx.recv_deadline_ms > 0 ? ch.recv_for(tag, ctx.recv_deadline_ms)
+                                    : ch.recv(tag);
+  };
   // Per (micro_batch, half, chunk) stash. Under recompute (activation
   // checkpointing) it holds exactly the per-block inputs; otherwise each
   // block's forward cache.
@@ -39,7 +85,9 @@ double run_stage(const StageContext& ctx) {
   };
   std::map<std::tuple<int, int, int>, Stash> stash;
 
+  int op_index = 0;
   for (const core::ScheduleOp& op : ctx.schedule->order[ctx.device]) {
+    check_faults_before_op(ctx, op_index++);
     const int global = ctx.schedule->global_stage(ctx.device, op.chunk);
     const bool first = global == 0;
     const bool last = global == global_stages - 1;
@@ -53,7 +101,7 @@ double run_stage(const StageContext& ctx) {
                        op.half)
                 .ids;
       } else {
-        x = (*ctx.forward_channels)[global - 1].recv(tag);
+        x = receive((*ctx.forward_channels)[global - 1], tag);
       }
       auto& entry = stash[{op.micro_batch, op.half, op.chunk}];
       entry = Stash{};
@@ -92,7 +140,7 @@ double run_stage(const StageContext& ctx) {
         loss +=
             model::cross_entropy(logits, piece.targets, ctx.loss_scale, &dy);
       } else {
-        dy = (*ctx.backward_channels)[global].recv(tag);
+        dy = receive((*ctx.backward_channels)[global], tag);
       }
       for (int b = range.first + range.count - 1; b >= range.first; --b) {
         model::Block& block = ctx.model->block(b);

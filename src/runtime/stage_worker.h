@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/schedule.h"
+#include "faults/fault_plan.h"
 #include "model/data.h"
 #include "model/transformer.h"
 #include "runtime/channel.h"
@@ -52,6 +53,24 @@ struct StageContext {
   /// each block's full cache (selective caching where the block supports
   /// it) and trades memory for speed.
   bool recompute = true;
+  /// Deterministic fault injection (faults/fault_plan.h): DeviceCrash
+  /// entries with after_ops >= 0 kill this device just before that op;
+  /// TransientOpFault entries make an op fail a few times first. Null or an
+  /// empty plan leaves execution bit-identical to the fault-free path.
+  const faults::FaultPlan* faults = nullptr;
+  /// Bounded recv: > 0 turns every channel wait into recv_for with this
+  /// deadline so a silently hung peer becomes StageFailure(Timeout) instead
+  /// of an infinite block; 0 waits forever (still closure-aware).
+  double recv_deadline_ms = 0;
+  /// In-place retry of transient op faults: attempt k sleeps
+  /// backoff_base_ms * 2^k before re-executing; a fault injecting more
+  /// failures than max_transient_retries escalates to
+  /// StageFailure(Transient).
+  double backoff_base_ms = 0.05;
+  int max_transient_retries = 3;
+  /// Out-param (owned by the runtime): in-place transient retries consumed
+  /// by this worker.
+  int* transient_retries = nullptr;
 };
 
 /// Runs every op of `ctx.schedule->order[ctx.device]`; returns this

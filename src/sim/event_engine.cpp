@@ -10,14 +10,18 @@ int TaskGraph::add_task(double duration_ms) {
   return static_cast<int>(durations_.size()) - 1;
 }
 
-void TaskGraph::add_dep(int from, int to, double lag_ms) {
+int TaskGraph::add_dep(int from, int to, double lag_ms) {
   if (from < 0 || from >= size() || to < 0 || to >= size() || from == to) {
     throw std::logic_error("invalid dependency edge");
   }
   edges_.push_back({from, to, lag_ms});
+  return static_cast<int>(edges_.size()) - 1;
 }
 
-TaskGraph::Timing TaskGraph::run() const {
+TaskGraph::Timing TaskGraph::run() const { return run(nullptr, nullptr); }
+
+TaskGraph::Timing TaskGraph::run(const DurationFn& duration_fn,
+                                 const LagFn& lag_fn) const {
   const int n = size();
   std::vector<std::vector<int>> out(n);
   std::vector<int> indegree(n, 0);
@@ -41,11 +45,17 @@ TaskGraph::Timing TaskGraph::run() const {
     const int id = ready.back();
     ready.pop_back();
     ++processed;
-    t.end_ms[id] = t.start_ms[id] + durations_[id];
+    // All predecessors are final here (Kahn order), so start_ms[id] is the
+    // true start and the hooks see committed times.
+    const double duration =
+        duration_fn ? duration_fn(id, t.start_ms[id]) : durations_[id];
+    t.end_ms[id] = t.start_ms[id] + duration;
     t.makespan_ms = std::max(t.makespan_ms, t.end_ms[id]);
     for (int e : out[id]) {
       const Edge& edge = edges_[e];
-      const double candidate = t.end_ms[id] + edge.lag_ms;
+      const double lag =
+          lag_fn ? lag_fn(e, edge.lag_ms, t.end_ms[id]) : edge.lag_ms;
+      const double candidate = t.end_ms[id] + lag;
       if (candidate > t.start_ms[edge.to]) {
         t.start_ms[edge.to] = candidate;
         t.binding_pred[edge.to] = id;

@@ -8,6 +8,7 @@
 // for pipeline schedules.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 namespace autopipe::sim {
@@ -17,8 +18,10 @@ class TaskGraph {
   /// Adds a task and returns its id (dense, starting at 0).
   int add_task(double duration_ms);
 
-  /// `to` may start no earlier than end(`from`) + `lag_ms`.
-  void add_dep(int from, int to, double lag_ms = 0.0);
+  /// `to` may start no earlier than end(`from`) + `lag_ms`. Returns the
+  /// edge id (dense, in insertion order) so callers can attach metadata --
+  /// the fault-aware executor keys per-edge boundary indices on it.
+  int add_dep(int from, int to, double lag_ms = 0.0);
 
   int size() const { return static_cast<int>(durations_.size()); }
   double duration(int id) const { return durations_[id]; }
@@ -36,6 +39,19 @@ class TaskGraph {
   /// Earliest-start schedule. Throws std::logic_error if the graph has a
   /// cycle (a malformed pipeline schedule).
   Timing run() const;
+
+  /// Time-dependent variant for fault injection: `duration_fn(id, start)`
+  /// yields a task's actual duration once its start time is known (straggler
+  /// windows), `lag_fn(edge, base_lag, producer_end)` the actual lag of an
+  /// edge once its producer's end is known (link spikes and outage retries).
+  /// Earliest-start times are computed in topological order, so both inputs
+  /// are final when each hook runs. Null hooks fall back to the stored
+  /// values through the identical arithmetic as run(), making the no-fault
+  /// path bit-identical.
+  using DurationFn = std::function<double(int id, double start_ms)>;
+  using LagFn =
+      std::function<double(int edge, double base_lag_ms, double end_ms)>;
+  Timing run(const DurationFn& duration_fn, const LagFn& lag_fn) const;
 
  private:
   struct Edge {

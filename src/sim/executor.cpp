@@ -4,6 +4,7 @@
 #include <map>
 #include <stdexcept>
 #include <tuple>
+#include <utility>
 
 #include "sim/event_engine.h"
 #include "util/rng.h"
@@ -23,11 +24,32 @@ ExecResult execute(const core::Schedule& schedule, const ExecOptions& options) {
   const int n = schedule.num_stages;
   const int last_global = schedule.chunks * n - 1;
 
+  // Fault hooks only engage for a non-empty plan: a null or empty FaultPlan
+  // follows the exact arithmetic of the fault-free path, keeping its results
+  // bit-identical (the determinism contract of DESIGN.md §6).
+  const faults::FaultPlan* plan =
+      options.faults && !options.faults->empty() ? options.faults : nullptr;
+  if (plan) plan->validate(n, std::max(0, schedule.chunks * n - 1));
+
   util::Rng rng(options.seed);
   TaskGraph graph;
   std::map<OpKey, int> task_of;
   // Flat list mirroring graph task ids.
   std::vector<TimedOp> ops;
+  // Per-task device (covers the trailing all-reduce tasks too) and
+  // per-edge upstream boundary (-1 for intra-device serialization edges).
+  std::vector<int> task_device;
+  std::vector<int> edge_boundary;
+  std::vector<std::pair<int, int>> edge_ends;  // (from, to) for crash prop
+  const auto record_dep = [&](int from, int to, double lag, int boundary) {
+    const int e = graph.add_dep(from, to, lag);
+    if (static_cast<int>(edge_boundary.size()) <= e) {
+      edge_boundary.resize(e + 1, -1);
+      edge_ends.resize(e + 1);
+    }
+    edge_boundary[e] = boundary;
+    edge_ends[e] = {from, to};
+  };
 
   // Pass 1: create tasks (with overhead and jitter applied to durations) and
   // intra-device serialization edges.
@@ -46,7 +68,8 @@ ExecResult execute(const core::Schedule& schedule, const ExecOptions& options) {
         throw std::logic_error("duplicate op across devices");
       }
       ops.push_back({op, dev, 0, 0});
-      if (prev >= 0) graph.add_dep(prev, id, 0.0);
+      task_device.push_back(dev);
+      if (prev >= 0) record_dep(prev, id, 0.0, -1);
       prev = id;
     }
   }
@@ -71,7 +94,7 @@ ExecResult execute(const core::Schedule& schedule, const ExecOptions& options) {
   };
 
   // Pass 2: cross-stage transfer edges.
-  for (int id = 0; id < graph.size(); ++id) {
+  for (int id = 0; id < static_cast<int>(ops.size()); ++id) {
     const core::ScheduleOp& op = ops[id].op;
     const int global = schedule.global_stage(ops[id].device, op.chunk);
     if (op.type == core::OpType::Forward && global > 0) {
@@ -93,7 +116,7 @@ ExecResult execute(const core::Schedule& schedule, const ExecOptions& options) {
       if (producer < 0) {
         throw std::logic_error("forward op has no upstream producer");
       }
-      graph.add_dep(producer, id, lag);
+      record_dep(producer, id, lag, global - 1);
     }
     if (op.type == core::OpType::Backward && global < last_global) {
       const double whole_hop = hop_of(global);
@@ -102,7 +125,8 @@ ExecResult execute(const core::Schedule& schedule, const ExecOptions& options) {
       if (producer < 0) {
         throw std::logic_error("backward op has no downstream producer");
       }
-      graph.add_dep(producer, id, op.is_half() ? whole_hop / 2.0 : whole_hop);
+      record_dep(producer, id, op.is_half() ? whole_hop / 2.0 : whole_hop,
+                 global);
     }
   }
 
@@ -117,27 +141,99 @@ ExecResult execute(const core::Schedule& schedule, const ExecOptions& options) {
       const int count = static_cast<int>(schedule.order[dev].size());
       if (count > 0 && options.allreduce_ms[dev] > 0) {
         const int ar = graph.add_task(options.allreduce_ms[dev]);
-        graph.add_dep(cursor + count - 1, ar, 0.0);
+        task_device.push_back(dev);
+        record_dep(cursor + count - 1, ar, 0.0, -1);
       }
       cursor += count;
     }
   }
 
-  const TaskGraph::Timing timing = graph.run();
+  // Actual durations per task: the base value unless a straggler hook
+  // stretches it (device_busy_ms and crash truncation use these).
+  std::vector<double> actual_ms(graph.size());
+  for (int id = 0; id < graph.size(); ++id) actual_ms[id] = graph.duration(id);
+
+  int link_retries = 0;
+  TaskGraph::Timing timing;
+  if (plan) {
+    const TaskGraph::DurationFn dur_fn = [&](int id, double start) {
+      const double factor = plan->slowdown(task_device[id], start);
+      const double d =
+          factor == 1.0 ? graph.duration(id) : graph.duration(id) * factor;
+      actual_ms[id] = d;
+      return d;
+    };
+    const TaskGraph::LagFn lag_fn = [&](int e, double base, double end) {
+      if (edge_boundary[e] < 0) return base;  // same-device edge, no link
+      const faults::TransferOutcome t =
+          plan->transfer(edge_boundary[e], end, base);
+      link_retries += t.retries;
+      return t.lag_ms;
+    };
+    timing = graph.run(dur_fn, lag_fn);
+  } else {
+    timing = graph.run();
+  }
+
+  // Crash truncation: a task on a crashed device that has not *finished* by
+  // the crash instant is lost, and so is -- transitively -- every task that
+  // consumes a lost task's output. Edges only point forward in time, so a
+  // fixpoint sweep converges in at most graph-diameter passes.
+  std::vector<char> lost(graph.size(), 0);
+  FailureReport failure;
+  // Runtime-only crash triggers (after_ops with an infinite at_ms) do not
+  // touch the simulated timeline.
+  const auto timed_crash = [&](int device) -> const faults::DeviceCrash* {
+    const faults::DeviceCrash* c = plan ? plan->crash_for(device) : nullptr;
+    return c && c->at_ms < std::numeric_limits<double>::infinity() ? c
+                                                                   : nullptr;
+  };
+  if (plan && !plan->crashes.empty()) {
+    for (int id = 0; id < graph.size(); ++id) {
+      if (const faults::DeviceCrash* c = timed_crash(task_device[id])) {
+        if (timing.end_ms[id] > c->at_ms) lost[id] = 1;
+      }
+    }
+    for (bool changed = true; changed;) {
+      changed = false;
+      for (const auto& [from, to] : edge_ends) {
+        if (lost[from] && !lost[to]) {
+          lost[to] = 1;
+          changed = true;
+        }
+      }
+    }
+    for (int dev = 0; dev < n; ++dev) {
+      if (const faults::DeviceCrash* c = timed_crash(dev)) {
+        if (!failure.crashed || c->at_ms < failure.at_ms) {
+          failure.crashed = true;
+          failure.device = dev;
+          failure.at_ms = c->at_ms;
+        }
+      }
+    }
+  }
 
   ExecResult result;
-  result.iteration_ms = timing.makespan_ms;
+  result.failure = failure;
+  result.link_retries = link_retries;
   result.device_busy_ms.assign(n, 0.0);
   result.trace.reserve(ops.size());
   result.startup_ms = 0;
   bool startup_found = false;
+  double completed_makespan = 0;
   // Compute ops only; trailing all-reduce tasks count toward the makespan
   // but are not compute busy time.
   for (int id = 0; id < static_cast<int>(ops.size()); ++id) {
+    if (lost[id]) {
+      ++result.failure.lost_ops;
+      continue;
+    }
+    ++result.failure.completed_ops;
     TimedOp timed = ops[id];
     timed.start_ms = timing.start_ms[id];
     timed.end_ms = timing.end_ms[id];
-    result.device_busy_ms[timed.device] += graph.duration(id);
+    result.device_busy_ms[timed.device] += actual_ms[id];
     // Startup overhead (§II-B): when the last *device* starts computing its
     // first forward. Under the interleaved schedule that is the device's
     // first chunk -- the half-size chunks are exactly why interleaving
@@ -148,6 +244,18 @@ ExecResult execute(const core::Schedule& schedule, const ExecOptions& options) {
       startup_found = true;
     }
     result.trace.push_back(timed);
+  }
+  if (failure.crashed) {
+    // The iteration never finishes; report how far the pipeline got. Lost
+    // all-reduce tasks are excluded along with lost compute ops.
+    for (int id = 0; id < graph.size(); ++id) {
+      if (!lost[id]) {
+        completed_makespan = std::max(completed_makespan, timing.end_ms[id]);
+      }
+    }
+    result.iteration_ms = std::max(completed_makespan, failure.at_ms);
+  } else {
+    result.iteration_ms = timing.makespan_ms;
   }
   std::sort(result.trace.begin(), result.trace.end(),
             [](const TimedOp& a, const TimedOp& b) {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/schedule.h"
+#include "faults/fault_plan.h"
 
 namespace autopipe::sim {
 
@@ -32,6 +33,22 @@ struct ExecOptions {
   /// on the critical path, exactly as Megatron-LM's non-overlapped reduce
   /// does.
   std::vector<double> allreduce_ms;
+  /// Deterministic fault injection (faults/fault_plan.h): straggler windows
+  /// multiply op durations, link spikes/outages stretch transfers, and a
+  /// device crash truncates the trace (see ExecResult::failure). Null or an
+  /// empty plan is bit-identical to the fault-free path.
+  const faults::FaultPlan* faults = nullptr;
+};
+
+/// What a device crash did to the iteration (sim analogue of the runtime's
+/// StageFailure): which device died when, and how many schedule ops were
+/// lost -- directly or by depending on a dead op.
+struct FailureReport {
+  bool crashed = false;
+  int device = -1;
+  double at_ms = 0;
+  int completed_ops = 0;
+  int lost_ops = 0;
 };
 
 struct TimedOp {
@@ -45,8 +62,13 @@ struct ExecResult {
   double iteration_ms = 0;
   /// Startup overhead: when the last device starts its first forward.
   double startup_ms = 0;
-  std::vector<TimedOp> trace;          ///< all ops, in global start order
+  std::vector<TimedOp> trace;          ///< completed ops, in global start order
   std::vector<double> device_busy_ms;  ///< total compute time per device
+  /// Crash outcome; `failure.crashed == false` on fault-free runs, in which
+  /// case the trace covers every schedule op.
+  FailureReport failure;
+  /// Failed transfer attempts paid to link outages across the iteration.
+  int link_retries = 0;
 };
 
 /// Times `schedule` on as many devices as it has stages. Validates the

@@ -1,6 +1,7 @@
 #include "util/cli.h"
 
 #include <cstdlib>
+#include <stdexcept>
 
 namespace autopipe::util {
 
@@ -39,6 +40,25 @@ int Cli::get_int(const std::string& name, int fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;
   return std::atoi(it->second.c_str());
+}
+
+int Cli::checked_int(const std::string& name, int fallback, int min_value,
+                     int max_value) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  const std::string& raw = it->second;
+  char* end = nullptr;
+  const long value = std::strtol(raw.c_str(), &end, 10);
+  if (raw.empty() || end == nullptr || *end != '\0') {
+    throw std::invalid_argument("--" + name + " wants an integer, got '" +
+                                raw + "'");
+  }
+  if (value < min_value || value > max_value) {
+    throw std::invalid_argument(
+        "--" + name + " must be in [" + std::to_string(min_value) + ", " +
+        std::to_string(max_value) + "], got " + raw);
+  }
+  return static_cast<int>(value);
 }
 
 double Cli::get_double(const std::string& name, double fallback) const {

@@ -17,6 +17,12 @@ class Cli {
   bool has(const std::string& name) const;
   std::string get(const std::string& name, const std::string& fallback) const;
   int get_int(const std::string& name, int fallback) const;
+  /// Strict flavour of get_int for flags where silently turning garbage
+  /// into 0 (atoi semantics) would be wrong, e.g. `--threads banana`.
+  /// Throws std::invalid_argument naming the flag when the value is not an
+  /// integer or falls outside [min_value, max_value].
+  int checked_int(const std::string& name, int fallback, int min_value,
+                  int max_value) const;
   double get_double(const std::string& name, double fallback) const;
   bool get_bool(const std::string& name, bool fallback) const;
 

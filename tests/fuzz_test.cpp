@@ -8,8 +8,10 @@
 #include "core/balanced_dp.h"
 #include "core/planner.h"
 #include "core/slicer.h"
+#include "faults/fault_plan.h"
 #include "model/data.h"
 #include "runtime/pipeline_runtime.h"
+#include "runtime/recovery.h"
 #include "sim/executor.h"
 #include "util/rng.h"
 
@@ -195,6 +197,137 @@ TEST_P(RuntimeFuzz, RandomPartitionGradEquivalence) {
 
 INSTANTIATE_TEST_SUITE_P(RandomShapes, RuntimeFuzz,
                          testing::Range<std::uint64_t>(100, 108));
+
+TEST(FaultFuzz, EmptyPlanIsBitIdenticalForEveryScheduleKind) {
+  // The fault hooks must be invisible when no fault matches: for random
+  // schedules of every kind, execution with a default FaultPlan{} (and with
+  // a null plan) produces the same bits.
+  util::Rng rng(31);
+  for (int trial = 0; trial < 24; ++trial) {
+    const int stages = 2 + static_cast<int>(rng.next_below(5));
+    std::vector<core::StageCost> costs(static_cast<std::size_t>(stages));
+    for (auto& c : costs) {
+      c.fwd_ms = rng.uniform(0.5, 3.0);
+      c.bwd_ms = c.fwd_ms * rng.uniform(1.5, 3.0);
+    }
+    const double comm = rng.uniform(0.0, 0.5);
+    const int m = stages + static_cast<int>(rng.next_below(6));
+    core::Schedule schedule;
+    switch (trial % 4) {
+      case 0:
+        schedule = core::build_1f1b(costs, m, comm);
+        break;
+      case 1:
+        schedule = core::build_gpipe(costs, m, comm);
+        break;
+      case 2:
+        schedule = core::build_sliced_1f1b(
+            costs, m, comm, 1 + static_cast<int>(rng.next_below(stages)));
+        break;
+      default: {
+        // Interleaved: every device hosts 2 chunks, m a multiple of devices.
+        std::vector<std::vector<core::StageCost>> chunks(
+            static_cast<std::size_t>(stages));
+        for (auto& dev : chunks) {
+          dev.resize(2);
+          for (auto& c : dev) {
+            c.fwd_ms = rng.uniform(0.5, 2.0);
+            c.bwd_ms = c.fwd_ms * 2.0;
+          }
+        }
+        schedule = core::build_interleaved(chunks, stages * 2, comm);
+        break;
+      }
+    }
+    sim::ExecOptions base;
+    base.per_op_overhead_ms = rng.uniform(0.0, 0.1);
+    base.jitter_frac = rng.uniform(0.0, 0.05);
+    base.seed = trial + 1;
+    const auto none = sim::execute(schedule, base);
+
+    const faults::FaultPlan empty;
+    sim::ExecOptions faulted = base;
+    faulted.faults = &empty;
+    const auto with_empty = sim::execute(schedule, faulted);
+
+    EXPECT_EQ(none.iteration_ms, with_empty.iteration_ms);
+    EXPECT_EQ(none.startup_ms, with_empty.startup_ms);
+    EXPECT_EQ(none.device_busy_ms, with_empty.device_busy_ms);
+    ASSERT_EQ(none.trace.size(), with_empty.trace.size());
+    for (std::size_t i = 0; i < none.trace.size(); ++i) {
+      EXPECT_EQ(none.trace[i].start_ms, with_empty.trace[i].start_ms);
+      EXPECT_EQ(none.trace[i].end_ms, with_empty.trace[i].end_ms);
+    }
+    EXPECT_FALSE(with_empty.failure.crashed);
+    EXPECT_EQ(with_empty.link_retries, 0);
+  }
+}
+
+class RecoveryFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RecoveryFuzz, CrashRecoveryReproducesNoFaultGradients) {
+  // Property: wherever a device crash lands, the recovered iteration's
+  // gradients are bit-identical to a fault-free run on the partition the
+  // replanner chose, and match the single-process reference.
+  util::Rng rng(GetParam());
+  model::TinySpec spec;
+  spec.layers = 3;  // 8 blocks
+  spec.hidden = 16;
+  spec.heads = 2;
+  spec.vocab = 32;
+  spec.seq = 4;
+  spec.seed = GetParam();
+  model::TransformerModel ref(spec), piped(spec);
+
+  costmodel::ModelSpec ms;
+  ms.name = "tiny";
+  ms.num_layers = spec.layers;
+  ms.hidden = spec.hidden;
+  ms.heads = spec.heads;
+  ms.vocab = spec.vocab;
+  ms.default_seq = spec.seq;
+  ms.causal = spec.causal;
+  const auto cfg = costmodel::build_model_config(ms, {4, 0, true});
+
+  const int B = 4, m = 6;
+  model::SyntheticCorpus corpus(spec.vocab, GetParam());
+  const auto batch = corpus.next_batch(B * m, spec.seq);
+  const auto micro =
+      model::SyntheticCorpus::split_micro_batches(batch, spec.seq, B);
+  const double scale = 1.0 / (B * m * spec.seq);
+  ref.zero_grads();
+  const double ref_loss = ref.reference_step(batch.ids, batch.targets, scale);
+
+  faults::FaultPlan plan;
+  faults::DeviceCrash crash;
+  crash.device = static_cast<int>(rng.next_below(3));
+  crash.after_ops = static_cast<int>(rng.next_below(12));  // anywhere in 1F1B
+  plan.crashes.push_back(crash);
+
+  runtime::RecoveryOptions rec;
+  rec.run.faults = &plan;
+  rec.backoff_base_ms = 0.01;
+  rec.plan = {3, 24, 0, false, 1};
+  piped.zero_grads();
+  const auto report = runtime::run_iteration_with_recovery(
+      piped, cfg, {2, 3, 3}, micro, scale, rec);
+
+  EXPECT_TRUE(report.recovered);
+  EXPECT_TRUE(report.degraded);
+  EXPECT_NEAR(report.result.loss, ref_loss, 1e-5);
+  EXPECT_LT(ref.max_grad_diff(piped), 1e-4);
+
+  model::TransformerModel clean(spec);
+  clean.zero_grads();
+  runtime::PipelineRuntime rt(clean, report.final_counts);
+  const auto schedule =
+      rt.make_schedule(costmodel::ScheduleKind::OneFOneB, m);
+  rt.run_iteration(schedule, micro, scale);
+  EXPECT_DOUBLE_EQ(clean.max_grad_diff(piped), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCrashPoints, RecoveryFuzz,
+                         testing::Range<std::uint64_t>(200, 212));
 
 TEST(EvaluatePlanFuzz, NeverCrashesAndStaysFinite) {
   util::Rng rng(7);

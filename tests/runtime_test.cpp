@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <future>
 #include <thread>
 
+#include "faults/fault_plan.h"
 #include "model/data.h"
 #include "runtime/channel.h"
 #include "runtime/optimizer.h"
@@ -50,6 +52,62 @@ TEST(Channel, RecvBlocksUntilSend) {
   });
   EXPECT_FLOAT_EQ(ch.recv({core::OpType::Forward, 0, -1}).at(0), 9.0f);
   producer.join();
+}
+
+TEST(Channel, CloseWakesBlockedReceiver) {
+  // The old recv would block forever on a dead peer; close() must wake it
+  // with a typed failure instead.
+  Channel ch;
+  std::thread closer([&ch] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ch.close("device 1 died");
+  });
+  try {
+    ch.recv({core::OpType::Forward, 0, -1});
+    FAIL() << "recv returned from a closed, empty channel";
+  } catch (const StageFailure& e) {
+    EXPECT_EQ(e.kind(), FailureKind::PeerClosed);
+    EXPECT_NE(std::string(e.what()).find("device 1 died"), std::string::npos);
+  }
+  closer.join();
+}
+
+TEST(Channel, RecvForTimesOutAsTypedFailure) {
+  Channel ch;
+  try {
+    ch.recv_for({core::OpType::Forward, 0, -1}, 30.0);
+    FAIL() << "recv_for returned without a message";
+  } catch (const StageFailure& e) {
+    EXPECT_EQ(e.kind(), FailureKind::Timeout);
+  }
+}
+
+TEST(Channel, RecvForDeliversWithinDeadline) {
+  Channel ch;
+  std::thread producer([&ch] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ch.send({core::OpType::Backward, 3, -1},
+            model::Tensor::full({1, 1}, 4.0f));
+  });
+  EXPECT_FLOAT_EQ(ch.recv_for({core::OpType::Backward, 3, -1}, 5000.0).at(0),
+                  4.0f);
+  producer.join();
+}
+
+TEST(Channel, CloseDropsMessagesAndPoisons) {
+  Channel ch;
+  ch.send({core::OpType::Forward, 0, -1}, model::Tensor({1, 1}));
+  ch.send({core::OpType::Forward, 1, -1}, model::Tensor({1, 1}));
+  ch.close("first reason");
+  ch.close("second reason ignored");  // idempotent, first reason wins
+  EXPECT_TRUE(ch.closed());
+  EXPECT_EQ(ch.close_reason(), "first reason");
+  EXPECT_EQ(ch.pending(), 0u);  // leak check stays meaningful after close
+  EXPECT_THROW(ch.send({core::OpType::Forward, 2, -1}, model::Tensor({1, 1})),
+               StageFailure);
+  EXPECT_THROW(ch.recv({core::OpType::Forward, 0, -1}), StageFailure);
+  EXPECT_THROW(ch.recv_for({core::OpType::Forward, 0, -1}, 1000.0),
+               StageFailure);
 }
 
 // ------------------------------------------------------------ slice_half
@@ -297,6 +355,51 @@ TEST(Runtime, RejectsMismatchedConfigs) {
   // 4 micro-batches expected, give 2.
   const std::vector<model::Batch> wrong(micro.begin(), micro.begin() + 2);
   EXPECT_THROW(rt.run_iteration(schedule, wrong, 1.0), std::invalid_argument);
+}
+
+TEST(Runtime, WorkerDeathNeverDeadlocksPeers) {
+  // Regression guard for the recv deadlock: before close/poison semantics,
+  // a dead stage left its neighbours blocked in recv forever. The whole
+  // faulted iteration must now finish -- by throwing StageFailure -- well
+  // inside the 5 s watchdog.
+  model::TinySpec spec;
+  spec.layers = 3;
+  spec.hidden = 16;
+  spec.heads = 2;
+  spec.vocab = 32;
+  spec.seq = 4;
+  model::TransformerModel m(spec);
+  model::SyntheticCorpus corpus(spec.vocab);
+  const int B = 4, mbatches = 6;
+  const auto batch = corpus.next_batch(B * mbatches, spec.seq);
+  const auto micro =
+      model::SyntheticCorpus::split_micro_batches(batch, spec.seq, B);
+
+  faults::FaultPlan plan;
+  faults::DeviceCrash crash;
+  crash.device = 1;
+  crash.after_ops = 3;
+  plan.crashes.push_back(crash);
+
+  auto attempt = std::async(std::launch::async, [&] {
+    PipelineRuntime rt(m, {2, 3, 3});
+    m.zero_grads();
+    const auto schedule =
+        rt.make_schedule(costmodel::ScheduleKind::OneFOneB, mbatches);
+    RunOptions run;
+    run.faults = &plan;
+    rt.run_iteration(schedule, micro, 1.0 / (B * mbatches * spec.seq), run);
+  });
+  ASSERT_EQ(attempt.wait_for(std::chrono::seconds(5)),
+            std::future_status::ready)
+      << "faulted iteration deadlocked (recv never woke)";
+  try {
+    attempt.get();
+    FAIL() << "crashed iteration reported success";
+  } catch (const StageFailure& e) {
+    EXPECT_EQ(e.kind(), FailureKind::Crash);
+    EXPECT_EQ(e.device(), 1);
+  }
 }
 
 TEST(Runtime, CorpusIsLearnableAndDeterministic) {
