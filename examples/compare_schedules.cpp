@@ -2,33 +2,53 @@
 //
 //   ./compare_schedules [--model gpt2-345m] [--stages 4] [--mbs 4]
 //                       [--micro-batches 8] [--chunks 2]
+//                       [--topology uniform|paper] [--gpus-per-node 4]
+//
+// --topology paper prices every stage boundary from the cluster layout
+// (PCIe within a node, InfiniBand across) and the model's activation size;
+// all four schedules then carry those per-boundary costs.
 //
 // Renders GPipe, plain 1F1B, Megatron-LM's interleaved 1F1B and AutoPipe's
 // sliced 1F1B over the same model, with bubble fractions and startup
 // overheads -- the visual story of Figs. 5, 8 and 14.
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 
 #include "core/autopipe.h"
 #include "core/planner.h"
 #include "core/slicer.h"
+#include "costmodel/analytic.h"
+#include "costmodel/topology.h"
 #include "planners/megatron.h"
 #include "sim/executor.h"
 #include "sim/metrics.h"
 #include "trace/timeline.h"
 #include "util/cli.h"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace autopipe;
   const util::Cli cli(argc, argv);
   const std::string model = cli.get("model", "gpt2-345m");
-  const int stages = cli.get_int("stages", 4);
-  const int mbs = cli.get_int("mbs", 4);
-  const int m = cli.get_int("micro-batches", 8);
-  const int chunks = cli.get_int("chunks", 2);
+  const int stages = cli.checked_int("stages", 4, 1, 1 << 10);
+  const int mbs = cli.checked_int("mbs", 4, 1, 1 << 20);
+  const int m = cli.checked_int("micro-batches", 8, 1, 1 << 20);
+  const int chunks = cli.checked_int("chunks", 2, 1, 1 << 10);
+  const int gpus_per_node = cli.checked_int("gpus-per-node", 4, 1, 1 << 20);
+  const std::string topology = cli.get("topology", "uniform");
+  if (topology != "uniform" && topology != "paper") {
+    throw std::invalid_argument("--topology must be 'uniform' or 'paper'");
+  }
 
   const auto cfg = costmodel::build_model_config(
       costmodel::model_by_name(model), {mbs, 0, true});
+  costmodel::ClusterTopology topo = costmodel::paper_cluster();
+  topo.gpus_per_node = gpus_per_node;
+  const costmodel::CommModel comm =
+      topology == "paper"
+          ? costmodel::CommModel::from_topology(
+                topo, 0, costmodel::activation_bytes(cfg))
+          : costmodel::CommModel(cfg.comm_ms);
 
   auto show = [&](const char* title, const core::Schedule& schedule) {
     const auto exec = sim::execute(schedule);
@@ -43,15 +63,15 @@ int main(int argc, char** argv) {
   const auto uniform = planners::megatron_partition(cfg, stages);
   const auto uniform_costs = core::stage_costs(cfg, uniform);
   show("GPipe (uniform partition)",
-       core::build_gpipe(uniform_costs, m, cfg.comm_ms));
+       core::build_gpipe(uniform_costs, m, comm));
   show("1F1B (uniform partition)",
-       core::build_1f1b(uniform_costs, m, cfg.comm_ms));
+       core::build_1f1b(uniform_costs, m, comm));
   if (planners::megatron_interleaved_supports(cfg, stages, chunks) &&
       m % stages == 0) {
     show("Interleaved 1F1B (uniform partition)",
          core::build_interleaved(
              planners::megatron_interleaved_costs(cfg, stages, chunks), m,
-             cfg.comm_ms));
+             comm));
   } else {
     std::printf("--- Interleaved 1F1B: X (layers %% (stages*chunks) != 0 -- "
                 "the Fig. 14(b) constraint)\n\n");
@@ -60,9 +80,12 @@ int main(int argc, char** argv) {
   // AutoPipe: planned partition + sliced warmup.
   const auto planned = core::plan(cfg, stages, m);
   const auto costs = core::stage_costs(cfg, planned.partition);
-  const auto slicing = core::solve_slicing(costs, cfg.comm_ms, m);
+  const auto slicing = core::solve_slicing(costs, comm, m);
   show("AutoPipe (planned partition + sliced 1F1B)",
-       core::build_sliced_1f1b(costs, m, cfg.comm_ms,
+       core::build_sliced_1f1b(costs, m, comm,
                                slicing.sliced_micro_batches));
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
 }

@@ -4,6 +4,13 @@
 //   ./plan_explorer --model gpt2-1.3b --gpus 8 --mbs 16 --gbs 512
 //                   [--threads 8] [--trace /tmp/autopipe.trace.json]
 //                   [--config profile.cfg] [--save-config profile.cfg]
+//                   [--topology uniform|paper] [--gpus-per-node 4]
+//
+// --topology paper prices each stage boundary from the cluster layout
+// (PCIe inside a node, 100G InfiniBand across) and the model's activation
+// size; every planner and the reported iteration times then see the same
+// per-boundary costs. --gpus-per-node sets the node width for that pricing
+// (and for DAPPLE's placement search in either mode).
 //
 // Prints a Table III/IV style comparison row (DAPPLE / Piper / AutoPipe /
 // Megatron-LM where applicable) and optionally writes the AutoPipe
@@ -13,10 +20,13 @@
 // as a starting point for hand tuning.
 #include <cstdio>
 #include <exception>
+#include <stdexcept>
 #include <string>
 
 #include "core/autopipe.h"
+#include "costmodel/analytic.h"
 #include "costmodel/config_io.h"
+#include "costmodel/topology.h"
 #include "planners/dapple.h"
 #include "planners/megatron.h"
 #include "planners/piper.h"
@@ -51,6 +61,11 @@ int main(int argc, char** argv) try {
   // Planner worker threads (1 = serial, 0 = auto). Every planner returns
   // the same plan at any value; only the wall clock changes.
   const int threads = cli.checked_int("threads", 1, 0, 4096);
+  const int gpus_per_node = cli.checked_int("gpus-per-node", 4, 1, 1 << 20);
+  const std::string topology = cli.get("topology", "uniform");
+  if (topology != "uniform" && topology != "paper") {
+    throw std::invalid_argument("--topology must be 'uniform' or 'paper'");
+  }
 
   const auto cfg =
       cli.has("config")
@@ -63,13 +78,22 @@ int main(int argc, char** argv) try {
       std::printf("model configs written to %s\n", path.c_str());
     }
   }
-  std::printf("Planner comparison: %s, %d GPUs, mbs %d, gbs %ld\n\n",
-              cfg.spec.name.c_str(), gpus, mbs, gbs);
+  // Per-boundary comm pricing: uniform keeps the profile's scalar comm_ms;
+  // paper derives each hop from the cluster links and the activation size.
+  costmodel::ClusterTopology topo = costmodel::paper_cluster();
+  topo.gpus_per_node = gpus_per_node;
+  const costmodel::CommModel comm =
+      topology == "paper"
+          ? costmodel::CommModel::from_topology(
+                topo, 0, costmodel::activation_bytes(cfg))
+          : costmodel::CommModel(cfg.comm_ms);
+  std::printf("Planner comparison: %s, %d GPUs, mbs %d, gbs %ld, %s comm\n\n",
+              cfg.spec.name.c_str(), gpus, mbs, gbs, topology.c_str());
 
   util::Table table({"planner", "configuration", "layers per stage",
                      "iteration (ms)", "balance stddev", "plan time (ms)"});
   auto add = [&](const char* name, const core::ParallelPlan& plan) {
-    const auto ev = core::evaluate_plan(cfg, plan, gbs);
+    const auto ev = core::evaluate_plan(cfg, plan, gbs, comm);
     std::string layers;
     for (double u : core::stage_layer_units(cfg, plan.partition)) {
       layers += (layers.empty() ? "" : " ") + util::Table::fmt(u, 1);
@@ -82,9 +106,15 @@ int main(int argc, char** argv) try {
                    util::Table::fmt(plan.planning_ms, 1)});
   };
 
-  add("DAPPLE", planners::dapple_plan(cfg, gpus, {8, 4, gbs, threads}));
-  add("Piper", planners::piper_plan(cfg, gpus, {8, gbs, threads}));
-  const auto ours = core::auto_plan(cfg, {gpus, gbs, 0, true, threads});
+  planners::DappleOptions dapple{8, gpus_per_node, gbs, threads};
+  dapple.topology = topo;
+  add("DAPPLE", planners::dapple_plan(cfg, gpus, dapple));
+  planners::PiperOptions piper{8, gbs, threads};
+  piper.comm = comm;
+  add("Piper", planners::piper_plan(cfg, gpus, piper));
+  core::AutoPipeOptions ours_opts{gpus, gbs, 0, true, threads};
+  ours_opts.comm = comm;
+  const auto ours = core::auto_plan(cfg, ours_opts);
   add("AutoPipe", ours.plan);
   if (planners::megatron_supports(cfg, ours.plan.num_stages()) &&
       gpus % ours.plan.num_stages() == 0) {

@@ -70,8 +70,10 @@ int ParallelPlan::total_devices() const {
   return std::accumulate(stage_devices.begin(), stage_devices.end(), 0);
 }
 
-PlanEvaluation evaluate_plan(const ModelConfig& config,
-                             const ParallelPlan& plan, long global_batch) {
+PlanEvaluation evaluate_plan(
+    const ModelConfig& config, const ParallelPlan& plan, long global_batch,
+    const std::optional<costmodel::CommModel>& comm_opt) {
+  const CommModel comm = comm_opt.value_or(CommModel(config.comm_ms));
   PlanEvaluation ev;
   const int d = plan.num_stages();
   const int mbs = config.train.micro_batch_size;
@@ -174,16 +176,23 @@ PlanEvaluation evaluate_plan(const ModelConfig& config,
                   (effective[0].fwd_ms + effective[0].bwd_ms);
   } else if (m >= d) {
     pipeline_ms =
-        simulate_pipeline(effective, static_cast<int>(m), config.comm_ms)
-            .iteration_ms;
+        simulate_pipeline(effective, static_cast<int>(m), comm).iteration_ms;
   } else {
-    // Degenerate (fewer micro-batches than stages): GPipe-like bound.
+    // Degenerate (fewer micro-batches than stages): GPipe-like bound. The
+    // uniform closed form is kept as a single multiply for bit-identity
+    // with the historical scalar arithmetic.
     double sum = 0, bottleneck = 0;
     for (const auto& c : effective) {
       sum += c.load();
       bottleneck = std::max(bottleneck, c.load());
     }
-    pipeline_ms = sum + (m - 1) * bottleneck + 2 * (d - 1) * config.comm_ms;
+    double round_trip_comm = 0;
+    if (comm.is_uniform()) {
+      round_trip_comm = 2 * (d - 1) * comm.uniform_ms();
+    } else {
+      for (int g = 0; g + 1 < d; ++g) round_trip_comm += 2 * comm.hop_ms(g);
+    }
+    pipeline_ms = sum + (m - 1) * bottleneck + round_trip_comm;
   }
   ev.iteration_ms = pipeline_ms + latency_correction_ms +
                     allreduce_ms(config, plan.partition, replicas, config.link);
@@ -197,6 +206,7 @@ AutoPipeResult auto_plan(const ModelConfig& config,
   if (G < 1) throw std::invalid_argument("need at least one GPU");
   const int mbs = config.train.micro_batch_size;
 
+  const CommModel comm = options.comm.value_or(CommModel(config.comm_ms));
   AutoPipeResult best;
   bool has_best = false;
 
@@ -239,6 +249,7 @@ AutoPipeResult auto_plan(const ModelConfig& config,
         return partition_fits_memory(config, p, static_cast<int>(m));
       };
       popts.pool = pool.get();
+      popts.comm = comm;
       planned = plan(config, d, static_cast<int>(m), popts);
       if (!planned.feasible) continue;
     }
@@ -246,7 +257,7 @@ AutoPipeResult auto_plan(const ModelConfig& config,
     candidate.planning_ms = planned.search_ms;
 
     const PlanEvaluation ev =
-        evaluate_plan(config, candidate, options.global_batch);
+        evaluate_plan(config, candidate, options.global_batch, comm);
     if (ev.oom || ev.runtime_error) continue;
     if (!has_best || ev.iteration_ms < best.evaluation.iteration_ms) {
       has_best = true;
@@ -267,9 +278,9 @@ AutoPipeResult auto_plan(const ModelConfig& config,
              (static_cast<long>(mbs) * best.plan.data_parallel));
   const auto costs = stage_costs(config, best.plan.partition);
   if (options.enable_slicer && d >= 2) {
-    best.slicing = solve_slicing(costs, config.comm_ms, static_cast<int>(m));
+    best.slicing = solve_slicing(costs, comm, static_cast<int>(m));
   }
-  best.schedule = build_sliced_1f1b(costs, static_cast<int>(m), config.comm_ms,
+  best.schedule = build_sliced_1f1b(costs, static_cast<int>(m), comm,
                                     best.slicing.sliced_micro_batches);
   best.plan.planning_ms = std::chrono::duration<double, std::milli>(
                               std::chrono::steady_clock::now() - t0)

@@ -14,6 +14,7 @@
 // failure of Table III).
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -59,9 +60,12 @@ struct PlanEvaluation {
 };
 
 /// Honest evaluation of `plan` training one global batch of `global_batch`
-/// samples (micro-batch size comes from `config`).
-PlanEvaluation evaluate_plan(const ModelConfig& config,
-                             const ParallelPlan& plan, long global_batch);
+/// samples (micro-batch size comes from `config`). `comm` prices each stage
+/// boundary of the pipeline simulation; unset = uniform at config.comm_ms
+/// (bit-identical to the historical scalar arithmetic).
+PlanEvaluation evaluate_plan(
+    const ModelConfig& config, const ParallelPlan& plan, long global_batch,
+    const std::optional<costmodel::CommModel>& comm = std::nullopt);
 
 /// Does every stage of `partition` fit device memory under 1F1B with `m`
 /// micro-batches? (18 B/param state + in-flight stashes + working set vs
@@ -81,6 +85,10 @@ struct AutoPipeOptions {
   /// N = pool of N). One pool is shared across the whole depth sweep; the
   /// chosen plan is bit-identical for every value.
   int threads = 1;
+  /// Per-boundary communication model threaded through the Planner, Slicer,
+  /// plan evaluation and the built schedule. Unset = uniform pricing at
+  /// config.comm_ms, the historical scalar behaviour.
+  std::optional<costmodel::CommModel> comm = std::nullopt;
 };
 
 struct AutoPipeResult {

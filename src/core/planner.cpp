@@ -35,7 +35,8 @@ const SimResult& SimMemo::get(const Partition& p) {
     // the same scheme block on the shared_future instead of re-simulating.
     misses_.fetch_add(1, std::memory_order_relaxed);
     try {
-      promise.set_value(simulate_pipeline(config_, p, micro_batches_));
+      promise.set_value(
+          simulate_pipeline(stage_costs(config_, p), micro_batches_, comm_));
     } catch (...) {
       promise.set_exception(std::current_exception());
     }
@@ -129,7 +130,7 @@ struct Step {
 }  // namespace
 
 Partition cooldown_adjust(const ModelConfig& config, const Partition& start,
-                          int master, int micro_batches, SimMemo& memo) {
+                          int master, int /*micro_batches*/, SimMemo& memo) {
   Partition current = start;
   const int n = current.num_stages();
   // Each move shifts one block toward the tail; bounded by blocks * stages.
@@ -170,7 +171,10 @@ PlannerResult plan(const ModelConfig& config, int stages, int micro_batches,
     }
   }
 
-  SimMemo memo(config, micro_batches);
+  // The comm model every simulation and re-ranking schedule prices hops
+  // with; the unset default reproduces the scalar config.comm_ms exactly.
+  const CommModel comm = options.comm.value_or(CommModel(config.comm_ms));
+  SimMemo memo(config, micro_batches, comm);
   const std::vector<double> loads = block_loads(config);
 
   PlannerResult result;
@@ -350,8 +354,7 @@ PlannerResult plan(const ModelConfig& config, int stages, int micro_batches,
     faults::RobustnessReport best_report;
     for (std::size_t k = 0; k < ranked.size(); ++k) {
       const auto costs = stage_costs(config, ranked[k].partition);
-      const Schedule schedule =
-          build_1f1b(costs, micro_batches, config.comm_ms);
+      const Schedule schedule = build_1f1b(costs, micro_batches, comm);
       const faults::RobustnessReport report = faults::evaluate_robustness(
           schedule, sim::ExecOptions{}, options.robustness, pool);
       if (best_idx < 0 || report.score_ms < best_report.score_ms ||

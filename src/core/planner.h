@@ -29,6 +29,7 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -52,7 +53,10 @@ namespace autopipe::core {
 class SimMemo {
  public:
   SimMemo(const ModelConfig& config, int micro_batches)
-      : config_(config), micro_batches_(micro_batches) {}
+      : SimMemo(config, micro_batches, CommModel(config.comm_ms)) {}
+  SimMemo(const ModelConfig& config, int micro_batches, CommModel comm)
+      : config_(config), micro_batches_(micro_batches),
+        comm_(std::move(comm)) {}
 
   /// Returns the simulation of `p`, computing it at most once per scheme.
   /// The reference stays valid for the lifetime of the memo.
@@ -71,6 +75,7 @@ class SimMemo {
 
   const ModelConfig& config_;
   int micro_batches_;
+  CommModel comm_;
   std::mutex mu_;
   std::unordered_map<std::vector<int>, std::shared_future<SimResult>,
                      CountsHash>
@@ -97,6 +102,10 @@ struct PlannerOptions {
   /// Optional externally owned pool, reused across plan() calls (e.g. the
   /// auto_plan depth sweep shares one). Overrides `threads` when set.
   util::ThreadPool* pool = nullptr;
+  /// Per-boundary communication model used by every simulation and by the
+  /// robustness re-ranking schedules. Unset = uniform at config.comm_ms,
+  /// which reproduces the historical scalar arithmetic bit-for-bit.
+  std::optional<costmodel::CommModel> comm = std::nullopt;
   /// Robustness-aware re-ranking (faults/robustness.h): when
   /// `robustness.trials > 0`, the search keeps its `robustness.candidates`
   /// best schemes, Monte-Carlo-simulates each one's 1F1B schedule under

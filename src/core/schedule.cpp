@@ -1,6 +1,7 @@
 #include "core/schedule.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <stdexcept>
 #include <string>
@@ -33,7 +34,8 @@ void emit(std::vector<ScheduleOp>& order, OpType type, int mb, int sliced) {
 }  // namespace
 
 Schedule build_sliced_1f1b(std::span<const StageCost> stages,
-                           int micro_batches, double comm_ms, int sliced) {
+                           int micro_batches, const CommModel& comm,
+                           int sliced) {
   const int n = static_cast<int>(stages.size());
   const int m = micro_batches;
   require(n >= 1, "schedule needs at least one stage");
@@ -45,7 +47,7 @@ Schedule build_sliced_1f1b(std::span<const StageCost> stages,
   s.num_stages = n;
   s.num_micro_batches = m;
   s.sliced_micro_batches = sliced;
-  s.comm_ms = comm_ms;
+  s.boundary_comm_ms = comm.boundary_costs(n);
   s.durations.resize(n);
   s.order.resize(n);
 
@@ -82,12 +84,12 @@ Schedule build_sliced_1f1b(std::span<const StageCost> stages,
 }
 
 Schedule build_1f1b(std::span<const StageCost> stages, int micro_batches,
-                    double comm_ms) {
-  return build_sliced_1f1b(stages, micro_batches, comm_ms, 0);
+                    const CommModel& comm) {
+  return build_sliced_1f1b(stages, micro_batches, comm, 0);
 }
 
 Schedule build_gpipe(std::span<const StageCost> stages, int micro_batches,
-                     double comm_ms) {
+                     const CommModel& comm) {
   const int n = static_cast<int>(stages.size());
   const int m = micro_batches;
   require(n >= 1 && m >= 1, "gpipe needs stages and micro-batches");
@@ -96,7 +98,7 @@ Schedule build_gpipe(std::span<const StageCost> stages, int micro_batches,
   s.kind = ScheduleKind::GPipe;
   s.num_stages = n;
   s.num_micro_batches = m;
-  s.comm_ms = comm_ms;
+  s.boundary_comm_ms = comm.boundary_costs(n);
   s.durations.resize(n);
   s.order.resize(n);
   for (int x = 0; x < n; ++x) {
@@ -113,7 +115,7 @@ Schedule build_gpipe(std::span<const StageCost> stages, int micro_batches,
 
 Schedule build_interleaved(
     const std::vector<std::vector<StageCost>>& chunk_costs, int micro_batches,
-    double comm_ms) {
+    const CommModel& comm) {
   const int n = static_cast<int>(chunk_costs.size());
   require(n >= 1, "interleaved needs devices");
   const int v = static_cast<int>(chunk_costs.front().size());
@@ -131,7 +133,7 @@ Schedule build_interleaved(
   s.num_stages = n;
   s.num_micro_batches = m;
   s.chunks = v;
-  s.comm_ms = comm_ms;
+  s.boundary_comm_ms = comm.boundary_costs(n, v);
   s.durations = chunk_costs;
   s.order.resize(n);
 
@@ -166,6 +168,16 @@ void validate(const Schedule& schedule) {
   if (static_cast<int>(schedule.order.size()) != n ||
       static_cast<int>(schedule.durations.size()) != n) {
     throw std::logic_error("schedule arrays disagree with num_stages");
+  }
+  if (static_cast<int>(schedule.boundary_comm_ms.size()) !=
+      schedule.chunks * n - 1) {
+    throw std::logic_error(
+        "schedule must carry one comm cost per global stage boundary");
+  }
+  for (double c : schedule.boundary_comm_ms) {
+    if (!(c >= 0.0) || !std::isfinite(c)) {
+      throw std::logic_error("schedule boundary comm costs must be finite, >= 0");
+    }
   }
   for (int dev = 0; dev < n; ++dev) {
     // key: (type, micro_batch, chunk, half)

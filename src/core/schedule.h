@@ -38,13 +38,21 @@ struct Schedule {
   int num_micro_batches = 0;
   int chunks = 1;
   int sliced_micro_batches = 0;
-  double comm_ms = 0;  ///< full activation-tensor hop cost
+  /// Full activation-tensor transfer time across each global stage boundary
+  /// (size chunks*num_stages - 1), frozen from the CommModel at build time
+  /// so a schedule is self-contained for execution.
+  std::vector<double> boundary_comm_ms;
   /// durations[device][chunk]: per-chunk whole-micro-batch fwd/bwd times.
   std::vector<std::vector<StageCost>> durations;
   /// order[device]: the exact execution order on that device.
   std::vector<std::vector<ScheduleOp>> order;
 
   double op_duration_ms(int device, const ScheduleOp& op) const;
+  /// Transfer time across global boundary g -> g+1. Throws (out_of_range,
+  /// a logic_error) when the boundary vector is malformed.
+  double hop_ms(int boundary) const {
+    return boundary_comm_ms.at(static_cast<std::size_t>(boundary));
+  }
   /// Global model-stage index of (device, chunk): chunk*num_stages + device.
   int global_stage(int device, int chunk) const {
     return chunk * num_stages + device;
@@ -52,29 +60,63 @@ struct Schedule {
 };
 
 /// Plain non-interleaved 1F1B (Megatron-LM default). Requires m >= stages.
+/// `comm` prices each boundary; a plain double converts to the uniform model.
 Schedule build_1f1b(std::span<const StageCost> stages, int micro_batches,
-                    double comm_ms);
+                    const CommModel& comm);
 
 /// GPipe: all forwards, then all backwards in reverse micro-batch order.
 Schedule build_gpipe(std::span<const StageCost> stages, int micro_batches,
-                     double comm_ms);
+                     const CommModel& comm);
 
 /// AutoPipe: 1F1B with the first `sliced` micro-batches split in half and
 /// the Warmup phase rescheduled (Fig. 8(b)); `sliced == 0` degenerates to
 /// plain 1F1B.
 Schedule build_sliced_1f1b(std::span<const StageCost> stages,
-                           int micro_batches, double comm_ms, int sliced);
+                           int micro_batches, const CommModel& comm,
+                           int sliced);
 
 /// Megatron-LM interleaved 1F1B: `chunk_costs[device][chunk]` are the
 /// per-chunk costs; every device hosts the same number of chunks and
 /// micro_batches must be a multiple of the device count.
 Schedule build_interleaved(
     const std::vector<std::vector<StageCost>>& chunk_costs, int micro_batches,
-    double comm_ms);
+    const CommModel& comm);
 
 /// Structural invariants: every (micro-batch, chunk, half-pair) appears on
 /// every device exactly once per direction, forwards precede their own
-/// backwards in device order. Throws std::logic_error on violation.
+/// backwards in device order, and the boundary cost vector has one finite
+/// non-negative entry per global stage boundary. Throws std::logic_error on
+/// violation.
 void validate(const Schedule& schedule);
+
+/// One scheduled op with its analytic timing (evaluate_schedule).
+struct EvalOp {
+  ScheduleOp op;
+  int device = 0;
+  double start_ms = 0;
+  double end_ms = 0;
+  /// Binding predecessor index into ScheduleEval::ops (-1 at sources).
+  int critical_pred = -1;
+  bool on_critical_path = false;
+};
+
+/// Analytic longest-path timing of a Schedule: the schedule-graph analogue
+/// of simulate_pipeline's recurrences, valid for every ScheduleKind.
+struct ScheduleEval {
+  double iteration_ms = 0;
+  /// When the last device starts its first forward (startup overhead §II-B).
+  double startup_ms = 0;
+  std::vector<EvalOp> ops;
+  /// Indices into `ops` along the critical path, in execution order.
+  std::vector<int> critical_path;
+};
+
+/// Evaluates `schedule` by longest-path relaxation over the same dependency
+/// graph sim::execute builds (intra-device order, cross-stage transfers with
+/// halved/aggregated sliced-half lags), with ties broken toward the higher
+/// device ("closest to the last pipeline stage", Fig. 4). Matches
+/// sim::execute's fault-free, zero-overhead timing exactly. Validates the
+/// schedule; throws std::logic_error on malformed or cyclic schedules.
+ScheduleEval evaluate_schedule(const Schedule& schedule);
 
 }  // namespace autopipe::core

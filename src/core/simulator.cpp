@@ -23,7 +23,7 @@ struct IdMap {
 }  // namespace
 
 SimResult simulate_pipeline(std::span<const StageCost> stages,
-                            int micro_batches, double comm_ms) {
+                            int micro_batches, const CommModel& comm) {
   const int n = static_cast<int>(stages.size());
   const int m = micro_batches;
   if (n < 1) throw std::invalid_argument("pipeline needs at least one stage");
@@ -39,6 +39,9 @@ SimResult simulate_pipeline(std::span<const StageCost> stages,
 
   auto f = [&](int x) { return stages[x].fwd_ms; };
   auto b = [&](int x) { return stages[x].bwd_ms; };
+  // Comm(g): the cost of crossing boundary g -> g+1 (either direction;
+  // §II-B's links are symmetric).
+  auto hop = [&](int g) { return comm.hop_ms(g); };
   // 1F1B block count per stage (paper: max(0, m - n + x + 1)); with m >= n
   // every stage owns at least one block.
   auto blocks_of = [&](int x) { return m - n + x + 1; };
@@ -80,7 +83,7 @@ SimResult simulate_pipeline(std::span<const StageCost> stages,
       const int intra = k > 0 ? ids.fp(x, k - 1) : -1;
       const int inter = x > 0 ? ids.fp(x - 1, k) : -1;
       auto [start, pred] = choose(inter, intra);
-      if (x != 0) start += comm_ms;
+      if (x != 0) start += hop(x - 1);
       init_op(ids.fp(x, k), x, k, Phase::Warmup, OpType::Forward, start, f(x),
               pred);
     }
@@ -105,7 +108,7 @@ SimResult simulate_pipeline(std::span<const StageCost> stages,
         intra = ids.fp(x, warm_of(x) - 1);
       }
       auto [start, pred] = choose(inter, intra);
-      if (x != 0) start += comm_ms;
+      if (x != 0) start += hop(x - 1);
       init_op(ids.fp(x, fp_mb), x, fp_mb, Phase::Steady, OpType::Forward,
               start, f(x), pred);
     }
@@ -114,7 +117,7 @@ SimResult simulate_pipeline(std::span<const StageCost> stages,
       const int inter = x < n - 1 ? ids.bp(x + 1, y) : -1;
       const int intra = ids.fp(x, warm_of(x) + y);
       auto [start, pred] = choose(inter, intra);
-      if (x != n - 1) start += comm_ms;
+      if (x != n - 1) start += hop(x);
       init_op(ids.bp(x, y), x, y, Phase::Steady, OpType::Backward, start, b(x),
               pred);
     }
@@ -129,7 +132,7 @@ SimResult simulate_pipeline(std::span<const StageCost> stages,
       const int intra = ids.bp(x, mb - 1);
       const int inter = ids.bp(x + 1, mb);
       auto [start, pred] = choose(inter, intra);
-      start += comm_ms;
+      start += hop(x);
       init_op(ids.bp(x, mb), x, mb, Phase::Cooldown, OpType::Backward, start,
               b(x), pred);
     }
@@ -141,7 +144,14 @@ SimResult simulate_pipeline(std::span<const StageCost> stages,
   }
   result.startup_ms = n > 1 ? ops[ids.fp(n - 1, 0)].start_ms
                             : 0.0;
-  result.warmup_estimate_ms = (n - 1) * comm_ms;
+  // Uniform fast path keeps the historical closed form bit-identical (a
+  // hop-by-hop accumulation of equal doubles can round differently than the
+  // single multiply).
+  if (comm.is_uniform()) {
+    result.warmup_estimate_ms = (n - 1) * comm.uniform_ms();
+  } else {
+    for (int g = 0; g + 1 < n; ++g) result.warmup_estimate_ms += hop(g);
+  }
   for (int x = 0; x < n; ++x) result.warmup_estimate_ms += f(x);
 
   // Critical path: backtrack from the op that finishes last (ties toward the

@@ -1,14 +1,18 @@
 // Pipeline simulator (§III-B.1).
 //
 // Simulates one training iteration of a synchronous 1F1B pipeline from the
-// per-stage forward/backward durations and the scalar communication cost,
-// implementing the paper's three-phase recurrences:
+// per-stage forward/backward durations and the per-boundary communication
+// model (costmodel::CommModel; the paper's scalar `Comm` is its uniform
+// degenerate case), implementing the paper's three-phase recurrences with
+// `Comm` generalized to Comm(g) -- the cost of crossing boundary g -> g+1:
 //
 //   Warmup    start(x,k) tracks the straightforward FP chain;
-//   1F1B      t(x,y,0) = max(t(x-1,y-1,0)+f_{x-1}, t(x,y-1,1)+b_x) [+Comm, x!=0]
-//             t(x,y,1) = max(t(x+1,y,1)+b_{x+1}, t(x,y,0)+f_x)     [+Comm, x!=n-1]
+//   1F1B      t(x,y,0) = max(t(x-1,y-1,0)+f_{x-1}, t(x,y-1,1)+b_x)
+//                        [+Comm(x-1), x!=0]
+//             t(x,y,1) = max(t(x+1,y,1)+b_{x+1}, t(x,y,0)+f_x)
+//                        [+Comm(x), x!=n-1]
 //             with stage x owning max(0, m-n+x+1) blocks;
-//   Cooldown  t(x,y) = max(t(x,y+1)+b_x, t(x+1,y)+b_{x+1}) + Comm.
+//   Cooldown  t(x,y) = max(t(x,y+1)+b_x, t(x+1,y)+b_{x+1}) + Comm(x).
 //
 // It then reconstructs the critical path by backtracking the argmax of every
 // max, breaking ties toward the higher stage so the path is the unique one
@@ -21,8 +25,11 @@
 #include <vector>
 
 #include "core/partition.h"
+#include "costmodel/topology.h"
 
 namespace autopipe::core {
+
+using costmodel::CommModel;
 
 enum class Phase { Warmup, Steady, Cooldown };
 enum class OpType { Forward, Backward };
@@ -55,12 +62,15 @@ struct SimResult {
 };
 
 /// Simulates `micro_batches` >= num_stages micro-batches through the given
-/// stages. Throws std::invalid_argument on fewer micro-batches than stages
-/// (the paper's configurations always satisfy m >= n).
+/// stages under `comm` (a plain double converts to the uniform model and
+/// reproduces the paper's scalar arithmetic bit-for-bit). Throws
+/// std::invalid_argument on fewer micro-batches than stages (the paper's
+/// configurations always satisfy m >= n).
 SimResult simulate_pipeline(std::span<const StageCost> stages,
-                            int micro_batches, double comm_ms);
+                            int micro_batches, const CommModel& comm);
 
-/// Convenience: derive stage costs from a partition of `config`.
+/// Convenience: derive stage costs from a partition of `config` and price
+/// every hop uniformly at `config.comm_ms`.
 SimResult simulate_pipeline(const ModelConfig& config,
                             const Partition& partition, int micro_batches);
 

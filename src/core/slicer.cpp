@@ -6,19 +6,23 @@
 
 namespace autopipe::core {
 
-SlicerResult solve_slicing(std::span<const StageCost> stages, double comm_ms,
+SlicerResult solve_slicing(std::span<const StageCost> stages,
+                           const costmodel::CommModel& comm,
                            int micro_batches) {
   const int p = static_cast<int>(stages.size());
   SlicerResult result;
 
   auto f = [&](int i) { return stages[i].fwd_ms; };
   auto b = [&](int i) { return stages[i].bwd_ms; };
+  // Comm(g): crossing boundary g -> g+1, either direction (§II-B's links
+  // are symmetric).
+  auto hop = [&](int g) { return comm.hop_ms(g); };
 
   // Startup overhead (§II-B): the last stage receives the first micro-batch
   // after every earlier stage's FP plus p-1 hops; slicing halves both terms.
   for (int i = 0; i < p - 1; ++i) {
-    result.startup_before_ms += f(i) + comm_ms;
-    result.startup_after_ms += f(i) / 2 + comm_ms / 2;
+    result.startup_before_ms += f(i) + hop(i);
+    result.startup_after_ms += f(i) / 2 + hop(i) / 2;
   }
 
   if (p < 2 || micro_batches < 1) return result;  // nothing to slice
@@ -29,10 +33,11 @@ SlicerResult solve_slicing(std::span<const StageCost> stages, double comm_ms,
   // backward walks back down to each stage.
   std::vector<double> startt(p, 0.0);
   double tempt = 0.0;
-  for (int i = 0; i <= p - 2; ++i) tempt += f(i) / 2 + comm_ms / 2;
+  for (int i = 0; i <= p - 2; ++i) tempt += f(i) / 2 + hop(i) / 2;
   tempt += f(p - 1) / 2;
   for (int i = p - 1; i >= 1; --i) {
-    tempt += b(i) + comm_ms;
+    // The gradient of stage i lands on stage i-1 across boundary i-1.
+    tempt += b(i) + hop(i - 1);
     startt[p - 1 - i] = tempt;
   }
   tempt += b(0);
@@ -52,7 +57,7 @@ SlicerResult solve_slicing(std::span<const StageCost> stages, double comm_ms,
         if (i > 0) {
           endt[i][j] = std::max(endt[i][j], endt[i - 1][j] + f(i - 1) / 2);
         }
-        if (i != p - 1) endt[i][j] += comm_ms / 2;
+        if (i != p - 1) endt[i][j] += hop(i) / 2;
         endt[i][j] = std::max(endt[i][j], endt[i + 1][(j + 1) % 2]);
       }
     }
@@ -60,7 +65,7 @@ SlicerResult solve_slicing(std::span<const StageCost> stages, double comm_ms,
     // arrives at its consumer stage exactly on time? Walk back from the
     // moment stage p-1-(mb-1)... becomes free (startt[mb-1]).
     tempt = startt[mb - 1];
-    for (int i = p - 1 - mb; i >= 1; --i) tempt -= f(i) + comm_ms;
+    for (int i = p - 1 - mb; i >= 1; --i) tempt -= f(i) + hop(i - 1);
     tempt -= f(0);
     // Paper prose: return once the unbroken micro-batch's start time is >=
     // the end of the split second half on stage 0 (the pseudocode's printed

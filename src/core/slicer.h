@@ -17,6 +17,7 @@
 #include <span>
 
 #include "core/partition.h"
+#include "costmodel/topology.h"
 
 namespace autopipe::core {
 
@@ -32,10 +33,13 @@ struct SlicerResult {
   double startup_after_ms = 0;
 };
 
-/// Runs Algorithm 2 on the per-stage costs of a partition scheme.
-/// `micro_batches` bounds the answer (cannot slice more micro-batches than
-/// an iteration has).
-SlicerResult solve_slicing(std::span<const StageCost> stages, double comm_ms,
+/// Runs Algorithm 2 on the per-stage costs of a partition scheme. `comm`
+/// prices each stage boundary (a plain double converts to the uniform model
+/// and reproduces the paper's scalar arithmetic); every halved transfer pays
+/// half the hop's cost. `micro_batches` bounds the answer (cannot slice more
+/// micro-batches than an iteration has).
+SlicerResult solve_slicing(std::span<const StageCost> stages,
+                           const costmodel::CommModel& comm,
                            int micro_batches);
 
 SlicerResult solve_slicing(const ModelConfig& config,

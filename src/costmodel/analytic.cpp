@@ -164,6 +164,13 @@ ModelConfig build_model_config(const ModelSpec& spec, const TrainConfig& train,
   return cfg;
 }
 
+double activation_bytes(const ModelConfig& config) {
+  const int s = config.train.seq_len > 0 ? config.train.seq_len
+                                         : config.spec.default_seq;
+  return static_cast<double>(config.train.micro_batch_size) * s *
+         config.spec.hidden * kBytesPerElem;
+}
+
 ModelConfig build_model_config(const ModelSpec& spec, const TrainConfig& train) {
   return build_model_config(spec, train, rtx3090(), infiniband_100g());
 }

@@ -69,6 +69,12 @@ ModelConfig build_model_config(const ModelSpec& spec, const TrainConfig& train,
                                const DeviceProfile& device,
                                const LinkProfile& link);
 
+/// Bytes of the fp16 activation tensor crossing a stage boundary
+/// (micro_batch_size x seq x hidden) -- the volume a topology-aware
+/// CommModel prices each hop with. `config.comm_ms` is exactly this volume
+/// priced on `config.link`.
+double activation_bytes(const ModelConfig& config);
+
 /// Convenience: zoo model + defaults (RTX 3090, 100G IB-class link).
 ModelConfig build_model_config(const ModelSpec& spec, const TrainConfig& train);
 

@@ -31,6 +31,8 @@ struct LinkProfile {
   double bandwidth_gbps = 12.0;  ///< per direction; sends and receives are
                                  ///< concurrent, so bidirectional exchange
                                  ///< costs the same as unidirectional (§II-B)
+
+  bool operator==(const LinkProfile&) const = default;
 };
 
 /// NVIDIA GeForce RTX 3090 (Ampere, 24 GB), as in the paper's cluster.

@@ -1,26 +1,103 @@
 #include "costmodel/topology.h"
 
+#include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace autopipe::costmodel {
 
 ClusterTopology paper_cluster() { return ClusterTopology{}; }
 
-std::vector<double> boundary_comm_ms(const ClusterTopology& topology,
-                                     int stages, int first_device,
-                                     double bytes) {
-  if (stages < 1 || first_device < 0 || topology.gpus_per_node < 1) {
-    throw std::invalid_argument("bad topology query");
+double hop_ms(const ClusterTopology& topology, int a, int b, double bytes) {
+  if (a < 0 || b < 0 || topology.gpus_per_node < 1) {
+    throw std::invalid_argument("bad topology hop query");
+  }
+  return transfer_ms(topology.link_between(a, b), bytes);
+}
+
+CommModel::CommModel(double uniform_ms) : uniform_ms_(uniform_ms) {
+  if (!(uniform_ms >= 0.0)) {
+    throw std::invalid_argument("uniform comm cost must be >= 0");
+  }
+}
+
+CommModel CommModel::uniform(double ms) { return CommModel(ms); }
+
+CommModel CommModel::from_costs(std::vector<double> boundary_ms) {
+  for (double c : boundary_ms) {
+    if (!(c >= 0.0) || !std::isfinite(c)) {
+      throw std::invalid_argument("boundary comm costs must be finite, >= 0");
+    }
+  }
+  CommModel m;
+  m.kind_ = Kind::PerBoundary;
+  m.costs_ = std::move(boundary_ms);
+  return m;
+}
+
+CommModel CommModel::from_topology(const ClusterTopology& topology,
+                                   int first_device, double activation_bytes) {
+  if (first_device < 0 || topology.gpus_per_node < 1 ||
+      !(activation_bytes >= 0.0)) {
+    throw std::invalid_argument("bad topology comm model");
+  }
+  CommModel m;
+  m.kind_ = Kind::Topology;
+  m.topology_ = topology;
+  m.first_device_ = first_device;
+  m.bytes_ = activation_bytes;
+  return m;
+}
+
+double CommModel::uniform_ms() const {
+  if (kind_ != Kind::Uniform) {
+    throw std::logic_error("uniform_ms() on a per-boundary comm model");
+  }
+  return uniform_ms_;
+}
+
+double CommModel::hop_ms(int boundary) const {
+  if (boundary < 0) throw std::invalid_argument("negative boundary index");
+  switch (kind_) {
+    case Kind::Uniform:
+      return uniform_ms_;
+    case Kind::PerBoundary:
+      if (boundary >= static_cast<int>(costs_.size())) {
+        throw std::invalid_argument(
+            "boundary index past the explicit comm cost vector");
+      }
+      return costs_[static_cast<std::size_t>(boundary)];
+    case Kind::Topology:
+      return costmodel::hop_ms(topology_, first_device_ + boundary,
+                               first_device_ + boundary + 1, bytes_);
+  }
+  throw std::logic_error("unreachable comm model kind");
+}
+
+std::vector<double> CommModel::boundary_costs(int num_stages,
+                                              int chunks) const {
+  if (num_stages < 1 || chunks < 1) {
+    throw std::invalid_argument("bad boundary_costs query");
+  }
+  const int boundaries = chunks * num_stages - 1;
+  if (kind_ == Kind::PerBoundary &&
+      static_cast<int>(costs_.size()) != boundaries) {
+    throw std::invalid_argument(
+        "explicit comm costs must have one entry per global stage boundary");
   }
   std::vector<double> out;
-  out.reserve(stages - 1);
-  for (int g = 0; g + 1 < stages; ++g) {
-    const int a = first_device + g;
-    const int b = first_device + g + 1;
-    const bool same_node = topology.node_of(a) == topology.node_of(b);
-    const LinkProfile& link =
-        same_node ? topology.intra_node : topology.inter_node;
-    out.push_back(transfer_ms(link, bytes));
+  out.reserve(static_cast<std::size_t>(boundaries));
+  for (int g = 0; g < boundaries; ++g) {
+    if (kind_ == Kind::Topology) {
+      // Global stage g lives on device g % n; interleaving wraps the last
+      // device back to the first between chunks.
+      out.push_back(costmodel::hop_ms(topology_,
+                                      first_device_ + g % num_stages,
+                                      first_device_ + (g + 1) % num_stages,
+                                      bytes_));
+    } else {
+      out.push_back(hop_ms(g));
+    }
   }
   return out;
 }

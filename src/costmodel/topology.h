@@ -1,13 +1,26 @@
-// Cluster topology: how pipeline stages map onto nodes and which link each
-// stage boundary crosses.
+// Cluster topology and the per-boundary communication cost model.
 //
 // The paper's testbed is 4 nodes x 4 GPUs: neighbouring pipeline stages
 // inside one node talk over PCIe peer-to-peer, stages that straddle a node
-// boundary cross 100 Gbps InfiniBand. The analytic planner uses one scalar
-// `Comm` (§III-B observes the volumes are too small to saturate either
-// link), but the event executor can price each boundary with its real
-// link, which is also the dimension DAPPLE's device-placement search
-// explores.
+// boundary cross 100 Gbps InfiniBand. The paper's analysis collapses that
+// to one scalar `Comm` (§III-B observes the volumes are too small to
+// saturate either link); the CommModel below is the shared generalization
+// every layer of the repo prices communication through:
+//
+//   * Uniform      one scalar per hop -- the paper's degenerate case. All
+//                  arithmetic on a uniform model is bit-identical to the
+//                  historical scalar `comm_ms` plumbing.
+//   * PerBoundary  an explicit cost per global-stage boundary (fuzzing,
+//                  measured profiles, hand-tuned links).
+//   * Topology     derived on demand from a ClusterTopology + the activation
+//                  bytes crossing a cut: boundary g joins devices g and g+1
+//                  (contiguous placement from `first_device`), priced with
+//                  the intra-node or inter-node link that hop crosses.
+//
+// The Planner, analytic simulator, Slicer, schedule builders, event
+// executor and the baseline planners all consume the same CommModel, so a
+// topology-aware search and the runtime that executes its plan can never
+// disagree about what a boundary costs.
 #pragma once
 
 #include <vector>
@@ -23,16 +36,65 @@ struct ClusterTopology {
 
   /// Which node hosts (contiguously placed) device `d`?
   int node_of(int device) const { return device / gpus_per_node; }
+  /// The link a transfer between devices `a` and `b` crosses.
+  const LinkProfile& link_between(int a, int b) const {
+    return node_of(a) == node_of(b) ? intra_node : inter_node;
+  }
+
+  bool operator==(const ClusterTopology&) const = default;
 };
 
 /// The paper's 4x4 RTX-3090 cluster.
 ClusterTopology paper_cluster();
 
-/// Per-boundary transfer times for a pipeline of `stages` devices placed
-/// contiguously starting at `first_device`, moving `bytes` per activation:
-/// result[g] is the cost of crossing boundary g -> g+1 (size stages-1).
-std::vector<double> boundary_comm_ms(const ClusterTopology& topology,
-                                     int stages, int first_device,
-                                     double bytes);
+/// Transfer time of `bytes` between devices `a` and `b` of `topology`.
+double hop_ms(const ClusterTopology& topology, int a, int b, double bytes);
+
+/// Per-boundary activation-hop cost model (see file comment). Implicitly
+/// constructible from a scalar so `build_1f1b(costs, m, cfg.comm_ms)` keeps
+/// meaning "uniform comm".
+class CommModel {
+ public:
+  /*implicit*/ CommModel(double uniform_ms = 0.0);
+
+  /// The paper's degenerate case: every hop costs `ms`.
+  static CommModel uniform(double ms);
+  /// Explicit costs, one per global-stage boundary g -> g+1.
+  static CommModel from_costs(std::vector<double> boundary_ms);
+  /// Topology-derived: a pipeline placed contiguously from `first_device`,
+  /// moving `activation_bytes` per hop. Works for any pipeline depth (hops
+  /// are priced on demand), which is what lets one model serve the
+  /// planner's whole depth sweep.
+  static CommModel from_topology(const ClusterTopology& topology,
+                                 int first_device, double activation_bytes);
+
+  bool is_uniform() const { return kind_ == Kind::Uniform; }
+  /// The scalar of a uniform model; throws std::logic_error otherwise.
+  double uniform_ms() const;
+
+  /// Cost of crossing boundary `boundary` (devices first+b -> first+b+1).
+  /// Throws std::invalid_argument on a negative index or past the end of an
+  /// explicit cost vector.
+  double hop_ms(int boundary) const;
+
+  /// Materialized per-global-boundary costs for `num_stages` devices each
+  /// hosting `chunks` model chunks (global stages = chunks * num_stages):
+  /// global boundary g joins devices g % n and (g+1) % n -- the interleaved
+  /// schedule's wrap-around hop from the last device back to the first is
+  /// priced like any other. An explicit cost vector must match the boundary
+  /// count exactly.
+  std::vector<double> boundary_costs(int num_stages, int chunks = 1) const;
+
+  bool operator==(const CommModel&) const = default;
+
+ private:
+  enum class Kind { Uniform, PerBoundary, Topology };
+  Kind kind_ = Kind::Uniform;
+  double uniform_ms_ = 0.0;
+  std::vector<double> costs_;
+  ClusterTopology topology_{};
+  int first_device_ = 0;
+  double bytes_ = 0.0;
+};
 
 }  // namespace autopipe::costmodel

@@ -106,8 +106,9 @@ core::ParallelPlan dapple_plan(const core::ModelConfig& config, int gpus,
     std::vector<double> offset_objs;  ///< objective at each placement offset
   };
   std::vector<Score> scores(candidates.size());
-  const auto pcie = costmodel::pcie_p2p();
-  const auto ib = costmodel::infiniband_100g();
+  const costmodel::ClusterTopology topo = options.topology.value_or(
+      costmodel::ClusterTopology{options.gpus_per_node, costmodel::pcie_p2p(),
+                                 costmodel::infiniband_100g()});
   auto score_one = [&](int idx) {
     const Candidate& cand = candidates[static_cast<std::size_t>(idx)];
     Score& out = scores[static_cast<std::size_t>(idx)];
@@ -132,9 +133,7 @@ core::ParallelPlan dapple_plan(const core::ModelConfig& config, int gpus,
       int device = offset;
       for (int s = 0; s + 1 < d; ++s) {
         device = (device + replicas[s]) % gpus;
-        const int prev_node = (device - 1 + gpus) % gpus / options.gpus_per_node;
-        const bool same_node = prev_node == device / options.gpus_per_node;
-        const auto& link = same_node ? pcie : ib;
+        const auto& link = topo.link_between((device - 1 + gpus) % gpus, device);
         boundary_penalty +=
             2.0 * costmodel::transfer_ms(
                       link, config.train.micro_batch_size *

@@ -21,7 +21,10 @@
 //   * the largest search space of the three planners (Fig. 12).
 #pragma once
 
+#include <optional>
+
 #include "core/autopipe.h"
+#include "costmodel/topology.h"
 
 namespace autopipe::planners {
 
@@ -34,6 +37,10 @@ struct DappleOptions {
   /// tie-band reduction stays sequential in enumeration order, so the
   /// chosen plan is identical for every value.
   int threads = 1;
+  /// Cluster links the placement search prices stage boundaries with.
+  /// Unset = gpus_per_node-wide nodes with PCIe inside and 100G InfiniBand
+  /// across -- the historical hard-coded behaviour, bit-identically.
+  std::optional<costmodel::ClusterTopology> topology = std::nullopt;
 };
 
 core::ParallelPlan dapple_plan(const core::ModelConfig& config, int gpus,

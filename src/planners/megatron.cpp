@@ -1,6 +1,9 @@
 #include "planners/megatron.h"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "core/simulator.h"
 
 namespace autopipe::planners {
 
@@ -80,6 +83,35 @@ core::ParallelPlan megatron_plan(const core::ModelConfig& config, int gpus,
   plan.uniform_dp = true;
   plan.data_parallel = gpus / stages;
   return plan;
+}
+
+core::ParallelPlan megatron_plan(const core::ModelConfig& config, int gpus,
+                                 long global_batch,
+                                 const costmodel::CommModel& comm) {
+  if (gpus < 1) throw std::invalid_argument("need at least one GPU");
+  const long mbs = config.train.micro_batch_size;
+  int best_depth = -1;
+  double best_ms = 0;
+  for (int d = 1; d <= gpus; ++d) {
+    if (gpus % d != 0 || !megatron_supports(config, d)) continue;
+    const long m = std::max<long>(1, global_batch / (mbs * (gpus / d)));
+    if (m < d) continue;  // pipeline deeper than its micro-batch stream
+    const core::Partition p = megatron_partition(config, d);
+    const double ms =
+        core::simulate_pipeline(core::stage_costs(config, p),
+                                static_cast<int>(m), comm)
+            .iteration_ms;
+    // Ties break toward the shallower pipeline (fewer boundaries to cross).
+    if (best_depth < 0 || ms < best_ms) {
+      best_depth = d;
+      best_ms = ms;
+    }
+  }
+  if (best_depth < 0) {
+    throw std::invalid_argument(
+        "no supported Megatron-LM pipeline depth for this GPU count");
+  }
+  return megatron_plan(config, gpus, best_depth);
 }
 
 }  // namespace autopipe::planners

@@ -11,6 +11,7 @@
 
 #include "core/autopipe.h"
 #include "core/partition.h"
+#include "costmodel/topology.h"
 
 namespace autopipe::planners {
 
@@ -34,5 +35,15 @@ std::vector<std::vector<core::StageCost>> megatron_interleaved_costs(
 /// Full plan: uniform partition with data-parallel size gpus/stages.
 core::ParallelPlan megatron_plan(const core::ModelConfig& config, int gpus,
                                  int stages);
+
+/// Comm-aware depth selection: among the supported depths that divide
+/// `gpus`, picks the one whose uniform partition simulates fastest (1F1B,
+/// m = global_batch / (micro_batch * data_parallel)) under `comm` --
+/// heterogeneous links change which depth wins because deeper pipelines
+/// cross more (and possibly slower) boundaries. Throws when no depth is
+/// supported.
+core::ParallelPlan megatron_plan(const core::ModelConfig& config, int gpus,
+                                 long global_batch,
+                                 const costmodel::CommModel& comm);
 
 }  // namespace autopipe::planners

@@ -51,6 +51,8 @@ core::ParallelPlan piper_plan(const core::ModelConfig& config, int gpus,
   const std::vector<LayerUnit> units = layer_units(config);
   const int mbs = config.train.micro_batch_size;
   const long m = std::max<long>(1, options.global_batch / mbs);
+  const costmodel::CommModel comm =
+      options.comm.value_or(costmodel::CommModel(config.comm_ms));
 
   core::ParallelPlan best;
   best.algorithm = "piper";
@@ -121,8 +123,16 @@ core::ParallelPlan piper_plan(const core::ModelConfig& config, int gpus,
                                config.link, stage[s].param_bytes,
                                replicas[s]));
     }
-    out.obj = static_cast<double>(m + d - 1) * bottleneck +
-              2.0 * (d - 1) * config.comm_ms + allreduce;
+    // Uniform pricing keeps the historical closed form as one multiply for
+    // bit-identity; heterogeneous boundaries pay one round trip per hop.
+    double round_trip_comm = 0;
+    if (comm.is_uniform()) {
+      round_trip_comm = 2.0 * (d - 1) * comm.uniform_ms();
+    } else {
+      for (int g = 0; g + 1 < d; ++g) round_trip_comm += 2.0 * comm.hop_ms(g);
+    }
+    out.obj = static_cast<double>(m + d - 1) * bottleneck + round_trip_comm +
+              allreduce;
     out.unit_counts = unit_counts;
     out.ok = true;
   };

@@ -15,7 +15,10 @@
 //     (Fig. 12).
 #pragma once
 
+#include <optional>
+
 #include "core/autopipe.h"
+#include "costmodel/topology.h"
 
 namespace autopipe::planners {
 
@@ -27,6 +30,10 @@ struct PiperOptions {
   /// but reduced in enumeration order, so the chosen plan is identical for
   /// every value.
   int threads = 1;
+  /// Per-boundary comm model the TPS objective prices pipeline hops with.
+  /// Unset = uniform at config.comm_ms (the historical scalar term,
+  /// bit-identically).
+  std::optional<costmodel::CommModel> comm = std::nullopt;
 };
 
 core::ParallelPlan piper_plan(const core::ModelConfig& config, int gpus,

@@ -80,17 +80,12 @@ ExecResult execute(const core::Schedule& schedule, const ExecOptions& options) {
     return it == task_of.end() ? -1 : it->second;
   };
 
-  // Per-boundary transfer times (heterogeneous links) or the scalar.
-  if (!options.boundary_comm_ms.empty() &&
-      static_cast<int>(options.boundary_comm_ms.size()) !=
-          schedule.chunks * n - 1) {
-    throw std::invalid_argument(
-        "boundary_comm_ms must have one entry per global stage boundary");
-  }
+  // Per-boundary transfer times come from the schedule itself: the builders
+  // freeze the CommModel's prices into Schedule::boundary_comm_ms, so
+  // heterogeneous interconnects (intra-node PCIe vs inter-node InfiniBand)
+  // need no executor-side override.
   auto hop_of = [&](int upstream_global) {
-    return options.boundary_comm_ms.empty()
-               ? schedule.comm_ms
-               : options.boundary_comm_ms[upstream_global];
+    return schedule.hop_ms(upstream_global);
   };
 
   // Pass 2: cross-stage transfer edges.

@@ -22,11 +22,6 @@ struct ExecOptions {
   /// Uniform multiplicative noise: duration *= 1 + jitter_frac*U(-1,1).
   double jitter_frac = 0.0;
   std::uint64_t seed = 1;
-  /// Heterogeneous interconnect: per-global-boundary transfer time
-  /// overriding the schedule's scalar comm_ms (size = global stages - 1;
-  /// empty = use the scalar). Build with costmodel::boundary_comm_ms to
-  /// price intra-node PCIe vs inter-node InfiniBand hops.
-  std::vector<double> boundary_comm_ms;
   /// Hybrid data-parallel training: per-device gradient all-reduce time
   /// (size = devices; empty = none). Each device's all-reduce starts after
   /// its last backward, so early stages -- which drain last -- put theirs

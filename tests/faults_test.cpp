@@ -231,7 +231,9 @@ TEST(FaultExec, CrashTruncatesTraceAndReports) {
   // Every surviving op finished by the crash or ran on another device's
   // already-started work; none may *end* after the crash on the dead device.
   for (const auto& op : crashed.trace) {
-    if (op.device == 2) EXPECT_LE(op.end_ms, crashed.failure.at_ms);
+    if (op.device == 2) {
+      EXPECT_LE(op.end_ms, crashed.failure.at_ms);
+    }
   }
   EXPECT_LT(crashed.failure.completed_ops, total_ops);
 }

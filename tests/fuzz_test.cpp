@@ -4,6 +4,9 @@
 // the invariants that must hold for ANY input -- not just the zoo models.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <tuple>
+
 #include "core/autopipe.h"
 #include "core/balanced_dp.h"
 #include "core/planner.h"
@@ -260,6 +263,78 @@ TEST(FaultFuzz, EmptyPlanIsBitIdenticalForEveryScheduleKind) {
     }
     EXPECT_FALSE(with_empty.failure.crashed);
     EXPECT_EQ(with_empty.link_retries, 0);
+  }
+}
+
+TEST(ScheduleEvalFuzz, AnalyticEvaluatorMatchesExecutorForEveryKind) {
+  // The longest-path evaluator and the discrete-event executor build the
+  // same dependency graph, so with zero overhead, zero jitter and no faults
+  // their timings must agree bit-for-bit -- for every ScheduleKind, on
+  // random partitions and random per-boundary comm cost vectors.
+  util::Rng rng(57);
+  for (int trial = 0; trial < 48; ++trial) {
+    const int stages = 2 + static_cast<int>(rng.next_below(6));
+    std::vector<core::StageCost> costs(static_cast<std::size_t>(stages));
+    for (auto& c : costs) {
+      c.fwd_ms = rng.uniform(0.5, 3.0);
+      c.bwd_ms = c.fwd_ms * rng.uniform(1.5, 3.0);
+    }
+    const int m = stages + static_cast<int>(rng.next_below(8));
+    const int chunks = trial % 4 == 3 ? 2 : 1;
+    std::vector<double> boundary(
+        static_cast<std::size_t>(chunks * stages - 1));
+    for (auto& b : boundary) b = rng.uniform(0.0, 1.0);
+    const auto comm = costmodel::CommModel::from_costs(boundary);
+    core::Schedule schedule;
+    switch (trial % 4) {
+      case 0:
+        schedule = core::build_1f1b(costs, m, comm);
+        break;
+      case 1:
+        schedule = core::build_gpipe(costs, m, comm);
+        break;
+      case 2:
+        schedule = core::build_sliced_1f1b(
+            costs, m, comm, 1 + static_cast<int>(rng.next_below(stages)));
+        break;
+      default: {
+        std::vector<std::vector<core::StageCost>> chunk_costs(
+            static_cast<std::size_t>(stages));
+        for (auto& dev : chunk_costs) {
+          dev.resize(2);
+          for (auto& c : dev) {
+            c.fwd_ms = rng.uniform(0.5, 2.0);
+            c.bwd_ms = c.fwd_ms * rng.uniform(1.5, 3.0);
+          }
+        }
+        schedule = core::build_interleaved(chunk_costs, stages * 2, comm);
+        break;
+      }
+    }
+    const auto eval = core::evaluate_schedule(schedule);
+    const auto exec = sim::execute(schedule);
+    EXPECT_EQ(eval.iteration_ms, exec.iteration_ms) << "trial " << trial;
+    EXPECT_EQ(eval.startup_ms, exec.startup_ms) << "trial " << trial;
+    // Per-op agreement: both sides sorted by (start, device, end).
+    ASSERT_EQ(eval.ops.size(), exec.trace.size()) << "trial " << trial;
+    std::vector<std::tuple<double, int, double>> a, b;
+    for (const auto& op : eval.ops) {
+      a.emplace_back(op.start_ms, op.device, op.end_ms);
+    }
+    for (const auto& op : exec.trace) {
+      b.emplace_back(op.start_ms, op.device, op.end_ms);
+    }
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << "trial " << trial;
+    // The critical path is real: non-empty, ends at the makespan, and walks
+    // forward in time.
+    ASSERT_FALSE(eval.critical_path.empty());
+    EXPECT_EQ(eval.ops[eval.critical_path.back()].end_ms, eval.iteration_ms);
+    for (std::size_t i = 1; i < eval.critical_path.size(); ++i) {
+      EXPECT_LE(eval.ops[eval.critical_path[i - 1]].end_ms,
+                eval.ops[eval.critical_path[i]].start_ms + 1e-12);
+    }
   }
 }
 

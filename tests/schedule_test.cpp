@@ -2,6 +2,7 @@
 
 #include "core/schedule.h"
 #include "planners/megatron.h"
+#include "sim/executor.h"
 
 namespace autopipe::core {
 namespace {
@@ -27,7 +28,9 @@ TEST_P(OneFOneBShapes, BuildsValidSchedules) {
   EXPECT_NO_THROW(validate(gp));
   const auto sl = build_sliced_1f1b(uniform_stages(n), m, 0.1, sliced);
   EXPECT_NO_THROW(validate(sl));
-  if (sliced > 0) EXPECT_EQ(sl.kind, ScheduleKind::AutoPipeSliced);
+  if (sliced > 0) {
+    EXPECT_EQ(sl.kind, ScheduleKind::AutoPipeSliced);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -180,6 +183,95 @@ TEST(Schedule, ValidateCatchesCorruption) {
   broken = s;
   broken.order[1][0].micro_batch = 99;
   EXPECT_THROW(validate(broken), std::logic_error);
+}
+
+TEST(Schedule, CarriesPerBoundaryCommCosts) {
+  const auto uniform = build_1f1b(uniform_stages(4), 8, 0.25);
+  EXPECT_EQ(uniform.boundary_comm_ms, (std::vector<double>{0.25, 0.25, 0.25}));
+  EXPECT_DOUBLE_EQ(uniform.hop_ms(1), 0.25);
+
+  const auto hetero = build_1f1b(
+      uniform_stages(4), 8, CommModel::from_costs({0.1, 0.9, 0.2}));
+  EXPECT_EQ(hetero.boundary_comm_ms, (std::vector<double>{0.1, 0.9, 0.2}));
+
+  // Interleaved: chunks*stages-1 global boundaries, including the wrap hop.
+  const std::vector<std::vector<StageCost>> chunks(
+      2, std::vector<StageCost>(2, StageCost{1, 2}));
+  const auto inter = build_interleaved(chunks, 4, 0.5);
+  EXPECT_EQ(inter.boundary_comm_ms.size(), 3u);
+
+  // An explicit vector of the wrong size is rejected at build time.
+  EXPECT_THROW(
+      build_1f1b(uniform_stages(4), 8, CommModel::from_costs({0.1, 0.9})),
+      std::invalid_argument);
+}
+
+TEST(Schedule, UniformCommModelIsBitIdenticalToScalar) {
+  // Contract (a) of the refactor: a uniform CommModel must reproduce the
+  // historical scalar-comm executor results bit-for-bit, and so must an
+  // explicit per-boundary vector whose entries all equal the scalar (every
+  // consumer adds hops one at a time, never as a closed-form multiply).
+  const auto costs = uniform_stages(5, 1.7, 3.9);
+  const double c = 0.37;
+  const auto scalar = sim::execute(build_sliced_1f1b(costs, 11, c, 3));
+  const auto vector = sim::execute(build_sliced_1f1b(
+      costs, 11, CommModel::from_costs({c, c, c, c}), 3));
+  EXPECT_EQ(scalar.iteration_ms, vector.iteration_ms);
+  EXPECT_EQ(scalar.startup_ms, vector.startup_ms);
+  ASSERT_EQ(scalar.trace.size(), vector.trace.size());
+  for (std::size_t i = 0; i < scalar.trace.size(); ++i) {
+    EXPECT_EQ(scalar.trace[i].start_ms, vector.trace[i].start_ms);
+    EXPECT_EQ(scalar.trace[i].end_ms, vector.trace[i].end_ms);
+  }
+}
+
+TEST(ScheduleEval, MatchesExecutorOnKnownShapes) {
+  const auto costs = uniform_stages(4, 2.0, 4.0);
+  for (const auto& schedule :
+       {build_1f1b(costs, 8, 0.3), build_gpipe(costs, 8, 0.3),
+        build_sliced_1f1b(costs, 8, 0.3, 2)}) {
+    const auto eval = evaluate_schedule(schedule);
+    const auto exec = sim::execute(schedule);
+    EXPECT_EQ(eval.iteration_ms, exec.iteration_ms);
+    EXPECT_EQ(eval.startup_ms, exec.startup_ms);
+  }
+}
+
+TEST(ScheduleEval, HeterogeneousBoundaryShiftsStartup) {
+  // Pricing one boundary 5 ms slower delays the last device's first forward
+  // by exactly that lag on an otherwise free interconnect.
+  const auto costs = uniform_stages(4, 2.0, 4.0);
+  const auto base = evaluate_schedule(build_1f1b(costs, 8, 0.0));
+  const auto skewed = evaluate_schedule(
+      build_1f1b(costs, 8, CommModel::from_costs({0.0, 5.0, 0.0})));
+  EXPECT_NEAR(skewed.startup_ms, base.startup_ms + 5.0, 1e-12);
+}
+
+TEST(ScheduleEval, CriticalPathRidesTheBottleneckDevice) {
+  // One device twice as slow as the rest: the steady-phase critical path
+  // must ride it.
+  std::vector<StageCost> costs = uniform_stages(4, 2.0, 4.0);
+  costs[2] = StageCost{4.0, 8.0};
+  const auto eval = evaluate_schedule(build_1f1b(costs, 8, 0.1));
+  ASSERT_FALSE(eval.critical_path.empty());
+  int bottleneck_hits = 0;
+  for (int id : eval.critical_path) {
+    EXPECT_TRUE(eval.ops[id].on_critical_path);
+    if (eval.ops[id].device == 2) ++bottleneck_hits;
+  }
+  EXPECT_GT(bottleneck_hits,
+            static_cast<int>(eval.critical_path.size()) / 2);
+  // The path is causally ordered.
+  for (std::size_t i = 1; i < eval.critical_path.size(); ++i) {
+    EXPECT_LE(eval.ops[eval.critical_path[i - 1]].end_ms,
+              eval.ops[eval.critical_path[i]].start_ms + 1e-12);
+  }
+}
+
+TEST(ScheduleEval, RejectsMalformedSchedules) {
+  auto schedule = build_1f1b(uniform_stages(3), 6, 0.1);
+  schedule.boundary_comm_ms = {0.1};  // wrong size
+  EXPECT_THROW(evaluate_schedule(schedule), std::logic_error);
 }
 
 }  // namespace

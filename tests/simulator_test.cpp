@@ -35,6 +35,45 @@ TEST(Simulator, StartupIsForwardChainPlusComms) {
   EXPECT_NEAR(r.warmup_estimate_ms, 4 * 3.0 + 3 * 0.5, 1e-9);
 }
 
+TEST(Simulator, PerBoundaryCommShiftsStartup) {
+  // Comm(g) generalizes the scalar: pricing only boundary 1 at 5 ms delays
+  // the forward chain -- and so startup -- by exactly 5 ms.
+  const auto stages = uniform_stages(4, 3.0, 9.0);
+  const auto base = simulate_pipeline(stages, 8, 0.0);
+  const auto skewed = simulate_pipeline(
+      stages, 8, costmodel::CommModel::from_costs({0.0, 5.0, 0.0}));
+  EXPECT_NEAR(skewed.startup_ms, base.startup_ms + 5.0, 1e-12);
+  EXPECT_NEAR(skewed.warmup_estimate_ms, base.warmup_estimate_ms + 5.0,
+              1e-12);
+}
+
+TEST(Simulator, UniformVectorMatchesScalarRecurrences) {
+  // Contract (a): the recurrences add hops one at a time, so an explicit
+  // equal-cost vector is bit-identical to the scalar on every op time (the
+  // warmup *estimate* keeps its closed form only for the uniform kind).
+  const auto stages = uniform_stages(5, 1.3, 2.9);
+  const double c = 0.41;
+  const auto scalar = simulate_pipeline(stages, 9, c);
+  const auto vector = simulate_pipeline(
+      stages, 9, costmodel::CommModel::from_costs({c, c, c, c}));
+  EXPECT_EQ(scalar.iteration_ms, vector.iteration_ms);
+  EXPECT_EQ(scalar.startup_ms, vector.startup_ms);
+  EXPECT_EQ(scalar.master_stage, vector.master_stage);
+  EXPECT_EQ(scalar.critical_path, vector.critical_path);
+  ASSERT_EQ(scalar.ops.size(), vector.ops.size());
+  for (std::size_t i = 0; i < scalar.ops.size(); ++i) {
+    EXPECT_EQ(scalar.ops[i].start_ms, vector.ops[i].start_ms);
+    EXPECT_EQ(scalar.ops[i].end_ms, vector.ops[i].end_ms);
+  }
+  EXPECT_NEAR(scalar.warmup_estimate_ms, vector.warmup_estimate_ms, 1e-12);
+}
+
+TEST(Simulator, RejectsShortBoundaryVector) {
+  EXPECT_THROW(simulate_pipeline(uniform_stages(4, 1, 2), 8,
+                                 costmodel::CommModel::from_costs({0.1})),
+               std::invalid_argument);
+}
+
 TEST(Simulator, BalancedPipelineIterationFormula) {
   // For a perfectly balanced pipeline with b = 2f and negligible comm, the
   // last stage runs continuously after startup: iter ~ startup + m*(f+b) +

@@ -85,5 +85,29 @@ TEST(Slicer, StartupBeforeMatchesSimulator) {
   EXPECT_NEAR(sliced.startup_before_ms, sim.startup_ms, 1e-6);
 }
 
+TEST(Slicer, PerBoundaryCostsMatchSimulatorStartup) {
+  // Algorithm 2's startup estimate must agree with the simulator under
+  // heterogeneous boundary pricing too, not only the scalar model.
+  const auto costs = uniform_stages(4, 3, 7);
+  const auto comm = costmodel::CommModel::from_costs({0.1, 2.5, 0.1});
+  const auto sliced = solve_slicing(costs, comm, 8);
+  const auto sim = simulate_pipeline(costs, 8, comm);
+  EXPECT_NEAR(sliced.startup_before_ms, sim.startup_ms, 1e-9);
+  // The slow boundary raises the unsliced startup versus uniform pricing.
+  const auto uniform = solve_slicing(costs, 0.1, 8);
+  EXPECT_GT(sliced.startup_before_ms, uniform.startup_before_ms);
+}
+
+TEST(Slicer, UniformVectorIsBitIdenticalToScalar) {
+  const auto costs = uniform_stages(6, 2.3, 5.1);
+  const double c = 0.45;
+  const auto scalar = solve_slicing(costs, c, 12);
+  const auto vector = solve_slicing(
+      costs, costmodel::CommModel::from_costs({c, c, c, c, c}), 12);
+  EXPECT_EQ(scalar.sliced_micro_batches, vector.sliced_micro_batches);
+  EXPECT_EQ(scalar.startup_before_ms, vector.startup_before_ms);
+  EXPECT_EQ(scalar.startup_after_ms, vector.startup_after_ms);
+}
+
 }  // namespace
 }  // namespace autopipe::core

@@ -9,6 +9,7 @@ namespace autopipe {
 namespace {
 
 using costmodel::ClusterTopology;
+using costmodel::CommModel;
 
 TEST(Topology, NodeMapping) {
   const ClusterTopology t = costmodel::paper_cluster();
@@ -22,7 +23,7 @@ TEST(Topology, NodeMapping) {
 TEST(Topology, BoundaryLinksFollowNodeEdges) {
   const ClusterTopology t = costmodel::paper_cluster();
   const double bytes = 8e6;  // one activation tensor
-  const auto comms = costmodel::boundary_comm_ms(t, 8, 0, bytes);
+  const auto comms = CommModel::from_topology(t, 0, bytes).boundary_costs(8);
   ASSERT_EQ(comms.size(), 7u);
   const double intra = costmodel::transfer_ms(t.intra_node, bytes);
   const double inter = costmodel::transfer_ms(t.inter_node, bytes);
@@ -32,26 +33,57 @@ TEST(Topology, BoundaryLinksFollowNodeEdges) {
   EXPECT_DOUBLE_EQ(comms[3], inter);
   EXPECT_DOUBLE_EQ(comms[4], intra);
   // Offset placement shifts the node edge.
-  const auto shifted = costmodel::boundary_comm_ms(t, 4, 2, bytes);
+  const auto shifted = CommModel::from_topology(t, 2, bytes).boundary_costs(4);
   EXPECT_DOUBLE_EQ(shifted[0], intra);  // devices 2-3
   EXPECT_DOUBLE_EQ(shifted[1], inter);  // devices 3-4 cross nodes
   EXPECT_DOUBLE_EQ(shifted[2], intra);  // devices 4-5
+  // hop_ms prices the same boundaries on demand.
+  const CommModel model = CommModel::from_topology(t, 0, bytes);
+  EXPECT_DOUBLE_EQ(model.hop_ms(2), intra);
+  EXPECT_DOUBLE_EQ(model.hop_ms(3), inter);
+}
+
+TEST(Topology, InterleavedWrapAroundBoundary) {
+  // chunks=2 on 4 devices: global boundary 3 wraps from device 3 back to
+  // device 0 -- an inter-node hop on the paper cluster.
+  const ClusterTopology t = costmodel::paper_cluster();
+  ClusterTopology two_wide = t;
+  two_wide.gpus_per_node = 2;
+  const double bytes = 8e6;
+  const auto comms =
+      CommModel::from_topology(two_wide, 0, bytes).boundary_costs(4, 2);
+  ASSERT_EQ(comms.size(), 7u);
+  const double intra = costmodel::transfer_ms(two_wide.intra_node, bytes);
+  const double inter = costmodel::transfer_ms(two_wide.inter_node, bytes);
+  EXPECT_DOUBLE_EQ(comms[0], intra);  // devices 0-1, same node
+  EXPECT_DOUBLE_EQ(comms[1], inter);  // devices 1-2, cross
+  EXPECT_DOUBLE_EQ(comms[3], inter);  // wrap: devices 3-0, cross
+  EXPECT_DOUBLE_EQ(comms[4], intra);  // second chunk, devices 0-1
 }
 
 TEST(Topology, RejectsBadQueries) {
   const ClusterTopology t = costmodel::paper_cluster();
-  EXPECT_THROW(costmodel::boundary_comm_ms(t, 0, 0, 1.0),
+  EXPECT_THROW(CommModel::uniform(-1.0), std::invalid_argument);
+  EXPECT_THROW(CommModel::from_costs({0.1, -0.2}), std::invalid_argument);
+  EXPECT_THROW(CommModel::from_topology(t, -1, 1.0), std::invalid_argument);
+  EXPECT_THROW(CommModel::from_topology(t, 0, -1.0), std::invalid_argument);
+  EXPECT_THROW(CommModel::from_topology(t, 0, 1.0).boundary_costs(0),
                std::invalid_argument);
-  EXPECT_THROW(costmodel::boundary_comm_ms(t, 4, -1, 1.0),
+  // An explicit vector must match the boundary count exactly.
+  EXPECT_THROW(CommModel::from_costs({0.1, 0.1}).boundary_costs(4),
                std::invalid_argument);
+  EXPECT_THROW(CommModel::from_costs({0.1, 0.1}).hop_ms(2),
+               std::invalid_argument);
+  EXPECT_THROW(CommModel::uniform(1.0).hop_ms(-1), std::invalid_argument);
+  EXPECT_NO_THROW(CommModel::uniform(1.0).uniform_ms());
+  EXPECT_THROW(CommModel::from_costs({0.1}).uniform_ms(), std::logic_error);
 }
 
 TEST(Topology, ExecutorUsesHeterogeneousBoundaries) {
   // An 8-stage pipeline spanning two nodes: pricing the node-crossing
   // boundary with a slow link must delay startup by exactly the extra lag
-  // of that one hop.
+  // of that one hop. The schedule carries the boundary costs itself.
   const std::vector<core::StageCost> stages(8, core::StageCost{2.0, 4.0});
-  const auto schedule = core::build_1f1b(stages, 16, 0.0);
 
   ClusterTopology t;
   t.gpus_per_node = 4;
@@ -60,19 +92,20 @@ TEST(Topology, ExecutorUsesHeterogeneousBoundaries) {
   t.inter_node.latency_ms = 5.0;
   t.inter_node.bandwidth_gbps = 1e9;
 
-  sim::ExecOptions opts;
-  opts.boundary_comm_ms = costmodel::boundary_comm_ms(t, 8, 0, 0.0);
-  const auto hetero = sim::execute(schedule, opts);
-  const auto uniform = sim::execute(schedule);  // scalar comm 0
+  const auto hetero = sim::execute(
+      core::build_1f1b(stages, 16, CommModel::from_topology(t, 0, 0.0)));
+  const auto uniform = sim::execute(core::build_1f1b(stages, 16, 0.0));
   EXPECT_NEAR(hetero.startup_ms, uniform.startup_ms + 5.0, 1e-9);
 }
 
 TEST(Topology, ExecutorValidatesBoundaryVectorSize) {
   const std::vector<core::StageCost> stages(4, core::StageCost{1.0, 2.0});
-  const auto schedule = core::build_1f1b(stages, 8, 0.1);
-  sim::ExecOptions opts;
-  opts.boundary_comm_ms = {0.1, 0.1};  // needs 3 entries
-  EXPECT_THROW(sim::execute(schedule, opts), std::invalid_argument);
+  auto schedule = core::build_1f1b(stages, 8, 0.1);
+  schedule.boundary_comm_ms = {0.1, 0.1};  // needs 3 entries
+  EXPECT_THROW(core::validate(schedule), std::logic_error);
+  EXPECT_THROW(sim::execute(schedule), std::logic_error);
+  schedule.boundary_comm_ms = {0.1, -0.1, 0.1};  // negative cost
+  EXPECT_THROW(sim::execute(schedule), std::logic_error);
 }
 
 TEST(Metrics, FillDrainDecomposition) {
