@@ -1,0 +1,162 @@
+// Checkpoint-overhead benchmark (EXPERIMENTS.md "Durable checkpointing").
+//
+// Answers "what does durability cost?": for each zoo model, a synthetic
+// TrainState is sized from the model's real per-block param_bytes (capped
+// per block so the harness stays CPU-friendly), written through the full
+// crash-consistency protocol (records + fsync'd atomic manifest commit) to
+// a PosixStorage temp directory and restored back. One JSON line per
+// (model, interval):
+//
+//   {"bench":"ckpt_overhead","model":"gpt2-345m","interval":5,
+//    "state_bytes":...,"write_ms":...,"restore_ms":...,
+//    "iteration_ms":...,"amortized_pct":...}
+//
+// write_ms/restore_ms are medians over --repeats runs; iteration_ms is the
+// planned 1F1B iteration on the discrete-event executor ("actual run"
+// conditions); amortized_pct = write_ms / (interval * iteration_ms) * 100,
+// i.e. the slowdown a training loop pays for checkpointing every
+// `interval` iterations.
+//
+// Flags: --gpus N (default 4), --repeats N (default 5), --cap-floats N
+// (per-block parameter cap, default 65536), --quiet.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.h"
+#include "ckpt/storage.h"
+#include "core/autopipe.h"
+#include "core/partition.h"
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace autopipe;
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// A TrainState shaped like `cfg`'s block array: one parameter per block
+/// holding min(param_bytes/4, cap) seeded floats, with Adam moments (so the
+/// serialized size reflects the 3x optimizer multiplier of a real run).
+ckpt::TrainState synthetic_state(const costmodel::ModelConfig& cfg,
+                                 const std::vector<int>& counts,
+                                 std::size_t cap_floats) {
+  ckpt::TrainState state;
+  state.step = 1;
+  state.adam_t = 1;
+  util::Rng rng(17);
+  state.data_rng = rng.state();
+  state.counts = counts;
+  state.scheme_fingerprint = core::scheme_hash(counts);
+  for (const costmodel::Block& b : cfg.blocks) {
+    const std::size_t floats =
+        std::min(cap_floats, static_cast<std::size_t>(b.param_bytes / 4));
+    ckpt::ParamState p;
+    p.name = b.name;
+    p.value.resize(std::max<std::size_t>(floats, 1));
+    p.adam_m.resize(p.value.size());
+    p.adam_v.resize(p.value.size());
+    for (std::size_t i = 0; i < p.value.size(); ++i) {
+      p.value[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+      p.adam_m[i] = static_cast<float>(rng.uniform(-0.1, 0.1));
+      p.adam_v[i] = static_cast<float>(rng.uniform(0.0, 0.01));
+    }
+    ckpt::BlockState block;
+    block.kind = b.name;
+    block.params.push_back(std::move(p));
+    state.blocks.push_back(std::move(block));
+  }
+  return state;
+}
+
+std::size_t state_bytes(const ckpt::TrainState& state) {
+  std::size_t total = 0;
+  for (const auto& b : state.blocks) {
+    for (const auto& p : b.params) {
+      total += 4 * (p.value.size() + p.adam_m.size() + p.adam_v.size());
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const int gpus = cli.checked_int("gpus", 4, 1, 64);
+  const int repeats = cli.checked_int("repeats", 5, 1, 1000);
+  const auto cap_floats = static_cast<std::size_t>(
+      cli.checked_int("cap-floats", 65536, 1, 1 << 24));
+  const bool quiet = cli.get_bool("quiet", false);
+
+  const std::vector<std::string> models{"gpt2-345m", "gpt2-762m", "gpt2-1.3b",
+                                        "bert-large"};
+  const std::vector<int> intervals{1, 5, 25};
+
+  const std::string root =
+      (std::filesystem::temp_directory_path() / "autopipe_bench_ckpt")
+          .string();
+
+  try {
+    for (const std::string& model : models) {
+      const auto cfg = costmodel::build_model_config(
+          costmodel::model_by_name(model), {4, 0, true});
+      const auto planned = core::auto_plan(cfg, {gpus, 64, 0, true});
+      const double iteration_ms = planned.evaluation.iteration_ms;
+      const auto& counts = planned.plan.partition.counts;
+      const ckpt::TrainState state = synthetic_state(cfg, counts, cap_floats);
+
+      ckpt::PosixStorage storage;
+      const std::string dir = root + "/" + model;
+      std::filesystem::remove_all(dir);
+      std::vector<double> writes, restores;
+      for (int r = 0; r < repeats; ++r) {
+        ckpt::CheckpointWriter writer(storage, dir, {1});
+        const double w0 = now_ms();
+        writer.write(state);
+        writes.push_back(now_ms() - w0);
+        ckpt::CheckpointReader reader(storage, dir);
+        const double r0 = now_ms();
+        const auto restored = reader.restore();
+        restores.push_back(now_ms() - r0);
+        if (!(restored.state == state)) {
+          std::fprintf(stderr, "error: %s restore is not bit-identical\n",
+                       model.c_str());
+          return 1;
+        }
+      }
+      const double write_ms = util::median(writes);
+      const double restore_ms = util::median(restores);
+      for (int interval : intervals) {
+        std::printf(
+            "{\"bench\":\"ckpt_overhead\",\"model\":\"%s\",\"gpus\":%d,"
+            "\"interval\":%d,\"state_bytes\":%zu,\"write_ms\":%.3f,"
+            "\"restore_ms\":%.3f,\"iteration_ms\":%.3f,"
+            "\"amortized_pct\":%.4f}\n",
+            model.c_str(), gpus, interval, state_bytes(state), write_ms,
+            restore_ms, iteration_ms,
+            100.0 * write_ms / (interval * iteration_ms));
+      }
+      if (!quiet) {
+        std::fprintf(stderr,
+                     "%s: %zu-byte state, write %.2f ms, restore %.2f ms\n",
+                     model.c_str(), state_bytes(state), write_ms, restore_ms);
+      }
+      std::filesystem::remove_all(dir);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -63,7 +63,7 @@ profiler::SessionOptions session_from(const util::Cli& cli) {
   s.profiler.inner_iterations = cli.get_int("inner", 1);
   s.profiler.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
   s.profiler.share_layer_timings = !cli.get_bool("every-layer", false);
-  s.profiler.trim_frac = cli.get_double("trim", 0.2);
+  s.profiler.trim_frac = cli.checked_double("trim", 0.2, 0.0, 0.49);
   if (cli.get("estimator", "median") == "trimmed") {
     s.profiler.estimator = profiler::TimingEstimator::TrimmedMean;
   }

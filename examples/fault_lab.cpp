@@ -7,23 +7,36 @@
 //   fault_lab crash     [flags]  device loss -> replan on N-1 -> grads checked
 //   fault_lab kill      [flags]  kill a stage mid-iteration; assert the
 //                                runtime surfaces StageFailure (no hang)
+//   fault_lab ckpt      [flags]  checkpointed training; --kill-at J raises
+//                                SIGKILL during the J-th checkpoint commit,
+//                                --resume restarts from the newest valid
+//                                checkpoint and verifies the resumed loss
+//                                trajectory matches an uninterrupted run
 //
 // Common flags: --model <zoo-name> (sim/robust), --gpus N, --mbs N, --gbs N,
 // --threads N. Fault knobs: --seed N, --trials N, --quantile Q,
 // --straggler-prob P, --slowdown X, --spike-prob P, --outage-prob P,
 // --crash-device D, --crash-at MS (sim), --after-ops K (runtime),
-// --failures N (transient count).
+// --failures N (transient count). Ckpt knobs: --dir PATH, --iters N,
+// --interval K, --kill-at J, --resume, --gpus N (elastic resume).
+#include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <exception>
 #include <string>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
+#include "ckpt/storage.h"
 #include "core/autopipe.h"
 #include "core/planner.h"
 #include "core/replan.h"
+#include "core/resume.h"
 #include "faults/fault_plan.h"
 #include "faults/robustness.h"
+#include "runtime/train_session.h"
 #include "model/data.h"
 #include "model/transformer.h"
 #include "runtime/pipeline_runtime.h"
@@ -39,10 +52,10 @@ using namespace autopipe;
 
 faults::FaultDistribution dist_from(const util::Cli& cli) {
   faults::FaultDistribution dist;
-  dist.straggler_prob = cli.get_double("straggler-prob", 0.3);
-  dist.slowdown_max = cli.get_double("slowdown", 2.0);
-  dist.spike_prob = cli.get_double("spike-prob", 0.1);
-  dist.outage_prob = cli.get_double("outage-prob", 0.05);
+  dist.straggler_prob = cli.checked_double("straggler-prob", 0.3, 0.0, 1.0);
+  dist.slowdown_max = cli.checked_double("slowdown", 2.0, 1.0, 1e6);
+  dist.spike_prob = cli.checked_double("spike-prob", 0.1, 0.0, 1.0);
+  dist.outage_prob = cli.checked_double("outage-prob", 0.05, 0.0, 1.0);
   return dist;
 }
 
@@ -97,7 +110,8 @@ int do_sim(const util::Cli& cli) {
   if (cli.has("crash-at")) {
     faults::DeviceCrash crash;
     crash.device = cli.checked_int("crash-device", devices / 2, 0, devices - 1);
-    crash.at_ms = cli.get_double("crash-at", nominal.iteration_ms / 2);
+    crash.at_ms = cli.checked_double("crash-at", nominal.iteration_ms / 2,
+                                     0.0, 1e9);
     plan.crashes.push_back(crash);
   }
   sim::ExecOptions exec;
@@ -125,7 +139,7 @@ int do_sim(const util::Cli& cli) {
   faults::RobustnessOptions rob;
   rob.trials = cli.checked_int("trials", 200, 1, 1 << 20);
   rob.seed = seed;
-  rob.quantile = cli.get_double("quantile", 95.0);
+  rob.quantile = cli.checked_double("quantile", 95.0, 0.0, 100.0);
   rob.dist = dist_from(cli);
   const auto report = faults::evaluate_robustness(schedule, {}, rob);
   util::Table t({"trials", "nominal", "mean", "p50", "p95", "p99", "worst"});
@@ -158,7 +172,8 @@ int do_robust(const util::Cli& cli) {
   robust_opts.robustness.trials = cli.checked_int("trials", 200, 1, 1 << 20);
   robust_opts.robustness.seed =
       static_cast<std::uint64_t>(cli.checked_int("seed", 7, 0, 1 << 30));
-  robust_opts.robustness.quantile = cli.get_double("quantile", 95.0);
+  robust_opts.robustness.quantile =
+      cli.checked_double("quantile", 95.0, 0.0, 100.0);
   robust_opts.robustness.candidates = cli.checked_int("candidates", 4, 1, 64);
   robust_opts.robustness.dist = dist_from(cli);
   const auto robust = core::plan(cfg, stages, micro, robust_opts);
@@ -306,15 +321,186 @@ int do_kill(const util::Cli& cli) {
   return 1;
 }
 
+// ------------------------------------------------------------------- ckpt
+
+/// PosixStorage wrapper that raises SIGKILL the moment the J-th MANIFEST
+/// commit-rename is requested: records are on disk, the manifest is not,
+/// so the process dies genuinely mid-checkpoint (the crash-consistency
+/// protocol's worst moment). The CI smoke runs this, then `--resume`.
+class KillAtManifestStorage : public ckpt::Storage {
+ public:
+  KillAtManifestStorage(ckpt::Storage& inner, int kill_at)
+      : inner_(inner), kill_at_(kill_at) {}
+
+  void create_dirs(const std::string& path) override {
+    inner_.create_dirs(path);
+  }
+  void write_file(const std::string& path, std::string_view bytes) override {
+    inner_.write_file(path, bytes);
+  }
+  void rename_file(const std::string& from, const std::string& to) override {
+    const bool manifest = to.size() >= 8 &&
+                          to.compare(to.size() - 8, 8, "MANIFEST") == 0;
+    if (manifest && ++manifest_renames_ == kill_at_) {
+      std::fprintf(stderr, "killing process during checkpoint commit #%d\n",
+                   kill_at_);
+      std::fflush(nullptr);
+      raise(SIGKILL);
+    }
+    inner_.rename_file(from, to);
+  }
+  std::string read_file(const std::string& path) override {
+    return inner_.read_file(path);
+  }
+  bool exists(const std::string& path) override { return inner_.exists(path); }
+  std::vector<std::string> list_dir(const std::string& path) override {
+    return inner_.list_dir(path);
+  }
+  void remove_file(const std::string& path) override {
+    inner_.remove_file(path);
+  }
+  void remove_dir(const std::string& path) override {
+    inner_.remove_dir(path);
+  }
+
+ private:
+  ckpt::Storage& inner_;
+  int kill_at_ = 0;
+  int manifest_renames_ = 0;
+};
+
+/// Largest |a - b| across two captured states' parameters (must be
+/// structurally identical; the elastic path compares with a tolerance
+/// because a different partition accumulates gradients in another order).
+double max_param_diff(const ckpt::TrainState& a, const ckpt::TrainState& b) {
+  double worst = 0;
+  if (a.blocks.size() != b.blocks.size()) return 1e30;
+  for (std::size_t i = 0; i < a.blocks.size(); ++i) {
+    if (a.blocks[i].params.size() != b.blocks[i].params.size()) return 1e30;
+    for (std::size_t p = 0; p < a.blocks[i].params.size(); ++p) {
+      const auto& pa = a.blocks[i].params[p];
+      const auto& pb = b.blocks[i].params[p];
+      if (pa.value.size() != pb.value.size()) return 1e30;
+      for (std::size_t k = 0; k < pa.value.size(); ++k) {
+        worst = std::max(worst, std::fabs(static_cast<double>(pa.value[k]) -
+                                          static_cast<double>(pb.value[k])));
+      }
+    }
+  }
+  return worst;
+}
+
+int do_ckpt(const util::Cli& cli) {
+  const std::string dir = cli.get("dir", "");
+  if (dir.empty()) {
+    std::fprintf(stderr, "error: ckpt needs --dir PATH\n");
+    return 2;
+  }
+  const int iters = cli.checked_int("iters", 8, 1, 1 << 20);
+  const int interval = cli.checked_int("interval", 2, 1, 1 << 20);
+
+  runtime::TrainSessionOptions opts;
+  opts.spec = tiny_spec();
+  opts.counts = {2, 3, 3};
+  opts.ckpt_dir = dir;
+  opts.ckpt_interval = interval;
+
+  if (cli.has("resume")) {
+    // Restart from the newest valid checkpoint (the kill above may have
+    // left an uncommitted step directory behind -- the reader must skip it),
+    // finish the run, then verify against an uninterrupted golden run.
+    ckpt::PosixStorage storage;
+    core::ResumeOptions ropt;
+    ropt.num_gpus = cli.checked_int("gpus", 0, 0, 8);
+    const auto resumed =
+        core::resume_from_checkpoint(tiny_config(), storage, dir, ropt);
+    for (const auto& c : resumed.candidates) {
+      std::printf("candidate step %d: %s\n", c.step,
+                  c.valid ? "valid" : c.reason.c_str());
+    }
+    std::string counts;
+    for (int c : resumed.counts) {
+      counts += (counts.empty() ? "" : " ") + std::to_string(c);
+    }
+    std::printf("resuming at step %d on %zu device(s) (partition [%s])%s\n",
+                resumed.state.step, resumed.counts.size(), counts.c_str(),
+                resumed.resharded ? " -- resharded" : "");
+
+    runtime::TrainSessionOptions sopts = opts;
+    sopts.counts = resumed.counts;
+    sopts.ckpt_dir.clear();  // the verification leg does not checkpoint
+    sopts.ckpt_interval = 0;
+    runtime::TrainSession session(sopts, resumed.state);
+    const int resume_step = session.iteration();
+    while (session.iteration() < iters) session.step();
+
+    runtime::TrainSessionOptions gopts = opts;
+    gopts.ckpt_dir.clear();
+    gopts.ckpt_interval = 0;
+    runtime::TrainSession golden(gopts);
+    for (int i = 0; i < iters; ++i) golden.step();
+
+    const auto got = session.capture();
+    const auto want = golden.capture();
+    if (!resumed.resharded) {
+      // Same partition: the continuation must be bit-identical.
+      for (int i = resume_step; i < iters; ++i) {
+        const double a = session.losses()[static_cast<std::size_t>(
+            i - resume_step)];
+        const double b = golden.losses()[static_cast<std::size_t>(i)];
+        if (a != b) {
+          std::fprintf(stderr,
+                       "error: loss at step %d diverged (%.17g vs %.17g)\n",
+                       i + 1, a, b);
+          return 1;
+        }
+        std::printf("step %d loss %.6f == uninterrupted %.6f\n", i + 1, a, b);
+      }
+      if (got.blocks != want.blocks || got.data_rng != want.data_rng ||
+          got.adam_t != want.adam_t) {
+        std::fprintf(stderr, "error: final state diverged from the "
+                             "uninterrupted run\n");
+        return 1;
+      }
+    } else {
+      // Elastic: same math, different accumulation order.
+      const double diff = max_param_diff(got, want);
+      std::printf("elastic resume: max param diff vs uninterrupted run "
+                  "%.3g\n", diff);
+      if (diff > 1e-4) {
+        std::fprintf(stderr, "error: resharded resume diverged\n");
+        return 1;
+      }
+    }
+    std::printf("resumed trajectory matches uninterrupted run\n");
+    return 0;
+  }
+
+  ckpt::PosixStorage posix;
+  const int kill_at = cli.checked_int("kill-at", 0, 0, 1 << 20);
+  KillAtManifestStorage killer(posix, kill_at);
+  if (kill_at > 0) opts.storage = &killer;
+
+  runtime::TrainSession session(opts);
+  for (int i = 0; i < iters; ++i) session.step();
+  std::printf("ran %d iteration(s), wrote %d checkpoint(s) under %s "
+              "(%d failure(s)), final loss %.6f\n",
+              session.iteration(), session.checkpoints_written(), dir.c_str(),
+              session.checkpoint_failures(), session.losses().back());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   if (cli.positional().empty()) {
     std::fprintf(stderr,
-                 "usage: %s sim|robust|transient|crash|kill [--model NAME] "
-                 "[--gpus N] [--trials N] [--seed N] [--straggler-prob P] "
-                 "[--crash-device D] [--crash-at MS] [--after-ops K]\n",
+                 "usage: %s sim|robust|transient|crash|kill|ckpt "
+                 "[--model NAME] [--gpus N] [--trials N] [--seed N] "
+                 "[--straggler-prob P] [--crash-device D] [--crash-at MS] "
+                 "[--after-ops K] [--dir PATH] [--iters N] [--interval K] "
+                 "[--kill-at J] [--resume]\n",
                  cli.program().c_str());
     return 2;
   }
@@ -325,12 +511,14 @@ int main(int argc, char** argv) {
     if (verb == "transient") return do_transient(cli);
     if (verb == "crash") return do_crash(cli);
     if (verb == "kill") return do_kill(cli);
+    if (verb == "ckpt") return do_ckpt(cli);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
   std::fprintf(stderr,
-               "unknown verb '%s' (expected sim|robust|transient|crash|kill)\n",
+               "unknown verb '%s' (expected "
+               "sim|robust|transient|crash|kill|ckpt)\n",
                verb.c_str());
   return 2;
 }

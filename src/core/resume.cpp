@@ -1,0 +1,59 @@
+#include "core/resume.h"
+
+#include <chrono>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace autopipe::core {
+
+ResumeResult resume_from_checkpoint(const ModelConfig& config,
+                                    ckpt::Storage& storage,
+                                    const std::string& dir,
+                                    const ResumeOptions& options) {
+  ckpt::CheckpointReader reader(storage, dir);
+  ckpt::RestoreResult restored = reader.restore();
+
+  ResumeResult result;
+  result.state = std::move(restored.state);
+  result.checkpoint_dir = restored.dir;
+  result.candidates = std::move(restored.candidates);
+
+  const int blocks = std::accumulate(result.state.counts.begin(),
+                                     result.state.counts.end(), 0);
+  if (blocks != config.num_blocks()) {
+    throw ckpt::CkptError(
+        ckpt::CkptErrorKind::Mismatch,
+        "checkpoint covers " + std::to_string(blocks) +
+            " block(s), config describes " +
+            std::to_string(config.num_blocks()));
+  }
+
+  const int saved_devices = static_cast<int>(result.state.counts.size());
+  const int target = options.num_gpus > 0 ? options.num_gpus : saved_devices;
+  if (target == saved_devices) {
+    // Same cluster: reuse the checkpointed scheme verbatim so the resumed
+    // pipeline is shaped exactly like the interrupted one.
+    result.counts = result.state.counts;
+    return result;
+  }
+
+  // Elastic path: re-plan for the new device count, pipeline-only (forced
+  // depth = cluster size), mirroring the crash-recovery replan policy.
+  AutoPipeOptions plan_opts = options.plan;
+  plan_opts.num_gpus = target;
+  plan_opts.forced_stages = target;
+  const auto t0 = std::chrono::steady_clock::now();
+  const AutoPipeResult planned = auto_plan(config, plan_opts);
+  result.replan_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+  result.counts = planned.plan.partition.counts;
+  result.resharded = true;
+  AP_LOG(info) << "elastic resume: step " << result.state.step << " from "
+               << saved_devices << " -> " << target << " device(s) in "
+               << result.replan_ms << " ms";
+  return result;
+}
+
+}  // namespace autopipe::core

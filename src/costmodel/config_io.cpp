@@ -1,5 +1,7 @@
 #include "costmodel/config_io.h"
 
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -73,11 +75,36 @@ class KvReader {
   KvReader(std::map<std::string, std::string> kv, int line)
       : kv_(std::move(kv)), line_(line) {}
 
+  // Strict numeric parsing: the whole token must be consumed and the value
+  // must be finite. stod-style laxness would accept "nan", "inf" or
+  // "12abc" and silently feed garbage into the Planner's cost model.
   double number(const std::string& key) {
-    return std::stod(take(key));
+    const std::string value = take(key);
+    const char* begin = value.c_str();
+    char* end = nullptr;
+    const double parsed = std::strtod(begin, &end);
+    if (value.empty() || end != begin + value.size()) {
+      throw std::runtime_error("line " + std::to_string(line_) + ": key '" +
+                               key + "' has non-numeric value '" + value +
+                               "'");
+    }
+    if (!std::isfinite(parsed)) {
+      throw std::runtime_error("line " + std::to_string(line_) + ": key '" +
+                               key + "' must be finite, got '" + value + "'");
+    }
+    return parsed;
   }
   long integer(const std::string& key) {
-    return std::stol(take(key));
+    const std::string value = take(key);
+    const char* begin = value.c_str();
+    char* end = nullptr;
+    const long parsed = std::strtol(begin, &end, 10);
+    if (value.empty() || end != begin + value.size()) {
+      throw std::runtime_error("line " + std::to_string(line_) + ": key '" +
+                               key + "' has non-integer value '" + value +
+                               "'");
+    }
+    return parsed;
   }
   std::string text(const std::string& key) { return unquote(take(key)); }
 
@@ -151,6 +178,18 @@ ModelConfig load_model_config(std::istream& in) {
   std::string line;
   int line_no = 0;
   bool saw_header = false, saw_model = false, saw_comm = false;
+  // Singleton directives may appear at most once; a duplicate almost always
+  // means a botched merge or a doubled file, and last-wins would hide it.
+  std::map<std::string, int> seen_at;
+  const auto reject_duplicate = [&](const std::string& directive) {
+    const auto [it, fresh] = seen_at.emplace(directive, line_no);
+    if (!fresh) {
+      throw std::runtime_error("line " + std::to_string(line_no) +
+                               ": duplicate '" + directive +
+                               "' directive (first on line " +
+                               std::to_string(it->second) + ")");
+    }
+  };
 
   while (std::getline(in, line)) {
     ++line_no;
@@ -163,6 +202,7 @@ ModelConfig load_model_config(std::istream& in) {
     std::string directive;
     tokens >> directive;
     if (directive == "model") {
+      reject_duplicate(directive);
       std::string name;
       tokens >> name;
       KvReader kv(kv_map(tokens, line_no), line_no);
@@ -176,12 +216,14 @@ ModelConfig load_model_config(std::istream& in) {
       kv.done();
       saw_model = true;
     } else if (directive == "train") {
+      reject_duplicate(directive);
       KvReader kv(kv_map(tokens, line_no), line_no);
       cfg.train.micro_batch_size = static_cast<int>(kv.integer("micro_batch"));
       cfg.train.seq_len = static_cast<int>(kv.integer("seq_len"));
       cfg.train.recompute = kv.integer("recompute") != 0;
       kv.done();
     } else if (directive == "device") {
+      reject_duplicate(directive);
       KvReader kv(kv_map(tokens, line_no), line_no);
       cfg.device.name = kv.text("name");
       cfg.device.matmul_tflops = kv.number("matmul_tflops");
@@ -190,15 +232,25 @@ ModelConfig load_model_config(std::istream& in) {
       cfg.device.kernel_launch_ms = kv.number("launch_ms");
       kv.done();
     } else if (directive == "link") {
+      reject_duplicate(directive);
       KvReader kv(kv_map(tokens, line_no), line_no);
       cfg.link.name = kv.text("name");
       cfg.link.latency_ms = kv.number("latency_ms");
       cfg.link.bandwidth_gbps = kv.number("bandwidth_gbps");
       kv.done();
     } else if (directive == "comm_ms") {
-      if (!(tokens >> cfg.comm_ms)) {
+      reject_duplicate(directive);
+      std::string value, extra;
+      if (!(tokens >> value) || (tokens >> extra)) {
         throw std::runtime_error("line " + std::to_string(line_no) +
-                                 ": comm_ms needs a number");
+                                 ": comm_ms needs exactly one number");
+      }
+      char* end = nullptr;
+      cfg.comm_ms = std::strtod(value.c_str(), &end);
+      if (end != value.c_str() + value.size() || !std::isfinite(cfg.comm_ms)) {
+        throw std::runtime_error("line " + std::to_string(line_no) +
+                                 ": comm_ms must be a finite number, got '" +
+                                 value + "'");
       }
       saw_comm = true;
     } else if (directive == "block") {
@@ -223,8 +275,16 @@ ModelConfig load_model_config(std::istream& in) {
     }
   }
   if (!saw_header) throw std::runtime_error("missing config header");
-  if (!saw_model || !saw_comm || cfg.blocks.empty()) {
-    throw std::runtime_error("config is missing model/comm_ms/blocks");
+  // Name what is absent: a truncated file (crash mid-write, partial copy)
+  // usually loses the trailing block lines first.
+  std::string missing;
+  if (!saw_model) missing += " model";
+  if (!saw_comm) missing += " comm_ms";
+  if (cfg.blocks.empty()) missing += " block(s)";
+  if (!missing.empty()) {
+    throw std::runtime_error("config truncated or incomplete: missing" +
+                             missing + " (read " + std::to_string(line_no) +
+                             " line(s))");
   }
   return cfg;
 }

@@ -13,7 +13,11 @@
 //   block <name> kind=<Embedding|Attention|FFN|Head> fwd_ms=.. bwd_ms=..
 //         param_bytes=.. stash_bytes=.. work_bytes=.. output_bytes=.. layer_units=..
 //
-// Unknown keys are rejected (typos in a profile should fail loudly).
+// Unknown keys are rejected (typos in a profile should fail loudly), and so
+// are NaN/Inf or trailing-garbage numbers, duplicate singleton directives
+// (model/train/device/link/comm_ms) and truncated files -- every failure
+// carries a line number, because a silently-misparsed profile poisons every
+// plan built from it.
 #pragma once
 
 #include <iosfwd>

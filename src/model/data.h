@@ -28,6 +28,13 @@ class SyntheticCorpus {
   static std::vector<Batch> split_micro_batches(const Batch& batch, int seq,
                                                 int micro);
 
+  /// Sampling-stream state, persisted by checkpoints so a resumed run draws
+  /// exactly the batches the uninterrupted run would have drawn. The
+  /// transition table is derived from the constructor seed alone and is not
+  /// part of the stream state.
+  util::Rng::State rng_state() const { return rng_.state(); }
+  void set_rng_state(const util::Rng::State& s) { rng_.set_state(s); }
+
  private:
   int vocab_;
   std::vector<int> transition_;  ///< vocab entries: preferred successor

@@ -3,10 +3,12 @@
 #include <cstdint>
 #include <cstdlib>
 #include <ctime>
-#include <fstream>
 #include <sstream>
+#include <string_view>
 
 #include "costmodel/config_io.h"
+#include "util/atomic_file.h"
+#include "util/checksum.h"
 #include "util/logging.h"
 
 namespace autopipe::profiler {
@@ -76,30 +78,42 @@ CacheLookup load_cached_profile(const std::string& dir, const CacheKey& key,
   CacheLookup out;
   out.path = dir + "/" + cache_file_name(key);
 
-  std::ifstream in(out.path);
-  if (!in) {
+  std::string text;
+  if (!util::read_file(out.path, text)) {
     out.miss_reason = "absent";
     return out;
   }
 
   // Scan the comment header block (metadata precedes the first directive).
   int version = -1;
-  std::string digest;
+  std::string digest, crc_hex;
   long created = 0;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty() || line[0] != '#') break;
-    std::istringstream tokens(line);
-    std::string hash, tag;
-    tokens >> hash >> tag;
-    if (tag == "autopipe-profile-cache") {
-      std::string v;
-      tokens >> v;
-      if (v.size() > 1 && v[0] == 'v') version = std::atoi(v.c_str() + 1);
-    } else if (tag == "profile-key") {
-      tokens >> digest;
-    } else if (tag == "profile-created") {
-      tokens >> created;
+  std::size_t body_begin = std::string::npos;
+  {
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] != '#') break;
+      std::istringstream tokens(line);
+      std::string hash, tag;
+      tokens >> hash >> tag;
+      if (tag == "autopipe-profile-cache") {
+        std::string v;
+        tokens >> v;
+        if (v.size() > 1 && v[0] == 'v') version = std::atoi(v.c_str() + 1);
+      } else if (tag == "profile-key") {
+        tokens >> digest;
+      } else if (tag == "profile-created") {
+        tokens >> created;
+      } else if (tag == "profile-crc32") {
+        tokens >> crc_hex;
+        // The CRC covers every byte after its own line.
+        const std::size_t line_pos = text.find(line);
+        if (line_pos != std::string::npos) {
+          const std::size_t eol = text.find('\n', line_pos);
+          if (eol != std::string::npos) body_begin = eol + 1;
+        }
+      }
     }
   }
 
@@ -111,6 +125,17 @@ CacheLookup load_cached_profile(const std::string& dir, const CacheKey& key,
     out.miss_reason = "key";
     return out;
   }
+  // Integrity before staleness: a torn write (crash mid-store, pre-v2
+  // entries were not atomic) or a flipped bit must read as a miss, not
+  // poison later --from-profile runs with a truncated block table.
+  if (crc_hex.empty() || body_begin == std::string::npos ||
+      crc_hex != util::crc32_hex(util::crc32(
+                     std::string_view(text).substr(body_begin)))) {
+    AP_LOG(warn) << "profile cache entry " << out.path
+                 << " failed its CRC check; re-measuring";
+    out.miss_reason = "corrupt";
+    return out;
+  }
   if (max_age_seconds > 0) {
     const long age = static_cast<long>(std::time(nullptr)) - created;
     if (created <= 0 || age > max_age_seconds) {
@@ -120,7 +145,8 @@ CacheLookup load_cached_profile(const std::string& dir, const CacheKey& key,
   }
 
   try {
-    out.config = costmodel::load_model_config_file(out.path);
+    std::istringstream body(text.substr(body_begin));
+    out.config = costmodel::load_model_config(body);
   } catch (const std::exception& e) {
     AP_LOG(warn) << "profile cache entry " << out.path
                  << " failed to parse: " << e.what();
@@ -135,23 +161,25 @@ std::string store_profile(const std::string& dir, const CacheKey& key,
                           const costmodel::ModelConfig& config,
                           long created_unix) {
   const std::string path = dir + "/" + cache_file_name(key);
-  std::ofstream out(path);
-  if (!out) {
-    AP_LOG(error) << "cannot open " << path << " for writing";
-    return "";
-  }
   if (created_unix == 0) created_unix = static_cast<long>(std::time(nullptr));
   // Cache metadata rides in leading comments; save_model_config writes the
   // config_io header itself, so the file stays a valid plain model config.
-  out << "# autopipe-profile-cache v" << kProfileCacheVersion << "\n";
-  out << "# profile-key " << cache_key_digest(key) << "\n";
-  out << "# profile-host " << key.host << "\n";
-  out << "# profile-created " << created_unix << "\n";
-  costmodel::save_model_config(config, out);
-  if (!out) {
-    AP_LOG(error) << "short write to " << path;
-    return "";
-  }
+  // The CRC line comes last in the metadata block and covers everything
+  // after itself, i.e. the config body.
+  std::ostringstream body;
+  costmodel::save_model_config(config, body);
+  const std::string body_text = body.str();
+
+  std::ostringstream entry;
+  entry << "# autopipe-profile-cache v" << kProfileCacheVersion << "\n";
+  entry << "# profile-key " << cache_key_digest(key) << "\n";
+  entry << "# profile-host " << key.host << "\n";
+  entry << "# profile-created " << created_unix << "\n";
+  entry << "# profile-crc32 " << util::crc32_hex(util::crc32(body_text))
+        << "\n";
+  entry << body_text;
+
+  if (!util::atomic_write_file(path, entry.str())) return "";
   return path;
 }
 

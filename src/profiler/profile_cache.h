@@ -5,17 +5,22 @@
 // lines ahead of the body:
 //
 //   # autopipe-model-config v1
-//   # autopipe-profile-cache v1
+//   # autopipe-profile-cache v2
 //   # profile-key <fnv1a-64 hex of the canonical key string>
 //   # profile-host <fingerprint>
 //   # profile-created <unix seconds>
+//   # profile-crc32 <crc32 hex of every byte after this line>
 //
 // Because config_io skips comments, every cache entry is *also* a plain
 // model config: load_model_config_file() reads it unchanged, so measured
 // profiles reach the Planner through the exact same entry point as analytic
 // or hand-written ones (zero API forks). Lookups verify the cache format
 // version, the key digest (any change to the model dimensions, batch shape
-// or host invalidates the entry in place), and optionally the entry's age.
+// or host invalidates the entry in place), the body CRC32 (a torn or
+// bit-flipped entry reads as a miss instead of silently poisoning later
+// `--from-profile` runs), and optionally the entry's age. Entries are
+// written through util::atomic_write_file (temp + fsync + rename), so a
+// crash mid-store never leaves a partial entry at the final path.
 #pragma once
 
 #include <string>
@@ -24,9 +29,10 @@
 
 namespace autopipe::profiler {
 
-/// Bumped whenever the measurement methodology changes incompatibly; older
-/// entries then re-measure instead of silently feeding stale numbers.
-inline constexpr int kProfileCacheVersion = 1;
+/// Bumped whenever the measurement methodology or the entry format changes
+/// incompatibly; older entries then re-measure instead of silently feeding
+/// stale numbers. v2: entries carry a body CRC32 and are written atomically.
+inline constexpr int kProfileCacheVersion = 2;
 
 struct CacheKey {
   costmodel::ModelSpec spec;
@@ -50,7 +56,8 @@ std::string cache_file_name(const CacheKey& key);
 struct CacheLookup {
   bool hit = false;
   std::string path;         ///< file consulted (may not exist)
-  std::string miss_reason;  ///< "absent" | "version" | "key" | "stale" | "parse"
+  /// "absent" | "version" | "key" | "stale" | "corrupt" | "parse"
+  std::string miss_reason;
   costmodel::ModelConfig config;  ///< valid only when hit
 };
 

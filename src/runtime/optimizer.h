@@ -26,12 +26,28 @@ class Sgd final : public Optimizer {
   double lr_;
 };
 
+/// Adam's full mutable state, exposed so checkpoints can persist and
+/// restore the optimizer bit-exactly (ckpt/checkpoint.h). m/v are empty
+/// until the first step.
+struct AdamState {
+  long t = 0;
+  std::vector<std::vector<float>> m, v;  ///< per parameter tensor, flat order
+};
+
 class Adam final : public Optimizer {
  public:
   explicit Adam(double lr, double beta1 = 0.9, double beta2 = 0.999,
                 double eps = 1e-8)
       : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
   void step(model::TransformerModel& model) override;
+
+  AdamState state() const { return {t_, m_, v_}; }
+  /// Adopts a checkpointed state; set_state(state()) is an exact no-op.
+  void set_state(AdamState s) {
+    t_ = s.t;
+    m_ = std::move(s.m);
+    v_ = std::move(s.v);
+  }
 
  private:
   double lr_, beta1_, beta2_, eps_;

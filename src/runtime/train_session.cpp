@@ -1,0 +1,88 @@
+#include "runtime/train_session.h"
+
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace autopipe::runtime {
+
+TrainSession::TrainSession(const TrainSessionOptions& options)
+    : options_(options),
+      model_(options.spec),
+      corpus_(options.spec.vocab, options.data_seed),
+      adam_(options.lr) {
+  init_runtime();
+}
+
+TrainSession::TrainSession(const TrainSessionOptions& options,
+                           const ckpt::TrainState& state)
+    : options_(options),
+      model_(options.spec),
+      corpus_(options.spec.vocab, options.data_seed),
+      adam_(options.lr) {
+  adam_.set_state(ckpt::apply_train_state(state, model_));
+  corpus_.set_rng_state(state.data_rng);
+  step_ = state.step;
+  init_runtime();
+}
+
+void TrainSession::init_runtime() {
+  if (options_.counts.empty()) {
+    throw std::invalid_argument("TrainSession: counts must not be empty");
+  }
+  if (options_.micro_batch < 1 || options_.num_micro_batches < 1) {
+    throw std::invalid_argument("TrainSession: batch shape must be positive");
+  }
+  runtime_ = std::make_unique<PipelineRuntime>(model_, options_.counts);
+  schedule_ = runtime_->make_schedule(options_.kind,
+                                      options_.num_micro_batches,
+                                      options_.sliced);
+  loss_scale_ = 1.0 / (static_cast<double>(options_.micro_batch) *
+                       options_.num_micro_batches * options_.spec.seq);
+  if (!options_.ckpt_dir.empty() && options_.ckpt_interval > 0) {
+    ckpt::Storage& storage =
+        options_.storage != nullptr ? *options_.storage : posix_;
+    ckpt::WriterOptions wopts;
+    wopts.keep_last = options_.ckpt_keep;
+    writer_ = std::make_unique<ckpt::CheckpointWriter>(
+        storage, options_.ckpt_dir, wopts);
+  }
+}
+
+double TrainSession::step() {
+  const model::Batch batch = corpus_.next_batch(
+      options_.micro_batch * options_.num_micro_batches, options_.spec.seq);
+  const std::vector<model::Batch> micro =
+      model::SyntheticCorpus::split_micro_batches(batch, options_.spec.seq,
+                                                  options_.micro_batch);
+  model_.zero_grads();
+  const IterationResult result =
+      runtime_->run_iteration(schedule_, micro, loss_scale_);
+  adam_.step(model_);
+  ++step_;
+  losses_.push_back(result.loss);
+  maybe_checkpoint();
+  return result.loss;
+}
+
+ckpt::TrainState TrainSession::capture() const {
+  return ckpt::capture_train_state(model_, adam_.state(), corpus_.rng_state(),
+                                   step_, options_.counts,
+                                   static_cast<int>(options_.kind));
+}
+
+void TrainSession::maybe_checkpoint() {
+  if (writer_ == nullptr || step_ % options_.ckpt_interval != 0) return;
+  try {
+    writer_->write(capture());
+    ++checkpoints_written_;
+  } catch (const ckpt::StorageError& e) {
+    // A lost checkpoint must never lose the run: note it and train on. The
+    // previously committed checkpoints are intact by the commit protocol.
+    ++checkpoint_failures_;
+    last_checkpoint_error_ = e.what();
+    AP_LOG(warn) << "checkpoint at step " << step_ << " failed: " << e.what();
+  }
+}
+
+}  // namespace autopipe::runtime

@@ -1,0 +1,102 @@
+// Checkpointing training driver over the thread-per-device runtime.
+//
+// TrainSession owns the full training loop state -- model, Adam optimizer,
+// synthetic data stream, pipeline runtime and schedule -- and checkpoints
+// it at iteration boundaries through ckpt::CheckpointWriter (DESIGN.md §7).
+// The checkpoint moment is *after* the optimizer step and after the data
+// stream advanced, so a resumed session continues with exactly the batch
+// the uninterrupted run would have drawn next: for the same partition, a
+// run resumed from step k reproduces the uninterrupted run's parameters and
+// losses bit-identically (the exact-state acceptance test of
+// tests/ckpt_test.cpp and the fault_lab `ckpt` verb).
+//
+// Checkpoint writes that fail with a StorageError are absorbed: the failure
+// is counted and training continues -- losing a checkpoint must never lose
+// the run. Restores go through the ckpt reader's newest-valid-wins scan.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.h"
+#include "core/schedule.h"
+#include "costmodel/memory.h"
+#include "model/data.h"
+#include "model/transformer.h"
+#include "runtime/optimizer.h"
+#include "runtime/pipeline_runtime.h"
+
+namespace autopipe::runtime {
+
+struct TrainSessionOptions {
+  model::TinySpec spec;
+  std::vector<int> counts;  ///< blocks per stage (one chunk per device)
+  costmodel::ScheduleKind kind = costmodel::ScheduleKind::OneFOneB;
+  int sliced = 0;           ///< sliced micro-batches for AutoPipeSliced
+  int micro_batch = 4;      ///< samples per micro-batch
+  int num_micro_batches = 6;
+  double lr = 0.01;
+  std::uint64_t data_seed = 7;
+
+  /// Checkpointing; disabled while `ckpt_dir` is empty or interval <= 0.
+  std::string ckpt_dir;
+  int ckpt_interval = 0;  ///< write every k-th iteration
+  int ckpt_keep = 2;
+  /// Storage backend for checkpoints (fault injection, in-memory tests);
+  /// nullptr = a process-local PosixStorage.
+  ckpt::Storage* storage = nullptr;
+};
+
+class TrainSession {
+ public:
+  /// Fresh run from the spec's deterministic initialisation.
+  explicit TrainSession(const TrainSessionOptions& options);
+  /// Resumed run: adopts a restored TrainState (parameters, optimizer,
+  /// data stream, step counter). `options.counts` decides the partition the
+  /// resumed run executes on -- pass `state.counts` for a bit-identical
+  /// same-shape resume or a re-planned partition for elastic resume; the
+  /// per-block state is independent of stage boundaries either way.
+  TrainSession(const TrainSessionOptions& options,
+               const ckpt::TrainState& state);
+
+  /// One training iteration: draw the next mini-batch, run the pipeline,
+  /// apply Adam, maybe checkpoint. Returns the iteration's loss.
+  double step();
+
+  int iteration() const { return step_; }
+  const std::vector<double>& losses() const { return losses_; }
+  int checkpoints_written() const { return checkpoints_written_; }
+  int checkpoint_failures() const { return checkpoint_failures_; }
+  const std::string& last_checkpoint_error() const {
+    return last_checkpoint_error_;
+  }
+  const std::vector<int>& counts() const { return options_.counts; }
+  model::TransformerModel& model() { return model_; }
+  const model::TransformerModel& model() const { return model_; }
+
+  /// The session's state as of the last completed iteration -- exactly what
+  /// a checkpoint written now would contain.
+  ckpt::TrainState capture() const;
+
+ private:
+  void init_runtime();
+  void maybe_checkpoint();
+
+  TrainSessionOptions options_;
+  model::TransformerModel model_;
+  model::SyntheticCorpus corpus_;
+  Adam adam_;
+  std::unique_ptr<PipelineRuntime> runtime_;
+  core::Schedule schedule_;
+  double loss_scale_ = 0;
+  int step_ = 0;
+  std::vector<double> losses_;
+  ckpt::PosixStorage posix_;
+  std::unique_ptr<ckpt::CheckpointWriter> writer_;
+  int checkpoints_written_ = 0;
+  int checkpoint_failures_ = 0;
+  std::string last_checkpoint_error_;
+};
+
+}  // namespace autopipe::runtime

@@ -1,0 +1,76 @@
+#include "util/atomic_file.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/logging.h"
+
+namespace autopipe::util {
+
+namespace {
+
+bool fsync_path(const std::string& path, int open_flags) {
+  const int fd = ::open(path.c_str(), open_flags);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+std::string parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+bool atomic_write_file(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      AP_LOG(error) << "atomic_write_file: cannot open " << tmp;
+      return false;
+    }
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    if (!out) {
+      AP_LOG(error) << "atomic_write_file: short write to " << tmp;
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (!fsync_path(tmp, O_WRONLY)) {
+    AP_LOG(error) << "atomic_write_file: fsync failed for " << tmp;
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    AP_LOG(error) << "atomic_write_file: rename " << tmp << " -> " << path
+                  << " failed";
+    std::remove(tmp.c_str());
+    return false;
+  }
+  // Persist the rename itself; best-effort (some filesystems refuse
+  // directory fsync but still order the metadata).
+  fsync_path(parent_dir(path), O_RDONLY);
+  return true;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return false;
+  out = buffer.str();
+  return true;
+}
+
+}  // namespace autopipe::util

@@ -1,0 +1,24 @@
+// Crash-consistent whole-file writes (DESIGN.md §7).
+//
+// atomic_write_file implements the classic durability protocol: write the
+// full contents to `<path>.tmp`, fsync the file, rename it over `path`
+// (atomic on POSIX), then fsync the containing directory so the rename
+// itself survives a power cut. A crash at any point leaves either the old
+// file or the new file -- never a torn mixture -- at `path`; at worst a
+// stale `.tmp` is left behind, which readers never consult.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace autopipe::util {
+
+/// Atomically replaces `path` with `contents`. Returns false (and logs) on
+/// any I/O failure; `path` is untouched in that case.
+bool atomic_write_file(const std::string& path, std::string_view contents);
+
+/// Reads a whole file into `out`. Returns false if the file cannot be
+/// opened or read.
+bool read_file(const std::string& path, std::string& out);
+
+}  // namespace autopipe::util

@@ -1,0 +1,58 @@
+#include "util/checksum.h"
+
+#include <array>
+
+namespace autopipe::util {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& table() {
+  static const std::array<std::uint32_t, 256> t = make_table();
+  return t;
+}
+
+}  // namespace
+
+void Crc32::update(std::string_view bytes) {
+  update(bytes.data(), bytes.size());
+}
+
+void Crc32::update(const void* data, std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const auto& t = table();
+  std::uint32_t c = state_;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = t[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
+std::uint32_t crc32(std::string_view bytes) {
+  Crc32 c;
+  c.update(bytes);
+  return c.value();
+}
+
+std::string crc32_hex(std::uint32_t value) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(8, '0');
+  for (int i = 7; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[value & 0xFu];
+    value >>= 4;
+  }
+  return out;
+}
+
+}  // namespace autopipe::util

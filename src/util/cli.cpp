@@ -1,5 +1,6 @@
 #include "util/cli.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -59,6 +60,25 @@ int Cli::checked_int(const std::string& name, int fallback, int min_value,
         std::to_string(max_value) + "], got " + raw);
   }
   return static_cast<int>(value);
+}
+
+double Cli::checked_double(const std::string& name, double fallback,
+                           double min_value, double max_value) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  const std::string& raw = it->second;
+  char* end = nullptr;
+  const double value = std::strtod(raw.c_str(), &end);
+  if (raw.empty() || end == nullptr || *end != '\0' || !std::isfinite(value)) {
+    throw std::invalid_argument("--" + name +
+                                " wants a finite number, got '" + raw + "'");
+  }
+  if (value < min_value || value > max_value) {
+    throw std::invalid_argument(
+        "--" + name + " must be in [" + std::to_string(min_value) + ", " +
+        std::to_string(max_value) + "], got " + raw);
+  }
+  return value;
 }
 
 double Cli::get_double(const std::string& name, double fallback) const {

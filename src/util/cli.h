@@ -24,6 +24,11 @@ class Cli {
   int checked_int(const std::string& name, int fallback, int min_value,
                   int max_value) const;
   double get_double(const std::string& name, double fallback) const;
+  /// Strict flavour of get_double, mirroring checked_int: the value must be
+  /// a complete finite number (no trailing garbage, no NaN/Inf) inside
+  /// [min_value, max_value], else std::invalid_argument names the flag.
+  double checked_double(const std::string& name, double fallback,
+                        double min_value, double max_value) const;
   bool get_bool(const std::string& name, bool fallback) const;
 
   /// Positional (non-flag) arguments in order of appearance.

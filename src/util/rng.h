@@ -5,6 +5,7 @@
 // initialisation reproducible in tests and benchmarks.
 #pragma once
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 
@@ -12,6 +13,11 @@ namespace autopipe::util {
 
 class Rng {
  public:
+  /// Full generator state -- four 64-bit words. Exposed so checkpointing
+  /// can persist and restore a stream mid-sequence (ckpt/checkpoint.h);
+  /// set_state(state()) is an exact no-op.
+  using State = std::array<std::uint64_t, 4>;
+
   explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) {
     // SplitMix64 seeding, as recommended by the xoshiro authors.
     std::uint64_t x = seed;
@@ -22,6 +28,11 @@ class Rng {
       z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
       word = z ^ (z >> 31);
     }
+  }
+
+  State state() const { return {state_[0], state_[1], state_[2], state_[3]}; }
+  void set_state(const State& s) {
+    for (int i = 0; i < 4; ++i) state_[i] = s[static_cast<std::size_t>(i)];
   }
 
   std::uint64_t next_u64() {

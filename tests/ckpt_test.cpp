@@ -1,0 +1,496 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.h"
+#include "ckpt/storage.h"
+#include "core/resume.h"
+#include "costmodel/analytic.h"
+#include "faults/storage_faults.h"
+#include "model/transformer.h"
+#include "runtime/train_session.h"
+#include "util/checksum.h"
+#include "util/rng.h"
+
+namespace autopipe::ckpt {
+namespace {
+
+/// Same CPU-scale transformer the fault lab trains: 3 layers -> 8 blocks,
+/// enough for a 3-stage pipeline with room to reshard onto 2 or 4.
+model::TinySpec tiny_spec() {
+  model::TinySpec s;
+  s.layers = 3;
+  s.hidden = 16;
+  s.heads = 2;
+  s.vocab = 32;
+  s.seq = 4;
+  return s;
+}
+
+costmodel::ModelConfig tiny_config() {
+  const model::TinySpec t = tiny_spec();
+  costmodel::ModelSpec spec;
+  spec.name = "tiny";
+  spec.num_layers = t.layers;
+  spec.hidden = t.hidden;
+  spec.heads = t.heads;
+  spec.vocab = t.vocab;
+  spec.default_seq = t.seq;
+  spec.causal = t.causal;
+  return costmodel::build_model_config(spec, {4, 0, true});
+}
+
+/// A deterministic TrainState without running the runtime: fresh model
+/// init, no optimizer state yet, a seeded data RNG.
+TrainState synthetic_state(int step, const std::vector<int>& counts = {2, 3,
+                                                                       3}) {
+  model::TransformerModel model(tiny_spec());
+  util::Rng rng(0x5eedULL + static_cast<std::uint64_t>(step));
+  return capture_train_state(model, {}, rng.state(), step, counts, 0);
+}
+
+TEST(CkptFormat, StepDirNameIsZeroPadded) {
+  EXPECT_EQ(step_dir_name(12), "step-00000012");
+  EXPECT_EQ(step_dir_name(0), "step-00000000");
+}
+
+TEST(CkptStorage, MemStorageAtomicWriteAndList) {
+  MemStorage mem;
+  mem.create_dirs("ck/step-00000001");
+  atomic_write(mem, "ck/step-00000001/MANIFEST", "hello");
+  EXPECT_EQ(mem.read_file("ck/step-00000001/MANIFEST"), "hello");
+  EXPECT_FALSE(mem.has_file("ck/step-00000001/MANIFEST.tmp"));
+  const auto names = mem.list_dir("ck/step-00000001");
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "MANIFEST");
+  EXPECT_THROW(mem.read_file("ck/absent"), StorageError);
+}
+
+TEST(CkptRoundTrip, MemStorage) {
+  MemStorage mem;
+  CheckpointWriter writer(mem, "ck");
+  const TrainState state = synthetic_state(3);
+  writer.write(state);
+
+  CheckpointReader reader(mem, "ck");
+  const RestoreResult restored = reader.restore();
+  EXPECT_EQ(restored.state, state);
+  ASSERT_FALSE(restored.candidates.empty());
+  EXPECT_TRUE(restored.candidates.back().valid);
+}
+
+TEST(CkptRoundTrip, PosixStorage) {
+  PosixStorage posix;
+  const std::string dir = testing::TempDir() + "/ckpt_posix_roundtrip";
+  CheckpointWriter writer(posix, dir);
+  const TrainState state = synthetic_state(7);
+  writer.write(state);
+  CheckpointReader reader(posix, dir);
+  EXPECT_EQ(reader.restore().state, state);
+}
+
+TEST(CkptWriter, RejectsCountsNotCoveringBlocks) {
+  MemStorage mem;
+  CheckpointWriter writer(mem, "ck");
+  TrainState state = synthetic_state(1);
+  state.counts = {2, 2};  // 8 blocks, counts sum to 4
+  EXPECT_THROW(writer.write(state), std::invalid_argument);
+  EXPECT_THROW(CheckpointWriter(mem, "ck", {0}), std::invalid_argument);
+}
+
+TEST(CkptReader, EmptyDirThrowsNotFound) {
+  MemStorage mem;
+  CheckpointReader reader(mem, "ck");
+  try {
+    reader.restore();
+    FAIL() << "restored from nothing";
+  } catch (const CkptError& e) {
+    EXPECT_EQ(e.kind(), CkptErrorKind::NotFound);
+  }
+}
+
+TEST(CkptReader, NewestValidWinsOverCorruptNewest) {
+  MemStorage mem;
+  CheckpointWriter writer(mem, "ck");
+  const TrainState s2 = synthetic_state(2);
+  const TrainState s4 = synthetic_state(4);
+  writer.write(s2);
+  writer.write(s4);
+
+  // Flip one bit inside the newest step's record payload.
+  std::string& rec = mem.bytes("ck/step-00000004/stage-001.rec");
+  rec[rec.size() / 2] ^= 0x01;
+
+  CheckpointReader reader(mem, "ck");
+  const RestoreResult restored = reader.restore();
+  EXPECT_EQ(restored.state, s2);
+  ASSERT_EQ(restored.candidates.size(), 2u);
+  EXPECT_FALSE(restored.candidates[0].valid);
+  EXPECT_NE(restored.candidates[0].reason.find("CRC"), std::string::npos)
+      << restored.candidates[0].reason;
+  EXPECT_TRUE(restored.candidates[1].valid);
+}
+
+TEST(CkptReader, TornRecordFallsBack) {
+  MemStorage mem;
+  CheckpointWriter writer(mem, "ck");
+  const TrainState s2 = synthetic_state(2);
+  writer.write(s2);
+  writer.write(synthetic_state(4));
+  std::string& rec = mem.bytes("ck/step-00000004/stage-000.rec");
+  rec.resize(rec.size() / 2);  // torn mid-write
+  CheckpointReader reader(mem, "ck");
+  EXPECT_EQ(reader.restore().state, s2);
+}
+
+TEST(CkptReader, TornManifestFallsBack) {
+  MemStorage mem;
+  CheckpointWriter writer(mem, "ck");
+  const TrainState s2 = synthetic_state(2);
+  writer.write(s2);
+  writer.write(synthetic_state(4));
+  std::string& manifest = mem.bytes("ck/step-00000004/MANIFEST");
+  manifest.resize(manifest.size() - 5);
+  CheckpointReader reader(mem, "ck");
+  EXPECT_EQ(reader.restore().state, s2);
+}
+
+TEST(CkptReader, TamperedCountsRejectedByFingerprint) {
+  // Rewrite the manifest's counts line AND fix the trailing whole-file CRC:
+  // the scheme fingerprint still refuses, because it binds the counts the
+  // writer actually used.
+  MemStorage mem;
+  CheckpointWriter writer(mem, "ck");
+  writer.write(synthetic_state(2));
+  std::string& manifest = mem.bytes("ck/step-00000002/MANIFEST");
+  const auto counts_pos = manifest.find("counts 2 3 3");
+  ASSERT_NE(counts_pos, std::string::npos);
+  manifest.replace(counts_pos, 12, "counts 3 2 3");
+  const auto crc_pos = manifest.rfind("crc ");
+  ASSERT_NE(crc_pos, std::string::npos);
+  manifest = manifest.substr(0, crc_pos);
+  manifest += "crc " + util::crc32_hex(util::crc32(manifest)) + "\n";
+
+  CheckpointReader reader(mem, "ck");
+  try {
+    reader.restore();
+    FAIL() << "tampered counts restored";
+  } catch (const CkptError& e) {
+    EXPECT_EQ(e.kind(), CkptErrorKind::Corrupt);
+    EXPECT_NE(std::string(e.what()).find("fingerprint"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CkptReader, AllCorruptThrowsCorrupt) {
+  MemStorage mem;
+  CheckpointWriter writer(mem, "ck");
+  writer.write(synthetic_state(2));
+  writer.write(synthetic_state(4));
+  mem.bytes("ck/step-00000002/stage-002.rec")[40] ^= 0x10;
+  mem.bytes("ck/step-00000004/stage-002.rec")[40] ^= 0x10;
+  CheckpointReader reader(mem, "ck");
+  try {
+    reader.restore();
+    FAIL() << "corrupt state restored";
+  } catch (const CkptError& e) {
+    EXPECT_EQ(e.kind(), CkptErrorKind::Corrupt);
+  }
+}
+
+TEST(CkptReader, ForeignFormatVersionThrowsVersion) {
+  MemStorage mem;
+  CheckpointWriter writer(mem, "ck");
+  writer.write(synthetic_state(2));
+  // The record's format-version field is bytes [4, 8) of the frame.
+  for (const char* rec :
+       {"ck/step-00000002/stage-000.rec", "ck/step-00000002/stage-001.rec",
+        "ck/step-00000002/stage-002.rec"}) {
+    mem.bytes(rec)[4] = 99;
+  }
+  CheckpointReader reader(mem, "ck");
+  try {
+    reader.restore();
+    FAIL() << "foreign version restored";
+  } catch (const CkptError& e) {
+    EXPECT_EQ(e.kind(), CkptErrorKind::Version);
+  }
+}
+
+TEST(CkptWriter, InjectedRenameFailureLeavesOldCheckpointIntact) {
+  MemStorage mem;
+  faults::StorageFaultPlan plan;
+  plan.faults.push_back({faults::StorageFault::Kind::RenameFail, 1, 0});
+  faults::FaultyStorage faulty(mem, plan);
+  CheckpointWriter writer(faulty, "ck");
+  const TrainState s2 = synthetic_state(2);
+  writer.write(s2);                                     // rename #0: commits
+  EXPECT_THROW(writer.write(synthetic_state(4)), StorageError);  // rename #1
+  EXPECT_EQ(faulty.injected(), 1);
+
+  // The failed step never committed: no MANIFEST, invisible to the reader.
+  EXPECT_FALSE(mem.has_file("ck/step-00000004/MANIFEST"));
+  CheckpointReader reader(mem, "ck");
+  EXPECT_EQ(reader.committed_steps(), std::vector<int>{2});
+  EXPECT_EQ(reader.restore().state, s2);
+}
+
+TEST(CkptWriter, RetentionKeepsNewestK) {
+  MemStorage mem;
+  WriterOptions opts;
+  opts.keep_last = 2;
+  CheckpointWriter writer(mem, "ck", opts);
+  writer.write(synthetic_state(1));
+  writer.write(synthetic_state(2));
+  writer.write(synthetic_state(3));
+  CheckpointReader reader(mem, "ck");
+  EXPECT_EQ(reader.committed_steps(), (std::vector<int>{3, 2}));
+  EXPECT_FALSE(mem.has_file("ck/step-00000001/MANIFEST"));
+  EXPECT_FALSE(mem.has_file("ck/step-00000001/stage-000.rec"));
+}
+
+TEST(CkptApply, MismatchedModelThrowsTyped) {
+  const TrainState state = synthetic_state(1);
+  model::TinySpec small = tiny_spec();
+  small.layers = 2;  // 6 blocks instead of 8
+  model::TransformerModel other(small);
+  try {
+    apply_train_state(state, other);
+    FAIL() << "applied to a different architecture";
+  } catch (const CkptError& e) {
+    EXPECT_EQ(e.kind(), CkptErrorKind::Mismatch);
+  }
+}
+
+TEST(CkptApply, RoundTripsModelAndOptimizerExactly) {
+  model::TransformerModel model(tiny_spec());
+  util::Rng rng(11);
+  const TrainState state =
+      capture_train_state(model, {}, rng.state(), 0, {2, 3, 3}, 0);
+  model::TransformerModel fresh(tiny_spec());
+  apply_train_state(state, fresh);
+  const TrainState again =
+      capture_train_state(fresh, {}, rng.state(), 0, {2, 3, 3}, 0);
+  EXPECT_EQ(again, state);
+}
+
+// --------------------------------------------------------- resume semantics
+
+runtime::TrainSessionOptions session_options(Storage* storage,
+                                             const std::string& dir,
+                                             int interval) {
+  runtime::TrainSessionOptions o;
+  o.spec = tiny_spec();
+  o.counts = {2, 3, 3};
+  o.ckpt_dir = dir;
+  o.ckpt_interval = interval;
+  o.storage = storage;
+  return o;
+}
+
+TEST(CkptResume, SameShapeResumeIsBitIdentical) {
+  MemStorage mem;
+  auto opts = session_options(&mem, "ck", 2);
+
+  runtime::TrainSession first(opts);
+  for (int i = 0; i < 4; ++i) first.step();
+  ASSERT_EQ(first.checkpoints_written(), 2);
+
+  core::ResumeOptions ropt;  // same device count
+  const auto resumed = core::resume_from_checkpoint(tiny_config(), mem, "ck",
+                                                    ropt);
+  EXPECT_FALSE(resumed.resharded);
+  EXPECT_EQ(resumed.state.step, 4);
+  EXPECT_EQ(resumed.counts, opts.counts);
+
+  auto ropts = opts;
+  ropts.counts = resumed.counts;
+  runtime::TrainSession continued(ropts, resumed.state);
+  while (continued.iteration() < 8) continued.step();
+
+  auto gopts = opts;
+  gopts.ckpt_dir.clear();
+  gopts.ckpt_interval = 0;
+  runtime::TrainSession golden(gopts);
+  for (int i = 0; i < 8; ++i) golden.step();
+
+  // Losses after the resume point are bit-equal, and so is the full final
+  // state (parameters, Adam moments, data stream, schedule position).
+  ASSERT_EQ(continued.losses().size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(continued.losses()[static_cast<std::size_t>(i)],
+              golden.losses()[static_cast<std::size_t>(4 + i)])
+        << "step " << 5 + i;
+  }
+  EXPECT_EQ(continued.capture(), golden.capture());
+}
+
+double max_param_diff(const TrainState& a, const TrainState& b) {
+  EXPECT_EQ(a.blocks.size(), b.blocks.size());
+  double worst = 0;
+  for (std::size_t i = 0; i < a.blocks.size(); ++i) {
+    for (std::size_t p = 0; p < a.blocks[i].params.size(); ++p) {
+      const auto& va = a.blocks[i].params[p].value;
+      const auto& vb = b.blocks[i].params[p].value;
+      EXPECT_EQ(va.size(), vb.size());
+      for (std::size_t k = 0; k < va.size(); ++k) {
+        worst = std::max(worst, std::fabs(static_cast<double>(va[k]) -
+                                          static_cast<double>(vb[k])));
+      }
+    }
+  }
+  return worst;
+}
+
+class CkptElasticResume : public testing::TestWithParam<int> {};
+
+TEST_P(CkptElasticResume, ReshardedResumeStaysGradientExact) {
+  const int target = GetParam();
+  MemStorage mem;
+  auto opts = session_options(&mem, "ck", 2);
+  runtime::TrainSession first(opts);
+  for (int i = 0; i < 4; ++i) first.step();
+
+  core::ResumeOptions ropt;
+  ropt.num_gpus = target;
+  const auto resumed = core::resume_from_checkpoint(tiny_config(), mem, "ck",
+                                                    ropt);
+  EXPECT_TRUE(resumed.resharded);
+  EXPECT_EQ(static_cast<int>(resumed.counts.size()), target);
+  int covered = 0;
+  for (int c : resumed.counts) covered += c;
+  EXPECT_EQ(covered, 8);
+
+  auto ropts = opts;
+  ropts.counts = resumed.counts;
+  ropts.ckpt_dir.clear();
+  ropts.ckpt_interval = 0;
+  runtime::TrainSession continued(ropts, resumed.state);
+  while (continued.iteration() < 8) continued.step();
+
+  auto gopts = opts;
+  gopts.ckpt_dir.clear();
+  gopts.ckpt_interval = 0;
+  runtime::TrainSession golden(gopts);
+  for (int i = 0; i < 8; ++i) golden.step();
+
+  // Per-block state is partition-independent, so training on the new
+  // partition computes the same gradients (tolerance covers accumulation
+  // order, which in practice matches bit-exactly on this runtime).
+  EXPECT_LE(max_param_diff(continued.capture(), golden.capture()), 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(NMinusOneAndNPlusOne, CkptElasticResume,
+                         testing::Values(2, 4));
+
+TEST(CkptResume, FailedCheckpointNeverKillsTraining) {
+  MemStorage mem;
+  faults::StorageFaultPlan plan;
+  plan.faults.push_back({faults::StorageFault::Kind::RenameFail, 0, 0});
+  faults::FaultyStorage faulty(mem, plan);
+  auto opts = session_options(&faulty, "ck", 2);
+  runtime::TrainSession session(opts);
+  for (int i = 0; i < 4; ++i) session.step();
+  EXPECT_EQ(session.iteration(), 4);          // training survived
+  EXPECT_EQ(session.checkpoint_failures(), 1);  // step-2 commit failed
+  EXPECT_EQ(session.checkpoints_written(), 1);  // step-4 landed
+  EXPECT_FALSE(session.last_checkpoint_error().empty());
+  CheckpointReader reader(mem, "ck");
+  EXPECT_EQ(reader.committed_steps(), std::vector<int>{4});
+}
+
+// ------------------------------------------------------------------- fuzz
+
+TEST(CkptFuzz, SeededFaultPlansNeverRestoreCorruptState) {
+  // Build a handful of genuine training states once (the expensive part).
+  std::vector<TrainState> states;
+  {
+    runtime::TrainSessionOptions opts;
+    opts.spec = tiny_spec();
+    opts.counts = {2, 3, 3};
+    runtime::TrainSession session(opts);
+    for (int i = 0; i < 4; ++i) {
+      session.step();
+      states.push_back(session.capture());
+    }
+  }
+
+  faults::StorageFaultDistribution dist;
+  dist.torn_write_prob = 0.15;
+  dist.bit_flip_prob = 0.15;
+  dist.short_read_prob = 0.15;
+  dist.rename_fail_prob = 0.25;
+
+  int restores = 0, typed_failures = 0, injected_total = 0;
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    MemStorage mem;
+    // Per step: 3 records + 1 manifest temp = 4 writes, 1 commit rename.
+    const auto plan =
+        faults::sample_storage_fault_plan(dist, 16, 16, 4, seed);
+    faults::FaultyStorage faulty(mem, plan);
+
+    CheckpointWriter writer(faulty, "ck", {10});
+    std::vector<int> committed;
+    for (const TrainState& s : states) {
+      try {
+        writer.write(s);
+        committed.push_back(s.step);
+      } catch (const StorageError&) {
+        // The write was interrupted -- older checkpoints must be intact.
+      }
+    }
+    injected_total += faulty.injected();
+
+    // THE crash-consistency property: under any fault plan, restore either
+    // returns a state bit-identical to one that was written, or raises a
+    // typed CkptError. It never fabricates or truncates state.
+    const auto is_committed = [&](int step) {
+      return std::find(committed.begin(), committed.end(), step) !=
+             committed.end();
+    };
+    const auto state_for = [&](int step) -> const TrainState& {
+      return states[static_cast<std::size_t>(step - 1)];  // steps are 1..4
+    };
+
+    CheckpointReader reader(faulty, "ck");
+    try {
+      const RestoreResult restored = reader.restore();
+      ++restores;
+      ASSERT_TRUE(is_committed(restored.state.step)) << "seed " << seed;
+      EXPECT_EQ(restored.state, state_for(restored.state.step))
+          << "seed " << seed;
+    } catch (const CkptError&) {
+      ++typed_failures;  // typed refusal is the only acceptable failure
+    }
+
+    // And through clean storage (no read faults): restore lands on a
+    // committed checkpoint bit-exactly, or refuses typed -- NotFound only
+    // when no write ever committed.
+    CheckpointReader clean(mem, "ck");
+    try {
+      const RestoreResult restored = clean.restore();
+      ASSERT_TRUE(is_committed(restored.state.step)) << "seed " << seed;
+      EXPECT_EQ(restored.state, state_for(restored.state.step))
+          << "seed " << seed;
+    } catch (const CkptError& e) {
+      if (e.kind() == CkptErrorKind::NotFound) {
+        EXPECT_TRUE(committed.empty()) << "seed " << seed << ": " << e.what();
+      }
+      // Corrupt is legitimate with commits: a bit flip can silently poison
+      // every committed step. The point is it was *detected*.
+    } catch (const StorageError& e) {
+      FAIL() << "seed " << seed << ": untyped failure " << e.what();
+    }
+  }
+  // The sweep must exercise both paths, or the property is vacuous.
+  EXPECT_GT(injected_total, 0);
+  EXPECT_GT(restores, 0);
+  (void)typed_failures;
+}
+
+}  // namespace
+}  // namespace autopipe::ckpt

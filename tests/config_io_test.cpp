@@ -94,6 +94,93 @@ TEST(ConfigIo, RejectsMalformedInput) {
       "work_bytes=0 output_bytes=0 layer_units=0\n");
 }
 
+TEST(ConfigIo, RejectsNonFiniteAndGarbageNumbers) {
+  // stod-style laxness would accept all of these and quietly poison the
+  // cost model; the strict parser must refuse each with a line number.
+  const std::string prologue =
+      "# autopipe-model-config v1\n"
+      "model m layers=2 hidden=4 heads=2 vocab=8 seq=4 causal=1\n"
+      "train micro_batch=2 seq_len=4 recompute=1\n";
+  auto expect_reject = [&](const std::string& tail, const std::string& what) {
+    std::stringstream in(prologue + tail);
+    try {
+      load_model_config(in);
+      FAIL() << "accepted: " << tail;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(what), std::string::npos)
+          << "error '" << e.what() << "' does not mention '" << what << "'";
+      EXPECT_NE(std::string(e.what()).find("line "), std::string::npos)
+          << e.what();
+    }
+  };
+  const std::string block_rest =
+      " bwd_ms=2 param_bytes=0 stash_bytes=0 work_bytes=0 output_bytes=0 "
+      "layer_units=0\n";
+  expect_reject("comm_ms nan\n", "finite");
+  expect_reject("comm_ms inf\n", "finite");
+  expect_reject("comm_ms 0.5extra\n", "finite");
+  expect_reject("comm_ms 0.5 0.6\n", "exactly one");
+  expect_reject("comm_ms 0.5\nblock b kind=FFN fwd_ms=nan" + block_rest,
+                "finite");
+  expect_reject("comm_ms 0.5\nblock b kind=FFN fwd_ms=-inf" + block_rest,
+                "finite");
+  expect_reject("comm_ms 0.5\nblock b kind=FFN fwd_ms=12abc" + block_rest,
+                "non-numeric");
+  expect_reject("comm_ms 0.5\nblock b kind=FFN fwd_ms=" + block_rest,
+                "non-numeric");
+  // Integer fields reject fractional or trailing-garbage values too.
+  std::stringstream bad_layers(
+      "# autopipe-model-config v1\n"
+      "model m layers=2.5 hidden=4 heads=2 vocab=8 seq=4 causal=1\n");
+  EXPECT_THROW(load_model_config(bad_layers), std::runtime_error);
+}
+
+TEST(ConfigIo, RejectsDuplicateDirectives) {
+  auto expect_duplicate = [](const std::string& text,
+                             const std::string& directive) {
+    std::stringstream in(text);
+    try {
+      load_model_config(in);
+      FAIL() << "accepted duplicate " << directive;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("duplicate '" + directive + "'"),
+                std::string::npos)
+          << e.what();
+    }
+  };
+  const std::string model_line =
+      "model m layers=2 hidden=4 heads=2 vocab=8 seq=4 causal=1\n";
+  expect_duplicate("# autopipe-model-config v1\n" + model_line + model_line,
+                   "model");
+  expect_duplicate(
+      "# autopipe-model-config v1\n" + model_line +
+          "comm_ms 0.5\ncomm_ms 0.7\n",
+      "comm_ms");
+  expect_duplicate(
+      "# autopipe-model-config v1\n" + model_line +
+          "train micro_batch=2 seq_len=4 recompute=1\n"
+          "train micro_batch=4 seq_len=4 recompute=1\n",
+      "train");
+}
+
+TEST(ConfigIo, TruncatedFileNamesWhatIsMissing) {
+  // A crash mid-write loses trailing lines first; the error should say
+  // which required pieces never arrived, not just "malformed".
+  std::stringstream in(
+      "# autopipe-model-config v1\n"
+      "model m layers=2 hidden=4 heads=2 vocab=8 seq=4 causal=1\n");
+  try {
+    load_model_config(in);
+    FAIL() << "accepted truncated config";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("truncated"), std::string::npos) << what;
+    EXPECT_NE(what.find("comm_ms"), std::string::npos) << what;
+    EXPECT_NE(what.find("block"), std::string::npos) << what;
+    EXPECT_EQ(what.find(" model"), std::string::npos) << what;
+  }
+}
+
 TEST(ConfigIo, HandEditedProfileIsUsable) {
   // A downstream user can write a profile by hand and plan on it.
   const std::string text =

@@ -257,6 +257,75 @@ TEST(ProfileCache, StalenessCheck) {
   EXPECT_EQ(stale.miss_reason, "stale");
 }
 
+TEST(ProfileCache, CorruptEntryReadsAsMissNotPoison) {
+  // The regression this guards: a crash mid-write (or a flipped bit on
+  // disk) used to leave a truncated-but-parseable entry that silently fed
+  // wrong numbers into later --from-profile runs. With the CRC'd v2 format
+  // any such entry is a "corrupt" miss and gets re-measured.
+  const std::string dir = testing::TempDir();
+  const CacheKey key = test_key("cache-corrupt-model", "hostA");
+  const auto cfg = costmodel::build_model_config(key.spec, key.train);
+  const std::string path = store_profile(dir, key, cfg);
+  ASSERT_FALSE(path.empty());
+  ASSERT_TRUE(load_cached_profile(dir, key).hit);
+
+  std::ifstream in(path);
+  std::stringstream contents;
+  contents << in.rdbuf();
+  in.close();
+  const std::string original = contents.str();
+
+  // Torn write: drop the last block line. Still a parseable config -- only
+  // the CRC notices.
+  std::string torn = original;
+  torn.resize(original.rfind("block"));
+  std::ofstream(path) << torn;
+  CacheLookup miss = load_cached_profile(dir, key);
+  EXPECT_FALSE(miss.hit);
+  EXPECT_EQ(miss.miss_reason, "corrupt");
+
+  // Single flipped character in a numeric field.
+  std::string flipped = original;
+  const auto pos = flipped.find("fwd_ms=");
+  ASSERT_NE(pos, std::string::npos);
+  flipped[pos + 7] = (flipped[pos + 7] == '1') ? '2' : '1';
+  std::ofstream(path) << flipped;
+  miss = load_cached_profile(dir, key);
+  EXPECT_FALSE(miss.hit);
+  EXPECT_EQ(miss.miss_reason, "corrupt");
+
+  // A legacy entry with no CRC line at all is also refused.
+  std::string no_crc = original;
+  const auto crc_pos = no_crc.find("# profile-crc32");
+  ASSERT_NE(crc_pos, std::string::npos);
+  const auto crc_end = no_crc.find('\n', crc_pos);
+  no_crc.erase(crc_pos, crc_end - crc_pos + 1);
+  std::ofstream(path) << no_crc;
+  miss = load_cached_profile(dir, key);
+  EXPECT_FALSE(miss.hit);
+  EXPECT_EQ(miss.miss_reason, "corrupt");
+
+  // Restoring the pristine bytes restores the hit.
+  std::ofstream(path) << original;
+  EXPECT_TRUE(load_cached_profile(dir, key).hit);
+}
+
+TEST(ProfileCache, StoreWritesAtomically) {
+  // No .tmp litter survives a successful store, and storing over an
+  // existing entry replaces it wholesale.
+  const std::string dir = testing::TempDir();
+  const CacheKey key = test_key("cache-atomic-model", "hostA");
+  const auto cfg = costmodel::build_model_config(key.spec, key.train);
+  const std::string path = store_profile(dir, key, cfg);
+  ASSERT_FALSE(path.empty());
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  EXPECT_FALSE(store_profile(dir, key, cfg).empty());
+  EXPECT_TRUE(load_cached_profile(dir, key).hit);
+  // An unwritable directory reports failure instead of throwing.
+  EXPECT_TRUE(store_profile("/nonexistent-dir/x", key, cfg).empty());
+}
+
 TEST(ProfileCache, EntryIsAPlainModelConfig) {
   // A cache entry must load through the vanilla config_io entry point.
   const std::string dir = testing::TempDir();

@@ -3,7 +3,11 @@
 #include <cmath>
 #include <cstdio>
 #include <set>
+#include <stdexcept>
+#include <string>
 
+#include "util/atomic_file.h"
+#include "util/checksum.h"
 #include "util/cli.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -218,6 +222,74 @@ TEST(Cli, ExplicitFalse) {
   const char* argv[] = {"prog", "--opt=false"};
   Cli cli(2, argv);
   EXPECT_FALSE(cli.get_bool("opt", true));
+}
+
+TEST(Cli, CheckedDoubleAcceptsInRangeValues) {
+  const char* argv[] = {"prog", "--prob=0.25", "--quantile", "99.9"};
+  Cli cli(4, argv);
+  EXPECT_DOUBLE_EQ(cli.checked_double("prob", 0.5, 0.0, 1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cli.checked_double("quantile", 95.0, 0.0, 100.0), 99.9);
+  // Absent flag -> fallback, even when the fallback is outside the range
+  // (the range constrains user input, not the program's default).
+  EXPECT_DOUBLE_EQ(cli.checked_double("missing", 0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(Cli, CheckedDoubleRejectsGarbageAndOutOfRange) {
+  const char* argv[] = {"prog",           "--prob=banana", "--trail=0.5x",
+                        "--notfinite=nan", "--big=1e9",    "--inf=inf"};
+  Cli cli(6, argv);
+  EXPECT_THROW(cli.checked_double("prob", 0.5, 0.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(cli.checked_double("trail", 0.5, 0.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(cli.checked_double("notfinite", 0.5, 0.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(cli.checked_double("inf", 0.5, 0.0, 1e30),
+               std::invalid_argument);
+  EXPECT_THROW(cli.checked_double("big", 0.5, 0.0, 1.0),
+               std::invalid_argument);
+  // The error names the offending flag.
+  try {
+    cli.checked_double("prob", 0.5, 0.0, 1.0);
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("prob"), std::string::npos);
+  }
+}
+
+// ------------------------------------------------------------- checksum
+
+TEST(Checksum, Crc32MatchesKnownVectors) {
+  // The IEEE 802.3 check value for "123456789".
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0u);
+  EXPECT_EQ(crc32_hex(crc32("123456789")), "cbf43926");
+}
+
+TEST(Checksum, IncrementalMatchesOneShot) {
+  Crc32 crc;
+  crc.update("1234");
+  crc.update("56789");
+  EXPECT_EQ(crc.value(), crc32("123456789"));
+  EXPECT_NE(crc32("123456789"), crc32("123456788"));
+}
+
+// ---------------------------------------------------------- atomic file
+
+TEST(AtomicFile, WriteThenReadRoundTrip) {
+  const std::string path = testing::TempDir() + "/util_atomic_file_test.txt";
+  const std::string payload = std::string("line one\nline two\n\0bin", 22);
+  ASSERT_TRUE(atomic_write_file(path, payload));
+  std::string back;
+  ASSERT_TRUE(read_file(path, back));
+  EXPECT_EQ(back, payload);
+  // Overwrite is atomic-replace, not append.
+  ASSERT_TRUE(atomic_write_file(path, "v2"));
+  ASSERT_TRUE(read_file(path, back));
+  EXPECT_EQ(back, "v2");
+  std::remove(path.c_str());
+  EXPECT_FALSE(read_file(path, back));
+  // Unwritable target reports failure instead of throwing.
+  EXPECT_FALSE(atomic_write_file("/nonexistent-dir/x/y.txt", "z"));
 }
 
 // -------------------------------------------------------------- logging
