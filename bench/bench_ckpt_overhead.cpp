@@ -29,6 +29,7 @@
 
 #include "ckpt/checkpoint.h"
 #include "ckpt/storage.h"
+#include "common.h"
 #include "core/autopipe.h"
 #include "core/partition.h"
 #include "util/cli.h"
@@ -93,6 +94,7 @@ std::size_t state_bytes(const ckpt::TrainState& state) {
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  bench::emit_metadata("ckpt_overhead");
   const int gpus = cli.checked_int("gpus", 4, 1, 64);
   const int repeats = cli.checked_int("repeats", 5, 1, 1000);
   const auto cap_floats = static_cast<std::size_t>(

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common.h"
 #include "core/autopipe.h"
 #include "core/planner.h"
 #include "core/schedule.h"
@@ -147,6 +148,7 @@ int emit_runtime_lines(const char* kind, const RuntimeSetup& setup,
 int main(int argc, char** argv) try {
   using namespace autopipe;
   const util::Cli cli(argc, argv);
+  bench::emit_metadata("fault_recovery");
   const int trials = cli.checked_int("trials", 200, 1, 1 << 20);
   const int repeats = cli.checked_int("repeats", 5, 1, 1 << 12);
   const int seeds = cli.checked_int("seeds", 5, 1, 1 << 12);

@@ -1,0 +1,142 @@
+// Plan-service throughput benchmark (EXPERIMENTS.md "Planner as a
+// service").
+//
+// Answers "what does the daemon's cross-request state buy?": an in-process
+// seeded request storm -- zoo models with random +-5% block perturbations,
+// warm=auto so the plan history seeds drifted re-requests -- is fired at
+// one PlanService from --storm-threads client threads, timing every
+// handle_line call. One JSON line with the storm shape, throughput and
+// latency percentiles, plus the service's own counters (history hits, memo
+// lookups/misses, warm-started searches, busy rejections):
+//
+//   {"bench":"plan_service","requests":200,...,"plans_per_sec":...,
+//    "p50_ms":...,"p99_ms":...,"history_hits":...,"warm_planned":...}
+//
+// Flags: --requests N (default 200), --seed S (default 42), --workers N
+// (service planner pool, default 4), --storm-threads N (default 8),
+// --max-queue N (default 4096 -- sized so nothing is shed; lower it to
+// exercise admission control).
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "service/plan_service.h"
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace autopipe;
+
+/// Seeded request mix: random zoo model / gpu count / warm mode, half the
+/// requests perturbed in one block by up to +-5% (the drift that makes
+/// warm=auto pay off).
+std::vector<std::string> storm_requests(int n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const char* models[] = {"gpt2-345m", "gpt2-762m", "bert-large"};
+  const char* warms[] = {"off", "auto", "auto", "auto"};
+  std::vector<std::string> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const int gpus = 1 << (1 + rng.next_below(3));
+    std::string line = "plan id=b" + std::to_string(i) +
+                       " model=" + models[rng.next_below(3)] +
+                       " gpus=" + std::to_string(gpus) +
+                       " gbs=" + std::to_string(64L << rng.next_below(2)) +
+                       " stages=" + std::to_string(gpus) +
+                       " warm=" + warms[rng.next_below(4)];
+    if (rng.next_below(2) == 0) {
+      char buf[64];
+      const double f = rng.uniform(0.95, 1.05);
+      std::snprintf(buf, sizeof(buf), " perturb=%d:%.4f:%.4f",
+                    static_cast<int>(rng.next_below(10)), f, f);
+      line += buf;
+    }
+    out.push_back(line);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::Cli cli(argc, argv);
+    const int requests = cli.checked_int("requests", 200, 1, 1 << 20);
+    const auto seed =
+        static_cast<std::uint64_t>(cli.checked_int("seed", 42, 0, 1 << 30));
+    const int storm_threads = cli.checked_int("storm-threads", 8, 1, 256);
+
+    service::ServiceOptions opts;
+    opts.workers = cli.checked_int("workers", 4, 1, 256);
+    opts.max_queue = static_cast<std::size_t>(
+        cli.checked_int("max-queue", 4096, 0, 1 << 20));
+    service::PlanService service(opts);
+
+    bench::emit_metadata("plan_service");
+
+    const std::vector<std::string> lines = storm_requests(requests, seed);
+    std::mutex mu;
+    std::vector<double> latencies_ms;
+    long ok = 0, busy = 0, errors = 0;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> clients;
+    for (int t = 0; t < storm_threads; ++t) {
+      clients.emplace_back([&, t] {
+        std::vector<double> local;
+        long local_ok = 0, local_busy = 0, local_errors = 0;
+        // Static round-robin sharding keeps the request mix (and thus the
+        // history-hit rate) independent of thread scheduling.
+        for (int i = t; i < requests; i += storm_threads) {
+          const auto a = std::chrono::steady_clock::now();
+          const std::string reply = service.handle_line(lines[i]);
+          const auto b = std::chrono::steady_clock::now();
+          local.push_back(
+              std::chrono::duration<double, std::milli>(b - a).count());
+          if (reply.rfind("ok ", 0) == 0) {
+            ++local_ok;
+          } else if (reply.rfind("busy ", 0) == 0) {
+            ++local_busy;
+          } else {
+            ++local_errors;
+          }
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        latencies_ms.insert(latencies_ms.end(), local.begin(), local.end());
+        ok += local_ok;
+        busy += local_busy;
+        errors += local_errors;
+      });
+    }
+    for (auto& c : clients) c.join();
+    const double wall_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+
+    const service::ServiceStats stats = service.stats();
+    std::printf(
+        "{\"bench\":\"plan_service\",\"requests\":%d,\"storm_threads\":%d,"
+        "\"workers\":%d,\"seed\":%llu,\"ok\":%ld,\"busy\":%ld,"
+        "\"errors\":%ld,\"wall_s\":%.3f,\"plans_per_sec\":%.1f,"
+        "\"p50_ms\":%.3f,\"p99_ms\":%.3f,\"planned\":%ld,"
+        "\"history_hits\":%ld,\"warm_planned\":%ld,\"memo_lookups\":%ld,"
+        "\"memo_misses\":%ld}\n",
+        requests, storm_threads, opts.workers,
+        static_cast<unsigned long long>(seed), ok, busy, errors, wall_s,
+        static_cast<double>(ok) / wall_s,
+        util::percentile(latencies_ms, 50), util::percentile(latencies_ms, 99),
+        stats.planned, stats.history_hits, stats.warm_planned,
+        stats.memo_lookups, stats.memo_misses);
+    return errors == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "core/autopipe.h"
 #include "core/planner.h"
@@ -17,7 +18,27 @@
 #include "sim/executor.h"
 #include "util/table.h"
 
+// Build provenance, injected by bench/CMakeLists.txt so every harness can
+// stamp its output; "unknown" outside a git checkout / multi-config build.
+#ifndef AUTOPIPE_GIT_SHA
+#define AUTOPIPE_GIT_SHA "unknown"
+#endif
+#ifndef AUTOPIPE_BUILD_TYPE
+#define AUTOPIPE_BUILD_TYPE "unknown"
+#endif
+
 namespace autopipe::bench {
+
+/// One JSON metadata line per harness run -- git SHA, build type and
+/// hardware thread count -- so archived bench output stays attributable to
+/// the binary that produced it.
+inline void emit_metadata(const std::string& bench_name) {
+  std::printf(
+      "{\"bench\":\"%s\",\"meta\":1,\"git_sha\":\"%s\","
+      "\"build_type\":\"%s\",\"hw_threads\":%u}\n",
+      bench_name.c_str(), AUTOPIPE_GIT_SHA, AUTOPIPE_BUILD_TYPE,
+      std::thread::hardware_concurrency());
+}
 
 inline core::ModelConfig config_for(const std::string& model, int mbs) {
   return costmodel::build_model_config(costmodel::model_by_name(model),

@@ -1,0 +1,166 @@
+// Client and offline replayer for the plan daemon.
+//
+//   plan_client --offline "plan id=1 model=gpt2-345m gpus=8 gbs=64"
+//   plan_client --socket /path/ap.sock "plan ..." ["plan ..." ...]
+//   plan_client --socket /path/ap.sock --verify "plan ..."
+//
+// Each positional argument is one request line. --offline computes the
+// canonical response in-process (fresh state, no daemon) -- the reference
+// the determinism contract is checked against. --socket sends the requests
+// over the daemon's unix socket and prints each response. --verify
+// additionally replays every `ok` response offline, seeding from the warm
+// hint the daemon echoed, and byte-compares the canonical parts: a
+// mismatch prints both lines and exits 1, otherwise each request prints
+// `verified`. The connection retries briefly so a just-launched daemon
+// (CI: `plan_serve --socket ... --no-stdio &`) wins the race.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/protocol.h"
+#include "util/cli.h"
+
+namespace {
+
+using namespace autopipe;
+
+int connect_with_retry(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::invalid_argument("socket path too long: " + path);
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) throw std::runtime_error("socket(AF_UNIX) failed");
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return fd;
+    }
+    ::close(fd);
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  throw std::runtime_error("could not connect to " + path);
+}
+
+void send_line(int fd, const std::string& line) {
+  const std::string data = line + "\n";
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("write to daemon failed");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+std::string read_line(int fd) {
+  std::string out;
+  char c;
+  while (true) {
+    const ssize_t n = ::read(fd, &c, 1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("read from daemon failed");
+    }
+    if (n == 0) throw std::runtime_error("daemon closed the connection");
+    if (c == '\n') return out;
+    out.push_back(c);
+  }
+}
+
+/// Offline reference for a request line: parse, resolve the warm hint the
+/// way a fresh daemon would (explicit counts only -- no history), solve.
+std::string offline_for(const std::string& line) {
+  const service::ParsedLine parsed = service::parse_line(line);
+  if (!parsed.error.empty()) {
+    throw std::invalid_argument("bad request '" + line + "': " + parsed.error);
+  }
+  if (parsed.verb != service::Verb::Plan) {
+    throw std::invalid_argument("--offline only replays plan requests");
+  }
+  return service::offline_response(
+      parsed.request, service::parse_warm_hint("warm=" + parsed.request.warm));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::Cli cli(argc, argv);
+    std::vector<std::string> requests = cli.positional();
+    // util::Cli parses `--offline "plan ..."` as flag + value; reclaim the
+    // swallowed request line so the natural invocation order works. (A bare
+    // `--offline` keeps the parser's boolean "true" sentinel, which is
+    // never a valid request line.)
+    auto mode_flag = [&](const char* name) {
+      if (!cli.has(name)) return false;
+      const std::string value = cli.get(name, "true");
+      if (value != "true") requests.insert(requests.begin(), value);
+      return true;
+    };
+    const bool offline = mode_flag("offline");
+    const bool verify = mode_flag("verify");
+    if (requests.empty()) {
+      throw std::invalid_argument(
+          "no request lines given (pass e.g. \"plan id=1 model=gpt2-345m\")");
+    }
+
+    if (offline) {
+      for (const std::string& line : requests) {
+        std::printf("%s\n", offline_for(line).c_str());
+      }
+      return 0;
+    }
+
+    const std::string socket_path = cli.get("socket", "");
+    if (socket_path.empty()) {
+      throw std::invalid_argument("need --socket PATH or --offline");
+    }
+    const int fd = connect_with_retry(socket_path);
+    int rc = 0;
+    for (const std::string& line : requests) {
+      send_line(fd, line);
+      const std::string response = read_line(fd);
+      if (!verify) {
+        std::printf("%s\n", response.c_str());
+        continue;
+      }
+      if (response.rfind("ok ", 0) != 0) {
+        std::printf("%s\n", response.c_str());
+        rc = 1;
+        continue;
+      }
+      // Replay offline with the daemon's echoed warm hint; the canonical
+      // parts must agree byte-for-byte (the service determinism contract).
+      const service::ParsedLine parsed = service::parse_line(line);
+      const std::string offline = service::offline_response(
+          parsed.request, service::parse_warm_hint(response));
+      if (service::canonical_part(response) == offline) {
+        std::printf("verified\n");
+      } else {
+        std::printf("MISMATCH\n  served : %s\n  offline: %s\n",
+                    service::canonical_part(response).c_str(),
+                    offline.c_str());
+        rc = 1;
+      }
+    }
+    ::close(fd);
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -250,6 +250,12 @@ AutoPipeResult auto_plan(const ModelConfig& config,
       };
       popts.pool = pool.get();
       popts.comm = comm;
+      if (static_cast<int>(options.warm_start.size()) == d) {
+        popts.warm_start = Partition{options.warm_start};
+      }
+      if (options.memo_provider) {
+        popts.memo = options.memo_provider(config, static_cast<int>(m), comm);
+      }
       planned = plan(config, d, static_cast<int>(m), popts);
       if (!planned.feasible) continue;
     }
@@ -264,6 +270,10 @@ AutoPipeResult auto_plan(const ModelConfig& config,
       best.plan = candidate;
       best.evaluation = ev;
       best.sim = planned.sim;
+      best.evaluations = planned.evaluations;
+      best.unique_simulations = planned.unique_simulations;
+      best.cache_hits = planned.cache_hits;
+      best.warm_started = planned.warm_started;
     }
   }
   if (!has_best) {

@@ -14,6 +14,7 @@
 // failure of Table III).
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -26,6 +27,8 @@
 #include "profiler/session.h"
 
 namespace autopipe::core {
+
+class SimMemo;  // core/planner.h
 
 struct ParallelPlan {
   std::string algorithm;       ///< "autopipe" | "megatron" | "dapple" | "piper"
@@ -89,6 +92,20 @@ struct AutoPipeOptions {
   /// plan evaluation and the built schedule. Unset = uniform pricing at
   /// config.comm_ms, the historical scalar behaviour.
   std::optional<costmodel::CommModel> comm = std::nullopt;
+  /// Warm start for incremental re-planning (PlannerOptions::warm_start):
+  /// a previously planned partition's per-stage block counts. It joins the
+  /// seed wave of the depth whose stage count matches (behind the balanced
+  /// seed, so the result is never worse than a cold search); every other
+  /// depth of the sweep searches cold. Empty = always cold.
+  std::vector<int> warm_start = {};
+  /// Optional cross-call simulation memo source (the plan service's shared
+  /// memo pool). Called once per swept depth with the exact (config,
+  /// micro-batches, comm model) that depth's planner uses; the returned
+  /// memo must have been constructed with those values and stay alive for
+  /// the duration of the auto_plan call. Return nullptr for "no sharing".
+  std::function<SimMemo*(const ModelConfig& config, int micro_batches,
+                         const costmodel::CommModel& comm)>
+      memo_provider = {};
 };
 
 struct AutoPipeResult {
@@ -99,6 +116,14 @@ struct AutoPipeResult {
   Schedule schedule;
   SimResult sim;               ///< analytic simulation of the chosen partition
   PlanEvaluation evaluation;   ///< honest end-to-end estimate
+  /// Planner diagnostics of the *chosen* depth's search (all zero when the
+  /// winning depth is 1, which needs no search). unique_simulations and
+  /// cache_hits are this call's delta even on a shared memo, so the plan
+  /// service can report per-request memo effectiveness.
+  int evaluations = 0;
+  int unique_simulations = 0;
+  int cache_hits = 0;
+  bool warm_started = false;   ///< chosen depth's search used warm_start
 };
 
 /// The full AutoPipe flow of Fig. 2: pick the pipeline/data-parallel split,

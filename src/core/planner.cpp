@@ -174,7 +174,12 @@ PlannerResult plan(const ModelConfig& config, int stages, int micro_batches,
   // The comm model every simulation and re-ranking schedule prices hops
   // with; the unset default reproduces the scalar config.comm_ms exactly.
   const CommModel comm = options.comm.value_or(CommModel(config.comm_ms));
-  SimMemo memo(config, micro_batches, comm);
+  SimMemo local_memo(config, micro_batches, comm);
+  SimMemo& memo = options.memo != nullptr ? *options.memo : local_memo;
+  // A shared memo carries counts from earlier plan() calls; report only
+  // this call's delta.
+  const int memo_lookups0 = memo.lookups();
+  const int memo_misses0 = memo.misses();
   const std::vector<double> loads = block_loads(config);
 
   PlannerResult result;
@@ -247,7 +252,28 @@ PlannerResult plan(const ModelConfig& config, int stages, int micro_batches,
 
   std::set<std::vector<int>> visited;
   std::vector<Partition> frontier;
+  // The cold seed always leads the first wave, so the warm search's
+  // considered set is a strict superset of the cold search's: a warm
+  // re-plan can never return a worse scheme than the cold search would
+  // (and returns a different one only when the prior plan's neighborhood
+  // holds a strictly better scheme the cold descent misses).
   frontier.push_back(balanced_partition(config, stages));
+  // Warm start: additionally seed the wave search from a prior plan. After
+  // a small profile drift the prior plan sits inside (or next to) the new
+  // optimum's basin, so its descent terminates in a wave or two; an
+  // unusable seed (wrong depth/block count) is ignored.
+  if (options.warm_start && options.warm_start->num_stages() == stages) {
+    const Partition& seed = *options.warm_start;
+    const bool usable =
+        seed.total_blocks() == config.num_blocks() &&
+        std::all_of(seed.counts.begin(), seed.counts.end(),
+                    [](int c) { return c >= 1; }) &&
+        !(seed == frontier.front());
+    if (usable) {
+      frontier.push_back(seed);
+      result.warm_started = true;
+    }
+  }
 
   while (!frontier.empty() && evals < options.max_evaluations) {
     // Wave = the current frontier, deduplicated in order.
@@ -376,8 +402,9 @@ PlannerResult plan(const ModelConfig& config, int stages, int micro_batches,
   }
 
   result.evaluations = evals;
-  result.unique_simulations = memo.misses();
-  result.cache_hits = memo.hits();
+  result.unique_simulations = memo.misses() - memo_misses0;
+  result.cache_hits =
+      (memo.lookups() - memo_lookups0) - result.unique_simulations;
   result.search_ms = std::chrono::duration<double, std::milli>(
                          std::chrono::steady_clock::now() - t0)
                          .count();

@@ -106,6 +106,30 @@ struct PlannerOptions {
   /// robustness re-ranking schedules. Unset = uniform at config.comm_ms,
   /// which reproduces the historical scalar arithmetic bit-for-bit.
   std::optional<costmodel::CommModel> comm = std::nullopt;
+  /// Warm start for incremental re-planning: additionally seed the wave
+  /// search from a previously planned partition (typically the plan served
+  /// for a config that differs only in a few block profiles). The prior
+  /// plan joins the first wave *behind* the Algorithm 1 balanced seed, so
+  /// the warm search's considered set is a strict superset of the cold
+  /// search's: under the planner's total order the warm result is NEVER
+  /// worse than the cold result, and differs only when the prior plan's
+  /// neighborhood holds a strictly better scheme the cold descent misses
+  /// (the ServiceFuzz never-worse property pins this over seeded profile
+  /// perturbations). A converged seed's own descent terminates within a
+  /// wave or two, so the extra cost is a handful of memoized simulations.
+  /// The search stays a pure function of (config, stages, micro-batches,
+  /// options) -- bit-identical for every thread count and memo state. A
+  /// seed that does not fit the config/stages is ignored (cold search,
+  /// `warm_started = false` in the result).
+  std::optional<Partition> warm_start;
+  /// Optional externally owned simulation memo shared across plan() calls
+  /// (the plan service keys one per (config, micro-batches) so repeated
+  /// requests skip simulation entirely). The caller must have constructed
+  /// it with the same config, micro-batch count and comm model this call
+  /// uses; results are pure, so sharing never changes the returned plan.
+  /// PlannerResult's unique_simulations/cache_hits report only this call's
+  /// delta.
+  SimMemo* memo = nullptr;
   /// Robustness-aware re-ranking (faults/robustness.h): when
   /// `robustness.trials > 0`, the search keeps its `robustness.candidates`
   /// best schemes, Monte-Carlo-simulates each one's 1F1B schedule under
@@ -125,6 +149,7 @@ struct PlannerResult {
   int cache_hits = 0;         ///< memoized lookups that skipped a simulation
   double search_ms = 0;       ///< wall-clock planning time (Fig. 12)
   bool feasible = true;       ///< satisfied PlannerOptions::feasible
+  bool warm_started = false;  ///< search was seeded from warm_start
   /// Monte-Carlo report of the winning scheme when robust ranking ran
   /// (PlannerOptions::robustness); default-initialized otherwise.
   faults::RobustnessReport robustness;

@@ -91,6 +91,38 @@ BlockMeasurement measure_block(model::Block& block,
   return m;
 }
 
+/// The four unique physical blocks plus their synthetic inputs, constructed
+/// in a fixed order from one seeded rng. Both profile() and profile_kinds()
+/// build this identically, so the weights and batches -- and therefore the
+/// instruction stream a deterministic clock observes -- match between a full
+/// run and a targeted re-measurement.
+struct MeasureSetup {
+  model::EmbeddingBlock embedding;
+  model::ResidualAttentionBlock attention;
+  model::ResidualFFNBlock ffn;
+  model::HeadBlock head;
+  model::Tensor ids;
+  model::Tensor x;
+  model::Tensor dy_hidden;
+  model::Tensor dy_logits;
+
+  MeasureSetup(const costmodel::ModelSpec& spec, int seq, int tokens,
+               util::Rng& rng)
+      : embedding(spec.vocab, spec.hidden, seq, rng),
+        attention(spec.hidden, spec.heads, seq, spec.causal, rng),
+        ffn(spec.hidden, rng),
+        head(spec.hidden, spec.vocab, rng),
+        ids({tokens, 1}) {
+    for (std::size_t i = 0; i < ids.numel(); ++i) {
+      ids.at(i) = static_cast<float>(
+          rng.next_below(static_cast<std::uint64_t>(spec.vocab)));
+    }
+    x = model::Tensor::randn({tokens, spec.hidden}, rng, 0.02f);
+    dy_hidden = model::Tensor::randn({tokens, spec.hidden}, rng, 0.02f);
+    dy_logits = model::Tensor::randn({tokens, spec.vocab}, rng, 0.02f);
+  }
+};
+
 }  // namespace
 
 std::string host_fingerprint() {
@@ -143,23 +175,7 @@ ProfileResult BlockProfiler::profile(const costmodel::ModelSpec& spec,
   // same options execute the identical instruction stream, so an injected
   // deterministic clock reproduces the measurement bit-exactly.
   util::Rng rng(options_.seed);
-  model::EmbeddingBlock embedding(spec.vocab, spec.hidden, seq, rng);
-  model::ResidualAttentionBlock attention(spec.hidden, spec.heads, seq,
-                                          spec.causal, rng);
-  model::ResidualFFNBlock ffn(spec.hidden, rng);
-  model::HeadBlock head(spec.hidden, spec.vocab, rng);
-
-  model::Tensor ids({tokens, 1});
-  for (std::size_t i = 0; i < ids.numel(); ++i) {
-    ids.at(i) = static_cast<float>(
-        rng.next_below(static_cast<std::uint64_t>(spec.vocab)));
-  }
-  const model::Tensor x =
-      model::Tensor::randn({tokens, spec.hidden}, rng, 0.02f);
-  const model::Tensor dy_hidden =
-      model::Tensor::randn({tokens, spec.hidden}, rng, 0.02f);
-  const model::Tensor dy_logits =
-      model::Tensor::randn({tokens, spec.vocab}, rng, 0.02f);
+  MeasureSetup setup(spec, seq, tokens, rng);
 
   auto measure = [&](model::Block& block, const model::Tensor& in,
                      const model::Tensor& dy) {
@@ -167,10 +183,10 @@ ProfileResult BlockProfiler::profile(const costmodel::ModelSpec& spec,
   };
 
   // --- Unique physical blocks.
-  BlockMeasurement emb = measure(embedding, ids, dy_hidden);
-  BlockMeasurement attn = measure(attention, x, dy_hidden);
-  BlockMeasurement ffn_m = measure(ffn, x, dy_hidden);
-  BlockMeasurement head_m = measure(head, x, dy_logits);
+  BlockMeasurement emb = measure(setup.embedding, setup.ids, setup.dy_hidden);
+  BlockMeasurement attn = measure(setup.attention, setup.x, setup.dy_hidden);
+  BlockMeasurement ffn_m = measure(setup.ffn, setup.x, setup.dy_hidden);
+  BlockMeasurement head_m = measure(setup.head, setup.x, setup.dy_logits);
 
   // Per-layer blocks: either reuse the layer-0 timings (identical
   // architecture -> identical cost) or time freshly constructed twins.
@@ -191,7 +207,7 @@ ProfileResult BlockProfiler::profile(const costmodel::ModelSpec& spec,
         } else {
           model::ResidualAttentionBlock twin(spec.hidden, spec.heads, seq,
                                              spec.causal, rng);
-          m = measure(twin, x, dy_hidden);
+          m = measure(twin, setup.x, setup.dy_hidden);
         }
         break;
       case costmodel::BlockKind::FFN:
@@ -200,7 +216,7 @@ ProfileResult BlockProfiler::profile(const costmodel::ModelSpec& spec,
           m.shared = b.name != cfg.blocks[2].name;
         } else {
           model::ResidualFFNBlock twin(spec.hidden, rng);
-          m = measure(twin, x, dy_hidden);
+          m = measure(twin, setup.x, setup.dy_hidden);
         }
         break;
     }
@@ -223,6 +239,56 @@ ProfileResult BlockProfiler::profile(const costmodel::ModelSpec& spec,
                << " blocks, micro-batch " << mbs << ", seq " << seq << ") in "
                << result.wall_ms << " ms";
   return result;
+}
+
+std::vector<BlockMeasurement> BlockProfiler::profile_kinds(
+    const costmodel::ModelSpec& spec, const costmodel::TrainConfig& train,
+    const std::vector<costmodel::BlockKind>& kinds) const {
+  const std::function<double()> clock =
+      options_.clock_ms ? options_.clock_ms : steady_now_ms;
+
+  // Resolve the effective batch shape exactly as profile() does (seq_len 0
+  // falls back to the spec default inside build_model_config).
+  const costmodel::ModelConfig cfg = costmodel::build_model_config(spec, train);
+  const int seq = cfg.train.seq_len;
+  const int tokens = cfg.train.micro_batch_size * seq;
+  const bool recompute = cfg.train.recompute;
+
+  util::Rng rng(options_.seed);
+  MeasureSetup setup(spec, seq, tokens, rng);
+
+  auto wanted = [&](costmodel::BlockKind k) {
+    for (costmodel::BlockKind want : kinds) {
+      if (want == k) return true;
+    }
+    return false;
+  };
+  auto measure = [&](model::Block& block, const model::Tensor& in,
+                     const model::Tensor& dy, costmodel::BlockKind kind) {
+    BlockMeasurement m =
+        measure_block(block, options_, clock, in, dy, recompute);
+    m.kind = kind;
+    return m;
+  };
+
+  std::vector<BlockMeasurement> out;
+  if (wanted(costmodel::BlockKind::Embedding)) {
+    out.push_back(measure(setup.embedding, setup.ids, setup.dy_hidden,
+                          costmodel::BlockKind::Embedding));
+  }
+  if (wanted(costmodel::BlockKind::Attention)) {
+    out.push_back(measure(setup.attention, setup.x, setup.dy_hidden,
+                          costmodel::BlockKind::Attention));
+  }
+  if (wanted(costmodel::BlockKind::FFN)) {
+    out.push_back(measure(setup.ffn, setup.x, setup.dy_hidden,
+                          costmodel::BlockKind::FFN));
+  }
+  if (wanted(costmodel::BlockKind::Head)) {
+    out.push_back(measure(setup.head, setup.x, setup.dy_logits,
+                          costmodel::BlockKind::Head));
+  }
+  return out;
 }
 
 }  // namespace autopipe::profiler

@@ -91,6 +91,19 @@ class BlockProfiler {
   ProfileResult profile(const costmodel::ModelSpec& spec,
                         const costmodel::TrainConfig& train) const;
 
+  /// Targeted re-measurement for drift repair: times only the unique
+  /// physical blocks whose kind appears in `kinds` and returns one
+  /// measurement per requested kind, in the fixed order Embedding,
+  /// Attention, FFN, Head (duplicates ignored). The blocks and synthetic
+  /// batches are constructed exactly as profile() constructs them (same
+  /// seeded rng stream), so under a deterministic clock a re-measured kind
+  /// reproduces the full run's timing bit-exactly. Names are left empty --
+  /// the caller merges the per-kind estimate into every config block of
+  /// that kind (the share_layer_timings semantics).
+  std::vector<BlockMeasurement> profile_kinds(
+      const costmodel::ModelSpec& spec, const costmodel::TrainConfig& train,
+      const std::vector<costmodel::BlockKind>& kinds) const;
+
   const ProfilerOptions& options() const { return options_; }
 
  private:

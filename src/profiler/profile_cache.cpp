@@ -136,12 +136,10 @@ CacheLookup load_cached_profile(const std::string& dir, const CacheKey& key,
     out.miss_reason = "corrupt";
     return out;
   }
+  bool stale = false;
   if (max_age_seconds > 0) {
     const long age = static_cast<long>(std::time(nullptr)) - created;
-    if (created <= 0 || age > max_age_seconds) {
-      out.miss_reason = "stale";
-      return out;
-    }
+    stale = created <= 0 || age > max_age_seconds;
   }
 
   try {
@@ -151,6 +149,12 @@ CacheLookup load_cached_profile(const std::string& dir, const CacheKey& key,
     AP_LOG(warn) << "profile cache entry " << out.path
                  << " failed to parse: " << e.what();
     out.miss_reason = "parse";
+    return out;
+  }
+  if (stale) {
+    // Still a miss, but the parsed body rides along as the drift baseline.
+    out.miss_reason = "stale";
+    out.stale_config = true;
     return out;
   }
   out.hit = true;

@@ -58,7 +58,14 @@ struct CacheLookup {
   std::string path;         ///< file consulted (may not exist)
   /// "absent" | "version" | "key" | "stale" | "corrupt" | "parse"
   std::string miss_reason;
-  costmodel::ModelConfig config;  ///< valid only when hit
+  /// Valid when hit, and also on a "stale" miss (stale_config below): a
+  /// stale entry passed every integrity check except its age, so its body
+  /// is still well-formed and usable as a drift-detection baseline.
+  costmodel::ModelConfig config;
+  /// True on a "stale" miss whose body parsed: `config` holds the outdated
+  /// profile so the session can probe it for drift instead of re-measuring
+  /// everything from scratch.
+  bool stale_config = false;
 };
 
 /// Checks dir for a valid entry. max_age_seconds <= 0 disables the

@@ -1,8 +1,95 @@
 #include "profiler/session.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "util/logging.h"
 
 namespace autopipe::profiler {
+
+namespace {
+
+/// Relative deviation of a probe against the cached estimate. The cached
+/// value anchors the denominator so a near-zero probe of a non-trivial
+/// block still registers as drift.
+double relative_deviation(double probed, double cached) {
+  const double denom = std::max(std::abs(cached), 1e-9);
+  return std::abs(probed - cached) / denom;
+}
+
+/// First config block of `kind`, or nullptr. With shared layer timings every
+/// block of a kind carries the same estimate, so one representative is
+/// enough to compare against.
+const costmodel::Block* representative(const costmodel::ModelConfig& config,
+                                       costmodel::BlockKind kind) {
+  for (const costmodel::Block& b : config.blocks) {
+    if (b.kind == kind) return &b;
+  }
+  return nullptr;
+}
+
+/// Probe a stale profile for drift and repair it in place. Returns true when
+/// the repaired (or validated) `config` should be used instead of a full
+/// re-measure; diagnostics land in `result`.
+bool repair_stale_profile(const costmodel::ModelSpec& spec,
+                          const costmodel::TrainConfig& train,
+                          const SessionOptions& options,
+                          costmodel::ModelConfig& config,
+                          SessionResult& result) {
+  result.drift_checked = true;
+
+  // Cheap probe of every kind the config contains, at reduced fidelity.
+  ProfilerOptions probe_opts = options.profiler;
+  probe_opts.warmup = options.drift.probe_warmup;
+  probe_opts.samples = options.drift.probe_samples;
+  std::vector<costmodel::BlockKind> present;
+  for (costmodel::BlockKind kind :
+       {costmodel::BlockKind::Embedding, costmodel::BlockKind::Attention,
+        costmodel::BlockKind::FFN, costmodel::BlockKind::Head}) {
+    if (representative(config, kind) != nullptr) present.push_back(kind);
+  }
+  const BlockProfiler prober(probe_opts);
+  const std::vector<BlockMeasurement> probes =
+      prober.profile_kinds(spec, train, present);
+
+  for (const BlockMeasurement& probe : probes) {
+    const costmodel::Block* cached = representative(config, probe.kind);
+    if (cached == nullptr) continue;
+    if (relative_deviation(probe.fwd_ms, cached->fwd_ms) >
+            options.drift.tolerance ||
+        relative_deviation(probe.bwd_ms, cached->bwd_ms) >
+            options.drift.tolerance) {
+      result.drifted.push_back(probe.kind);
+    }
+  }
+
+  if (result.drifted.empty()) {
+    AP_LOG(info) << "stale profile for " << spec.name
+                 << " probed clean; refreshing without re-measuring";
+    return true;
+  }
+
+  // Full-fidelity re-measure of only the drifted kinds, merged over every
+  // config block of those kinds (shared-layer-timing semantics).
+  const BlockProfiler profiler(options.profiler);
+  const std::vector<BlockMeasurement> fresh =
+      profiler.profile_kinds(spec, train, result.drifted);
+  for (const BlockMeasurement& m : fresh) {
+    for (costmodel::Block& b : config.blocks) {
+      if (b.kind != m.kind) continue;
+      b.fwd_ms = m.fwd_ms;
+      b.bwd_ms = m.bwd_ms;
+      ++result.reprofiled_blocks;
+    }
+  }
+  AP_LOG(info) << "stale profile for " << spec.name << " drifted in "
+               << result.drifted.size() << " block kind(s); re-measured "
+               << result.reprofiled_blocks << " of " << config.blocks.size()
+               << " blocks";
+  return true;
+}
+
+}  // namespace
 
 SessionResult obtain_profile(const costmodel::ModelSpec& spec,
                              const costmodel::TrainConfig& train,
@@ -25,6 +112,25 @@ SessionResult obtain_profile(const costmodel::ModelSpec& spec,
       return result;
     }
     result.miss_reason = lookup.miss_reason;
+
+    // Drift repair: a stale-but-intact entry is probed per block kind and
+    // only drifted kinds are re-measured; the merged profile is re-stored
+    // with a fresh timestamp. Per-layer timings (share_layer_timings off)
+    // cannot be repaired per kind and take the full re-measure below.
+    if (options.drift.check && lookup.stale_config &&
+        options.profiler.share_layer_timings &&
+        repair_stale_profile(spec, train, options, lookup.config, result)) {
+      result.config = std::move(lookup.config);
+      result.from_cache = result.drifted.empty();
+      if (result.drifted.empty()) result.miss_reason.clear();
+      result.cache_path = store_profile(options.cache_dir, key, result.config);
+      if (result.cache_path.empty()) {
+        AP_LOG(warn) << "refreshed profile for " << spec.name
+                     << " could not be re-stored in " << options.cache_dir;
+        result.cache_path = std::move(lookup.path);
+      }
+      return result;
+    }
   } else {
     result.miss_reason = "forced";
   }

@@ -9,11 +9,29 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "profiler/block_profiler.h"
 #include "profiler/profile_cache.h"
 
 namespace autopipe::profiler {
+
+/// Drift detection for stale cache entries: instead of discarding an aged
+/// profile wholesale, probe the four unique physical block kinds with a
+/// cheap measurement and re-measure *only* the kinds whose timing moved
+/// beyond `tolerance` -- the targeted re-profile of a long-lived planning
+/// service. Kinds that probe within tolerance keep their cached timings
+/// bit-exactly, and a fully clean probe refreshes the entry's timestamp
+/// without any full-fidelity measurement. Only applies when
+/// ProfilerOptions::share_layer_timings is set (the default): per-layer
+/// individual timings cannot be repaired per kind, so they fall back to the
+/// ordinary full re-measure.
+struct DriftOptions {
+  bool check = false;      ///< enable the stale-entry probe path
+  double tolerance = 0.25; ///< relative fwd/bwd deviation that counts as drift
+  int probe_warmup = 0;    ///< warmup iterations for the cheap probe
+  int probe_samples = 1;   ///< timed samples for the cheap probe
+};
 
 struct SessionOptions {
   std::string cache_dir = ".";
@@ -23,6 +41,7 @@ struct SessionOptions {
   /// Overrides host_fingerprint() in the cache key (tests simulate foreign
   /// hosts this way).
   std::string host_override;
+  DriftOptions drift;
 };
 
 struct SessionResult {
@@ -30,10 +49,18 @@ struct SessionResult {
   bool from_cache = false;
   std::string cache_path;
   /// Why the cache missed and a measurement ran ("forced", "absent",
-  /// "version", "key", "stale", "parse"); empty on a hit.
+  /// "version", "key", "stale", "parse"); empty on a hit, and cleared when
+  /// drift detection validated a stale entry without re-measuring.
   std::string miss_reason;
   /// Populated only when a measurement actually ran.
   ProfileResult measurement;
+  /// Drift detection diagnostics (DriftOptions::check on a stale entry).
+  bool drift_checked = false;
+  /// Kinds whose probe deviated beyond tolerance and were re-measured at
+  /// full fidelity; empty when the stale entry validated clean.
+  std::vector<costmodel::BlockKind> drifted;
+  /// Config blocks whose timings the targeted re-measure overwrote.
+  int reprofiled_blocks = 0;
 };
 
 SessionResult obtain_profile(const costmodel::ModelSpec& spec,

@@ -1,0 +1,52 @@
+// Transports for the plan daemon: a stdin/stdout line loop and an optional
+// AF_UNIX stream socket listener, both feeding PlanService::handle_line.
+//
+// Protocol framing is one request line in, one response line out, on both
+// transports. Responses go to stdout (stdio) or back down the connection
+// (socket); all logging stays on stderr, so stdout carries nothing but
+// response lines and can be byte-diffed in CI.
+//
+// Shutdown: a `shutdown` request on any transport, or EOF on stdin, stops
+// the whole server. The socket listener polls with a short timeout so it
+// notices a shutdown initiated on the other transport; the socket file is
+// unlinked on exit.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/plan_service.h"
+
+namespace autopipe::service {
+
+struct ServerOptions {
+  bool stdio = true;          ///< serve stdin -> stdout
+  std::string socket_path;    ///< empty: no unix-socket listener
+};
+
+class PlanServer {
+ public:
+  PlanServer(PlanService& service, ServerOptions options);
+  ~PlanServer();
+  PlanServer(const PlanServer&) = delete;
+  PlanServer& operator=(const PlanServer&) = delete;
+
+  /// Serves until shutdown (or stdin EOF in stdio mode). Returns 0 on a
+  /// clean exit, 1 when the socket listener could not be set up.
+  int run();
+
+ private:
+  void listener_loop();
+  void serve_connection(int fd);
+
+  PlanService& service_;
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  std::thread listener_;
+  std::vector<std::thread> connections_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace autopipe::service

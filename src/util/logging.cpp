@@ -27,7 +27,18 @@ std::mutex& sink_mutex() {
   return m;
 }
 
+/// Guarded by sink_mutex(); empty means "write to stderr".
+LogSink& sink_slot() {
+  static LogSink sink;
+  return sink;
+}
+
 }  // namespace
+
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  sink_slot() = std::move(sink);
+}
 
 void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
@@ -55,9 +66,16 @@ LogLine::LogLine(LogLevel level, const char* file, int line)
 LogLine::~LogLine() {
   if (!enabled_) return;
   stream_ << '\n';
+  // The whole line is rendered before the lock is taken and delivered in a
+  // single sink call under it: concurrent AP_LOG statements serialize per
+  // line, never per insertion, so lines cannot interleave.
   const std::string text = stream_.str();
   std::lock_guard<std::mutex> lock(sink_mutex());
-  std::fwrite(text.data(), 1, text.size(), stderr);
+  if (const LogSink& sink = sink_slot()) {
+    sink(text);
+  } else {
+    std::fwrite(text.data(), 1, text.size(), stderr);
+  }
 }
 
 }  // namespace detail

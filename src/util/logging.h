@@ -5,8 +5,15 @@
 //
 // The global level defaults to `warn` so library code stays quiet inside
 // tests and benchmarks; binaries that want narration raise it explicitly.
+//
+// Writes are line-atomic: each AP_LOG statement is rendered into a private
+// buffer and handed to the sink as one string under a global mutex, so
+// concurrent service workers can never interleave fragments of two log
+// lines (enforced by a unit test). The sink defaults to stderr; a process
+// (or test) can redirect whole lines with set_log_sink().
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -20,6 +27,14 @@ LogLevel log_level();
 
 /// Parses "debug" / "info" / "warn" / "error" / "off"; unknown -> warn.
 LogLevel parse_log_level(const std::string& name);
+
+/// Receives one complete, newline-terminated log line per call. Calls are
+/// serialized by the logging mutex, so the sink itself need not lock.
+using LogSink = std::function<void(const std::string& line)>;
+
+/// Replaces the sink (empty = back to stderr). The swap itself happens
+/// under the logging mutex, so no line is ever split across sinks.
+void set_log_sink(LogSink sink);
 
 namespace detail {
 

@@ -10,10 +10,12 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -46,13 +48,40 @@ class ThreadPool {
     return out;
   }
 
+  /// Admission-controlled flavour of submit(): enqueues `f` only when fewer
+  /// than `max_queue` tasks are already waiting (tasks a worker has picked
+  /// up no longer count). Returns nullopt -- without enqueueing anything --
+  /// when the pool is saturated, so callers can shed load instead of
+  /// building an unbounded backlog.
+  template <typename F>
+  auto try_submit(F f, std::size_t max_queue)
+      -> std::optional<std::future<std::invoke_result_t<F>>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(f));
+    std::future<R> out = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (queue_.size() >= max_queue) return std::nullopt;
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return out;
+  }
+
+  /// Tasks submitted but not yet picked up by a worker -- the backlog an
+  /// admission controller inspects. Running tasks are not counted.
+  std::size_t queue_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
   /// max(1, std::thread::hardware_concurrency()).
   static int default_threads();
 
  private:
   void worker_loop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool stopping_ = false;

@@ -15,6 +15,8 @@
 #include "model/data.h"
 #include "runtime/pipeline_runtime.h"
 #include "runtime/recovery.h"
+#include "service/plan_service.h"
+#include "service/protocol.h"
 #include "sim/executor.h"
 #include "util/rng.h"
 
@@ -432,6 +434,90 @@ TEST(EvaluatePlanFuzz, NeverCrashesAndStaysFinite) {
     }
   }
 }
+
+class ServiceFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ServiceFuzz, WarmReplanNeverWorseThanCold) {
+  // The warm-start acceptance property: seeding the search with a prior
+  // plan (here: the optimum of a drifted sibling config) can never produce
+  // a worse plan than a cold search, because the seed joins the first wave
+  // *behind* the balanced seed -- the considered set is a strict superset
+  // of the cold search's. "Never worse" is in the planner's total order:
+  // (iteration_ms, scheme_hash).
+  util::Rng rng(GetParam() * 104729 + 71);
+  const int layers = 3 + static_cast<int>(rng.next_below(12));
+  auto cfg = random_config(rng, layers);
+  const int max_depth = std::min(8, cfg.num_blocks());
+  const int depth = 2 + static_cast<int>(rng.next_below(max_depth - 1));
+  const int m = depth + static_cast<int>(rng.next_below(2 * depth));
+
+  // The "previous" config: same shape, timings drifted by up to +-20% on a
+  // random subset of blocks. Its optimal plan is the warm seed.
+  auto prev = cfg;
+  for (auto& b : prev.blocks) {
+    if (rng.next_below(3) == 0) {
+      const double factor = rng.uniform(0.8, 1.2);
+      b.fwd_ms *= factor;
+      b.bwd_ms *= factor;
+    }
+  }
+  const auto prior = core::plan(prev, depth, m);
+
+  const auto cold = core::plan(cfg, depth, m);
+  core::PlannerOptions warm_opts;
+  warm_opts.warm_start = prior.partition;
+  const auto warm = core::plan(cfg, depth, m, warm_opts);
+
+  ASSERT_EQ(warm.feasible, cold.feasible);
+  if (!cold.feasible) return;
+  EXPECT_LE(warm.sim.iteration_ms, cold.sim.iteration_ms);
+  if (warm.sim.iteration_ms == cold.sim.iteration_ms) {
+    EXPECT_LE(core::scheme_hash(warm.partition),
+              core::scheme_hash(cold.partition));
+  }
+}
+
+TEST_P(ServiceFuzz, ServedMatchesOfflineReplayForSeededRequests) {
+  // Daemon determinism over a seeded request mix: one long-lived service
+  // accumulates memo/history state across random zoo requests, yet every
+  // canonical response byte-matches a fresh offline replay of the same
+  // request plus the echoed warm hint.
+  util::Rng rng(GetParam() * 31337 + 5);
+  service::ServiceOptions opts;
+  opts.workers = 2;
+  opts.max_queue = 256;
+  service::PlanService service(opts);
+
+  const char* models[] = {"gpt2-345m", "gpt2-762m", "bert-large"};
+  const char* warms[] = {"off", "auto"};
+  for (int i = 0; i < 10; ++i) {
+    const int gpus = 1 << (1 + rng.next_below(3));  // 2, 4 or 8
+    std::string line = "plan id=f" + std::to_string(i) +
+                       " model=" + models[rng.next_below(3)] +
+                       " gpus=" + std::to_string(gpus) +
+                       " gbs=" + std::to_string(32L << rng.next_below(3)) +
+                       " stages=" + std::to_string(rng.next_below(2) ? gpus : 0) +
+                       " warm=" + warms[rng.next_below(2)];
+    if (rng.next_below(2) == 0) {
+      const int block = static_cast<int>(rng.next_below(10));
+      const double f = rng.uniform(0.9, 1.1);
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), " perturb=%d:%.4f:%.4f", block, f, f);
+      line += buf;
+    }
+    const std::string served = service.handle_line(line);
+    ASSERT_EQ(served.rfind("ok ", 0), 0u) << served << "\nrequest: " << line;
+    const service::ParsedLine parsed = service::parse_line(line);
+    ASSERT_TRUE(parsed.error.empty()) << line;
+    EXPECT_EQ(service::canonical_part(served),
+              service::offline_response(parsed.request,
+                                        service::parse_warm_hint(served)))
+        << "request: " << line;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomReplans, ServiceFuzz,
+                         testing::Range<std::uint64_t>(1, 16));
 
 }  // namespace
 }  // namespace autopipe

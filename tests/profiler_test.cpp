@@ -405,6 +405,165 @@ TEST(Session, FacadePlansFromMeasuredProfile) {
                    planned.result.evaluation.iteration_ms);
 }
 
+// --------------------------------------------------------- drift detection
+
+TEST(BlockProfiler, ProfileKindsMatchesFullRunUnderSeededClock) {
+  // A targeted re-measurement replays the exact setup of the full run, so
+  // with the deterministic clock the per-kind estimates agree bit-exactly.
+  ProfilerOptions opts = fast_options();
+  opts.clock_ms = fake_clock();
+  const ProfileResult full = BlockProfiler(opts).profile(tiny_spec(),
+                                                         tiny_train());
+
+  ProfilerOptions opts2 = fast_options();
+  opts2.clock_ms = fake_clock();
+  const auto targeted = BlockProfiler(opts2).profile_kinds(
+      tiny_spec(), tiny_train(),
+      {costmodel::BlockKind::Head, costmodel::BlockKind::Attention,
+       costmodel::BlockKind::Attention});
+  // Duplicates collapse; output is in canonical kind order.
+  ASSERT_EQ(targeted.size(), 2u);
+  EXPECT_EQ(targeted[0].kind, costmodel::BlockKind::Attention);
+  EXPECT_EQ(targeted[1].kind, costmodel::BlockKind::Head);
+  // Blocks: embedding, l0.attn, l0.ffn, l1.attn, l1.ffn, head.
+  EXPECT_DOUBLE_EQ(targeted[0].fwd_ms, full.config.blocks[1].fwd_ms);
+  EXPECT_DOUBLE_EQ(targeted[0].bwd_ms, full.config.blocks[1].bwd_ms);
+  EXPECT_DOUBLE_EQ(targeted[1].fwd_ms, full.config.blocks[5].fwd_ms);
+  EXPECT_DOUBLE_EQ(targeted[1].bwd_ms, full.config.blocks[5].bwd_ms);
+}
+
+/// Session wired for deterministic drift tests: fake clock, cheap options,
+/// 100 s staleness limit and the probe path enabled.
+SessionOptions drift_session(const std::string& host) {
+  SessionOptions session;
+  session.cache_dir = testing::TempDir();
+  session.profiler = fast_options();
+  session.profiler.clock_ms = fake_clock();
+  session.host_override = host;
+  session.max_age_seconds = 100;
+  session.drift.check = true;
+  return session;
+}
+
+TEST(Session, DriftCleanProbeReusesStaleEntryAndRefreshesIt) {
+  SessionOptions session = drift_session("drift-clean-host");
+  const auto spec = tiny_spec("drift-clean-model");
+  wipe_cache_entry(session.cache_dir, spec, session.host_override);
+
+  const SessionResult first = obtain_profile(spec, tiny_train(), session);
+  ASSERT_FALSE(first.from_cache);
+
+  // Age the entry past the limit, keeping its (clock-derived) timings.
+  CacheKey key;
+  key.spec = spec;
+  key.train = tiny_train();
+  key.host = session.host_override;
+  const long old_stamp = static_cast<long>(std::time(nullptr)) - 10'000;
+  ASSERT_FALSE(
+      store_profile(session.cache_dir, key, first.config, old_stamp).empty());
+  ASSERT_EQ(load_cached_profile(session.cache_dir, key, 100).miss_reason,
+            "stale");
+
+  // The probe reproduces the cached timings (same seed + fake clock), so
+  // every kind validates: the stale entry is reused without re-measuring.
+  const SessionResult second = obtain_profile(spec, tiny_train(), session);
+  EXPECT_TRUE(second.drift_checked);
+  EXPECT_TRUE(second.drifted.empty());
+  EXPECT_EQ(second.reprofiled_blocks, 0);
+  EXPECT_TRUE(second.from_cache);
+  EXPECT_TRUE(second.miss_reason.empty());
+  ASSERT_EQ(second.config.blocks.size(), first.config.blocks.size());
+  for (std::size_t i = 0; i < first.config.blocks.size(); ++i) {
+    EXPECT_DOUBLE_EQ(second.config.blocks[i].fwd_ms,
+                     first.config.blocks[i].fwd_ms);
+    EXPECT_DOUBLE_EQ(second.config.blocks[i].bwd_ms,
+                     first.config.blocks[i].bwd_ms);
+  }
+  // The clean probe re-stamped the entry: the next lookup is a plain hit.
+  EXPECT_TRUE(load_cached_profile(session.cache_dir, key, 100).hit);
+}
+
+TEST(Session, DriftReprofilesOnlyAffectedKinds) {
+  SessionOptions session = drift_session("drift-kind-host");
+  const auto spec = tiny_spec("drift-kind-model");
+  wipe_cache_entry(session.cache_dir, spec, session.host_override);
+
+  const SessionResult first = obtain_profile(spec, tiny_train(), session);
+  ASSERT_FALSE(first.from_cache);
+  // Blocks: embedding, l0.attn, l0.ffn, l1.attn, l1.ffn, head.
+  ASSERT_EQ(first.config.blocks.size(), 6u);
+
+  // Age the entry AND drift its attention timings far beyond tolerance;
+  // nudge FFN within tolerance to prove near-misses are left alone.
+  costmodel::ModelConfig tampered = first.config;
+  for (auto& b : tampered.blocks) {
+    if (b.kind == costmodel::BlockKind::Attention) {
+      b.fwd_ms *= 3.0;
+      b.bwd_ms *= 3.0;
+    } else if (b.kind == costmodel::BlockKind::FFN) {
+      b.fwd_ms *= 1.1;
+      b.bwd_ms *= 1.1;
+    }
+  }
+  CacheKey key;
+  key.spec = spec;
+  key.train = tiny_train();
+  key.host = session.host_override;
+  const long old_stamp = static_cast<long>(std::time(nullptr)) - 10'000;
+  ASSERT_FALSE(
+      store_profile(session.cache_dir, key, tampered, old_stamp).empty());
+
+  const SessionResult repaired = obtain_profile(spec, tiny_train(), session);
+  EXPECT_TRUE(repaired.drift_checked);
+  ASSERT_EQ(repaired.drifted.size(), 1u);
+  EXPECT_EQ(repaired.drifted[0], costmodel::BlockKind::Attention);
+  EXPECT_EQ(repaired.reprofiled_blocks, 2);  // l0.attn + l1.attn
+  EXPECT_FALSE(repaired.from_cache);
+  EXPECT_EQ(repaired.miss_reason, "stale");
+
+  for (std::size_t i = 0; i < repaired.config.blocks.size(); ++i) {
+    const auto& b = repaired.config.blocks[i];
+    if (b.kind == costmodel::BlockKind::Attention) {
+      // Re-measured at full fidelity: back to the fresh estimate.
+      EXPECT_DOUBLE_EQ(b.fwd_ms, first.config.blocks[i].fwd_ms) << i;
+      EXPECT_DOUBLE_EQ(b.bwd_ms, first.config.blocks[i].bwd_ms) << i;
+    } else {
+      // Within-tolerance and untouched kinds keep the cached values
+      // bit-exactly (the tampered FFN numbers prove no re-measure ran).
+      EXPECT_DOUBLE_EQ(b.fwd_ms, tampered.blocks[i].fwd_ms) << i;
+      EXPECT_DOUBLE_EQ(b.bwd_ms, tampered.blocks[i].bwd_ms) << i;
+    }
+  }
+  // The repaired profile was re-stored with a fresh stamp: plain hit next.
+  const CacheLookup after = load_cached_profile(session.cache_dir, key, 100);
+  ASSERT_TRUE(after.hit);
+  EXPECT_DOUBLE_EQ(after.config.blocks[1].fwd_ms, first.config.blocks[1].fwd_ms);
+  EXPECT_DOUBLE_EQ(after.config.blocks[2].fwd_ms, tampered.blocks[2].fwd_ms);
+}
+
+TEST(Session, DriftDisabledKeepsFullRemeasureBehaviour) {
+  SessionOptions session = drift_session("drift-off-host");
+  session.drift.check = false;
+  const auto spec = tiny_spec("drift-off-model");
+  wipe_cache_entry(session.cache_dir, spec, session.host_override);
+
+  const SessionResult first = obtain_profile(spec, tiny_train(), session);
+  ASSERT_FALSE(first.from_cache);
+  CacheKey key;
+  key.spec = spec;
+  key.train = tiny_train();
+  key.host = session.host_override;
+  const long old_stamp = static_cast<long>(std::time(nullptr)) - 10'000;
+  ASSERT_FALSE(
+      store_profile(session.cache_dir, key, first.config, old_stamp).empty());
+
+  const SessionResult second = obtain_profile(spec, tiny_train(), session);
+  EXPECT_FALSE(second.drift_checked);
+  EXPECT_FALSE(second.from_cache);
+  EXPECT_EQ(second.miss_reason, "stale");
+  EXPECT_FALSE(second.measurement.measurements.empty());
+}
+
 // ------------------------------------------------------------- calibration
 
 TEST(Calibration, IdenticalConfigsHaveZeroError) {

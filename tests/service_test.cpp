@@ -1,0 +1,354 @@
+// Plan-service tests: wire-protocol parsing, the served-equals-offline
+// determinism contract, history and shared-memo reuse, admission control,
+// the unix-socket transport, and a seeded concurrent request storm (the
+// TSan target for the daemon's cross-request state).
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/plan_service.h"
+#include "service/protocol.h"
+#include "service/server.h"
+
+namespace autopipe::service {
+namespace {
+
+// ------------------------------------------------------------- protocol
+
+TEST(ServiceProtocol, ParsesFullPlanLine) {
+  const ParsedLine p = parse_line(
+      "plan id=req-7 model=gpt2-345m mbs=2 seq=512 recompute=0 gpus=8 "
+      "gbs=128 stages=4 slicer=0 source=cache warm=3,4,5 "
+      "perturb=0:1.5:2,3:0.9:0.9");
+  ASSERT_TRUE(p.error.empty()) << p.error;
+  ASSERT_EQ(p.verb, Verb::Plan);
+  const PlanRequest& r = p.request;
+  EXPECT_EQ(r.id, "req-7");
+  EXPECT_EQ(r.model, "gpt2-345m");
+  EXPECT_EQ(r.micro_batch, 2);
+  EXPECT_EQ(r.seq_len, 512);
+  EXPECT_FALSE(r.recompute);
+  EXPECT_EQ(r.gpus, 8);
+  EXPECT_EQ(r.global_batch, 128);
+  EXPECT_EQ(r.stages, 4);
+  EXPECT_FALSE(r.slicer);
+  EXPECT_EQ(r.source, "cache");
+  EXPECT_EQ(r.warm, "3,4,5");
+  ASSERT_EQ(r.perturbs.size(), 2u);
+  EXPECT_EQ(r.perturbs[0].block, 0);
+  EXPECT_DOUBLE_EQ(r.perturbs[0].fwd, 1.5);
+  EXPECT_EQ(r.perturbs[1].block, 3);
+  EXPECT_DOUBLE_EQ(r.perturbs[1].bwd, 0.9);
+}
+
+TEST(ServiceProtocol, ParsesBareVerbs) {
+  EXPECT_EQ(parse_line("ping").verb, Verb::Ping);
+  EXPECT_EQ(parse_line("  stats  ").verb, Verb::Stats);
+  EXPECT_EQ(parse_line("shutdown").verb, Verb::Shutdown);
+}
+
+TEST(ServiceProtocol, RejectsMalformedLines) {
+  // A daemon must survive arbitrary input: every rejection is a parse
+  // error naming the offending token, never a throw.
+  const char* bad[] = {
+      "replan model=gpt2-345m",              // unknown verb
+      "plan model=gpt2-345m speed=fast",     // unknown key
+      "plan gpus=4",                         // plan needs a model
+      "plan model=gpt2-345m mbs=banana",     // malformed int
+      "plan model=gpt2-345m gpus=0",         // out of range
+      "plan model=gpt2-345m warm=1,x",       // malformed warm counts
+      "plan model=gpt2-345m perturb=0:1",    // malformed perturb triple
+      "plan model=gpt2-345m perturb=0:0:1",  // non-positive factor
+  };
+  for (const char* line : bad) {
+    EXPECT_FALSE(parse_line(line).error.empty()) << line;
+  }
+}
+
+TEST(ServiceProtocol, CanonicalRequestExcludesIdAndNormalizes) {
+  ParsedLine a = parse_line("plan id=1 model=gpt2-345m gpus=4 gbs=64");
+  ParsedLine b = parse_line("plan id=2 gbs=64 gpus=4 model=gpt2-345m");
+  ASSERT_TRUE(a.error.empty() && b.error.empty());
+  // Same request under different ids and key order -> same fingerprint.
+  EXPECT_EQ(canonical_request(a.request), canonical_request(b.request));
+  // The family key drops the timing content (perturb/warm) but the
+  // fingerprint keeps it.
+  ParsedLine c =
+      parse_line("plan id=3 model=gpt2-345m gpus=4 gbs=64 perturb=1:1.1:1.1");
+  ASSERT_TRUE(c.error.empty());
+  EXPECT_EQ(family_key(a.request), family_key(c.request));
+  EXPECT_NE(canonical_request(a.request), canonical_request(c.request));
+}
+
+TEST(ServiceProtocol, CanonicalPartAndWarmHintRoundTrip) {
+  const std::string line = "ok id=1 model=x warm=20,19,19 iter_ms=1 # src=planned";
+  EXPECT_EQ(canonical_part(line), "ok id=1 model=x warm=20,19,19 iter_ms=1");
+  EXPECT_EQ(canonical_part("ok id=1 warm=-"), "ok id=1 warm=-");
+  EXPECT_EQ(parse_warm_hint(line), (std::vector<int>{20, 19, 19}));
+  EXPECT_TRUE(parse_warm_hint("ok id=1 warm=- iter_ms=1").empty());
+  EXPECT_TRUE(parse_warm_hint("pong").empty());
+}
+
+// ----------------------------------------------- service determinism
+
+ServiceOptions small_service() {
+  ServiceOptions opts;
+  opts.workers = 2;
+  opts.max_queue = 64;
+  return opts;
+}
+
+TEST(Service, ServedMatchesOfflineByteForByte) {
+  // The determinism contract: a daemon's canonical response equals the
+  // fresh-process offline replay of the same request, byte for byte.
+  PlanService service(small_service());
+  const std::string line =
+      "plan id=42 model=gpt2-345m gpus=4 gbs=64 warm=off";
+  const std::string served = service.handle_line(line);
+  ASSERT_EQ(served.rfind("ok id=42 ", 0), 0u) << served;
+
+  const ParsedLine parsed = parse_line(line);
+  ASSERT_TRUE(parsed.error.empty());
+  EXPECT_EQ(canonical_part(served), offline_response(parsed.request));
+}
+
+TEST(Service, RepeatRequestServedFromHistory) {
+  PlanService service(small_service());
+  const std::string line =
+      "plan id=1 model=gpt2-345m gpus=4 gbs=64 warm=off";
+  const std::string first = service.handle_line(line);
+  const std::string again =
+      service.handle_line("plan id=2 model=gpt2-345m gpus=4 gbs=64 warm=off");
+  ASSERT_EQ(again.rfind("ok id=2 ", 0), 0u) << again;
+  EXPECT_NE(again.find(" # src=history"), std::string::npos) << again;
+  // Identical canonical content, re-served under the new id.
+  EXPECT_EQ(canonical_part(first).substr(std::strlen("ok id=1 ")),
+            canonical_part(again).substr(std::strlen("ok id=2 ")));
+  EXPECT_EQ(service.stats().history_hits, 1);
+}
+
+TEST(Service, MemoPoolSharedAcrossDistinctRequests) {
+  // Two requests with different fingerprints but the same (config, m)
+  // reuse the shared simulation memo: the second search runs zero new
+  // simulations.
+  PlanService service(small_service());
+  const std::string first = service.handle_line(
+      "plan id=1 model=gpt2-345m gpus=4 gbs=64 warm=off slicer=1");
+  ASSERT_EQ(first.rfind("ok ", 0), 0u) << first;
+  const std::string second = service.handle_line(
+      "plan id=2 model=gpt2-345m gpus=4 gbs=64 warm=off slicer=0");
+  ASSERT_EQ(second.rfind("ok ", 0), 0u) << second;
+  EXPECT_NE(second.find(" # src=planned"), std::string::npos) << second;
+  EXPECT_NE(second.find(" sims=0 "), std::string::npos) << second;
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.planned, 2);
+  EXPECT_GT(stats.memo_lookups, 0);
+  EXPECT_GT(stats.memo_pool, 0u);
+}
+
+TEST(Service, ExplicitWarmHintIsEchoedInCanonicalResponse) {
+  PlanService service(small_service());
+  const std::string cold = service.handle_line(
+      "plan id=1 model=gpt2-345m gpus=4 gbs=64 stages=2 warm=off");
+  ASSERT_EQ(cold.rfind("ok ", 0), 0u) << cold;
+  // Re-request with the served counts as an explicit warm hint; the hint
+  // must be echoed so the offline replay can reproduce the bytes.
+  std::string counts;
+  const std::string counts_key = " counts=";
+  const auto pos = cold.find(counts_key);
+  ASSERT_NE(pos, std::string::npos);
+  counts = cold.substr(pos + counts_key.size(),
+                       cold.find(' ', pos + counts_key.size()) -
+                           (pos + counts_key.size()));
+  const std::string line = "plan id=2 model=gpt2-345m gpus=4 gbs=64 stages=2 "
+                           "warm=" + counts;
+  const std::string warm = service.handle_line(line);
+  ASSERT_EQ(warm.rfind("ok ", 0), 0u) << warm;
+  EXPECT_NE(warm.find(" warm=" + counts + " "), std::string::npos) << warm;
+
+  const ParsedLine parsed = parse_line(line);
+  ASSERT_TRUE(parsed.error.empty());
+  EXPECT_EQ(canonical_part(warm),
+            offline_response(parsed.request, parse_warm_hint(warm)));
+}
+
+TEST(Service, ErrorsAreRepliesNotThrows) {
+  PlanService service(small_service());
+  EXPECT_EQ(service.handle_line("ping"), "pong");
+  // Unknown model parses fine but fails at config construction.
+  const std::string bad_model =
+      service.handle_line("plan id=9 model=no-such-model");
+  EXPECT_EQ(bad_model.rfind("error id=9 ", 0), 0u) << bad_model;
+  // Malformed line fails at parse (default id).
+  const std::string bad_key = service.handle_line("plan model=gpt2-345m x=1");
+  EXPECT_EQ(bad_key.rfind("error id=0 ", 0), 0u) << bad_key;
+  EXPECT_EQ(service.stats().errors, 2);
+  // stats is a single self-describing line.
+  EXPECT_EQ(service.handle_line("stats").rfind("stats requests=", 0), 0u);
+  EXPECT_FALSE(service.shutdown_requested());
+  EXPECT_EQ(service.handle_line("shutdown"), "bye");
+  EXPECT_TRUE(service.shutdown_requested());
+}
+
+TEST(Service, AdmissionControlShedsAtZeroQueue) {
+  // max_queue=0 is the degenerate admission bound: every plan request is
+  // shed with a `busy` reply, while the cheap verbs keep answering.
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.max_queue = 0;
+  PlanService service(opts);
+  const std::string reply =
+      service.handle_line("plan id=5 model=gpt2-345m gpus=4 gbs=64");
+  EXPECT_EQ(reply.rfind("busy id=5 queue=", 0), 0u) << reply;
+  EXPECT_EQ(service.handle_line("ping"), "pong");
+  EXPECT_EQ(service.stats().busy_rejected, 1);
+  EXPECT_EQ(service.stats().planned, 0);
+}
+
+// ------------------------------------------------------ unix socket
+
+int connect_retry(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd >= 0 && ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                             sizeof(addr)) == 0) {
+      return fd;
+    }
+    if (fd >= 0) ::close(fd);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return -1;
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    ASSERT_GT(n, 0);
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+std::string recv_line(int fd) {
+  std::string out;
+  char c;
+  while (::read(fd, &c, 1) == 1) {
+    if (c == '\n') return out;
+    out.push_back(c);
+  }
+  return out;
+}
+
+TEST(Service, UnixSocketTransportServesAndShutsDown) {
+  const std::string path = testing::TempDir() + "/ap-service-test.sock";
+  ::unlink(path.c_str());
+
+  PlanService service(small_service());
+  ServerOptions server_opts;
+  server_opts.stdio = false;
+  server_opts.socket_path = path;
+  PlanServer server(service, server_opts);
+  std::atomic<int> rc{-1};
+  std::thread daemon([&] { rc = server.run(); });
+
+  const int fd = connect_retry(path);
+  ASSERT_GE(fd, 0) << "could not connect to " << path;
+  send_all(fd, "ping\n");
+  EXPECT_EQ(recv_line(fd), "pong");
+
+  const std::string line = "plan id=s1 model=gpt2-345m gpus=4 gbs=64 warm=off";
+  send_all(fd, line + "\n");
+  const std::string served = recv_line(fd);
+  ASSERT_EQ(served.rfind("ok id=s1 ", 0), 0u) << served;
+  EXPECT_EQ(canonical_part(served),
+            offline_response(parse_line(line).request));
+
+  send_all(fd, "shutdown\n");
+  EXPECT_EQ(recv_line(fd), "bye");
+  ::close(fd);
+  daemon.join();
+  EXPECT_EQ(rc.load(), 0);
+}
+
+// -------------------------------------------------- concurrent storm
+
+TEST(Service, SeededStormDeterministicUnderConcurrency) {
+  // Many client threads hammer one service with a seeded request mix
+  // (cold, auto-warm, explicit-warm, perturbed). Every `ok` response must
+  // byte-match its offline replay regardless of interleaving -- the proof
+  // that the shared memo pool, plan history and warm-start machinery are
+  // behaviour-neutral under concurrency. Run under TSan in CI.
+  ServiceOptions opts;
+  opts.workers = 4;
+  opts.max_queue = 1024;  // no shedding: every request must be served
+  PlanService service(opts);
+
+  constexpr int kThreads = 8;
+  constexpr int kRequests = 6;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      std::mt19937 rng(1234u + static_cast<unsigned>(t));
+      const char* models[] = {"gpt2-345m", "gpt2-762m"};
+      const char* warms[] = {"off", "auto", "auto"};
+      for (int i = 0; i < kRequests; ++i) {
+        std::string line = "plan id=t" + std::to_string(t) + "." +
+                           std::to_string(i) +
+                           " model=" + models[rng() % 2] +
+                           " gpus=4 gbs=64 stages=2 warm=" + warms[rng() % 3];
+        if (rng() % 2 == 0) {
+          const int block = static_cast<int>(rng() % 8);
+          const int pct = 95 + static_cast<int>(rng() % 11);  // 0.95..1.05
+          line += " perturb=" + std::to_string(block) + ":" +
+                  std::to_string(pct / 100.0) + ":" +
+                  std::to_string(pct / 100.0);
+        }
+        const std::string served = service.handle_line(line);
+        if (served.rfind("ok ", 0) != 0) {
+          failures.fetch_add(1);
+          ADD_FAILURE() << "unexpected reply: " << served;
+          continue;
+        }
+        const ParsedLine parsed = parse_line(line);
+        const std::string offline = offline_response(
+            parsed.request, parse_warm_hint(served));
+        if (canonical_part(served) != offline) {
+          mismatches.fetch_add(1);
+          ADD_FAILURE() << "served : " << canonical_part(served)
+                        << "\noffline: " << offline;
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(failures.load(), 0);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests, kThreads * kRequests);
+  EXPECT_EQ(stats.busy_rejected, 0);
+  EXPECT_EQ(stats.errors, 0);
+  // The storm repeats fingerprints across threads, so some requests must
+  // have been served from history and the rest planned.
+  EXPECT_EQ(stats.planned + stats.history_hits, kThreads * kRequests);
+  EXPECT_GT(stats.history_hits, 0);
+}
+
+}  // namespace
+}  // namespace autopipe::service

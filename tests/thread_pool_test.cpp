@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "core/planner.h"
@@ -86,6 +88,60 @@ TEST(ThreadPool, ReusableAcrossPlanCalls) {
   }
   // The pool is still usable for plain tasks afterwards.
   EXPECT_EQ(pool.submit([] { return 42; }).get(), 42);
+}
+
+TEST(ThreadPool, QueueDepthTracksBacklogNotRunningTasks) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+
+  // Park the single worker so later submissions stay queued.
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  auto running = pool.submit([gate] { gate.wait(); });
+
+  // Wait for the worker to pick the blocker up (it leaves the queue).
+  while (pool.queue_depth() > 0) std::this_thread::yield();
+
+  auto a = pool.submit([] { return 1; });
+  auto b = pool.submit([] { return 2; });
+  EXPECT_EQ(pool.queue_depth(), 2u);  // blocker runs, two wait
+
+  release.set_value();
+  EXPECT_EQ(a.get(), 1);
+  EXPECT_EQ(b.get(), 2);
+  running.get();
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+TEST(ThreadPool, TrySubmitShedsLoadAtTheBound) {
+  ThreadPool pool(1);
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  auto running = pool.submit([gate] { gate.wait(); });
+  while (pool.queue_depth() > 0) std::this_thread::yield();
+
+  // Bound 2: two queued tasks are admitted, the third is shed without
+  // being enqueued (and without disturbing the admitted ones).
+  auto a = pool.try_submit([] { return 10; }, 2);
+  auto b = pool.try_submit([] { return 20; }, 2);
+  auto rejected = pool.try_submit([] { return 30; }, 2);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_FALSE(rejected.has_value());
+  EXPECT_EQ(pool.queue_depth(), 2u);
+
+  // max_queue 0 rejects everything while the pool is saturated.
+  EXPECT_FALSE(pool.try_submit([] { return 0; }, 0).has_value());
+
+  release.set_value();
+  EXPECT_EQ(a->get(), 10);
+  EXPECT_EQ(b->get(), 20);
+  running.get();
+
+  // Once drained, try_submit admits again.
+  auto after = pool.try_submit([] { return 40; }, 2);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->get(), 40);
 }
 
 TEST(ThreadPool, ResolveThreadsConvention) {

@@ -5,6 +5,9 @@
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "util/atomic_file.h"
 #include "util/checksum.h"
@@ -307,6 +310,57 @@ TEST(Logging, LevelRoundTrips) {
   EXPECT_EQ(log_level(), LogLevel::error);
   AP_LOG(debug) << "suppressed at error level";  // must not crash
   set_log_level(before);
+}
+
+TEST(Logging, LinesStayAtomicUnderConcurrentWriters) {
+  // Many threads log multi-token messages concurrently; every line the
+  // sink receives must be one intact message (the line-atomicity contract
+  // the plan-service workers rely on).
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::info);
+  std::vector<std::string> captured;
+  set_log_sink([&](const std::string& line) { captured.push_back(line); });
+
+  constexpr int kThreads = 8;
+  constexpr int kLines = 50;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([t] {
+      for (int i = 0; i < kLines; ++i) {
+        AP_LOG(info) << "writer=" << t << " seq=" << i << " payload="
+                     << "abcdefghijklmnopqrstuvwxyz" << " end=" << t;
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  set_log_sink({});
+  set_log_level(before);
+
+  ASSERT_EQ(captured.size(),
+            static_cast<std::size_t>(kThreads) * kLines);
+  std::set<std::pair<int, int>> seen;
+  for (const std::string& line : captured) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.back(), '\n');
+    // Exactly one message per line: one "writer=" marker, and the trailing
+    // "end=" id matches the leading one (an interleaved line breaks both).
+    const auto w_pos = line.find("writer=");
+    ASSERT_NE(w_pos, std::string::npos) << line;
+    EXPECT_EQ(line.find("writer=", w_pos + 1), std::string::npos) << line;
+    int writer = -1;
+    int seq = -1;
+    int tail = -1;
+    const char* fields = line.c_str() + w_pos;
+    ASSERT_EQ(std::sscanf(fields,
+                          "writer=%d seq=%d payload=abcdefghijklmnopqrstuvwxyz"
+                          " end=%d",
+                          &writer, &seq, &tail),
+              3)
+        << line;
+    EXPECT_EQ(writer, tail) << line;
+    EXPECT_TRUE(seen.emplace(writer, seq).second) << line;
+  }
+  EXPECT_EQ(seen.size(), captured.size());
 }
 
 }  // namespace
