@@ -1,0 +1,216 @@
+// Runtime hot-path benchmark: naive reference ops vs the blocked/ILP fast
+// kernels, per primitive and end-to-end through the pipelined trainer.
+//
+//   ./bench_runtime_hotpath [--hidden 128] [--seq 16] [--vocab 256]
+//                           [--layers 4] [--stages 2] [--micro-batches 8]
+//                           [--iters 5] [--reps 5] [--threads 0]
+//                           [--assert-speedup 0]
+//
+// Output is one JSON line per measurement (medians over --reps) plus the
+// bench/common.h metadata line, so archived runs stay attributable. The op
+// sweep times each primitive at the trainer's dominant shapes; the
+// end-to-end rows time whole training iterations with set_fast_ops(false)
+// vs (true) on the same model and data.
+//
+// --assert-speedup S exits non-zero unless the end-to-end fast path is at
+// least S times the naive throughput; CI runs a tiny config with S=1.0 as
+// a smoke check, EXPERIMENTS.md records the >= 3x protocol.
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "common.h"
+#include "core/balanced_dp.h"
+#include "model/arena.h"
+#include "model/data.h"
+#include "model/ops.h"
+#include "runtime/optimizer.h"
+#include "runtime/pipeline_runtime.h"
+#include "util/cli.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace autopipe;
+
+double time_ms(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Median ms over reps runs of fn, first warming up once.
+double median_ms(int reps, const std::function<void()>& fn) {
+  fn();
+  std::vector<double> samples;
+  samples.reserve(reps);
+  for (int r = 0; r < reps; ++r) samples.push_back(time_ms(fn));
+  return util::median(samples);
+}
+
+void emit_row(const char* op, const char* shape, double naive_ms,
+              double fast_ms) {
+  std::printf(
+      "{\"bench\":\"runtime_hotpath\",\"op\":\"%s\",\"shape\":\"%s\","
+      "\"naive_ms\":%.4f,\"fast_ms\":%.4f,\"speedup\":%.2f}\n",
+      op, shape, naive_ms, fast_ms, naive_ms / fast_ms);
+}
+
+/// Times fn with the fast kernels off, then on; returns {naive, fast}.
+std::pair<double, double> naive_vs_fast(int reps,
+                                        const std::function<void()>& fn) {
+  model::set_fast_ops(false);
+  const double naive = median_ms(reps, fn);
+  model::set_fast_ops(true);
+  const double fast = median_ms(reps, fn);
+  return {naive, fast};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  model::TinySpec spec;
+  spec.hidden = cli.checked_int("hidden", 128, 8, 4096);
+  spec.heads = cli.checked_int("heads", 4, 1, 64);
+  spec.seq = cli.checked_int("seq", 16, 2, 4096);
+  spec.vocab = cli.checked_int("vocab", 256, 4, 65536);
+  spec.layers = cli.checked_int("layers", 4, 1, 64);
+  const int stages = cli.checked_int("stages", 2, 1, 16);
+  const int m = cli.checked_int("micro-batches", 8, 1, 64);
+  const int iters = cli.checked_int("iters", 5, 1, 1000);
+  const int reps = cli.checked_int("reps", 5, 1, 100);
+  const int B = cli.checked_int("micro-batch", 4, 1, 64);
+  const double assert_speedup =
+      cli.checked_double("assert-speedup", 0.0, 0.0, 100.0);
+  model::set_ops_threads(cli.checked_int("threads", 0, 0, 256));
+
+  bench::emit_metadata("runtime_hotpath");
+
+  // --------------------------------------------------------- op sweep
+  // The trainer's dominant GEMM shapes: tokens x hidden activations against
+  // hidden x 4*hidden MLP weights, plus the vocab projection.
+  const int tokens = B * spec.seq;
+  util::Rng rng(42);
+  char shape[64];
+  {
+    const model::Tensor x =
+        model::Tensor::randn({tokens, spec.hidden}, rng, 0.02f);
+    const model::Tensor w =
+        model::Tensor::randn({spec.hidden, 4 * spec.hidden}, rng, 0.02f);
+    const model::Tensor dy =
+        model::Tensor::randn({tokens, 4 * spec.hidden}, rng, 0.02f);
+    std::snprintf(shape, sizeof(shape), "%dx%dx%d", tokens, spec.hidden,
+                  4 * spec.hidden);
+    auto [n0, f0] = naive_vs_fast(reps, [&] { model::matmul(x, w); });
+    emit_row("matmul", shape, n0, f0);
+    auto [n1, f1] = naive_vs_fast(reps, [&] { model::matmul_grad_a(dy, w); });
+    emit_row("matmul_grad_a", shape, n1, f1);
+    auto [n2, f2] = naive_vs_fast(reps, [&] { model::matmul_grad_b(x, dy); });
+    emit_row("matmul_grad_b", shape, n2, f2);
+
+    const model::Tensor bias = model::Tensor::randn({4 * spec.hidden}, rng);
+    auto [n3, f3] =
+        naive_vs_fast(reps, [&] { model::linear(x, w, bias); });
+    emit_row("linear", shape, n3, f3);
+    auto [n4, f4] =
+        naive_vs_fast(reps, [&] { model::linear_backward(x, w, dy); });
+    emit_row("linear_backward", shape, n4, f4);
+  }
+  {
+    const model::Tensor x =
+        model::Tensor::randn({tokens, 4 * spec.hidden}, rng, 0.02f);
+    std::snprintf(shape, sizeof(shape), "%dx%d", tokens, 4 * spec.hidden);
+    auto [n0, f0] = naive_vs_fast(reps, [&] { model::gelu(x); });
+    emit_row("gelu", shape, n0, f0);
+    auto [n1, f1] =
+        naive_vs_fast(reps, [&] { model::gelu_backward(x, x); });
+    emit_row("gelu_backward", shape, n1, f1);
+  }
+  {
+    const model::Tensor x =
+        model::Tensor::randn({tokens, spec.hidden}, rng, 0.02f);
+    const model::Tensor gamma = model::Tensor::full({spec.hidden}, 1.0f);
+    const model::Tensor beta = model::Tensor({spec.hidden});
+    std::snprintf(shape, sizeof(shape), "%dx%d", tokens, spec.hidden);
+    model::LayerNormCache cache;
+    auto [n0, f0] = naive_vs_fast(
+        reps, [&] { model::layernorm(x, gamma, beta, &cache); });
+    emit_row("layernorm", shape, n0, f0);
+    model::layernorm(x, gamma, beta, &cache);
+    auto [n1, f1] = naive_vs_fast(
+        reps, [&] { model::layernorm_backward(cache, gamma, x); });
+    emit_row("layernorm_backward", shape, n1, f1);
+  }
+  {
+    const model::Tensor logits =
+        model::Tensor::randn({tokens, spec.vocab}, rng, 0.5f);
+    std::snprintf(shape, sizeof(shape), "%dx%d", tokens, spec.vocab);
+    auto [n0, f0] =
+        naive_vs_fast(reps, [&] { model::softmax_rows(logits); });
+    emit_row("softmax_rows", shape, n0, f0);
+    const model::Tensor probs = model::softmax_rows(logits);
+    auto [n1, f1] = naive_vs_fast(
+        reps, [&] { model::softmax_backward(probs, logits); });
+    emit_row("softmax_backward", shape, n1, f1);
+    std::vector<int> targets(tokens, 1);
+    model::Tensor dlogits;
+    auto [n2, f2] = naive_vs_fast(reps, [&] {
+      model::cross_entropy(logits, targets, 1.0 / tokens, &dlogits);
+    });
+    emit_row("cross_entropy", shape, n2, f2);
+  }
+
+  // ------------------------------------------------- end-to-end trainer
+  // Whole pipelined training iterations (forward + backward + Adam) on the
+  // same model/partition/data, naive ops vs fast ops.
+  model::TransformerModel net(spec);
+  const std::vector<int> counts =
+      core::balanced_counts(std::vector<double>(net.num_blocks(), 1.0),
+                            stages);
+  runtime::PipelineRuntime rt(net, counts);
+  const auto schedule =
+      rt.make_schedule(costmodel::ScheduleKind::OneFOneB, m, 0);
+  model::SyntheticCorpus corpus(spec.vocab);
+  const double scale = 1.0 / (B * m * spec.seq);
+  runtime::Adam adam(3e-3);
+  const auto iteration = [&] {
+    const auto batch = corpus.next_batch(B * m, spec.seq);
+    const auto micro =
+        model::SyntheticCorpus::split_micro_batches(batch, spec.seq, B);
+    net.zero_grads();
+    rt.run_iteration(schedule, micro, scale);
+    adam.step(net);
+  };
+  const auto run_iters = [&] {
+    for (int i = 0; i < iters; ++i) iteration();
+  };
+
+  model::set_fast_ops(false);
+  const double naive_ms = median_ms(reps, run_iters) / iters;
+  model::set_fast_ops(true);
+  const double fast_ms = median_ms(reps, run_iters) / iters;
+  const double speedup = naive_ms / fast_ms;
+  const auto arena = model::Arena::global().stats();
+  std::printf(
+      "{\"bench\":\"runtime_hotpath\",\"op\":\"train_iteration\","
+      "\"shape\":\"h%d_s%d_v%d_l%d_st%d_m%d\",\"naive_ms\":%.3f,"
+      "\"fast_ms\":%.3f,\"speedup\":%.2f,\"arena_hits\":%llu,"
+      "\"arena_misses\":%llu,\"arena_high_water_mb\":%.1f,"
+      "\"tensor_copies\":%llu}\n",
+      spec.hidden, spec.seq, spec.vocab, spec.layers, stages, m, naive_ms,
+      fast_ms, speedup, static_cast<unsigned long long>(arena.hits),
+      static_cast<unsigned long long>(arena.misses),
+      arena.high_water_bytes / (1024.0 * 1024.0),
+      static_cast<unsigned long long>(model::ArenaBuffer::copy_count()));
+
+  if (assert_speedup > 0 && speedup < assert_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: end-to-end speedup %.2fx below required %.2fx\n",
+                 speedup, assert_speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,170 @@
+#include "model/arena.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+
+namespace autopipe::model {
+
+namespace {
+// Slabs grow in 4 MiB steps (1M floats); a single over-sized request gets
+// its own exactly-sized slab instead of bloating the step.
+constexpr std::size_t kSlabFloats = std::size_t{1} << 20;
+
+std::atomic<std::uint64_t> g_buffer_copies{0};
+}  // namespace
+
+Arena& Arena::global() {
+  // Intentionally leaked (still reachable): tensor storage must outlive
+  // every static object that might hold a Tensor.
+  static Arena* instance = new Arena();
+  return *instance;
+}
+
+float* Arena::bump_locked(std::size_t granules) {
+  for (Slab& slab : slabs_) {
+    if (slab.capacity - slab.used >= granules) {
+      float* p = slab.data.get() + slab.used;
+      slab.used += granules;
+      return p;
+    }
+  }
+  Slab slab;
+  slab.capacity = std::max(granules, kSlabFloats);
+  slab.data = std::make_unique<float[]>(slab.capacity);
+  slab.used = granules;
+  ++stats_.slab_allocs;
+  stats_.slab_bytes += slab.capacity * sizeof(float);
+  slabs_.push_back(std::move(slab));
+  return slabs_.back().data.get();
+}
+
+float* Arena::allocate(std::size_t numel) {
+  if (numel == 0) return nullptr;
+  const std::size_t granules = rounded(numel);
+  std::lock_guard<std::mutex> lock(mu_);
+  float* p = nullptr;
+  auto it = free_lists_.find(granules);
+  if (it != free_lists_.end() && !it->second.empty()) {
+    p = it->second.back();
+    it->second.pop_back();
+    ++stats_.hits;
+    stats_.bytes_free -= granules * sizeof(float);
+  } else {
+    p = bump_locked(granules);
+    ++stats_.misses;
+  }
+  stats_.bytes_in_use += granules * sizeof(float);
+  stats_.high_water_bytes =
+      std::max(stats_.high_water_bytes, stats_.bytes_in_use);
+  return p;
+}
+
+void Arena::release(float* p, std::size_t numel) {
+  if (p == nullptr || numel == 0) return;
+  const std::size_t granules = rounded(numel);
+  std::lock_guard<std::mutex> lock(mu_);
+  free_lists_[granules].push_back(p);
+  stats_.bytes_in_use -= granules * sizeof(float);
+  stats_.bytes_free += granules * sizeof(float);
+}
+
+void Arena::reserve(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t want = (bytes + sizeof(float) - 1) / sizeof(float);
+  // Only un-bumped slab space counts as spare: free-listed blocks are
+  // bound to their size class and cannot serve arbitrary new shapes, so
+  // counting them would let reserve() under-provision.
+  std::size_t spare = 0;
+  for (const Slab& slab : slabs_) spare += slab.capacity - slab.used;
+  if (spare >= want) return;
+  Slab slab;
+  slab.capacity = std::max(want - spare, kSlabFloats);
+  slab.data = std::make_unique<float[]>(slab.capacity);
+  ++stats_.slab_allocs;
+  stats_.slab_bytes += slab.capacity * sizeof(float);
+  slabs_.push_back(std::move(slab));
+}
+
+ArenaStats Arena::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void Arena::trim() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Free-listed blocks point into slabs, so the lists must be dropped
+  // before any slab can be. A slab is removable only when nothing of it
+  // was ever handed out or everything handed out has been freed -- the
+  // conservative test here is "no live bytes anywhere": with live
+  // allocations outstanding we only drop the free lists.
+  free_lists_.clear();
+  stats_.bytes_free = 0;
+  if (stats_.bytes_in_use == 0) {
+    for (const Slab& slab : slabs_) {
+      stats_.slab_bytes -= slab.capacity * sizeof(float);
+    }
+    slabs_.clear();
+  }
+}
+
+ArenaBuffer::ArenaBuffer(std::size_t numel, bool zeroed) : size_(numel) {
+  data_ = Arena::global().allocate(numel);
+  if (zeroed && data_ != nullptr) {
+    std::memset(data_, 0, numel * sizeof(float));
+  }
+}
+
+ArenaBuffer::ArenaBuffer(const ArenaBuffer& other) : size_(other.size_) {
+  data_ = Arena::global().allocate(size_);
+  if (data_ != nullptr) {
+    std::memcpy(data_, other.data_, size_ * sizeof(float));
+    g_buffer_copies.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+ArenaBuffer& ArenaBuffer::operator=(const ArenaBuffer& other) {
+  if (this == &other) return *this;
+  // Reuse the existing block only on an exact size match; mismatched
+  // assignment swaps in a fresh allocation.
+  if (size_ != other.size_) {
+    reset();
+    data_ = Arena::global().allocate(other.size_);
+    size_ = other.size_;
+  }
+  if (data_ != nullptr) {
+    std::memcpy(data_, other.data_, size_ * sizeof(float));
+    g_buffer_copies.fetch_add(1, std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+ArenaBuffer::ArenaBuffer(ArenaBuffer&& other) noexcept
+    : data_(other.data_), size_(other.size_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+ArenaBuffer& ArenaBuffer::operator=(ArenaBuffer&& other) noexcept {
+  if (this == &other) return *this;
+  reset();
+  data_ = other.data_;
+  size_ = other.size_;
+  other.data_ = nullptr;
+  other.size_ = 0;
+  return *this;
+}
+
+ArenaBuffer::~ArenaBuffer() { reset(); }
+
+void ArenaBuffer::reset() {
+  Arena::global().release(data_, size_);
+  data_ = nullptr;
+  size_ = 0;
+}
+
+std::uint64_t ArenaBuffer::copy_count() {
+  return g_buffer_copies.load(std::memory_order_relaxed);
+}
+
+}  // namespace autopipe::model

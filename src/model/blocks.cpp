@@ -172,7 +172,9 @@ Tensor ResidualAttentionBlock::forward(const Tensor& x) const {
       layernorm(x, params_[0].value, params_[1].value, &ln_cache);
   const Tensor qkv = linear(normed, params_[2].value, params_[3].value);
 
-  Tensor y = x;  // residual
+  // The loop below assigns every element of y as residual + projection, so
+  // start from uninitialized storage instead of a counted copy of x.
+  Tensor y = Tensor::uninitialized(x.shape());
   for (int b = 0; b < batch; ++b) {
     const Tensor qkv_b = take_rows(qkv, b * seq_len_, (b + 1) * seq_len_);
     Tensor ctx({seq_len_, hidden_});
@@ -196,8 +198,8 @@ Tensor ResidualAttentionBlock::forward(const Tensor& x) const {
     const Tensor out = linear(ctx, params_[4].value, params_[5].value);
     for (int i = 0; i < seq_len_; ++i) {
       for (int j = 0; j < hidden_; ++j) {
-        y.data()[(b * seq_len_ + i) * hidden_ + j] +=
-            out.at(i * hidden_ + j);
+        const std::size_t row = (b * seq_len_ + i) * hidden_ + j;
+        y.data()[row] = x.at(row) + out.at(i * hidden_ + j);
       }
     }
   }
@@ -215,7 +217,6 @@ Tensor ResidualAttentionBlock::backward(const Tensor& x, const Tensor& dy) {
       layernorm(x, params_[0].value, params_[1].value, &ln_cache);
   const Tensor qkv = linear(normed, params_[2].value, params_[3].value);
 
-  Tensor dx = dy;  // residual path
   Tensor dqkv({x.dim(0), 3 * hidden_});
   for (int b = 0; b < batch; ++b) {
     const Tensor qkv_b = take_rows(qkv, b * seq_len_, (b + 1) * seq_len_);
@@ -275,7 +276,10 @@ Tensor ResidualAttentionBlock::backward(const Tensor& x, const Tensor& dy) {
   LayerNormGrads lg = layernorm_backward(ln_cache, params_[0].value, qg.dx);
   params_[0].grad.add_(lg.dgamma);
   params_[1].grad.add_(lg.dbeta);
-  dx.add_(lg.dx);
+  // Residual path: reuse lg.dx's storage instead of copying dy (addition
+  // commutes, so dy + lg.dx and lg.dx + dy are the same bits).
+  Tensor dx = std::move(lg.dx);
+  dx.add_(dy);
   return dx;
 }
 
@@ -298,9 +302,10 @@ Tensor ResidualFFNBlock::forward(const Tensor& x) const {
       layernorm(x, params_[0].value, params_[1].value, &ln_cache);
   const Tensor pre = linear(normed, params_[2].value, params_[3].value);
   const Tensor act = gelu(pre);
-  const Tensor out = linear(act, params_[4].value, params_[5].value);
-  Tensor y = x;
-  y.add_(out);
+  // Accumulate the residual into the projection's storage (commutative, so
+  // same bits as x + out) rather than copying x.
+  Tensor y = linear(act, params_[4].value, params_[5].value);
+  y.add_(x);
   return y;
 }
 
@@ -324,27 +329,28 @@ Tensor ResidualFFNBlock::backward(const Tensor& x, const Tensor& dy) {
   params_[0].grad.add_(lg.dgamma);
   params_[1].grad.add_(lg.dbeta);
 
-  Tensor dx = dy;
-  dx.add_(lg.dx);
+  Tensor dx = std::move(lg.dx);
+  dx.add_(dy);
   return dx;
 }
 
+// backward_cached reconstructs everything it needs from the layer-norm
+// state, pre and act -- the input itself is not stashed.
 struct ResidualFFNBlock::FullCache : Block::Cache {
-  Tensor x, pre, act;
+  Tensor pre, act;
   LayerNormCache ln;
 };
 
 std::unique_ptr<Block::Cache> ResidualFFNBlock::forward_cached(
     const Tensor& x, Tensor* y) const {
   auto cache = std::make_unique<FullCache>();
-  cache->x = x;
   const Tensor normed =
       layernorm(x, params_[0].value, params_[1].value, &cache->ln);
   cache->pre = linear(normed, params_[2].value, params_[3].value);
   cache->act = gelu(cache->pre);
   if (y) {
-    *y = x;
-    y->add_(linear(cache->act, params_[4].value, params_[5].value));
+    *y = linear(cache->act, params_[4].value, params_[5].value);
+    y->add_(x);
   }
   return cache;
 }
@@ -371,14 +377,14 @@ Tensor ResidualFFNBlock::backward_cached(const Cache& cache,
   LayerNormGrads lg = layernorm_backward(full.ln, params_[0].value, g1.dx);
   params_[0].grad.add_(lg.dgamma);
   params_[1].grad.add_(lg.dbeta);
-  Tensor dx = dy;
-  dx.add_(lg.dx);
+  Tensor dx = std::move(lg.dx);
+  dx.add_(dy);
   return dx;
 }
 
 std::size_t ResidualFFNBlock::cache_bytes(const Tensor& x) const {
-  // x + normalized + inv_std + pre + act.
-  return (2 * x.numel() + 2 * x.numel() * 4 + x.dim(0)) * sizeof(float);
+  // normalized + inv_std + pre + act.
+  return (x.numel() + 2 * x.numel() * 4 + x.dim(0)) * sizeof(float);
 }
 
 // --------------------------------------------------------------------- Head
@@ -406,7 +412,8 @@ Tensor HeadBlock::backward(const Tensor& x, const Tensor& dy) {
   LayerNormGrads lg = layernorm_backward(ln_cache, params_[0].value, dnormed);
   params_[0].grad.add_(lg.dgamma);
   params_[1].grad.add_(lg.dbeta);
-  return lg.dx;
+  // Struct members get no NRVO; move out explicitly to avoid a deep copy.
+  return std::move(lg.dx);
 }
 
 
@@ -440,7 +447,7 @@ Tensor HeadBlock::backward_cached(const Cache& cache, const Tensor& dy) {
   LayerNormGrads lg = layernorm_backward(full.ln, params_[0].value, dnormed);
   params_[0].grad.add_(lg.dgamma);
   params_[1].grad.add_(lg.dbeta);
-  return lg.dx;
+  return std::move(lg.dx);
 }
 
 std::size_t HeadBlock::cache_bytes(const Tensor& x) const {

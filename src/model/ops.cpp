@@ -1,7 +1,16 @@
 #include "model/ops.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <mutex>
 #include <stdexcept>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+#include "util/thread_pool.h"
 
 namespace autopipe::model {
 
@@ -11,11 +20,184 @@ void require(bool ok, const char* what) {
   if (!ok) throw std::invalid_argument(what);
 }
 
-}  // namespace
+// ------------------------------------------------------- hot-path config
+//
+// The fast kernels share one process-wide pool, created lazily so programs
+// that never touch the tensor hot path pay nothing. threads == 1 keeps the
+// pool null and every kernel inline -- the bitwise result is the same
+// either way, because panel boundaries never change any per-element
+// summation order.
 
-Tensor matmul(const Tensor& a, const Tensor& b) {
+std::atomic<bool> g_fast{true};
+std::mutex g_pool_mu;
+std::atomic<util::ThreadPool*> g_pool{nullptr};
+std::atomic<int> g_resolved{0};  // 0 = pool not yet resolved
+int g_requested = 0;             // guarded by g_pool_mu
+
+util::ThreadPool* ops_pool() {
+  if (g_resolved.load(std::memory_order_acquire) != 0) {
+    return g_pool.load(std::memory_order_acquire);
+  }
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (g_resolved.load(std::memory_order_acquire) == 0) {
+    const int n = util::resolve_threads(g_requested);
+    if (n > 1) {
+      g_pool.store(new util::ThreadPool(n), std::memory_order_release);
+    }
+    g_resolved.store(n, std::memory_order_release);
+  }
+  return g_pool.load(std::memory_order_acquire);
+}
+
+/// Rows per parallel task. Fixed -- never derived from the worker count --
+/// so the panel grid (and thus which task owns which output row) is
+/// identical for every thread count.
+constexpr int kPanelRows = 32;
+/// Column width of the GEMM register tiles: 4 rows x kTileJ accumulators
+/// (two SSE vectors wide) live in registers across the whole reduction.
+constexpr int kTileJ = 8;
+/// Below this many flops a kernel runs inline: pool handoff costs more
+/// than the loop (attention's per-head [s,s] matmuls live here).
+constexpr double kMinParallelFlops = 1 << 18;
+
+/// Runs fn(r0, r1) over [0, rows) split into kPanelRows panels, fanned out
+/// over the shared pool when the work is worth it. fn must touch only rows
+/// in its panel.
+void panel_for(int rows, double flops,
+               const std::function<void(int, int)>& fn) {
+  util::ThreadPool* pool = ops_pool();
+  const int panels = (rows + kPanelRows - 1) / kPanelRows;
+  if (pool == nullptr || panels <= 1 || flops < kMinParallelFlops) {
+    fn(0, rows);
+    return;
+  }
+  util::parallel_for(pool, panels, [&](int p) {
+    const int r0 = p * kPanelRows;
+    fn(r0, std::min(rows, r0 + kPanelRows));
+  });
+}
+
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+
+float gelu_one(float v) {
+  return 0.5f * v * (1.0f + std::tanh(kGeluC * (v + 0.044715f * v * v * v)));
+}
+
+float gelu_grad_one(float v) {
+  const float u = kGeluC * (v + 0.044715f * v * v * v);
+  const float t = std::tanh(u);
+  const float du = kGeluC * (1.0f + 3.0f * 0.044715f * v * v);
+  return 0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * du;
+}
+
+void layernorm_row(const float* row, const float* gamma, const float* beta,
+                   int d, float* norm_out, float* y_out, float* inv_out) {
+  constexpr float kEps = 1e-5f;
+  float mean = 0;
+  for (int j = 0; j < d; ++j) mean += row[j];
+  mean /= d;
+  float var = 0;
+  for (int j = 0; j < d; ++j) var += (row[j] - mean) * (row[j] - mean);
+  var /= d;
+  const float inv = 1.0f / std::sqrt(var + kEps);
+  for (int j = 0; j < d; ++j) {
+    const float norm = (row[j] - mean) * inv;
+    if (norm_out) norm_out[j] = norm;
+    y_out[j] = norm * gamma[j] + beta[j];
+  }
+  if (inv_out) *inv_out = inv;
+}
+
+void softmax_row(const float* row, int n, float* out) {
+  float mx = row[0];
+  for (int j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+  float denom = 0;
+  for (int j = 0; j < n; ++j) {
+    const float e = std::exp(row[j] - mx);
+    out[j] = e;
+    denom += e;
+  }
+  for (int j = 0; j < n; ++j) out[j] /= denom;
+}
+
+/// Per-row cross entropy: returns the row's scaled loss term and fills
+/// dlogits (when non-null) -- the shared body of ref:: and the fast path.
+double cross_entropy_row(const float* row, int v, int target, double scale,
+                         float* dlogits_row) {
+  float mx = row[0];
+  for (int j = 1; j < v; ++j) mx = std::max(mx, row[j]);
+  double denom = 0;
+  for (int j = 0; j < v; ++j) {
+    denom += std::exp(static_cast<double>(row[j]) - mx);
+  }
+  const double log_denom = std::log(denom) + mx;
+  if (dlogits_row) {
+    for (int j = 0; j < v; ++j) {
+      const double p = std::exp(static_cast<double>(row[j]) - log_denom);
+      dlogits_row[j] =
+          static_cast<float>((p - (j == target ? 1.0 : 0.0)) * scale);
+    }
+  }
+  return (log_denom - row[target]) * scale;
+}
+
+void check_matmul(const Tensor& a, const Tensor& b) {
   require(a.rank() == 2 && b.rank() == 2 && a.dim(1) == b.dim(0),
           "matmul: shape mismatch");
+}
+
+void check_grad_a(const Tensor& dc, const Tensor& b) {
+  require(dc.rank() == 2 && b.rank() == 2 && dc.dim(1) == b.dim(1),
+          "matmul_grad_a: shape mismatch");
+}
+
+void check_grad_b(const Tensor& a, const Tensor& dc) {
+  require(a.rank() == 2 && dc.rank() == 2 && a.dim(0) == dc.dim(0),
+          "matmul_grad_b: shape mismatch");
+}
+
+void check_cross_entropy(const Tensor& logits, std::span<const int> targets) {
+  require(logits.rank() == 2 &&
+              logits.dim(0) == static_cast<int>(targets.size()),
+          "cross_entropy: shape");
+  const int v = logits.dim(1);
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    require(targets[i] >= 0 && targets[i] < v, "cross_entropy: target range");
+  }
+}
+
+}  // namespace
+
+void set_ops_threads(int threads) {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  g_requested = threads;
+  util::ThreadPool* old = g_pool.exchange(nullptr, std::memory_order_acq_rel);
+  g_resolved.store(0, std::memory_order_release);
+  delete old;  // joins idle workers; callers must be quiescent
+}
+
+int ops_threads() {
+  const int resolved = g_resolved.load(std::memory_order_acquire);
+  if (resolved != 0) return resolved;
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  return util::resolve_threads(g_requested);
+}
+
+void set_fast_ops(bool enabled) {
+  g_fast.store(enabled, std::memory_order_release);
+}
+
+bool fast_ops_enabled() { return g_fast.load(std::memory_order_acquire); }
+
+// ------------------------------------------------------ naive references
+//
+// Plain loops, ascending-index summation, one accumulator per output
+// element. The fast kernels below must reproduce these bit for bit.
+
+namespace ref {
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  check_matmul(a, b);
   const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
   Tensor c({m, n});
   const float* pa = a.data();
@@ -24,7 +206,6 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   for (int i = 0; i < m; ++i) {
     for (int l = 0; l < k; ++l) {
       const float av = pa[i * k + l];
-      if (av == 0.0f) continue;
       const float* brow = pb + l * n;
       float* crow = pc + i * n;
       for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
@@ -34,8 +215,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor matmul_grad_a(const Tensor& dc, const Tensor& b) {
-  require(dc.rank() == 2 && b.rank() == 2 && dc.dim(1) == b.dim(1),
-          "matmul_grad_a: shape mismatch");
+  check_grad_a(dc, b);
   const int m = dc.dim(0), n = dc.dim(1), k = b.dim(0);
   Tensor da({m, k});
   for (int i = 0; i < m; ++i) {
@@ -51,8 +231,7 @@ Tensor matmul_grad_a(const Tensor& dc, const Tensor& b) {
 }
 
 Tensor matmul_grad_b(const Tensor& a, const Tensor& dc) {
-  require(a.rank() == 2 && dc.rank() == 2 && a.dim(0) == dc.dim(0),
-          "matmul_grad_b: shape mismatch");
+  check_grad_b(a, dc);
   const int m = a.dim(0), k = a.dim(1), n = dc.dim(1);
   Tensor db({k, n});
   for (int i = 0; i < m; ++i) {
@@ -60,7 +239,6 @@ Tensor matmul_grad_b(const Tensor& a, const Tensor& dc) {
     const float* dcrow = dc.data() + i * n;
     for (int l = 0; l < k; ++l) {
       const float av = arow[l];
-      if (av == 0.0f) continue;
       float* dbrow = db.data() + l * n;
       for (int j = 0; j < n; ++j) dbrow[j] += av * dcrow[j];
     }
@@ -69,7 +247,7 @@ Tensor matmul_grad_b(const Tensor& a, const Tensor& dc) {
 }
 
 Tensor linear(const Tensor& x, const Tensor& w, const Tensor& bias) {
-  Tensor y = matmul(x, w);
+  Tensor y = ref::matmul(x, w);
   require(bias.rank() == 1 && bias.dim(0) == y.dim(1), "linear: bias shape");
   const int n = y.dim(1);
   for (int i = 0; i < y.dim(0); ++i) {
@@ -82,8 +260,8 @@ Tensor linear(const Tensor& x, const Tensor& w, const Tensor& bias) {
 LinearGrads linear_backward(const Tensor& x, const Tensor& w,
                             const Tensor& dy) {
   LinearGrads g;
-  g.dx = matmul_grad_a(dy, w);
-  g.dw = matmul_grad_b(x, dy);
+  g.dx = ref::matmul_grad_a(dy, w);
+  g.dw = ref::matmul_grad_b(x, dy);
   g.dbias = Tensor({dy.dim(1)});
   for (int i = 0; i < dy.dim(0); ++i) {
     const float* row = dy.data() + i * dy.dim(1);
@@ -92,17 +270,9 @@ LinearGrads linear_backward(const Tensor& x, const Tensor& w,
   return g;
 }
 
-namespace {
-constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
-}
-
 Tensor gelu(const Tensor& x) {
   Tensor y(x.shape());
-  for (std::size_t i = 0; i < x.numel(); ++i) {
-    const float v = x.at(i);
-    y.data()[i] =
-        0.5f * v * (1.0f + std::tanh(kGeluC * (v + 0.044715f * v * v * v)));
-  }
+  for (std::size_t i = 0; i < x.numel(); ++i) y.data()[i] = gelu_one(x.at(i));
   return y;
 }
 
@@ -110,12 +280,7 @@ Tensor gelu_backward(const Tensor& x, const Tensor& dy) {
   require(x.same_shape(dy), "gelu_backward: shape mismatch");
   Tensor dx(x.shape());
   for (std::size_t i = 0; i < x.numel(); ++i) {
-    const float v = x.at(i);
-    const float u = kGeluC * (v + 0.044715f * v * v * v);
-    const float t = std::tanh(u);
-    const float du = kGeluC * (1.0f + 3.0f * 0.044715f * v * v);
-    const float grad = 0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * du;
-    dx.data()[i] = dy.at(i) * grad;
+    dx.data()[i] = dy.at(i) * gelu_grad_one(x.at(i));
   }
   return dx;
 }
@@ -130,22 +295,10 @@ Tensor layernorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
     cache->normalized = Tensor({rows, d});
     cache->inv_std.assign(rows, 0.0f);
   }
-  constexpr float kEps = 1e-5f;
   for (int i = 0; i < rows; ++i) {
-    const float* row = x.data() + i * d;
-    float mean = 0;
-    for (int j = 0; j < d; ++j) mean += row[j];
-    mean /= d;
-    float var = 0;
-    for (int j = 0; j < d; ++j) var += (row[j] - mean) * (row[j] - mean);
-    var /= d;
-    const float inv = 1.0f / std::sqrt(var + kEps);
-    for (int j = 0; j < d; ++j) {
-      const float norm = (row[j] - mean) * inv;
-      if (cache) cache->normalized.data()[i * d + j] = norm;
-      y.data()[i * d + j] = norm * gamma.at(j) + beta.at(j);
-    }
-    if (cache) cache->inv_std[i] = inv;
+    layernorm_row(x.data() + i * d, gamma.data(), beta.data(), d,
+                  cache ? cache->normalized.data() + i * d : nullptr,
+                  y.data() + i * d, cache ? &cache->inv_std[i] : nullptr);
   }
   return y;
 }
@@ -183,16 +336,7 @@ Tensor softmax_rows(const Tensor& scores) {
   const int rows = scores.dim(0), n = scores.dim(1);
   Tensor probs({rows, n});
   for (int i = 0; i < rows; ++i) {
-    const float* row = scores.data() + i * n;
-    float mx = row[0];
-    for (int j = 1; j < n; ++j) mx = std::max(mx, row[j]);
-    float denom = 0;
-    for (int j = 0; j < n; ++j) {
-      const float e = std::exp(row[j] - mx);
-      probs.data()[i * n + j] = e;
-      denom += e;
-    }
-    for (int j = 0; j < n; ++j) probs.data()[i * n + j] /= denom;
+    softmax_row(scores.data() + i * n, n, probs.data() + i * n);
   }
   return probs;
 }
@@ -213,36 +357,619 @@ Tensor softmax_backward(const Tensor& probs, const Tensor& dprobs) {
 
 double cross_entropy(const Tensor& logits, std::span<const int> targets,
                      double scale, Tensor* dlogits) {
-  require(logits.rank() == 2 &&
-              logits.dim(0) == static_cast<int>(targets.size()),
-          "cross_entropy: shape");
+  check_cross_entropy(logits, targets);
   const int rows = logits.dim(0), v = logits.dim(1);
   if (dlogits) *dlogits = Tensor({rows, v});
   double loss = 0;
   for (int i = 0; i < rows; ++i) {
-    const float* row = logits.data() + i * v;
-    require(targets[i] >= 0 && targets[i] < v, "cross_entropy: target range");
-    float mx = row[0];
-    for (int j = 1; j < v; ++j) mx = std::max(mx, row[j]);
-    double denom = 0;
-    for (int j = 0; j < v; ++j) denom += std::exp(static_cast<double>(row[j]) - mx);
-    const double log_denom = std::log(denom) + mx;
-    loss += (log_denom - row[targets[i]]) * scale;
-    if (dlogits) {
-      for (int j = 0; j < v; ++j) {
-        const double p = std::exp(static_cast<double>(row[j]) - log_denom);
-        dlogits->data()[i * v + j] =
-            static_cast<float>((p - (j == targets[i] ? 1.0 : 0.0)) * scale);
+    loss += cross_entropy_row(logits.data() + i * v, v, targets[i], scale,
+                              dlogits ? dlogits->data() + i * v : nullptr);
+  }
+  return loss;
+}
+
+}  // namespace ref
+
+// ----------------------------------------------------------- fast kernels
+//
+// Bit-for-bit contract with ref:: -- for every output element the same
+// multiplications and additions happen in the same (ascending-index)
+// order; the kernels only (a) re-tile the loop nest so each B/dC tile is
+// reused across a whole row panel, (b) unroll across *independent*
+// accumulator chains so the FP-add latency of one chain overlaps the next
+// (the naive dot product is a single serial dependency chain -- the main
+// single-core win), and (c) hand disjoint row panels to pool workers.
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  if (!fast_ops_enabled()) return ref::matmul(a, b);
+  check_matmul(a, b);
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c = Tensor::uninitialized({m, n});  // every element stored below
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  const double flops = 2.0 * m * k * n;
+  // Register-tiled: a 4-row x kTileJ-column block of C lives in registers
+  // across the whole l loop (one accumulator per element, l ascending --
+  // the ref order, since 0 + sum == ref's zero-init accumulate), so each
+  // B element loaded feeds 4 outputs and C is stored exactly once.
+  panel_for(m, flops, [&](int i0, int i1) {
+    int i = i0;
+    for (; i + 4 <= i1; i += 4) {
+      const float* a0 = pa + static_cast<std::size_t>(i) * k;
+      const float* a1 = a0 + k;
+      const float* a2 = a1 + k;
+      const float* a3 = a2 + k;
+      float* c0 = pc + static_cast<std::size_t>(i) * n;
+      float* c1 = c0 + n;
+      float* c2 = c1 + n;
+      float* c3 = c2 + n;
+      int j = 0;
+#if defined(__SSE2__)
+      // Packed variant of the scalar tile below: each xmm lane holds ONE
+      // output element's accumulator, so per lane the mul/add sequence
+      // (and its per-step rounding) is exactly the scalar chain -- packed
+      // single-precision ops round per lane like mulss/addss and nothing
+      // here contracts to FMA. Bitwise equal to ref::, just 4 lanes wide.
+      for (; j + kTileJ <= n; j += kTileJ) {
+        __m128 s0a = _mm_setzero_ps(), s0b = _mm_setzero_ps();
+        __m128 s1a = _mm_setzero_ps(), s1b = _mm_setzero_ps();
+        __m128 s2a = _mm_setzero_ps(), s2b = _mm_setzero_ps();
+        __m128 s3a = _mm_setzero_ps(), s3b = _mm_setzero_ps();
+        const float* bp = pb + j;
+        for (int l = 0; l < k; ++l, bp += n) {
+          const __m128 bva = _mm_loadu_ps(bp);
+          const __m128 bvb = _mm_loadu_ps(bp + 4);
+          __m128 w = _mm_set1_ps(a0[l]);
+          s0a = _mm_add_ps(s0a, _mm_mul_ps(w, bva));
+          s0b = _mm_add_ps(s0b, _mm_mul_ps(w, bvb));
+          w = _mm_set1_ps(a1[l]);
+          s1a = _mm_add_ps(s1a, _mm_mul_ps(w, bva));
+          s1b = _mm_add_ps(s1b, _mm_mul_ps(w, bvb));
+          w = _mm_set1_ps(a2[l]);
+          s2a = _mm_add_ps(s2a, _mm_mul_ps(w, bva));
+          s2b = _mm_add_ps(s2b, _mm_mul_ps(w, bvb));
+          w = _mm_set1_ps(a3[l]);
+          s3a = _mm_add_ps(s3a, _mm_mul_ps(w, bva));
+          s3b = _mm_add_ps(s3b, _mm_mul_ps(w, bvb));
+        }
+        _mm_storeu_ps(c0 + j, s0a);
+        _mm_storeu_ps(c0 + j + 4, s0b);
+        _mm_storeu_ps(c1 + j, s1a);
+        _mm_storeu_ps(c1 + j + 4, s1b);
+        _mm_storeu_ps(c2 + j, s2a);
+        _mm_storeu_ps(c2 + j + 4, s2b);
+        _mm_storeu_ps(c3 + j, s3a);
+        _mm_storeu_ps(c3 + j + 4, s3b);
+      }
+#else
+      for (; j + kTileJ <= n; j += kTileJ) {
+        float s0[kTileJ] = {}, s1[kTileJ] = {}, s2[kTileJ] = {},
+              s3[kTileJ] = {};
+        const float* bp = pb + j;
+        for (int l = 0; l < k; ++l, bp += n) {
+          const float w0 = a0[l], w1 = a1[l], w2 = a2[l], w3 = a3[l];
+          for (int t = 0; t < kTileJ; ++t) {
+            const float bv = bp[t];
+            s0[t] += w0 * bv;
+            s1[t] += w1 * bv;
+            s2[t] += w2 * bv;
+            s3[t] += w3 * bv;
+          }
+        }
+        for (int t = 0; t < kTileJ; ++t) {
+          c0[j + t] = s0[t];
+          c1[j + t] = s1[t];
+          c2[j + t] = s2[t];
+          c3[j + t] = s3[t];
+        }
+      }
+#endif
+      for (; j < n; ++j) {  // ragged column tail: strided scalar dots
+        const float* bp = pb + j;
+        float s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+        for (int l = 0; l < k; ++l, bp += n) {
+          const float bv = bp[0];
+          s0 += a0[l] * bv;
+          s1 += a1[l] * bv;
+          s2 += a2[l] * bv;
+          s3 += a3[l] * bv;
+        }
+        c0[j] = s0;
+        c1[j] = s1;
+        c2[j] = s2;
+        c3[j] = s3;
       }
     }
+    for (; i < i1; ++i) {  // ragged row tail: single-row tiles
+      const float* ar = pa + static_cast<std::size_t>(i) * k;
+      float* cr = pc + static_cast<std::size_t>(i) * n;
+      int j = 0;
+#if defined(__SSE2__)
+      for (; j + kTileJ <= n; j += kTileJ) {
+        __m128 sa = _mm_setzero_ps(), sb = _mm_setzero_ps();
+        const float* bp = pb + j;
+        for (int l = 0; l < k; ++l, bp += n) {
+          const __m128 w = _mm_set1_ps(ar[l]);
+          sa = _mm_add_ps(sa, _mm_mul_ps(w, _mm_loadu_ps(bp)));
+          sb = _mm_add_ps(sb, _mm_mul_ps(w, _mm_loadu_ps(bp + 4)));
+        }
+        _mm_storeu_ps(cr + j, sa);
+        _mm_storeu_ps(cr + j + 4, sb);
+      }
+#else
+      for (; j + kTileJ <= n; j += kTileJ) {
+        float s[kTileJ] = {};
+        const float* bp = pb + j;
+        for (int l = 0; l < k; ++l, bp += n) {
+          const float w = ar[l];
+          for (int t = 0; t < kTileJ; ++t) s[t] += w * bp[t];
+        }
+        for (int t = 0; t < kTileJ; ++t) cr[j + t] = s[t];
+      }
+#endif
+      for (; j < n; ++j) {
+        const float* bp = pb + j;
+        float s = 0;
+        for (int l = 0; l < k; ++l, bp += n) s += ar[l] * bp[0];
+        cr[j] = s;
+      }
+    }
+  });
+  return c;
+}
+
+Tensor matmul_grad_a(const Tensor& dc, const Tensor& b) {
+  if (!fast_ops_enabled()) return ref::matmul_grad_a(dc, b);
+  check_grad_a(dc, b);
+  const int m = dc.dim(0), n = dc.dim(1), k = b.dim(0);
+  Tensor da = Tensor::uninitialized({m, k});  // every element assigned
+  const float* pdc = dc.data();
+  const float* pb = b.data();
+  float* pda = da.data();
+  const double flops = 2.0 * m * k * n;
+  // The reduction here runs along rows (a dot over j), so the serial
+  // FP-add chain of each output element cannot be vectorized without
+  // reassociating -- instead, 2 dA rows x 8 columns = 16 independent
+  // chains (each in the reference's ascending-j order) overlap the add
+  // latency, and every B element loaded feeds both rows.
+  panel_for(m, flops, [&](int i0, int i1) {
+    int i = i0;
+    for (; i + 2 <= i1; i += 2) {
+      const float* dc0 = pdc + static_cast<std::size_t>(i) * n;
+      const float* dc1 = dc0 + n;
+      float* da0 = pda + static_cast<std::size_t>(i) * k;
+      float* da1 = da0 + k;
+      int l = 0;
+      for (; l + 8 <= k; l += 8) {
+        const float* b0 = pb + static_cast<std::size_t>(l) * n;
+        const float* b1 = b0 + n;
+        const float* b2 = b1 + n;
+        const float* b3 = b2 + n;
+        const float* b4 = b3 + n;
+        const float* b5 = b4 + n;
+        const float* b6 = b5 + n;
+        const float* b7 = b6 + n;
+        float s0[8] = {}, s1[8] = {};
+        for (int j = 0; j < n; ++j) {
+          const float d0 = dc0[j], d1 = dc1[j];
+          const float v0 = b0[j], v1 = b1[j], v2 = b2[j], v3 = b3[j];
+          const float v4 = b4[j], v5 = b5[j], v6 = b6[j], v7 = b7[j];
+          s0[0] += d0 * v0;
+          s0[1] += d0 * v1;
+          s0[2] += d0 * v2;
+          s0[3] += d0 * v3;
+          s0[4] += d0 * v4;
+          s0[5] += d0 * v5;
+          s0[6] += d0 * v6;
+          s0[7] += d0 * v7;
+          s1[0] += d1 * v0;
+          s1[1] += d1 * v1;
+          s1[2] += d1 * v2;
+          s1[3] += d1 * v3;
+          s1[4] += d1 * v4;
+          s1[5] += d1 * v5;
+          s1[6] += d1 * v6;
+          s1[7] += d1 * v7;
+        }
+        for (int t = 0; t < 8; ++t) {
+          da0[l + t] = s0[t];
+          da1[l + t] = s1[t];
+        }
+      }
+      for (; l < k; ++l) {
+        const float* brow = pb + static_cast<std::size_t>(l) * n;
+        float acc0 = 0, acc1 = 0;
+        for (int j = 0; j < n; ++j) {
+          const float bv = brow[j];
+          acc0 += dc0[j] * bv;
+          acc1 += dc1[j] * bv;
+        }
+        da0[l] = acc0;
+        da1[l] = acc1;
+      }
+    }
+    for (; i < i1; ++i) {  // ragged row tail: single-row, 8 chains
+      const float* dcrow = pdc + static_cast<std::size_t>(i) * n;
+      float* darow = pda + static_cast<std::size_t>(i) * k;
+      int l = 0;
+      for (; l + 8 <= k; l += 8) {
+        const float* b0 = pb + static_cast<std::size_t>(l) * n;
+        const float* b1 = b0 + n;
+        const float* b2 = b1 + n;
+        const float* b3 = b2 + n;
+        const float* b4 = b3 + n;
+        const float* b5 = b4 + n;
+        const float* b6 = b5 + n;
+        const float* b7 = b6 + n;
+        float s[8] = {};
+        for (int j = 0; j < n; ++j) {
+          const float d = dcrow[j];
+          s[0] += d * b0[j];
+          s[1] += d * b1[j];
+          s[2] += d * b2[j];
+          s[3] += d * b3[j];
+          s[4] += d * b4[j];
+          s[5] += d * b5[j];
+          s[6] += d * b6[j];
+          s[7] += d * b7[j];
+        }
+        for (int t = 0; t < 8; ++t) darow[l + t] = s[t];
+      }
+      for (; l < k; ++l) {
+        const float* brow = pb + static_cast<std::size_t>(l) * n;
+        float acc = 0;
+        for (int j = 0; j < n; ++j) acc += dcrow[j] * brow[j];
+        darow[l] = acc;
+      }
+    }
+  });
+  return da;
+}
+
+Tensor matmul_grad_b(const Tensor& a, const Tensor& dc) {
+  if (!fast_ops_enabled()) return ref::matmul_grad_b(a, dc);
+  check_grad_b(a, dc);
+  const int m = a.dim(0), k = a.dim(1), n = dc.dim(1);
+  Tensor db = Tensor::uninitialized({k, n});  // every element stored below
+  const float* pa = a.data();
+  const float* pdc = dc.data();
+  float* pdb = db.data();
+  const double flops = 2.0 * m * k * n;
+  // Panels over dB rows (the k axis): each output row is owned by one
+  // task. A 4-row x kTileJ block of dB lives in registers across the whole
+  // i reduction (ascending i, one accumulator per element -- the ref
+  // order), so each dC element loaded feeds 4 outputs.
+  panel_for(k, flops, [&](int l0, int l1) {
+    int l = l0;
+    for (; l + 4 <= l1; l += 4) {
+      float* o0 = pdb + static_cast<std::size_t>(l) * n;
+      float* o1 = o0 + n;
+      float* o2 = o1 + n;
+      float* o3 = o2 + n;
+      int j = 0;
+#if defined(__SSE2__)
+      // Same lane-per-element layout as the fast matmul tile: packed ops
+      // reproduce the scalar per-element chains (ascending i) bit for bit.
+      for (; j + kTileJ <= n; j += kTileJ) {
+        __m128 s0a = _mm_setzero_ps(), s0b = _mm_setzero_ps();
+        __m128 s1a = _mm_setzero_ps(), s1b = _mm_setzero_ps();
+        __m128 s2a = _mm_setzero_ps(), s2b = _mm_setzero_ps();
+        __m128 s3a = _mm_setzero_ps(), s3b = _mm_setzero_ps();
+        const float* ap = pa + l;   // a[i, l + t] == ap[t] at row i
+        const float* dp = pdc + j;  // dc[i, j + t] == dp[t] at row i
+        for (int i = 0; i < m; ++i, ap += k, dp += n) {
+          const __m128 dva = _mm_loadu_ps(dp);
+          const __m128 dvb = _mm_loadu_ps(dp + 4);
+          __m128 w = _mm_set1_ps(ap[0]);
+          s0a = _mm_add_ps(s0a, _mm_mul_ps(w, dva));
+          s0b = _mm_add_ps(s0b, _mm_mul_ps(w, dvb));
+          w = _mm_set1_ps(ap[1]);
+          s1a = _mm_add_ps(s1a, _mm_mul_ps(w, dva));
+          s1b = _mm_add_ps(s1b, _mm_mul_ps(w, dvb));
+          w = _mm_set1_ps(ap[2]);
+          s2a = _mm_add_ps(s2a, _mm_mul_ps(w, dva));
+          s2b = _mm_add_ps(s2b, _mm_mul_ps(w, dvb));
+          w = _mm_set1_ps(ap[3]);
+          s3a = _mm_add_ps(s3a, _mm_mul_ps(w, dva));
+          s3b = _mm_add_ps(s3b, _mm_mul_ps(w, dvb));
+        }
+        _mm_storeu_ps(o0 + j, s0a);
+        _mm_storeu_ps(o0 + j + 4, s0b);
+        _mm_storeu_ps(o1 + j, s1a);
+        _mm_storeu_ps(o1 + j + 4, s1b);
+        _mm_storeu_ps(o2 + j, s2a);
+        _mm_storeu_ps(o2 + j + 4, s2b);
+        _mm_storeu_ps(o3 + j, s3a);
+        _mm_storeu_ps(o3 + j + 4, s3b);
+      }
+#else
+      for (; j + kTileJ <= n; j += kTileJ) {
+        float s0[kTileJ] = {}, s1[kTileJ] = {}, s2[kTileJ] = {},
+              s3[kTileJ] = {};
+        const float* ap = pa + l;   // a[i, l + t] == ap[t] at row i
+        const float* dp = pdc + j;  // dc[i, j + t] == dp[t] at row i
+        for (int i = 0; i < m; ++i, ap += k, dp += n) {
+          const float w0 = ap[0], w1 = ap[1], w2 = ap[2], w3 = ap[3];
+          for (int t = 0; t < kTileJ; ++t) {
+            const float dv = dp[t];
+            s0[t] += w0 * dv;
+            s1[t] += w1 * dv;
+            s2[t] += w2 * dv;
+            s3[t] += w3 * dv;
+          }
+        }
+        for (int t = 0; t < kTileJ; ++t) {
+          o0[j + t] = s0[t];
+          o1[j + t] = s1[t];
+          o2[j + t] = s2[t];
+          o3[j + t] = s3[t];
+        }
+      }
+#endif
+      for (; j < n; ++j) {  // ragged column tail
+        const float* ap = pa + l;
+        const float* dp = pdc + j;
+        float s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+        for (int i = 0; i < m; ++i, ap += k, dp += n) {
+          const float dv = dp[0];
+          s0 += ap[0] * dv;
+          s1 += ap[1] * dv;
+          s2 += ap[2] * dv;
+          s3 += ap[3] * dv;
+        }
+        o0[j] = s0;
+        o1[j] = s1;
+        o2[j] = s2;
+        o3[j] = s3;
+      }
+    }
+    for (; l < l1; ++l) {  // ragged row tail: single-row tiles
+      float* orow = pdb + static_cast<std::size_t>(l) * n;
+      int j = 0;
+#if defined(__SSE2__)
+      for (; j + kTileJ <= n; j += kTileJ) {
+        __m128 sa = _mm_setzero_ps(), sb = _mm_setzero_ps();
+        const float* ap = pa + l;
+        const float* dp = pdc + j;
+        for (int i = 0; i < m; ++i, ap += k, dp += n) {
+          const __m128 w = _mm_set1_ps(ap[0]);
+          sa = _mm_add_ps(sa, _mm_mul_ps(w, _mm_loadu_ps(dp)));
+          sb = _mm_add_ps(sb, _mm_mul_ps(w, _mm_loadu_ps(dp + 4)));
+        }
+        _mm_storeu_ps(orow + j, sa);
+        _mm_storeu_ps(orow + j + 4, sb);
+      }
+#else
+      for (; j + kTileJ <= n; j += kTileJ) {
+        float s[kTileJ] = {};
+        const float* ap = pa + l;
+        const float* dp = pdc + j;
+        for (int i = 0; i < m; ++i, ap += k, dp += n) {
+          const float w = ap[0];
+          for (int t = 0; t < kTileJ; ++t) s[t] += w * dp[t];
+        }
+        for (int t = 0; t < kTileJ; ++t) orow[j + t] = s[t];
+      }
+#endif
+      for (; j < n; ++j) {
+        const float* ap = pa + l;
+        const float* dp = pdc + j;
+        float s = 0;
+        for (int i = 0; i < m; ++i, ap += k, dp += n) s += ap[0] * dp[0];
+        orow[j] = s;
+      }
+    }
+  });
+  return db;
+}
+
+Tensor linear(const Tensor& x, const Tensor& w, const Tensor& bias) {
+  if (!fast_ops_enabled()) return ref::linear(x, w, bias);
+  Tensor y = matmul(x, w);
+  require(bias.rank() == 1 && bias.dim(0) == y.dim(1), "linear: bias shape");
+  const int rows = y.dim(0), n = y.dim(1);
+  float* py = y.data();
+  const float* pbias = bias.data();
+  panel_for(rows, static_cast<double>(rows) * n, [&](int i0, int i1) {
+    for (int i = i0; i < i1; ++i) {
+      float* row = py + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) row[j] += pbias[j];
+    }
+  });
+  return y;
+}
+
+LinearGrads linear_backward(const Tensor& x, const Tensor& w,
+                            const Tensor& dy) {
+  if (!fast_ops_enabled()) return ref::linear_backward(x, w, dy);
+  LinearGrads g;
+  g.dx = matmul_grad_a(dy, w);
+  g.dw = matmul_grad_b(x, dy);
+  const int rows = dy.dim(0), n = dy.dim(1);
+  g.dbias = Tensor({n});
+  // Column sums stay serial: ascending-i accumulation per column is the
+  // reference order, and n floats of output don't repay a fan-out.
+  float* pdb = g.dbias.data();
+  const float* pdy = dy.data();
+  for (int i = 0; i < rows; ++i) {
+    const float* row = pdy + static_cast<std::size_t>(i) * n;
+    for (int j = 0; j < n; ++j) pdb[j] += row[j];
   }
+  return g;
+}
+
+Tensor gelu(const Tensor& x) {
+  if (!fast_ops_enabled()) return ref::gelu(x);
+  Tensor y = Tensor::uninitialized(x.shape());
+  const float* px = x.data();
+  float* py = y.data();
+  const int total = static_cast<int>(x.numel());
+  // Elementwise: chunk the flat index range. tanh is expensive enough that
+  // the flop estimate undercounts, so weigh it up.
+  panel_for((total + 255) / 256, 32.0 * total, [&](int c0, int c1) {
+    const int e0 = c0 * 256, e1 = std::min(total, c1 * 256);
+    for (int i = e0; i < e1; ++i) py[i] = gelu_one(px[i]);
+  });
+  return y;
+}
+
+Tensor gelu_backward(const Tensor& x, const Tensor& dy) {
+  if (!fast_ops_enabled()) return ref::gelu_backward(x, dy);
+  require(x.same_shape(dy), "gelu_backward: shape mismatch");
+  Tensor dx = Tensor::uninitialized(x.shape());
+  const float* px = x.data();
+  const float* pdy = dy.data();
+  float* pdx = dx.data();
+  const int total = static_cast<int>(x.numel());
+  panel_for((total + 255) / 256, 32.0 * total, [&](int c0, int c1) {
+    const int e0 = c0 * 256, e1 = std::min(total, c1 * 256);
+    for (int i = e0; i < e1; ++i) pdx[i] = pdy[i] * gelu_grad_one(px[i]);
+  });
+  return dx;
+}
+
+Tensor layernorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                 LayerNormCache* cache) {
+  if (!fast_ops_enabled()) return ref::layernorm(x, gamma, beta, cache);
+  require(x.rank() == 2, "layernorm: rank");
+  const int rows = x.dim(0), d = x.dim(1);
+  require(gamma.dim(0) == d && beta.dim(0) == d, "layernorm: params");
+  Tensor y = Tensor::uninitialized({rows, d});
+  if (cache) {
+    cache->normalized = Tensor::uninitialized({rows, d});
+    cache->inv_std.resize(rows);
+  }
+  const float* px = x.data();
+  const float* pg = gamma.data();
+  const float* pbt = beta.data();
+  float* py = y.data();
+  float* pn = cache ? cache->normalized.data() : nullptr;
+  float* pinv = cache ? cache->inv_std.data() : nullptr;
+  panel_for(rows, 8.0 * rows * d, [&](int i0, int i1) {
+    for (int i = i0; i < i1; ++i) {
+      layernorm_row(px + static_cast<std::size_t>(i) * d, pg, pbt, d,
+                    pn ? pn + static_cast<std::size_t>(i) * d : nullptr,
+                    py + static_cast<std::size_t>(i) * d,
+                    pinv ? pinv + i : nullptr);
+    }
+  });
+  return y;
+}
+
+LayerNormGrads layernorm_backward(const LayerNormCache& cache,
+                                  const Tensor& gamma, const Tensor& dy) {
+  if (!fast_ops_enabled()) return ref::layernorm_backward(cache, gamma, dy);
+  const int rows = dy.dim(0), d = dy.dim(1);
+  LayerNormGrads g;
+  g.dx = Tensor::uninitialized({rows, d});
+  g.dgamma = Tensor({d});
+  g.dbeta = Tensor({d});
+  const float* pdy = dy.data();
+  const float* pn = cache.normalized.data();
+  const float* pg = gamma.data();
+  float* pdx = g.dx.data();
+  // Pass 1 (parallel): dx rows are independent; the row-local sums run in
+  // the reference's j order.
+  panel_for(rows, 10.0 * rows * d, [&](int i0, int i1) {
+    for (int i = i0; i < i1; ++i) {
+      const float* dyr = pdy + static_cast<std::size_t>(i) * d;
+      const float* nr = pn + static_cast<std::size_t>(i) * d;
+      float sum_dn = 0, sum_dnn = 0;
+      for (int j = 0; j < d; ++j) {
+        const float dnorm = dyr[j] * pg[j];
+        sum_dn += dnorm;
+        sum_dnn += dnorm * nr[j];
+      }
+      const float inv = cache.inv_std[i];
+      float* dxr = pdx + static_cast<std::size_t>(i) * d;
+      for (int j = 0; j < d; ++j) {
+        const float dnorm = dyr[j] * pg[j];
+        dxr[j] = inv * (dnorm - sum_dn / d - nr[j] * sum_dnn / d);
+      }
+    }
+  });
+  // Pass 2 (serial): parameter gradients accumulate over rows in ascending
+  // i -- per column exactly the reference's addition order.
+  float* pdg = g.dgamma.data();
+  float* pdb = g.dbeta.data();
+  for (int i = 0; i < rows; ++i) {
+    const float* dyr = pdy + static_cast<std::size_t>(i) * d;
+    const float* nr = pn + static_cast<std::size_t>(i) * d;
+    for (int j = 0; j < d; ++j) {
+      pdg[j] += dyr[j] * nr[j];
+      pdb[j] += dyr[j];
+    }
+  }
+  return g;
+}
+
+Tensor softmax_rows(const Tensor& scores) {
+  if (!fast_ops_enabled()) return ref::softmax_rows(scores);
+  require(scores.rank() == 2, "softmax: rank");
+  const int rows = scores.dim(0), n = scores.dim(1);
+  Tensor probs = Tensor::uninitialized({rows, n});
+  const float* ps = scores.data();
+  float* pp = probs.data();
+  panel_for(rows, 16.0 * rows * n, [&](int i0, int i1) {
+    for (int i = i0; i < i1; ++i) {
+      softmax_row(ps + static_cast<std::size_t>(i) * n, n,
+                  pp + static_cast<std::size_t>(i) * n);
+    }
+  });
+  return probs;
+}
+
+Tensor softmax_backward(const Tensor& probs, const Tensor& dprobs) {
+  if (!fast_ops_enabled()) return ref::softmax_backward(probs, dprobs);
+  require(probs.same_shape(dprobs), "softmax_backward: shape");
+  const int rows = probs.dim(0), n = probs.dim(1);
+  Tensor ds = Tensor::uninitialized({rows, n});
+  const float* pp = probs.data();
+  const float* pdp = dprobs.data();
+  float* pds = ds.data();
+  panel_for(rows, 4.0 * rows * n, [&](int i0, int i1) {
+    for (int i = i0; i < i1; ++i) {
+      const float* p = pp + static_cast<std::size_t>(i) * n;
+      const float* dp = pdp + static_cast<std::size_t>(i) * n;
+      float* out = pds + static_cast<std::size_t>(i) * n;
+      float dot = 0;
+      for (int j = 0; j < n; ++j) dot += p[j] * dp[j];
+      for (int j = 0; j < n; ++j) out[j] = p[j] * (dp[j] - dot);
+    }
+  });
+  return ds;
+}
+
+double cross_entropy(const Tensor& logits, std::span<const int> targets,
+                     double scale, Tensor* dlogits) {
+  if (!fast_ops_enabled()) {
+    return ref::cross_entropy(logits, targets, scale, dlogits);
+  }
+  check_cross_entropy(logits, targets);
+  const int rows = logits.dim(0), v = logits.dim(1);
+  if (dlogits) *dlogits = Tensor::uninitialized({rows, v});
+  // Row terms land in a scratch vector so the final reduction can add them
+  // in the reference's ascending-row order regardless of panel timing.
+  std::vector<double> row_loss(rows);
+  const float* pl = logits.data();
+  float* pd = dlogits ? dlogits->data() : nullptr;
+  panel_for(rows, 20.0 * rows * v, [&](int i0, int i1) {
+    for (int i = i0; i < i1; ++i) {
+      row_loss[i] = cross_entropy_row(
+          pl + static_cast<std::size_t>(i) * v, v, targets[i], scale,
+          pd ? pd + static_cast<std::size_t>(i) * v : nullptr);
+    }
+  });
+  double loss = 0;
+  for (int i = 0; i < rows; ++i) loss += row_loss[i];
   return loss;
 }
 
 Tensor embedding_lookup(const Tensor& table, std::span<const int> ids) {
   require(table.rank() == 2, "embedding: table rank");
   const int h = table.dim(1);
-  Tensor out({static_cast<int>(ids.size()), h});
+  Tensor out = Tensor::uninitialized({static_cast<int>(ids.size()), h});
   for (std::size_t i = 0; i < ids.size(); ++i) {
     require(ids[i] >= 0 && ids[i] < table.dim(0), "embedding: id range");
     const float* src = table.data() + static_cast<std::size_t>(ids[i]) * h;

@@ -4,6 +4,23 @@
 // (batch and sequence flattened); every primitive here has a hand-written
 // backward so the runtime's pipelined gradients can be checked exactly
 // against the single-process reference.
+//
+// Two implementations live behind each primitive:
+//
+//  - model::ref:: -- the retained naive reference: plain loops, one
+//    accumulator per output element, summation in index order. This is the
+//    semantic ground truth of the op-level golden tests.
+//  - the default fast path -- cache-blocked, ILP-unrolled kernels that fan
+//    row panels out over a shared thread pool. The kernels perform, for
+//    every output element, the *same additions in the same order* as the
+//    reference (panels only re-tile the iteration space, and each output
+//    element is owned by exactly one task), so results are bit-identical
+//    to ref:: at every thread count. tests/ops_golden_test.cpp enforces
+//    this for every primitive, including ragged panel-edge shapes.
+//
+// set_fast_ops(false) routes the public entry points through ref::, which
+// is how the naive-vs-fast end-to-end equivalence sweeps and the hot-path
+// benchmark baseline run.
 #pragma once
 
 #include <span>
@@ -11,6 +28,22 @@
 #include "model/tensor.h"
 
 namespace autopipe::model {
+
+// -------------------------------------------------------- hot-path config
+
+/// Worker threads the fast kernels fan out over: 0 = auto (hardware
+/// concurrency), 1 = run inline (no pool), n = a shared pool of n workers.
+/// Results are bit-identical for every setting. Not safe to call while ops
+/// are executing on other threads (reconfigures the shared pool).
+void set_ops_threads(int threads);
+int ops_threads();
+
+/// Toggles the fast kernels (default on). Off routes every primitive
+/// through the naive model::ref:: implementations.
+void set_fast_ops(bool enabled);
+bool fast_ops_enabled();
+
+// ------------------------------------------------------------- primitives
 
 /// C[m,n] = A[m,k] * B[k,n].
 Tensor matmul(const Tensor& a, const Tensor& b);
@@ -63,5 +96,31 @@ Tensor embedding_lookup(const Tensor& table, std::span<const int> ids);
 /// Scatter-add dy rows back into dtable.
 void embedding_backward(std::span<const int> ids, const Tensor& dy,
                         Tensor* dtable);
+
+// ----------------------------------------- retained naive reference (ref)
+
+/// The naive single-thread implementations the fast kernels are golden-
+/// tested against, bit for bit. Summation order per output element is the
+/// contract: ascending index, one accumulator.
+namespace ref {
+
+Tensor matmul(const Tensor& a, const Tensor& b);
+Tensor matmul_grad_a(const Tensor& dc, const Tensor& b);
+Tensor matmul_grad_b(const Tensor& a, const Tensor& dc);
+Tensor linear(const Tensor& x, const Tensor& w, const Tensor& bias);
+LinearGrads linear_backward(const Tensor& x, const Tensor& w,
+                            const Tensor& dy);
+Tensor gelu(const Tensor& x);
+Tensor gelu_backward(const Tensor& x, const Tensor& dy);
+Tensor layernorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                 LayerNormCache* cache);
+LayerNormGrads layernorm_backward(const LayerNormCache& cache,
+                                  const Tensor& gamma, const Tensor& dy);
+Tensor softmax_rows(const Tensor& scores);
+Tensor softmax_backward(const Tensor& probs, const Tensor& dprobs);
+double cross_entropy(const Tensor& logits, std::span<const int> targets,
+                     double scale, Tensor* dlogits);
+
+}  // namespace ref
 
 }  // namespace autopipe::model

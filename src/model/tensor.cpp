@@ -1,6 +1,8 @@
 #include "model/tensor.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
@@ -21,33 +23,44 @@ std::size_t shape_numel(const std::vector<int>& shape) {
 }  // namespace
 
 Tensor::Tensor(std::vector<int> shape)
-    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
+    : shape_(std::move(shape)), data_(shape_numel(shape_), /*zeroed=*/true) {}
+
+Tensor::Tensor(std::vector<int> shape, bool zeroed)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), zeroed) {}
+
+Tensor Tensor::uninitialized(std::vector<int> shape) {
+  return Tensor(std::move(shape), /*zeroed=*/false);
+}
 
 Tensor Tensor::full(std::vector<int> shape, float value) {
-  Tensor t(std::move(shape));
+  Tensor t = uninitialized(std::move(shape));
   t.fill_(value);
   return t;
 }
 
 Tensor Tensor::randn(std::vector<int> shape, util::Rng& rng, float stddev) {
-  Tensor t(std::move(shape));
-  for (auto& x : t.data_) {
-    x = static_cast<float>(rng.next_gaussian()) * stddev;
+  Tensor t = uninitialized(std::move(shape));
+  float* p = t.data();
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    p[i] = static_cast<float>(rng.next_gaussian()) * stddev;
   }
   return t;
 }
 
 void Tensor::add_(const Tensor& other) {
   if (!same_shape(other)) throw std::invalid_argument("add_: shape mismatch");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  float* a = data();
+  const float* b = other.data();
+  for (std::size_t i = 0; i < numel(); ++i) a[i] += b[i];
 }
 
 void Tensor::scale_(float factor) {
-  for (auto& x : data_) x *= factor;
+  float* p = data();
+  for (std::size_t i = 0; i < numel(); ++i) p[i] *= factor;
 }
 
 void Tensor::fill_(float value) {
-  std::fill(data_.begin(), data_.end(), value);
+  std::fill(data(), data() + numel(), value);
 }
 
 std::pair<Tensor, Tensor> Tensor::split_rows(int rows) const {
@@ -57,10 +70,11 @@ std::pair<Tensor, Tensor> Tensor::split_rows(int rows) const {
   std::vector<int> head_shape = shape_, tail_shape = shape_;
   head_shape[0] = rows;
   tail_shape[0] = dim(0) - rows;
-  Tensor head(head_shape), tail(tail_shape);
+  Tensor head = uninitialized(head_shape), tail = uninitialized(tail_shape);
   const std::size_t stride = numel() / static_cast<std::size_t>(dim(0));
-  std::copy(data_.begin(), data_.begin() + rows * stride, head.data_.begin());
-  std::copy(data_.begin() + rows * stride, data_.end(), tail.data_.begin());
+  std::memcpy(head.data(), data(), rows * stride * sizeof(float));
+  std::memcpy(tail.data(), data() + rows * stride,
+              (numel() - rows * stride) * sizeof(float));
   return {std::move(head), std::move(tail)};
 }
 
@@ -75,10 +89,9 @@ Tensor Tensor::concat_rows(const Tensor& a, const Tensor& b) {
   }
   std::vector<int> shape = a.shape_;
   shape[0] = a.dim(0) + b.dim(0);
-  Tensor out(shape);
-  std::copy(a.data_.begin(), a.data_.end(), out.data_.begin());
-  std::copy(b.data_.begin(), b.data_.end(),
-            out.data_.begin() + static_cast<std::ptrdiff_t>(a.numel()));
+  Tensor out = uninitialized(shape);
+  std::memcpy(out.data(), a.data(), a.numel() * sizeof(float));
+  std::memcpy(out.data() + a.numel(), b.data(), b.numel() * sizeof(float));
   return out;
 }
 

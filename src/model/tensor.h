@@ -1,9 +1,12 @@
 // Minimal dense float32 tensor for the training-runtime substrate.
 //
-// The runtime exists to prove schedule *correctness* (pipelined gradients
-// match single-process gradients bit-closely), not performance, so the
-// representation is deliberately simple: contiguous row-major float storage
-// with rank <= 3 shapes.
+// Contiguous row-major float storage with rank <= 3 shapes. Storage comes
+// from the process-wide model::Arena (arena.h): construction is a
+// size-class cache hit in steady state, destruction returns the block to
+// the cache, and moves are pointer swaps -- which is what lets the pipeline
+// runtime hand micro-batch tensors across Channels without copying
+// payloads. Copies remain deep (value semantics), and are counted by the
+// arena so the hot path can prove it makes none.
 #pragma once
 
 #include <cstddef>
@@ -11,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "model/arena.h"
 #include "util/rng.h"
 
 namespace autopipe::model {
@@ -18,9 +22,13 @@ namespace autopipe::model {
 class Tensor {
  public:
   Tensor() = default;
+  /// Zero-filled, like the std::vector storage this replaced.
   explicit Tensor(std::vector<int> shape);
 
   static Tensor zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
+  /// Storage is NOT cleared: for op outputs whose kernel assigns every
+  /// element, skipping the zero-fill pass saves a full write sweep.
+  static Tensor uninitialized(std::vector<int> shape);
   static Tensor full(std::vector<int> shape, float value);
   /// Gaussian init with the given stddev (deterministic via rng).
   static Tensor randn(std::vector<int> shape, util::Rng& rng,
@@ -34,8 +42,8 @@ class Tensor {
 
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }
-  float& at(std::size_t i) { return data_[i]; }
-  float at(std::size_t i) const { return data_[i]; }
+  float& at(std::size_t i) { return data_.data()[i]; }
+  float at(std::size_t i) const { return data_.data()[i]; }
 
   /// Elementwise in-place accumulate; shapes must match.
   void add_(const Tensor& other);
@@ -51,8 +59,10 @@ class Tensor {
   std::string shape_string() const;
 
  private:
+  Tensor(std::vector<int> shape, bool zeroed);
+
   std::vector<int> shape_;
-  std::vector<float> data_;
+  ArenaBuffer data_;
 };
 
 /// Max |a-b| over all elements; shapes must match.

@@ -8,6 +8,16 @@
 // never block (asynchronous NCCL sends with buffering), receives rendezvous
 // by tag.
 //
+// Ownership contract (copy-free handoff): send() takes the tensor by value
+// and *moves* it into the mailbox; recv() moves it out to the receiver.
+// With arena-backed Tensor storage a move is a pointer swap, so a
+// micro-batch activation crosses a stage boundary without its payload ever
+// being copied -- the sender must treat the tensor as consumed (it is
+// empty after the move), and the receiver becomes the sole owner of the
+// buffer, returning it to the arena when the tensor dies. The hot-path
+// tests assert a steady-state iteration performs zero payload copies
+// (model::ArenaBuffer::copy_count()).
+//
 // Failure semantics: a channel can be *closed* (poisoned) with a reason.
 // Closing wakes every blocked receiver and makes all subsequent sends and
 // receives throw StageFailure(PeerClosed) instead of deadlocking -- a failed

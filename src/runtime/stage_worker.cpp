@@ -1,6 +1,7 @@
 #include "runtime/stage_worker.h"
 
 #include <chrono>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -97,19 +98,38 @@ double run_stage(const StageContext& ctx) {
     if (op.type == core::OpType::Forward) {
       model::Tensor x;
       if (first) {
-        x = slice_half((*ctx.micro_batches)[op.micro_batch], ctx.seq_len,
-                       op.half)
-                .ids;
+        // Whole micro-batches inject just the ids tensor; only actual
+        // halves go through slice_half. (An if/else rather than ?: -- the
+        // conditional operator would materialize a temporary copy of
+        // mb.ids; this way the tiny id copy below is the single counted
+        // copy per micro-batch on the whole hot path.)
+        const model::Batch& mb = (*ctx.micro_batches)[op.micro_batch];
+        if (op.half < 0) {
+          x = mb.ids;
+        } else {
+          x = slice_half(mb, ctx.seq_len, op.half).ids;  // moves from temp
+        }
       } else {
         x = receive((*ctx.forward_channels)[global - 1], tag);
       }
       auto& entry = stash[{op.micro_batch, op.half, op.chunk}];
       entry = Stash{};
+      // Copy-free stash: the block input is *moved* into the stash slot
+      // that backward will read it from, and the forward runs off that
+      // slot -- no activation payload is duplicated. The last stage's
+      // loss recompute reads the head block's input from inputs.back()
+      // under recompute, else from the dedicated head_input slot.
       for (int b = range.first; b < range.first + range.count; ++b) {
-        if (last && b == range.first + range.count - 1) entry.head_input = x;
+        const bool head = last && b == range.first + range.count - 1;
         if (ctx.recompute) {
-          entry.inputs.push_back(x);
-          x = ctx.model->block(b).forward(x);
+          entry.inputs.push_back(std::move(x));
+          x = ctx.model->block(b).forward(entry.inputs.back());
+        } else if (head) {
+          entry.head_input = std::move(x);
+          model::Tensor y;
+          entry.caches.push_back(
+              ctx.model->block(b).forward_cached(entry.head_input, &y));
+          x = std::move(y);
         } else {
           model::Tensor y;
           entry.caches.push_back(ctx.model->block(b).forward_cached(x, &y));
@@ -131,14 +151,21 @@ double run_stage(const StageContext& ctx) {
       model::Tensor dy;
       if (last) {
         // Recompute the logits from the head block's stashed input, then
-        // seed the backward pass with the cross-entropy gradient.
-        const model::Batch piece = slice_half(
-            (*ctx.micro_batches)[op.micro_batch], ctx.seq_len, op.half);
+        // seed the backward pass with the cross-entropy gradient. Targets
+        // are a span into the shared micro-batch -- no Batch copy.
+        const model::Batch& whole = (*ctx.micro_batches)[op.micro_batch];
+        std::span<const int> targets(whole.targets);
+        if (op.half >= 0) {
+          const int first_rows =
+              (whole.ids.dim(0) / ctx.seq_len / 2) * ctx.seq_len;
+          targets = op.half == 0 ? targets.first(first_rows)
+                                 : targets.subspan(first_rows);
+        }
         const int head = range.first + range.count - 1;
-        const model::Tensor logits =
-            ctx.model->block(head).forward(entry.head_input);
-        loss +=
-            model::cross_entropy(logits, piece.targets, ctx.loss_scale, &dy);
+        const model::Tensor& head_in =
+            ctx.recompute ? entry.inputs.back() : entry.head_input;
+        const model::Tensor logits = ctx.model->block(head).forward(head_in);
+        loss += model::cross_entropy(logits, targets, ctx.loss_scale, &dy);
       } else {
         dy = receive((*ctx.backward_channels)[global], tag);
       }

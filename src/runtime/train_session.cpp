@@ -1,7 +1,9 @@
 #include "runtime/train_session.h"
 
+#include <limits>
 #include <stdexcept>
 
+#include "model/arena.h"
 #include "util/logging.h"
 
 namespace autopipe::runtime {
@@ -37,6 +39,29 @@ void TrainSession::init_runtime() {
   schedule_ = runtime_->make_schedule(options_.kind,
                                       options_.num_micro_batches,
                                       options_.sliced);
+  // Pre-grow the tensor arena to the memory model's per-stage prediction
+  // (schedule-dependent in-flight stashes + transient working set), so
+  // steady-state iterations run on size-class cache hits with no slab
+  // growth mid-iteration. The estimate is conservative; reserve() only
+  // tops up capacity the arena doesn't already have spare.
+  const int n = static_cast<int>(options_.counts.size());
+  const double tokens =
+      static_cast<double>(options_.micro_batch) * options_.spec.seq;
+  const double per_block_stash =
+      16.0 * tokens * options_.spec.hidden * sizeof(float);
+  double reserve_bytes = 0;
+  for (int s = 0; s < n; ++s) {
+    costmodel::StageFootprint fp;
+    fp.param_bytes =
+        static_cast<double>(model_.param_count()) * sizeof(float) / n;
+    fp.stash_bytes = options_.counts[s] * per_block_stash;
+    fp.work_bytes = 4.0 * per_block_stash;
+    const costmodel::MemoryEstimate est = costmodel::stage_memory(
+        fp, s, n, options_.kind, options_.num_micro_batches, /*chunks=*/1,
+        std::numeric_limits<double>::infinity());
+    reserve_bytes += est.activation_bytes + est.working_bytes;
+  }
+  model::Arena::global().reserve(static_cast<std::size_t>(reserve_bytes));
   loss_scale_ = 1.0 / (static_cast<double>(options_.micro_batch) *
                        options_.num_micro_batches * options_.spec.seq);
   if (!options_.ckpt_dir.empty() && options_.ckpt_interval > 0) {
