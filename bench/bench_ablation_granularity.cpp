@@ -1,4 +1,4 @@
-// Ablations of AutoPipe's design choices (DESIGN.md §11):
+// Ablations of AutoPipe's design choices (DESIGN.md §12):
 //   1. sub-layer vs layer granularity in the Planner (the Fig. 3 claim);
 //   2. heuristic master-stage search vs Algorithm 1 alone;
 //   3. the Slicer's contribution per pipeline depth.

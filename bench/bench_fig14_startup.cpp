@@ -31,12 +31,14 @@ StartupRow startup_row(const core::ModelConfig& cfg, int stages, int m,
           .startup_ms,
       1);
 
+  // std::string("X") instead of a char* assign: gcc 12 at -O2 emits a
+  // bogus -Wrestrict through the inlined assign(const char*) path.
   if (!planners::megatron_interleaved_supports(cfg, stages, chunks) ||
       m % stages != 0) {
-    row.interleaved = "X";
+    row.interleaved = std::string("X");
   } else if (!fits(cfg, uniform, costmodel::ScheduleKind::Interleaved, m,
                    chunks)) {
-    row.interleaved = "OOM";
+    row.interleaved = std::string("OOM");
   } else {
     row.interleaved = util::Table::fmt(
         sim::execute(core::build_interleaved(

@@ -1,0 +1,148 @@
+// Supervisor MTTR benchmark (EXPERIMENTS.md "Self-healing MTTR").
+//
+// Runs seeded chaos soaks through supervisor::Supervisor (Replace mode,
+// in-memory checkpoint storage) and emits one JSON line per fault class:
+//
+//   {"kind":"hang","incidents":N,"detect_p50_ms":...,"mttr_p50_ms":...,
+//    "detect_p95_ms":...,"mttr_p95_ms":...,"downtime_total_ms":...}
+//
+// detect is fault occurrence -> supervisor awareness (for hangs: the
+// watched silence until the watchdog fired, i.e. detection latency);
+// mttr is awareness -> the failed logical step completing again (repair
+// time). Medians are taken across every incident of the class over all
+// seeds. A final "all" line aggregates the run: total incidents, total
+// recovery actions, total downtime, and how many soaks completed (every
+// one must -- a non-completed soak turns the exit code nonzero).
+//
+// Flags: --seeds N (default 5), --steps N (default 12), --incidents N
+// (scripted events per soak, default 8), --grace-ms MS (watchdog floor,
+// default 500 -- the dominant term of hang MTTR), --quiet (suppress the
+// per-soak progress lines on stderr).
+#include <cstdio>
+#include <exception>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ckpt/storage.h"
+#include "common.h"
+#include "model/transformer.h"
+#include "runtime/train_session.h"
+#include "supervisor/chaos.h"
+#include "supervisor/supervisor.h"
+#include "util/cli.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace autopipe;
+
+supervisor::SupervisorOptions tiny_supervisor(ckpt::Storage* storage,
+                                              int steps, double grace_ms) {
+  model::TinySpec spec;
+  spec.layers = 3;  // 8 blocks on 3 stages, the fault-suite workhorse
+  spec.hidden = 16;
+  spec.heads = 2;
+  spec.vocab = 32;
+  spec.seq = 4;
+  costmodel::ModelSpec mspec;
+  mspec.name = "tiny";
+  mspec.num_layers = spec.layers;
+  mspec.hidden = spec.hidden;
+  mspec.heads = spec.heads;
+  mspec.vocab = spec.vocab;
+  mspec.default_seq = spec.seq;
+  mspec.causal = spec.causal;
+
+  supervisor::SupervisorOptions o;
+  o.session.spec = spec;
+  o.session.counts = {2, 3, 3};
+  o.session.micro_batch = 2;
+  o.session.num_micro_batches = 6;
+  o.session.ckpt_dir = "bench/mttr";
+  o.session.ckpt_interval = 2;
+  o.session.ckpt_keep = 3;
+  o.session.storage = storage;
+  o.config = costmodel::build_model_config(mspec, {4, 0, true});
+  o.target_steps = steps;
+  o.watchdog.grace_ms = grace_ms;
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::Cli cli(argc, argv);
+    const int seeds = cli.checked_int("seeds", 5, 1, 1 << 20);
+    const int steps = cli.checked_int("steps", 12, 1, 1 << 20);
+    const int incidents = cli.checked_int("incidents", 8, 1, 1 << 20);
+    const double grace_ms =
+        cli.checked_double("grace-ms", 500.0, 50.0, 1e6);
+    const bool quiet = cli.get_bool("quiet", false);
+
+    bench::emit_metadata("supervisor_mttr");
+
+    std::map<std::string, std::vector<double>> detect, mttr;
+    double downtime_total = 0;
+    int total_incidents = 0;
+    int total_actions = 0;
+    int completed = 0;
+
+    for (int s = 0; s < seeds; ++s) {
+      supervisor::ChaosScriptOptions copts;
+      copts.steps = steps;
+      copts.devices = 3;
+      copts.ops_per_device = 12;
+      copts.incidents = incidents;
+      copts.straggler_delay_ms = 30;
+      const supervisor::ChaosScript script = supervisor::ChaosScript::sample(
+          copts, static_cast<std::uint64_t>(s) * 7919 + 101);
+
+      ckpt::MemStorage mem;
+      supervisor::SupervisorOptions o =
+          tiny_supervisor(&mem, steps, grace_ms);
+      o.chaos = &script;
+      o.restart_budget = 2 * incidents + 8;
+      supervisor::Supervisor sup(o);
+      const supervisor::SupervisorReport report = sup.run();
+      if (report.completed) {
+        ++completed;
+      } else if (!quiet) {
+        std::fprintf(stderr, "seed %d: aborted: %s\n", s,
+                     report.abort_reason.c_str());
+      }
+      for (const supervisor::Incident& inc : report.incidents) {
+        const std::string kind = supervisor::to_string(inc.cls);
+        detect[kind].push_back(inc.detect_ms);
+        mttr[kind].push_back(inc.downtime_ms);
+        downtime_total += inc.downtime_ms;
+        ++total_incidents;
+      }
+      total_actions += report.recovery_actions;
+      if (!quiet) {
+        std::fprintf(stderr, "seed %d: %zu incident(s), %d action(s)\n", s,
+                     report.incidents.size(), report.recovery_actions);
+      }
+    }
+
+    for (const auto& [kind, ds] : detect) {
+      const std::vector<double>& ms = mttr[kind];
+      std::printf(
+          "{\"kind\":\"%s\",\"incidents\":%zu,\"detect_p50_ms\":%.3f,"
+          "\"detect_p95_ms\":%.3f,\"mttr_p50_ms\":%.3f,\"mttr_p95_ms\":%.3f,"
+          "\"downtime_total_ms\":%.3f}\n",
+          kind.c_str(), ds.size(), util::median(ds),
+          util::percentile(ds, 95.0), util::median(ms),
+          util::percentile(ms, 95.0), util::sum(ms));
+    }
+    std::printf(
+        "{\"kind\":\"all\",\"soaks\":%d,\"completed\":%d,\"incidents\":%d,"
+        "\"recovery_actions\":%d,\"downtime_total_ms\":%.3f}\n",
+        seeds, completed, total_incidents, total_actions, downtime_total);
+    return completed == seeds ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

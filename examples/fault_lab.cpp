@@ -278,7 +278,8 @@ int do_crash(const util::Cli& cli) {
   }
   std::string counts;
   for (int c : report.final_counts) {
-    counts += (counts.empty() ? "" : " ") + std::to_string(c);
+    if (!counts.empty()) counts += " ";
+    counts += std::to_string(c);
   }
   std::printf("recovered on %d device(s) (partition [%s]) in %.1f ms, "
               "%.1f ms of it re-planning\n",
@@ -420,7 +421,8 @@ int do_ckpt(const util::Cli& cli) {
     }
     std::string counts;
     for (int c : resumed.counts) {
-      counts += (counts.empty() ? "" : " ") + std::to_string(c);
+      if (!counts.empty()) counts += " ";
+      counts += std::to_string(c);
     }
     std::printf("resuming at step %d on %zu device(s) (partition [%s])%s\n",
                 resumed.state.step, resumed.counts.size(), counts.c_str(),

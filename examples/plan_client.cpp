@@ -13,6 +13,15 @@
 // mismatch prints both lines and exits 1, otherwise each request prints
 // `verified`. The connection retries briefly so a just-launched daemon
 // (CI: `plan_serve --socket ... --no-stdio &`) wins the race.
+//
+// --timeout-ms N bounds EVERY wait on the daemon -- connect retries and
+// each response read -- with one deadline per operation. On expiry the
+// client prints `error: ...` on stderr and exits 1 instead of blocking
+// forever on a hung or wedged daemon (the failure mode a supervisor
+// consulting the daemon mid-recovery cannot afford). 0 (the default)
+// preserves the historical behaviour: bounded connect retries, unbounded
+// reads.
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -33,14 +42,22 @@ namespace {
 
 using namespace autopipe;
 
-int connect_with_retry(const std::string& path) {
+using clock_t_ = std::chrono::steady_clock;
+
+/// Connects with brief retries; a positive `timeout_ms` caps the total
+/// time spent retrying (a deadline, not an attempt count).
+int connect_with_retry(const std::string& path, double timeout_ms) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (path.size() >= sizeof(addr.sun_path)) {
     throw std::invalid_argument("socket path too long: " + path);
   }
   std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
-  for (int attempt = 0; attempt < 50; ++attempt) {
+  const clock_t_::time_point deadline =
+      clock_t_::now() + std::chrono::duration_cast<clock_t_::duration>(
+                            std::chrono::duration<double, std::milli>(
+                                timeout_ms > 0 ? timeout_ms : 5000.0));
+  while (true) {
     const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd < 0) throw std::runtime_error("socket(AF_UNIX) failed");
     if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
@@ -48,9 +65,14 @@ int connect_with_retry(const std::string& path) {
       return fd;
     }
     ::close(fd);
+    if (clock_t_::now() >= deadline) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
-  throw std::runtime_error("could not connect to " + path);
+  throw std::runtime_error("could not connect to " + path +
+                           (timeout_ms > 0 ? " within " +
+                                                 std::to_string(timeout_ms) +
+                                                 " ms"
+                                           : ""));
 }
 
 void send_line(int fd, const std::string& line) {
@@ -66,10 +88,36 @@ void send_line(int fd, const std::string& line) {
   }
 }
 
-std::string read_line(int fd) {
+/// Reads one response line; a positive `timeout_ms` is a per-response
+/// deadline enforced with poll() so a hung daemon (accepted the connection,
+/// never answers) cannot block the client forever.
+std::string read_line(int fd, double timeout_ms) {
+  const clock_t_::time_point deadline =
+      clock_t_::now() + std::chrono::duration_cast<clock_t_::duration>(
+                            std::chrono::duration<double, std::milli>(
+                                timeout_ms > 0 ? timeout_ms : 0.0));
   std::string out;
   char c;
   while (true) {
+    if (timeout_ms > 0) {
+      const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - clock_t_::now());
+      if (remaining.count() <= 0) {
+        throw std::runtime_error("timed out after " +
+                                 std::to_string(timeout_ms) +
+                                 " ms waiting for the daemon's response");
+      }
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLIN;
+      const int ready =
+          ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        throw std::runtime_error("poll on daemon connection failed");
+      }
+      if (ready == 0) continue;  // deadline re-checked at loop head
+    }
     const ssize_t n = ::read(fd, &c, 1);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -129,11 +177,13 @@ int main(int argc, char** argv) {
     if (socket_path.empty()) {
       throw std::invalid_argument("need --socket PATH or --offline");
     }
-    const int fd = connect_with_retry(socket_path);
+    const double timeout_ms =
+        cli.checked_double("timeout-ms", 0.0, 0.0, 3600000.0);
+    const int fd = connect_with_retry(socket_path, timeout_ms);
     int rc = 0;
     for (const std::string& line : requests) {
       send_line(fd, line);
-      const std::string response = read_line(fd);
+      const std::string response = read_line(fd, timeout_ms);
       if (!verify) {
         std::printf("%s\n", response.c_str());
         continue;

@@ -44,7 +44,8 @@ std::string devices_of(const autopipe::core::ParallelPlan& plan) {
   }
   std::string out = "per-stage [";
   for (std::size_t i = 0; i < plan.stage_devices.size(); ++i) {
-    out += (i ? " " : "") + std::to_string(plan.stage_devices[i]);
+    if (i) out += " ";
+    out += std::to_string(plan.stage_devices[i]);
   }
   return out + "]";
 }
@@ -96,7 +97,8 @@ int main(int argc, char** argv) try {
     const auto ev = core::evaluate_plan(cfg, plan, gbs, comm);
     std::string layers;
     for (double u : core::stage_layer_units(cfg, plan.partition)) {
-      layers += (layers.empty() ? "" : " ") + util::Table::fmt(u, 1);
+      if (!layers.empty()) layers += " ";
+      layers += util::Table::fmt(u, 1);
     }
     std::string iter = ev.oom             ? "OOM"
                        : ev.runtime_error ? "runtime error"

@@ -17,6 +17,13 @@
 // and the profile source for `source=cache` requests: --cache-dir DIR,
 // --max-age SECONDS, --drift (probe stale entries and re-measure only
 // drifted block kinds), --drift-tolerance F.
+//
+// SIGTERM/SIGINT shut the daemon down gracefully: the handler flips an
+// atomic flag the server polls, the listener stops accepting, in-flight
+// connections drain, and the unix socket file is unlinked -- so `kill` (or
+// ctrl-C) never strands a stale socket that would break the next launch.
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <stdexcept>
 #include <string>
@@ -24,6 +31,23 @@
 #include "service/plan_service.h"
 #include "service/server.h"
 #include "util/cli.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true, std::memory_order_release); }
+
+void install_signal_handlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: a blocked stdin read must EINTR out
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace autopipe;
@@ -54,9 +78,15 @@ int main(int argc, char** argv) {
           "--no-stdio needs --socket (no transport left to serve)");
     }
 
+    install_signal_handlers();
+    server_opts.external_stop = &g_stop;
     service::PlanService service(opts);
     service::PlanServer server(service, server_opts);
-    return server.run();
+    const int rc = server.run();
+    if (g_stop.load(std::memory_order_acquire)) {
+      std::fprintf(stderr, "plan_serve: signal received, shut down cleanly\n");
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

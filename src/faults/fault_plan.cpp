@@ -69,6 +69,24 @@ const TransientOpFault* FaultPlan::transient_for(int device,
   return nullptr;
 }
 
+bool FaultPlan::hangs_before_op(int device, int op_index) const {
+  for (const HangFault& h : hangs) {
+    if (h.device == device && h.op_index == op_index) return true;
+  }
+  return false;
+}
+
+double FaultPlan::slow_delay_ms(int device, int op_index) const {
+  double total = 0;
+  for (const SlowOps& s : slow_ops) {
+    if (s.device == device && op_index >= s.first_op &&
+        op_index < s.first_op + s.op_count) {
+      total += s.delay_ms;
+    }
+  }
+  return total;
+}
+
 void FaultPlan::validate(int devices, int boundaries) const {
   const auto bad = [](const std::string& what) {
     throw std::invalid_argument("fault plan: " + what);
@@ -104,6 +122,18 @@ void FaultPlan::validate(int devices, int boundaries) const {
     if (t.op_index < 0) bad("transient op index must be >= 0");
     if (t.failures < 1) bad("transient failure count must be >= 1");
   }
+  for (const HangFault& h : hangs) {
+    if (h.device < 0 || h.device >= devices) bad("hang device out of range");
+    if (h.op_index < 0) bad("hang op index must be >= 0");
+  }
+  for (const SlowOps& s : slow_ops) {
+    if (s.device < 0 || s.device >= devices) {
+      bad("slow-ops device out of range");
+    }
+    if (s.first_op < 0) bad("slow-ops first op must be >= 0");
+    if (s.op_count < 1) bad("slow-ops op count must be >= 1");
+    if (s.delay_ms < 0) bad("slow-ops delay must be >= 0");
+  }
 }
 
 FaultPlan FaultPlan::without_device(int device) const {
@@ -126,6 +156,18 @@ FaultPlan FaultPlan::without_device(int device) const {
     TransientOpFault kept = t;
     kept.device = remap(t.device);
     out.transients.push_back(kept);
+  }
+  for (const HangFault& h : hangs) {
+    if (h.device == device) continue;
+    HangFault kept = h;
+    kept.device = remap(h.device);
+    out.hangs.push_back(kept);
+  }
+  for (const SlowOps& s : slow_ops) {
+    if (s.device == device) continue;
+    SlowOps kept = s;
+    kept.device = remap(s.device);
+    out.slow_ops.push_back(kept);
   }
   return out;
 }

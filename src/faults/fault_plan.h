@@ -19,6 +19,12 @@
 //                  schedule op (thread runtime) -- and never comes back
 //   TransientOpFault  one op on one device fails n times before succeeding
 //                  (ECC hiccup, NCCL timeout); recoverable by local retry
+//   HangFault      a device wedges forever before its k-th schedule op --
+//                  no exception, no progress (thread runtime only); only an
+//                  external watchdog + cancellation can clear it
+//   SlowOps        a device pays a fixed wall-clock delay on a run of
+//                  schedule ops (thread-runtime straggler; unlike Straggler
+//                  it burns real time, so the watchdog can observe it)
 #pragma once
 
 #include <cstdint>
@@ -77,6 +83,30 @@ struct TransientOpFault {
   int failures = 1;
 };
 
+/// Thread-runtime hard hang: `device` stops dead just before executing its
+/// `op_index`-th schedule op. It raises no exception and makes no further
+/// progress -- the model of a wedged collective or a livelocked kernel.
+/// Without an external watchdog cancelling the iteration, its peers block
+/// until their receive deadlines expire; with one, the hang parks on the
+/// iteration's CancelToken and converts to a Timeout StageFailure the
+/// moment the watchdog fires.
+struct HangFault {
+  int device = 0;
+  int op_index = 0;
+};
+
+/// Thread-runtime straggler: each of the `op_count` schedule ops starting
+/// at `first_op` on `device` pays an extra `delay_ms` of real wall-clock
+/// time before executing. Unlike Straggler (simulated-time multiplier),
+/// SlowOps burns actual time on the worker thread, so the supervisor's
+/// watchdog can detect it as a silent-progress gap.
+struct SlowOps {
+  int device = 0;
+  int first_op = 0;
+  int op_count = 1;
+  double delay_ms = 0;  ///< >= 0 per affected op
+};
+
 /// Outcome of routing one transfer through the fault plan.
 struct TransferOutcome {
   double lag_ms = 0;  ///< effective transfer latency including retries
@@ -89,10 +119,13 @@ struct FaultPlan {
   std::vector<LinkOutage> outages;
   std::vector<DeviceCrash> crashes;
   std::vector<TransientOpFault> transients;
+  std::vector<HangFault> hangs;
+  std::vector<SlowOps> slow_ops;
 
   bool empty() const {
     return stragglers.empty() && spikes.empty() && outages.empty() &&
-           crashes.empty() && transients.empty();
+           crashes.empty() && transients.empty() && hangs.empty() &&
+           slow_ops.empty();
   }
 
   /// Product of the slowdowns of every straggler window `device` sits in at
@@ -115,6 +148,14 @@ struct FaultPlan {
 
   /// Runtime transient for (device, op_index), or nullptr.
   const TransientOpFault* transient_for(int device, int op_index) const;
+
+  /// Runtime hang trigger: does `device` wedge just before its
+  /// `op_index`-th op?
+  bool hangs_before_op(int device, int op_index) const;
+
+  /// Total extra wall-clock delay `device` pays before its `op_index`-th
+  /// op (sum over matching SlowOps windows). 0 when none match.
+  double slow_delay_ms(int device, int op_index) const;
 
   /// Throws std::invalid_argument on out-of-range devices/boundaries or
   /// non-positive slowdowns/backoffs (boundaries = global stages - 1).

@@ -1,0 +1,68 @@
+// Cooperative cancellation for one pipeline iteration.
+//
+// A CancelToken is the single abort lever an external observer (the
+// supervisor's watchdog, or the runtime's own failure cascade) pulls to get
+// every worker of an in-flight iteration out of whatever it is blocked on:
+// the stage workers poll it between bounded channel waits, and an injected
+// hard hang (faults::HangFault) parks on the token's condition variable, so
+// cancellation wakes even a worker that would otherwise never wake -- the
+// model of an aborted collective (ncclCommAbort) in the thread runtime.
+//
+// The token is one-shot and idempotent: the first cancel() wins and its
+// reason sticks; later calls are no-ops. The token must outlive the
+// iteration it governs (the supervisor owns one per attempt); the runtime
+// never stores it beyond the run_iteration call it was passed to.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+
+namespace autopipe::runtime {
+
+class CancelToken {
+ public:
+  /// Cancels with `reason` and wakes every wait(). Idempotent: only the
+  /// first reason is kept.
+  void cancel(const std::string& reason) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (cancelled_) return;
+      cancelled_ = true;
+      reason_ = reason;
+    }
+    cv_.notify_all();
+  }
+
+  bool cancelled() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cancelled_;
+  }
+
+  std::string reason() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return reason_;
+  }
+
+  /// Blocks until cancelled.
+  void wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return cancelled_; });
+  }
+
+  /// Blocks until cancelled or `timeout_ms` elapsed; true iff cancelled.
+  bool wait_for_ms(double timeout_ms) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return cv_.wait_for(lock,
+                        std::chrono::duration<double, std::milli>(timeout_ms),
+                        [this] { return cancelled_; });
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool cancelled_ = false;
+  std::string reason_;
+};
+
+}  // namespace autopipe::runtime

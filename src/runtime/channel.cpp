@@ -48,19 +48,27 @@ model::Tensor Channel::recv(const MessageTag& tag) {
 }
 
 model::Tensor Channel::recv_for(const MessageTag& tag, double timeout_ms) {
+  std::optional<model::Tensor> got = recv_opt(tag, timeout_ms);
+  if (!got.has_value()) {
+    throw StageFailure(FailureKind::Timeout, -1,
+                       "channel recv deadline expired (peer hung or dead)");
+  }
+  return std::move(*got);
+}
+
+std::optional<model::Tensor> Channel::recv_opt(const MessageTag& tag,
+                                               double timeout_ms) {
   std::unique_lock<std::mutex> lock(mutex_);
   const auto key = key_of(tag);
   const auto deadline =
       std::chrono::steady_clock::now() +
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
           std::chrono::duration<double, std::milli>(timeout_ms));
-  const bool got = arrived_.wait_until(
-      lock, deadline, [&] { return closed_ || box_.count(key) > 0; });
+  arrived_.wait_until(lock, deadline,
+                      [&] { return closed_ || box_.count(key) > 0; });
   if (box_.count(key) > 0) return take_locked(tag, lock);
   if (closed_) throw_closed_locked();
-  (void)got;
-  throw StageFailure(FailureKind::Timeout, -1,
-                     "channel recv deadline expired (peer hung or dead)");
+  return std::nullopt;
 }
 
 void Channel::close(const std::string& reason) {

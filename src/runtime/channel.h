@@ -64,6 +64,13 @@ class Channel {
   /// StageFailure(Timeout). Throws StageFailure(PeerClosed) on closure.
   model::Tensor recv_for(const MessageTag& tag, double timeout_ms);
 
+  /// Non-throwing deadline wait: nullopt when `timeout_ms` expires with no
+  /// message (so callers can slice one logical wait into short polls and
+  /// check a cancellation token between slices). Still throws
+  /// StageFailure(PeerClosed) on closure -- poisoning must cascade.
+  std::optional<model::Tensor> recv_opt(const MessageTag& tag,
+                                        double timeout_ms);
+
   /// Poisons the channel: drops undelivered messages, wakes all waiters,
   /// and makes every later send/recv throw StageFailure(PeerClosed)
   /// carrying `reason`. Idempotent (the first reason wins).

@@ -88,11 +88,16 @@ IterationResult PipelineRuntime::run_iteration(
   std::vector<int> retries(devices, 0);
   // One worker's death poisons every channel so no peer can block past its
   // next wait -- the failure cascades as StageFailure(PeerClosed) instead of
-  // the pre-fault-subsystem deadlock.
+  // the pre-fault-subsystem deadlock. When the caller supplied a cancel
+  // token, poisoning also cancels it: a peer parked on the token (an
+  // injected hang, or a sliced receive) wakes immediately instead of riding
+  // out its recv deadline.
   const auto poison_all = [&](const std::string& reason) {
     for (auto& ch : forward_channels) ch.close(reason);
     for (auto& ch : backward_channels) ch.close(reason);
+    if (options.cancel != nullptr) options.cancel->cancel(reason);
   };
+  if (options.health != nullptr) options.health->reset(devices);
 
   // Global stage g starts at block prefix[g]; device d's chunk c covers
   // global stage c*devices + d.
@@ -125,17 +130,23 @@ IterationResult PipelineRuntime::run_iteration(
     ctx.backoff_base_ms = options.backoff_base_ms;
     ctx.max_transient_retries = options.max_transient_retries;
     ctx.transient_retries = &retries[d];
+    ctx.health = options.health;
+    ctx.cancel = options.cancel;
+    ctx.cancel_poll_ms = options.cancel_poll_ms;
     workers.emplace_back([ctx = std::move(ctx), d, &losses, &errors,
-                          &error_kinds, &poison_all] {
+                          &error_kinds, &poison_all, health = options.health] {
       try {
         losses[d] = run_stage(ctx);
+        if (health != nullptr) health->mark(d, DeviceHealth::Done);
       } catch (const StageFailure& e) {
         error_kinds[d] = e.kind();
         errors[d] = e.what();
+        if (health != nullptr) health->mark(d, DeviceHealth::Failed);
         poison_all("device " + std::to_string(d) + ": " + e.what());
       } catch (const std::exception& e) {
         error_kinds[d] = FailureKind::Crash;
         errors[d] = e.what();
+        if (health != nullptr) health->mark(d, DeviceHealth::Failed);
         poison_all("device " + std::to_string(d) + ": " + e.what());
       }
     });

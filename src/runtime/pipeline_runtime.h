@@ -18,6 +18,8 @@
 #include "faults/fault_plan.h"
 #include "model/data.h"
 #include "model/transformer.h"
+#include "runtime/cancel.h"
+#include "runtime/health.h"
 
 namespace autopipe::runtime {
 
@@ -48,6 +50,20 @@ struct RunOptions {
   /// Transient faults injecting more failures than this escalate to
   /// StageFailure(Transient).
   int max_transient_retries = 3;
+  /// Optional per-device heartbeat board (runtime/health.h). When set, the
+  /// runtime reset()s it for this iteration's device count and every worker
+  /// publishes progress watermarks -- the supervisor's watchdog reads them
+  /// from outside the iteration. Null = no reporting.
+  HealthBoard* health = nullptr;
+  /// Optional cooperative cancellation token (runtime/cancel.h). The
+  /// watchdog cancels it to abort a wedged iteration: workers check it
+  /// before each op and between receive poll slices, and injected hangs
+  /// park on it. A worker failure also cancels it (with the failure text)
+  /// so hung peers don't ride out their full recv deadline. Null = no
+  /// external abort path (waits bounded by recv_deadline_ms only).
+  CancelToken* cancel = nullptr;
+  /// Poll slice for cancellation-aware channel waits (only with `cancel`).
+  double cancel_poll_ms = 25;
 };
 
 class PipelineRuntime {

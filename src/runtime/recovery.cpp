@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <stdexcept>
-#include <thread>
 
 #include "core/replan.h"
+#include "util/backoff.h"
 #include "util/logging.h"
 
 namespace autopipe::runtime {
@@ -61,6 +61,13 @@ RecoveryReport run_iteration_with_recovery(
   bool failed_once = false;
   clock::time_point first_failure{};
 
+  // Retry k charges backoff_base_ms * 2^k -- the same sequence this loop
+  // used to compute inline, now drawn from the shared util::Backoff
+  // (jitter-free, so the migration changes no delays).
+  util::BackoffOptions backoff_opts;
+  backoff_opts.base_ms = options.backoff_base_ms;
+  util::Backoff backoff(backoff_opts);
+
   for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
     AttemptRecord rec;
     rec.attempt = attempt;
@@ -101,14 +108,10 @@ RecoveryReport run_iteration_with_recovery(
         report.attempts.push_back(rec);
         throw;
       }
-      const double backoff =
-          options.backoff_base_ms * static_cast<double>(1 << attempt);
-      rec.backoff_ms = backoff;
+      const double backoff_ms = backoff.next_ms();
+      rec.backoff_ms = backoff_ms;
       report.attempts.push_back(rec);
-      if (backoff > 0) {
-        std::this_thread::sleep_for(
-            std::chrono::duration<double, std::milli>(backoff));
-      }
+      util::Backoff::sleep_for_ms(backoff_ms);
 
       if (e.kind() == FailureKind::Transient) {
         // The hiccup cleared: consume the escalated fault and retry on the

@@ -1,5 +1,6 @@
 #include "runtime/stage_worker.h"
 
+#include <algorithm>
 #include <chrono>
 #include <span>
 #include <stdexcept>
@@ -7,6 +8,7 @@
 #include <thread>
 
 #include "runtime/stage_failure.h"
+#include "util/backoff.h"
 
 namespace autopipe::runtime {
 
@@ -31,18 +33,55 @@ model::Batch slice_half(const model::Batch& whole, int seq_len, int half) {
 
 namespace {
 
-/// Crash/transient gate executed before each schedule op. A transient fault
-/// burns `failures` attempts with exponential backoff; within the retry
-/// budget the op then executes normally (the fault was absorbed in place),
-/// beyond it the worker escalates to a typed StageFailure so the
-/// iteration-level recovery policy takes over.
+[[noreturn]] void throw_cancelled(const StageContext& ctx) {
+  throw StageFailure(FailureKind::Timeout, ctx.device,
+                     "device " + std::to_string(ctx.device) +
+                         " cancelled: " + ctx.cancel->reason());
+}
+
+/// Fault gate executed before each schedule op: crash, hang, straggler and
+/// transient triggers, in escalating order of how much help the worker
+/// needs. A transient fault burns `failures` attempts with exponential
+/// backoff (util::Backoff); within the retry budget the op then executes
+/// normally (the fault was absorbed in place), beyond it the worker
+/// escalates to a typed StageFailure so the iteration-level recovery policy
+/// takes over. A hang makes no progress at all -- it parks on the
+/// iteration's CancelToken (or, lacking one, on the recv deadline) until an
+/// external watchdog aborts the iteration.
 void check_faults_before_op(const StageContext& ctx, int op_index) {
+  if (ctx.cancel != nullptr && ctx.cancel->cancelled()) throw_cancelled(ctx);
   const faults::FaultPlan* plan = ctx.faults;
   if (plan == nullptr || plan->empty()) return;
   if (plan->crashes_before_op(ctx.device, op_index)) {
     throw StageFailure(FailureKind::Crash, ctx.device,
                        "device " + std::to_string(ctx.device) +
                            " crashed before op " + std::to_string(op_index));
+  }
+  if (plan->hangs_before_op(ctx.device, op_index)) {
+    if (ctx.cancel != nullptr) {
+      ctx.cancel->wait();
+      throw_cancelled(ctx);
+    }
+    // No token to park on: the hang is bounded by the recv deadline so an
+    // unsupervised run still terminates (as its peers' receives do).
+    const double bound = ctx.recv_deadline_ms > 0 ? ctx.recv_deadline_ms
+                                                  : 30000.0;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(bound));
+    throw StageFailure(FailureKind::Timeout, ctx.device,
+                       "device " + std::to_string(ctx.device) +
+                           " hung before op " + std::to_string(op_index));
+  }
+  const double slow_ms = plan->slow_delay_ms(ctx.device, op_index);
+  if (slow_ms > 0) {
+    // A straggler burns real wall-clock time but stays cancellable: the
+    // delay is spent parked on the token when one is present.
+    if (ctx.cancel != nullptr) {
+      if (ctx.cancel->wait_for_ms(slow_ms)) throw_cancelled(ctx);
+    } else {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(slow_ms));
+    }
   }
   if (const faults::TransientOpFault* fault =
           plan->transient_for(ctx.device, op_index)) {
@@ -54,11 +93,11 @@ void check_faults_before_op(const StageContext& ctx, int op_index) {
               std::to_string(fault->failures) + " times (retry budget " +
               std::to_string(ctx.max_transient_retries) + ")");
     }
+    util::BackoffOptions backoff_opts;
+    backoff_opts.base_ms = ctx.backoff_base_ms;
+    util::Backoff backoff(backoff_opts);
     for (int attempt = 0; attempt < fault->failures; ++attempt) {
-      if (ctx.backoff_base_ms > 0) {
-        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
-            ctx.backoff_base_ms * static_cast<double>(1 << attempt)));
-      }
+      util::Backoff::sleep_for_ms(backoff.next_ms());
       if (ctx.transient_retries) ++*ctx.transient_retries;
     }
   }
@@ -72,9 +111,35 @@ double run_stage(const StageContext& ctx) {
   }
   const int global_stages = ctx.num_devices * ctx.chunks;
   double loss = 0;
+  if (ctx.health != nullptr) {
+    ctx.health->mark(ctx.device, DeviceHealth::Running);
+  }
   const auto receive = [&ctx](Channel& ch, const MessageTag& tag) {
-    return ctx.recv_deadline_ms > 0 ? ch.recv_for(tag, ctx.recv_deadline_ms)
-                                    : ch.recv(tag);
+    if (ctx.cancel == nullptr) {
+      return ctx.recv_deadline_ms > 0 ? ch.recv_for(tag, ctx.recv_deadline_ms)
+                                      : ch.recv(tag);
+    }
+    // Cancellation-aware wait: slice the (possibly unbounded) deadline into
+    // short polls and check the token between them, so a watchdog abort
+    // frees this worker within one poll even if its peer never sends.
+    double remaining = ctx.recv_deadline_ms;
+    const double slice_ms = ctx.cancel_poll_ms > 0 ? ctx.cancel_poll_ms : 25;
+    while (true) {
+      if (ctx.cancel->cancelled()) throw_cancelled(ctx);
+      double wait_ms = slice_ms;
+      if (ctx.recv_deadline_ms > 0) {
+        if (remaining <= 0) {
+          throw StageFailure(
+              FailureKind::Timeout, ctx.device,
+              "channel recv deadline expired (peer hung or dead)");
+        }
+        wait_ms = std::min(wait_ms, remaining);
+        remaining -= wait_ms;
+      }
+      if (std::optional<model::Tensor> got = ch.recv_opt(tag, wait_ms)) {
+        return std::move(*got);
+      }
+    }
   };
   // Per (micro_batch, half, chunk) stash. Under recompute (activation
   // checkpointing) it holds exactly the per-block inputs; otherwise each
@@ -88,7 +153,8 @@ double run_stage(const StageContext& ctx) {
 
   int op_index = 0;
   for (const core::ScheduleOp& op : ctx.schedule->order[ctx.device]) {
-    check_faults_before_op(ctx, op_index++);
+    check_faults_before_op(ctx, op_index);
+    ++op_index;
     const int global = ctx.schedule->global_stage(ctx.device, op.chunk);
     const bool first = global == 0;
     const bool last = global == global_stages - 1;
@@ -182,6 +248,7 @@ double run_stage(const StageContext& ctx) {
       }
       stash.erase(it);
     }
+    if (ctx.health != nullptr) ctx.health->beat(ctx.device, op_index);
   }
   if (!stash.empty()) {
     throw std::logic_error("device finished with unconsumed activations");

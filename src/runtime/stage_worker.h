@@ -20,7 +20,9 @@
 #include "faults/fault_plan.h"
 #include "model/data.h"
 #include "model/transformer.h"
+#include "runtime/cancel.h"
 #include "runtime/channel.h"
+#include "runtime/health.h"
 
 namespace autopipe::runtime {
 
@@ -71,6 +73,18 @@ struct StageContext {
   /// Out-param (owned by the runtime): in-place transient retries consumed
   /// by this worker.
   int* transient_retries = nullptr;
+  /// Optional heartbeat sink: the worker marks itself Running on entry and
+  /// beats after every completed schedule op, so an external watchdog can
+  /// tell a wedged device from one waiting out a legitimate pipeline
+  /// bubble. Null = no health reporting (zero overhead).
+  HealthBoard* health = nullptr;
+  /// Optional cooperative cancellation: checked before every op and between
+  /// receive poll slices; an injected HangFault parks on this token so the
+  /// watchdog can wake it. Cancellation surfaces as StageFailure(Timeout).
+  CancelToken* cancel = nullptr;
+  /// Receive waits are sliced into polls of this length when `cancel` is
+  /// set, bounding how stale a cancellation check can get.
+  double cancel_poll_ms = 25;
 };
 
 /// Runs every op of `ctx.schedule->order[ctx.device]`; returns this

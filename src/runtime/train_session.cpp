@@ -75,14 +75,26 @@ void TrainSession::init_runtime() {
 }
 
 double TrainSession::step() {
+  // Snapshot the data stream so a failed attempt can be rewound: the batch
+  // draw advances the corpus RNG, and a supervisor retrying this step must
+  // see the identical batch or the retried run diverges from the unfaulted
+  // one. Parameters and optimizer state need no snapshot -- they only
+  // mutate in adam_.step(), after the fallible pipeline run succeeded.
+  const util::Rng::State data_rng = corpus_.rng_state();
   const model::Batch batch = corpus_.next_batch(
       options_.micro_batch * options_.num_micro_batches, options_.spec.seq);
   const std::vector<model::Batch> micro =
       model::SyntheticCorpus::split_micro_batches(batch, options_.spec.seq,
                                                   options_.micro_batch);
   model_.zero_grads();
-  const IterationResult result =
-      runtime_->run_iteration(schedule_, micro, loss_scale_);
+  IterationResult result;
+  try {
+    result = runtime_->run_iteration(schedule_, micro, loss_scale_,
+                                     options_.run);
+  } catch (...) {
+    corpus_.set_rng_state(data_rng);
+    throw;
+  }
   adam_.step(model_);
   ++step_;
   losses_.push_back(result.loss);

@@ -46,6 +46,12 @@ struct TrainSessionOptions {
   /// Storage backend for checkpoints (fault injection, in-memory tests);
   /// nullptr = a process-local PosixStorage.
   ckpt::Storage* storage = nullptr;
+
+  /// Per-iteration runtime knobs (fault injection, health board, cancel
+  /// token, recv deadlines). The pointer fields are re-read every step(),
+  /// so a supervisor can re-arm fault plans and tokens between attempts via
+  /// run_options().
+  RunOptions run;
 };
 
 class TrainSession {
@@ -62,6 +68,13 @@ class TrainSession {
 
   /// One training iteration: draw the next mini-batch, run the pipeline,
   /// apply Adam, maybe checkpoint. Returns the iteration's loss.
+  ///
+  /// Atomic on failure: if the pipeline throws (StageFailure or otherwise),
+  /// the data stream is rewound to its pre-step state and the step counter
+  /// is untouched before the exception propagates, so a supervisor can
+  /// retry the *same* logical iteration in place -- the retried step draws
+  /// the identical batch, and since gradients are re-zeroed on entry the
+  /// half-accumulated gradients of the failed attempt cannot leak into it.
   double step();
 
   int iteration() const { return step_; }
@@ -74,6 +87,12 @@ class TrainSession {
   const std::vector<int>& counts() const { return options_.counts; }
   model::TransformerModel& model() { return model_; }
   const model::TransformerModel& model() const { return model_; }
+  /// Mutable per-iteration runtime knobs -- the supervisor points
+  /// `run.health` / `run.cancel` / `run.faults` at fresh objects between
+  /// attempts. Takes effect on the next step().
+  RunOptions& run_options() { return options_.run; }
+  const core::Schedule& schedule() const { return schedule_; }
+  int num_devices() const { return runtime_->num_devices(); }
 
   /// The session's state as of the last completed iteration -- exactly what
   /// a checkpoint written now would contain.

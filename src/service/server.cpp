@@ -34,6 +34,13 @@ bool write_all(int fd, const std::string& data) {
 PlanServer::PlanServer(PlanService& service, ServerOptions options)
     : service_(service), options_(std::move(options)) {}
 
+bool PlanServer::should_stop() const {
+  return stop_.load(std::memory_order_acquire) ||
+         service_.shutdown_requested() ||
+         (options_.external_stop != nullptr &&
+          options_.external_stop->load(std::memory_order_acquire));
+}
+
 PlanServer::~PlanServer() {
   stop_.store(true, std::memory_order_release);
   if (listener_.joinable()) listener_.join();
@@ -78,14 +85,18 @@ int PlanServer::run() {
   }
 
   if (options_.stdio) {
+    // A SIGTERM/SIGINT installed without SA_RESTART interrupts the blocked
+    // read with EINTR, so getline fails and the loop falls through to the
+    // graceful drain below even while idle on stdin.
     std::string line;
-    while (!service_.shutdown_requested() && std::getline(std::cin, line)) {
+    while (!should_stop() && std::getline(std::cin, line)) {
       std::cout << service_.handle_line(line) << "\n" << std::flush;
+      if (should_stop()) break;
     }
   } else {
-    // Socket-only daemon: park until a connection requests shutdown.
-    while (!service_.shutdown_requested() &&
-           !stop_.load(std::memory_order_acquire)) {
+    // Socket-only daemon: park until a connection (or a signal) requests
+    // shutdown.
+    while (!should_stop()) {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }
   }
@@ -97,8 +108,7 @@ int PlanServer::run() {
 void PlanServer::listener_loop() {
   // Only this thread mutates connections_; the destructor reads it after
   // joining this thread, so no lock is needed.
-  while (!stop_.load(std::memory_order_acquire) &&
-         !service_.shutdown_requested()) {
+  while (!should_stop()) {
     pollfd pfd{};
     pfd.fd = listen_fd_;
     pfd.events = POLLIN;
@@ -119,8 +129,7 @@ void PlanServer::serve_connection(int fd) {
 
   std::string buffer;
   char chunk[4096];
-  while (!stop_.load(std::memory_order_acquire) &&
-         !service_.shutdown_requested()) {
+  while (!should_stop()) {
     const ssize_t n = ::read(fd, chunk, sizeof(chunk));
     if (n == 0) break;  // peer closed
     if (n < 0) {

@@ -6,10 +6,12 @@
 // (socket); all logging stays on stderr, so stdout carries nothing but
 // response lines and can be byte-diffed in CI.
 //
-// Shutdown: a `shutdown` request on any transport, or EOF on stdin, stops
-// the whole server. The socket listener polls with a short timeout so it
-// notices a shutdown initiated on the other transport; the socket file is
-// unlinked on exit.
+// Shutdown: a `shutdown` request on any transport, EOF on stdin, or the
+// caller's external stop flag (plan_serve wires SIGTERM/SIGINT to it) stops
+// the whole server *gracefully*: the listener stops accepting, in-flight
+// connections drain their buffered requests and are joined, and the socket
+// file is unlinked on exit. The socket listener polls with a short timeout
+// so it notices a shutdown initiated on the other transport or the flag.
 #pragma once
 
 #include <atomic>
@@ -24,6 +26,11 @@ namespace autopipe::service {
 struct ServerOptions {
   bool stdio = true;          ///< serve stdin -> stdout
   std::string socket_path;    ///< empty: no unix-socket listener
+  /// Optional external stop flag polled by every serving loop -- the
+  /// async-signal-safe bridge from a SIGTERM/SIGINT handler (which may only
+  /// touch a lock-free atomic) to a graceful drain. Null = internal
+  /// triggers only.
+  const std::atomic<bool>* external_stop = nullptr;
 };
 
 class PlanServer {
@@ -38,6 +45,7 @@ class PlanServer {
   int run();
 
  private:
+  bool should_stop() const;
   void listener_loop();
   void serve_connection(int fd);
 

@@ -10,9 +10,10 @@ namespace autopipe::trace {
 namespace {
 
 std::string op_label(const core::ScheduleOp& op) {
-  std::string label =
-      (op.type == core::OpType::Forward ? "F" : "B") +
-      std::to_string(op.micro_batch);
+  // Built up with += (not `"F" + to_string(...)`): gcc 12's -Wrestrict
+  // false-positives on the temporary-concatenation form at -O2.
+  std::string label = op.type == core::OpType::Forward ? "F" : "B";
+  label += std::to_string(op.micro_batch);
   if (op.half == 0) label += "a";
   if (op.half == 1) label += "b";
   if (op.chunk > 0) label += ".c" + std::to_string(op.chunk);

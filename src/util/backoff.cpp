@@ -1,0 +1,55 @@
+#include "util/backoff.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace autopipe::util {
+
+Backoff::Backoff(const BackoffOptions& options)
+    : options_(options), rng_(options.seed) {
+  if (options_.base_ms < 0) {
+    throw std::invalid_argument("backoff: base_ms must be >= 0");
+  }
+  if (options_.multiplier < 1.0) {
+    throw std::invalid_argument("backoff: multiplier must be >= 1");
+  }
+  if (options_.max_ms <= 0) {
+    throw std::invalid_argument("backoff: max_ms must be > 0");
+  }
+  if (options_.jitter_frac < 0 || options_.jitter_frac >= 1.0) {
+    throw std::invalid_argument("backoff: jitter_frac must be in [0, 1)");
+  }
+  current_ms_ = options_.base_ms;
+}
+
+double Backoff::next_ms() {
+  double delay = current_ms_;
+  if (delay > options_.max_ms) delay = options_.max_ms;
+  // Advance the pre-jitter sequence; saturate instead of overflowing so a
+  // long-running retry loop stays at the cap.
+  if (current_ms_ < options_.max_ms) {
+    current_ms_ *= options_.multiplier;
+  } else {
+    current_ms_ = options_.max_ms;
+  }
+  ++attempts_;
+  if (options_.jitter_frac > 0) {
+    delay *= rng_.uniform(1.0 - options_.jitter_frac,
+                          1.0 + options_.jitter_frac);
+  }
+  return delay;
+}
+
+void Backoff::reset() {
+  current_ms_ = options_.base_ms;
+  attempts_ = 0;
+  rng_ = Rng(options_.seed);
+}
+
+void Backoff::sleep_for_ms(double ms) {
+  if (ms <= 0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace autopipe::util

@@ -1,0 +1,60 @@
+// Deterministic seeded exponential backoff with optional jitter.
+//
+// Every retry loop in the tree (the stage worker's in-place transient
+// retries, the recovery layer's iteration retries, the supervisor's
+// escalation ladder) wants the same delay policy: exponential growth from a
+// base, a hard cap, and -- for loops that may synchronize across devices --
+// a little decorrelating jitter. Backoff packages that policy as a pure,
+// seeded sequence: the k-th delay is a function of (options, seed, k) only,
+// so tests can assert the exact delays a retry loop will charge and a
+// seeded chaos run reproduces its timing decisions everywhere.
+//
+// jitter_frac = 0 (the default) yields the classic base * multiplier^k
+// sequence the pre-extraction call sites computed inline -- migrating them
+// onto Backoff changes no behaviour.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace autopipe::util {
+
+struct BackoffOptions {
+  double base_ms = 0.5;     ///< first delay (>= 0; 0 = all delays are 0)
+  double multiplier = 2.0;  ///< growth per attempt (>= 1)
+  double max_ms = 60000.0;  ///< cap applied before jitter (> 0)
+  /// Uniform jitter: delay k is scaled by a seeded draw from
+  /// [1 - jitter_frac, 1 + jitter_frac]. Must lie in [0, 1).
+  double jitter_frac = 0.0;
+  std::uint64_t seed = 0;   ///< jitter stream seed (unused when jitter is 0)
+};
+
+class Backoff {
+ public:
+  /// Throws std::invalid_argument on out-of-range options.
+  explicit Backoff(const BackoffOptions& options = {});
+
+  /// Delay to charge before the next retry, in ms. The first call returns
+  /// (jittered) base_ms; each later call multiplies the pre-jitter value,
+  /// clamped to max_ms. Never negative; bounded by max_ms * (1 + jitter).
+  double next_ms();
+
+  /// Restarts the sequence, including the jitter stream -- after reset()
+  /// the instance replays exactly the same delays.
+  void reset();
+
+  /// Retries charged so far (calls to next_ms since construction/reset).
+  int attempts() const { return attempts_; }
+
+  /// Convenience: sleep for `ms` (no-op when ms <= 0).
+  static void sleep_for_ms(double ms);
+
+ private:
+  BackoffOptions options_;
+  Rng rng_;
+  double current_ms_ = 0;
+  int attempts_ = 0;
+};
+
+}  // namespace autopipe::util

@@ -17,6 +17,9 @@
 #include "runtime/optimizer.h"
 #include "runtime/pipeline_runtime.h"
 #include "runtime/recovery.h"
+#include "runtime/train_session.h"
+#include "supervisor/chaos.h"
+#include "supervisor/supervisor.h"
 #include "service/plan_service.h"
 #include "service/protocol.h"
 #include "sim/executor.h"
@@ -587,6 +590,95 @@ TEST(HotpathFuzz, NaiveAndFastOpsTrainBitIdenticallyForEveryScheduleKind) {
     // Last-step gradients are still in the blocks: bitwise equality here
     // means parameters never diverged across all K Adam updates.
     EXPECT_EQ(naive_net.max_grad_diff(fast_net), 0.0);
+  }
+}
+
+TEST(SupervisorFuzz, RecoveryReproducesUnfaultedTrainingForEveryKind) {
+  // Property: for ANY seeded chaos script, a supervised run in Replace
+  // mode either completes bit-identical to the unfaulted run of the same
+  // step count, or aborts with a typed report -- for each schedule kind
+  // the training runtime supports. ("Recovered" must never silently mean
+  // "slightly different gradients".)
+  model::TinySpec spec;
+  spec.layers = 3;
+  spec.hidden = 16;
+  spec.heads = 2;
+  spec.vocab = 32;
+  spec.seq = 4;
+  costmodel::ModelSpec mspec;
+  mspec.name = "tiny";
+  mspec.num_layers = spec.layers;
+  mspec.hidden = spec.hidden;
+  mspec.heads = spec.heads;
+  mspec.vocab = spec.vocab;
+  mspec.default_seq = spec.seq;
+  mspec.causal = spec.causal;
+  const costmodel::ModelConfig config =
+      costmodel::build_model_config(mspec, {4, 0, true});
+
+  const struct {
+    costmodel::ScheduleKind kind;
+    int sliced;
+  } cases[] = {
+      {costmodel::ScheduleKind::OneFOneB, 0},
+      {costmodel::ScheduleKind::GPipe, 0},
+      {costmodel::ScheduleKind::AutoPipeSliced, 1},
+      {costmodel::ScheduleKind::Interleaved, 0},
+  };
+  constexpr int kSteps = 6;
+  for (const auto& c : cases) {
+    SCOPED_TRACE(costmodel::to_string(c.kind));
+
+    runtime::TrainSessionOptions base;
+    base.spec = spec;
+    base.counts = {2, 3, 3};
+    base.kind = c.kind;
+    base.sliced = c.sliced;
+    base.micro_batch = 2;
+    base.num_micro_batches = 6;
+
+    runtime::TrainSession ref(base);
+    for (int i = 0; i < kSteps; ++i) ref.step();
+    const ckpt::TrainState want = ref.capture();
+
+    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+      SCOPED_TRACE("seed " + std::to_string(seed));
+      supervisor::ChaosScriptOptions copts;
+      copts.steps = kSteps;
+      copts.devices = 3;
+      copts.ops_per_device = 12;
+      copts.incidents = 5;  // cycles through all five failure classes
+      copts.straggler_delay_ms = 20;
+      const supervisor::ChaosScript script =
+          supervisor::ChaosScript::sample(copts, seed * 977 + 13);
+
+      ckpt::MemStorage mem;
+      supervisor::SupervisorOptions o;
+      o.session = base;
+      o.session.ckpt_dir = "fuzz/sup";
+      o.session.ckpt_interval = 2;
+      o.session.storage = &mem;
+      o.config = config;
+      o.target_steps = kSteps;
+      o.watchdog.grace_ms = 400;
+      o.restart_budget = 16;
+      o.chaos = &script;
+      supervisor::Supervisor sup(o);
+      const supervisor::SupervisorReport report = sup.run();
+      if (!report.completed) {
+        // The only acceptable alternative outcome: a typed abort.
+        EXPECT_FALSE(report.abort_reason.empty());
+        continue;
+      }
+      const ckpt::TrainState got = sup.session().capture();
+      EXPECT_TRUE(got.blocks == want.blocks);
+      EXPECT_TRUE(got.data_rng == want.data_rng);
+      EXPECT_EQ(got.adam_t, want.adam_t);
+      ASSERT_EQ(report.losses.size(), ref.losses().size());
+      for (std::size_t i = 0; i < report.losses.size(); ++i) {
+        EXPECT_EQ(report.losses[i], ref.losses()[i]) << "step " << i;
+      }
+    }
   }
 }
 

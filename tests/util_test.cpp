@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "util/atomic_file.h"
+#include "util/backoff.h"
 #include "util/checksum.h"
 #include "util/cli.h"
 #include "util/logging.h"
@@ -361,6 +362,99 @@ TEST(Logging, LinesStayAtomicUnderConcurrentWriters) {
     EXPECT_TRUE(seen.emplace(writer, seq).second) << line;
   }
   EXPECT_EQ(seen.size(), captured.size());
+}
+
+// ---------------------------------------------------------------- backoff
+
+TEST(Backoff, DefaultIsClassicExponentialDoubling) {
+  // jitter_frac = 0 must reproduce the base * multiplier^k sequence the
+  // pre-extraction retry loops computed inline -- bit-exactly.
+  BackoffOptions opts;
+  opts.base_ms = 0.5;
+  opts.multiplier = 2.0;
+  Backoff b(opts);
+  EXPECT_DOUBLE_EQ(b.next_ms(), 0.5);
+  EXPECT_DOUBLE_EQ(b.next_ms(), 1.0);
+  EXPECT_DOUBLE_EQ(b.next_ms(), 2.0);
+  EXPECT_DOUBLE_EQ(b.next_ms(), 4.0);
+  EXPECT_EQ(b.attempts(), 4);
+}
+
+TEST(Backoff, CapsAtMaxAndNeverOverflows) {
+  BackoffOptions opts;
+  opts.base_ms = 10.0;
+  opts.multiplier = 10.0;
+  opts.max_ms = 250.0;
+  Backoff b(opts);
+  EXPECT_DOUBLE_EQ(b.next_ms(), 10.0);
+  EXPECT_DOUBLE_EQ(b.next_ms(), 100.0);
+  EXPECT_DOUBLE_EQ(b.next_ms(), 250.0);  // 1000 clamped
+  // Saturated: many more attempts stay exactly at the cap (no inf/NaN from
+  // the internal growth).
+  for (int i = 0; i < 200; ++i) EXPECT_DOUBLE_EQ(b.next_ms(), 250.0);
+}
+
+TEST(Backoff, JitterStaysInBandAndIsSeeded) {
+  BackoffOptions opts;
+  opts.base_ms = 8.0;
+  opts.multiplier = 1.0;  // isolate the jitter factor
+  opts.jitter_frac = 0.25;
+  opts.seed = 42;
+  Backoff a(opts), b(opts);
+  bool saw_jitter = false;
+  for (int i = 0; i < 64; ++i) {
+    const double da = a.next_ms();
+    EXPECT_GE(da, 8.0 * 0.75);
+    EXPECT_LE(da, 8.0 * 1.25);
+    EXPECT_DOUBLE_EQ(da, b.next_ms());  // same seed => same sequence
+    if (da != 8.0) saw_jitter = true;
+  }
+  EXPECT_TRUE(saw_jitter);
+  // A different seed decorrelates.
+  opts.seed = 43;
+  Backoff c(opts);
+  a.reset();
+  bool differs = false;
+  for (int i = 0; i < 64; ++i) differs |= (a.next_ms() != c.next_ms());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Backoff, ResetReplaysTheExactSequence) {
+  BackoffOptions opts;
+  opts.base_ms = 1.0;
+  opts.jitter_frac = 0.5;
+  opts.seed = 7;
+  Backoff b(opts);
+  std::vector<double> first;
+  for (int i = 0; i < 16; ++i) first.push_back(b.next_ms());
+  b.reset();
+  EXPECT_EQ(b.attempts(), 0);
+  for (int i = 0; i < 16; ++i) EXPECT_DOUBLE_EQ(b.next_ms(), first[i]);
+}
+
+TEST(Backoff, RejectsIllFormedOptions) {
+  BackoffOptions bad;
+  bad.base_ms = -1.0;
+  EXPECT_THROW(Backoff{bad}, std::invalid_argument);
+  bad = {};
+  bad.multiplier = 0.5;
+  EXPECT_THROW(Backoff{bad}, std::invalid_argument);
+  bad = {};
+  bad.max_ms = 0.0;
+  EXPECT_THROW(Backoff{bad}, std::invalid_argument);
+  bad = {};
+  bad.jitter_frac = 1.0;
+  EXPECT_THROW(Backoff{bad}, std::invalid_argument);
+  bad = {};
+  bad.jitter_frac = -0.1;
+  EXPECT_THROW(Backoff{bad}, std::invalid_argument);
+}
+
+TEST(Backoff, SleepForNonPositiveIsANoop) {
+  // No timing assertion needed -- just must return immediately and not
+  // throw for the degenerate inputs retry loops produce.
+  Backoff::sleep_for_ms(0.0);
+  Backoff::sleep_for_ms(-5.0);
 }
 
 }  // namespace
