@@ -10,6 +10,7 @@
 int main() {
   using namespace autopipe;
   using namespace autopipe::bench;
+  emit_metadata("ablation_granularity");
 
   std::printf("Ablation 1 -- planner granularity (GPT-2 345M, micro-batch "
               "4, m = 2 x depth): iteration ms\n\n");

@@ -16,6 +16,7 @@
 int main() {
   using namespace autopipe;
   using namespace autopipe::bench;
+  emit_metadata("comm_topology");
   const auto topo = costmodel::paper_cluster();
   std::printf("Comm topology -- uniform vs per-boundary pricing "
               "(paper cluster: %d GPUs/node)\n\n",

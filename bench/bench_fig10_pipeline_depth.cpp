@@ -9,6 +9,7 @@
 int main() {
   using namespace autopipe;
   using namespace autopipe::bench;
+  emit_metadata("fig10_pipeline_depth");
   std::printf("Fig. 10 -- iteration time (ms) vs pipeline depth; "
               "m = 2 x depth (lower is better)\n\n");
 

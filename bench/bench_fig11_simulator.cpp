@@ -12,6 +12,7 @@
 int main() {
   using namespace autopipe;
   using namespace autopipe::bench;
+  emit_metadata("fig11_simulator");
   const auto cfg = config_for("gpt2-345m", 4);
   const int m = 8;
 

@@ -54,6 +54,7 @@ void emit_json(const std::string& planner, const std::string& model,
 
 int main(int argc, char** argv) {
   using namespace autopipe::bench;
+  emit_metadata("fig12_search_time");
   const util::Cli cli(argc, argv);
   const int gpus = 16;
   const int max_threads = std::max(1, cli.get_int("threads", 8));

@@ -12,6 +12,7 @@
 int main() {
   using namespace autopipe;
   using namespace autopipe::bench;
+  emit_metadata("fig13_balance");
   const auto cfg = config_for("gpt2-345m", 32);
   std::printf("Fig. 13 -- balance (stddev of per-stage time, ms) for GPT-2 "
               "345M, micro-batch 32 (lower is better)\n\n");

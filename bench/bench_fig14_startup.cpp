@@ -75,6 +75,7 @@ StartupRow startup_row(const core::ModelConfig& cfg, int stages, int m,
 }  // namespace
 
 int main() {
+  autopipe::bench::emit_metadata("fig14_startup");
   const int chunks = 2;
   std::printf("Fig. 14 -- startup overhead (ms) of GPT-2 345M "
               "(X = configuration unsupported, OOM = out of memory)\n\n");

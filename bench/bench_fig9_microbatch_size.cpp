@@ -8,6 +8,7 @@
 int main() {
   using namespace autopipe;
   using namespace autopipe::bench;
+  emit_metadata("fig9_microbatch_size");
   const int stages = 4, m = 8;
   std::printf("Fig. 9 -- iteration time (ms) vs micro-batch size; "
               "%d stages, %d micro-batches per iteration\n",

@@ -2,6 +2,7 @@
 // what Fig. 12's search times are made of.
 #include <benchmark/benchmark.h>
 
+#include "common.h"
 #include "core/autopipe.h"
 #include "core/balanced_dp.h"
 #include "core/planner.h"
@@ -13,6 +14,13 @@
 namespace {
 
 using namespace autopipe;
+
+// benchmark_main owns main(), so the provenance line is emitted from a
+// static initializer -- it precedes google-benchmark's own header output.
+[[maybe_unused]] const bool g_metadata_emitted = [] {
+  bench::emit_metadata("micro_core");
+  return true;
+}();
 
 const core::ModelConfig& gpt2_config() {
   static const core::ModelConfig cfg =

@@ -6,6 +6,7 @@
 
 int main() {
   using namespace autopipe;
+  bench::emit_metadata("models");
   std::printf("Table I -- benchmark models\n\n");
   util::Table t({"Model", "# layers", "Hidden size", "# params (millions)",
                  "seq len", "blocks (sub-layer)"});

@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "common.h"
 #include "costmodel/model_zoo.h"
 #include "profiler/block_profiler.h"
 #include "profiler/calibration.h"
@@ -24,6 +25,7 @@
 
 int main(int argc, char** argv) {
   using namespace autopipe;
+  bench::emit_metadata("profiler_calibration");
   const util::Cli cli(argc, argv);
   const int mbs = cli.get_int("mbs", 1);
   const int seq_cap = cli.get_int("seq", 32);

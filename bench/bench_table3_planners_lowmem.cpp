@@ -13,6 +13,7 @@
 int main() {
   using namespace autopipe;
   using namespace autopipe::bench;
+  emit_metadata("table3_planners_lowmem");
   const int mbs = 4;
   const auto cfg = config_for("gpt2-345m", mbs);
   const std::vector<long> gbs_list{128, 256, 512};

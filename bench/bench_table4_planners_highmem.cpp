@@ -14,6 +14,7 @@
 int main() {
   using namespace autopipe;
   using namespace autopipe::bench;
+  emit_metadata("table4_planners_highmem");
   std::printf("Table IV -- planner comparison, high memory demand; "
               "time per iteration (ms)\n\n");
 

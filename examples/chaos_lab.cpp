@@ -17,7 +17,8 @@
 //                     1e-4 of the unfaulted run (same math, different
 //                     gradient accumulation order).
 //
-// Common flags: --steps N, --seed N, --kind 1f1b|gpipe|sliced|interleaved,
+// Common flags: --steps N, --seed N,
+// --schedule 1f1b|gpipe|sliced|interleaved|zero-bubble (--kind is an alias),
 // --interval K (checkpoint every K steps), --grace-ms MS (watchdog floor),
 // --budget N (restart budget). Soak: --incidents N, --straggler-ms MS.
 // Degrade: --at STEP (when the device dies), --oracle "c0,c1" (explicit
@@ -47,6 +48,7 @@
 
 #include "ckpt/checkpoint.h"
 #include "costmodel/analytic.h"
+#include "costmodel/memory.h"
 #include "runtime/train_session.h"
 #include "supervisor/chaos.h"
 #include "supervisor/supervisor.h"
@@ -84,15 +86,6 @@ costmodel::ModelConfig tiny_config() {
   return costmodel::build_model_config(spec, {4, 0, true});
 }
 
-costmodel::ScheduleKind kind_from(const std::string& name) {
-  if (name == "1f1b") return costmodel::ScheduleKind::OneFOneB;
-  if (name == "gpipe") return costmodel::ScheduleKind::GPipe;
-  if (name == "sliced") return costmodel::ScheduleKind::AutoPipeSliced;
-  if (name == "interleaved") return costmodel::ScheduleKind::Interleaved;
-  throw std::invalid_argument("unknown --kind '" + name +
-                              "' (want 1f1b|gpipe|sliced|interleaved)");
-}
-
 /// Largest |a - b| across two captured states' parameters, or 1e30 on any
 /// structural mismatch (the degraded path compares with a tolerance because
 /// a different partition accumulates gradients in another order).
@@ -120,7 +113,11 @@ runtime::TrainSessionOptions base_session(const util::Cli& cli) {
   runtime::TrainSessionOptions opts;
   opts.spec = tiny_spec();
   opts.counts = {2, 3, 3};
-  opts.kind = kind_from(cli.get("kind", "1f1b"));
+  // --schedule is the canonical spelling (shared parse_schedule_kind
+  // grammar: 1f1b|gpipe|interleaved|sliced|zero-bubble); --kind stays as a
+  // compatible alias.
+  opts.kind = costmodel::parse_schedule_kind(
+      cli.get("schedule", cli.get("kind", "1f1b")));
   opts.sliced =
       opts.kind == costmodel::ScheduleKind::AutoPipeSliced ? 1 : 0;
   opts.micro_batch = 2;

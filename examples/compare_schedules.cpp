@@ -3,15 +3,22 @@
 //   ./compare_schedules [--model gpt2-345m] [--stages 4] [--mbs 4]
 //                       [--micro-batches 8] [--chunks 2]
 //                       [--topology uniform|paper] [--gpus-per-node 4]
+//                       [--schedule all|1f1b|gpipe|interleaved|sliced|
+//                                   zero-bubble]
+//
+// --schedule narrows the rendering to one kind (parse_schedule_kind
+// grammar); the default shows every schedule the configuration supports.
 //
 // --topology paper prices every stage boundary from the cluster layout
 // (PCIe within a node, InfiniBand across) and the model's activation size;
 // all four schedules then carry those per-boundary costs.
 //
-// Renders GPipe, plain 1F1B, Megatron-LM's interleaved 1F1B and AutoPipe's
-// sliced 1F1B over the same model, with bubble fractions and startup
-// overheads -- the visual story of Figs. 5, 8 and 14.
+// Renders GPipe, plain 1F1B, Megatron-LM's interleaved 1F1B, AutoPipe's
+// sliced 1F1B and the zero-bubble split-backward schedule over the same
+// model, with bubble fractions and startup overheads -- the visual story of
+// Figs. 5, 8 and 14.
 #include <cstdio>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
@@ -39,6 +46,12 @@ int main(int argc, char** argv) try {
   if (topology != "uniform" && topology != "paper") {
     throw std::invalid_argument("--topology must be 'uniform' or 'paper'");
   }
+  const std::string only = cli.get("schedule", "all");
+  std::optional<costmodel::ScheduleKind> filter;
+  if (only != "all") filter = costmodel::parse_schedule_kind(only);
+  const auto want = [&](costmodel::ScheduleKind kind) {
+    return !filter.has_value() || *filter == kind;
+  };
 
   const auto cfg = costmodel::build_model_config(
       costmodel::model_by_name(model), {mbs, 0, true});
@@ -62,28 +75,41 @@ int main(int argc, char** argv) try {
   // Megatron-LM's uniform partition hosts GPipe/1F1B/interleaved.
   const auto uniform = planners::megatron_partition(cfg, stages);
   const auto uniform_costs = core::stage_costs(cfg, uniform);
-  show("GPipe (uniform partition)",
-       core::build_gpipe(uniform_costs, m, comm));
-  show("1F1B (uniform partition)",
-       core::build_1f1b(uniform_costs, m, comm));
-  if (planners::megatron_interleaved_supports(cfg, stages, chunks) &&
-      m % stages == 0) {
-    show("Interleaved 1F1B (uniform partition)",
-         core::build_interleaved(
-             planners::megatron_interleaved_costs(cfg, stages, chunks), m,
-             comm));
-  } else {
-    std::printf("--- Interleaved 1F1B: X (layers %% (stages*chunks) != 0 -- "
-                "the Fig. 14(b) constraint)\n\n");
+  if (want(costmodel::ScheduleKind::GPipe)) {
+    show("GPipe (uniform partition)",
+         core::build_gpipe(uniform_costs, m, comm));
+  }
+  if (want(costmodel::ScheduleKind::OneFOneB)) {
+    show("1F1B (uniform partition)",
+         core::build_1f1b(uniform_costs, m, comm));
+  }
+  if (want(costmodel::ScheduleKind::Interleaved)) {
+    if (planners::megatron_interleaved_supports(cfg, stages, chunks) &&
+        m % stages == 0) {
+      show("Interleaved 1F1B (uniform partition)",
+           core::build_interleaved(
+               planners::megatron_interleaved_costs(cfg, stages, chunks), m,
+               comm));
+    } else {
+      std::printf("--- Interleaved 1F1B: X (layers %% (stages*chunks) != 0 "
+                  "-- the Fig. 14(b) constraint)\n\n");
+    }
   }
 
-  // AutoPipe: planned partition + sliced warmup.
+  // AutoPipe: planned partition + sliced warmup; zero-bubble reuses the
+  // same planned partition (its per-stage costs carry the B/W split).
   const auto planned = core::plan(cfg, stages, m);
   const auto costs = core::stage_costs(cfg, planned.partition);
-  const auto slicing = core::solve_slicing(costs, comm, m);
-  show("AutoPipe (planned partition + sliced 1F1B)",
-       core::build_sliced_1f1b(costs, m, comm,
-                               slicing.sliced_micro_batches));
+  if (want(costmodel::ScheduleKind::AutoPipeSliced)) {
+    const auto slicing = core::solve_slicing(costs, comm, m);
+    show("AutoPipe (planned partition + sliced 1F1B)",
+         core::build_sliced_1f1b(costs, m, comm,
+                                 slicing.sliced_micro_batches));
+  }
+  if (want(costmodel::ScheduleKind::ZeroBubble)) {
+    show("Zero-bubble (planned partition, split backward)",
+         core::make_zero_bubble(costs, m, comm));
+  }
   return 0;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());

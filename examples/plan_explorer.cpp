@@ -5,6 +5,13 @@
 //                   [--threads 8] [--trace /tmp/autopipe.trace.json]
 //                   [--config profile.cfg] [--save-config profile.cfg]
 //                   [--topology uniform|paper] [--gpus-per-node 4]
+//                   [--zero-bubble] [--schedule auto|<kind>]
+//
+// --zero-bubble co-searches the schedule kind on AutoPipe's chosen
+// partition: the zero-bubble (split-backward) schedule replaces sliced
+// 1F1B when it is faster and its deferred weight-gradient states fit
+// device memory. --schedule forces the reported/traced schedule to a
+// specific kind (parse_schedule_kind grammar) regardless of the search.
 //
 // --topology paper prices each stage boundary from the cluster layout
 // (PCIe inside a node, 100G InfiniBand across) and the model's activation
@@ -20,6 +27,7 @@
 // as a starting point for hand tuning.
 #include <cstdio>
 #include <exception>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
@@ -66,6 +74,11 @@ int main(int argc, char** argv) try {
   const std::string topology = cli.get("topology", "uniform");
   if (topology != "uniform" && topology != "paper") {
     throw std::invalid_argument("--topology must be 'uniform' or 'paper'");
+  }
+  // Validate --schedule up front so a typo fails before the planner runs.
+  std::optional<costmodel::ScheduleKind> forced;
+  if (cli.has("schedule") && cli.get("schedule", "auto") != "auto") {
+    forced = costmodel::parse_schedule_kind(cli.get("schedule", "auto"));
   }
 
   const auto cfg =
@@ -116,8 +129,20 @@ int main(int argc, char** argv) try {
   add("Piper", planners::piper_plan(cfg, gpus, piper));
   core::AutoPipeOptions ours_opts{gpus, gbs, 0, true, threads};
   ours_opts.comm = comm;
+  ours_opts.enable_zero_bubble = cli.has("zero-bubble");
   const auto ours = core::auto_plan(cfg, ours_opts);
   add("AutoPipe", ours.plan);
+
+  core::Schedule schedule = ours.schedule;
+  if (forced.has_value()) {
+    schedule = core::build_schedule(
+        *forced, core::stage_costs(cfg, ours.plan.partition),
+        ours.schedule.num_micro_batches, comm,
+        {ours.slicing.sliced_micro_batches, 1});
+  }
+  std::printf("AutoPipe schedule: %s, %.1f ms analytic\n",
+              costmodel::to_string(schedule.kind),
+              core::evaluate_schedule(schedule).iteration_ms);
   if (planners::megatron_supports(cfg, ours.plan.num_stages()) &&
       gpus % ours.plan.num_stages() == 0) {
     add("Megatron-LM",
@@ -126,7 +151,7 @@ int main(int argc, char** argv) try {
   std::printf("%s\n", table.to_ascii().c_str());
 
   if (cli.has("trace")) {
-    const auto exec = sim::execute(ours.schedule);
+    const auto exec = sim::execute(schedule);
     const std::string path = cli.get("trace", "autopipe.trace.json");
     if (trace::write_chrome_trace(exec, path)) {
       std::printf("AutoPipe schedule trace written to %s (open in "

@@ -292,6 +292,28 @@ AutoPipeResult auto_plan(const ModelConfig& config,
   }
   best.schedule = build_sliced_1f1b(costs, static_cast<int>(m), comm,
                                     best.slicing.sliced_micro_batches);
+  // Schedule-kind co-search (opt-in): the zero-bubble split defers weight
+  // gradients into bubbles, trading memory (the stashed B/W states) for
+  // iteration time. Keep it only when it fits *and* wins.
+  if (options.enable_zero_bubble && d >= 2 && m >= d) {
+    bool fits = true;
+    for (int s = 0; s < d && fits; ++s) {
+      const double deferred =
+          stage_bw_state_bytes(config, best.plan.partition, s) *
+          std::min<long>(m, d - s);
+      fits = detail_stage_bytes(config, best.plan.partition, s, d,
+                                static_cast<int>(m), 1.0, 1) +
+                 deferred <=
+             config.device.mem_capacity_bytes;
+    }
+    if (fits) {
+      Schedule zb = make_zero_bubble(costs, static_cast<int>(m), comm);
+      if (evaluate_schedule(zb).iteration_ms <
+          evaluate_schedule(best.schedule).iteration_ms) {
+        best.schedule = std::move(zb);
+      }
+    }
+  }
   best.plan.planning_ms = std::chrono::duration<double, std::milli>(
                               std::chrono::steady_clock::now() - t0)
                               .count();

@@ -88,6 +88,11 @@ struct AutoPipeOptions {
   /// N = pool of N). One pool is shared across the whole depth sweep; the
   /// chosen plan is bit-identical for every value.
   int threads = 1;
+  /// Co-search the schedule kind on the chosen partition: also build the
+  /// zero-bubble (split-backward) schedule and keep it when it beats the
+  /// sliced-1F1B one *and* the deferred weight-gradient states still fit
+  /// device memory. Off by default so existing plans are unchanged.
+  bool enable_zero_bubble = false;
   /// Per-boundary communication model threaded through the Planner, Slicer,
   /// plan evaluation and the built schedule. Unset = uniform pricing at
   /// config.comm_ms, the historical scalar behaviour.

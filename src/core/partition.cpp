@@ -55,6 +55,8 @@ std::vector<StageCost> stage_costs(const ModelConfig& config,
     for (int i = 0; i < partition.counts[s]; ++i, ++block) {
       costs[s].fwd_ms += config.blocks[block].fwd_ms;
       costs[s].bwd_ms += config.blocks[block].bwd_ms;
+      costs[s].bwd_input_ms += config.blocks[block].bwd_input_ms;
+      costs[s].bwd_weight_ms += config.blocks[block].bwd_weight_ms;
     }
   }
   return costs;
@@ -112,6 +114,15 @@ double stage_work_bytes(const ModelConfig& config, const Partition& partition,
     peak = std::max(peak, config.blocks[b].work_bytes);
   }
   return peak;
+}
+
+double stage_bw_state_bytes(const ModelConfig& config,
+                            const Partition& partition, int s) {
+  double acc = 0;
+  for (int b = partition.stage_begin(s); b < partition.stage_end(s); ++b) {
+    acc += config.blocks[b].bw_state_bytes;
+  }
+  return acc;
 }
 
 Partition partition_from_layers(const ModelConfig& config,

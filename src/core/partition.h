@@ -45,10 +45,16 @@ inline std::uint64_t scheme_hash(const Partition& p) {
   return scheme_hash(p.counts);
 }
 
-/// Per-stage forward/backward durations of one micro-batch.
+/// Per-stage forward/backward durations of one micro-batch. For zero-bubble
+/// schedules bwd_ms additionally decomposes into the grad-input pass
+/// (bwd_input_ms, includes recompute) and the grad-weight pass
+/// (bwd_weight_ms); both stay 0 for hand-assembled costs, in which case
+/// make_zero_bubble falls back to a 2/3 : 1/3 split of bwd_ms.
 struct StageCost {
   double fwd_ms = 0;
   double bwd_ms = 0;
+  double bwd_input_ms = 0;
+  double bwd_weight_ms = 0;
   double load() const { return fwd_ms + bwd_ms; }
 };
 
@@ -77,6 +83,12 @@ double stage_stash_bytes(const ModelConfig& config, const Partition& partition,
 /// Peak transient working bytes while stage `s` computes one micro-batch.
 double stage_work_bytes(const ModelConfig& config, const Partition& partition,
                         int s);
+
+/// B-state bytes stage `s` stashes per micro-batch between the split
+/// grad-input (B) and deferred grad-weight (W) passes of a zero-bubble
+/// schedule.
+double stage_bw_state_bytes(const ModelConfig& config,
+                            const Partition& partition, int s);
 
 /// Builds the partition whose per-stage transformer-layer units match
 /// `layers` (e.g. {6, 6.5, 6.5, 5} from Table II). The embedding block is

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
+#include <limits>
 #include <map>
 #include <stdexcept>
 #include <string>
@@ -10,8 +12,13 @@ namespace autopipe::core {
 
 double Schedule::op_duration_ms(int device, const ScheduleOp& op) const {
   const StageCost& cost = durations[device][op.chunk];
-  const double whole =
-      op.type == OpType::Forward ? cost.fwd_ms : cost.bwd_ms;
+  double whole = 0;
+  switch (op.type) {
+    case OpType::Forward:        whole = cost.fwd_ms; break;
+    case OpType::Backward:       whole = cost.bwd_ms; break;
+    case OpType::BackwardInput:  whole = cost.bwd_input_ms; break;
+    case OpType::BackwardWeight: whole = cost.bwd_weight_ms; break;
+  }
   return op.is_half() ? whole / 2.0 : whole;
 }
 
@@ -163,6 +170,163 @@ Schedule build_interleaved(
   return s;
 }
 
+Schedule make_zero_bubble(std::span<const StageCost> stages, int micro_batches,
+                          const CommModel& comm) {
+  const int n = static_cast<int>(stages.size());
+  const int m = micro_batches;
+  require(n >= 1, "schedule needs at least one stage");
+  require(m >= n, "zero-bubble requires micro_batches >= stages");
+
+  Schedule s;
+  s.kind = ScheduleKind::ZeroBubble;
+  s.num_stages = n;
+  s.num_micro_batches = m;
+  s.boundary_comm_ms = comm.boundary_costs(n);
+  s.durations.resize(n);
+  s.order.resize(n);
+  for (int x = 0; x < n; ++x) {
+    StageCost c = stages[x];
+    if (c.bwd_input_ms <= 0.0 && c.bwd_weight_ms <= 0.0) {
+      // Hand-assembled costs carry only the fused time; assume the usual
+      // recompute shape: grad-input (incl. recompute) 2/3, grad-weight 1/3.
+      c.bwd_input_ms = c.bwd_ms * (2.0 / 3.0);
+      c.bwd_weight_ms = c.bwd_ms - c.bwd_input_ms;
+    }
+    s.durations[x] = {c};
+  }
+
+  // Event-driven greedy list construction. Per device: grad-input the moment
+  // its downstream dx has arrived (1F1B discipline), forwards while under the
+  // in-flight cap, and deferred grad-weight ops filling gaps that provably
+  // fit (or unconditionally once nothing else can be pending). An op is only
+  // committed once every producer it needs has a known end time, so the
+  // constructed order realizes exactly the timing this greedy saw.
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> t_free(n, 0.0);
+  std::vector<int> next_f(n, 0), next_b(n, 0), in_flight(n, 0);
+  std::vector<std::deque<int>> pending(n);
+  std::vector<std::vector<double>> end_f(n, std::vector<double>(m, kInf));
+  std::vector<std::vector<double>> end_b(n, std::vector<double>(m, kInf));
+
+  int remaining = 3 * n * m;
+  bool progress = true;
+  while (remaining > 0) {
+    if (!progress) throw std::logic_error("zero-bubble builder stalled");
+    progress = false;
+    for (int x = 0; x < n; ++x) {
+      const int cap_f = n - x;                    // in-flight forwards
+      const int cap_w = std::max(0, n - 1 - x);   // deferred grad-weights
+      const double f_ms = s.durations[x][0].fwd_ms;
+      const double b_ms = s.durations[x][0].bwd_input_ms;
+      const double w_ms = s.durations[x][0].bwd_weight_ms;
+      for (;;) {
+        const double now = t_free[x];
+        auto commit = [&](OpType type, int mb, double ready, double dur) {
+          s.order[x].push_back({type, mb, -1, 0, false});
+          const double end = std::max(now, ready) + dur;
+          t_free[x] = end;
+          --remaining;
+          progress = true;
+          return end;
+        };
+        if (static_cast<int>(pending[x].size()) > cap_w) {
+          const int mb = pending[x].front();
+          pending[x].pop_front();
+          commit(OpType::BackwardWeight, mb, now, w_ms);
+          continue;
+        }
+        const bool has_f = next_f[x] < m;
+        const bool has_b = next_b[x] < m;
+        double avail_f = kInf, avail_b = kInf;
+        if (has_f) {
+          avail_f = x == 0 ? 0.0
+                    : end_f[x - 1][next_f[x]] == kInf
+                        ? kInf
+                        : end_f[x - 1][next_f[x]] + s.hop_ms(x - 1);
+        }
+        if (has_b) {
+          avail_b = x == n - 1 ? end_f[x][next_b[x]]
+                    : end_b[x + 1][next_b[x]] == kInf
+                        ? kInf
+                        : end_b[x + 1][next_b[x]] + s.hop_ms(x);
+        }
+        if (has_b && avail_b <= now) {
+          end_b[x][next_b[x]] = commit(OpType::BackwardInput, next_b[x],
+                                       avail_b, b_ms);
+          pending[x].push_back(next_b[x]);
+          ++next_b[x];
+          --in_flight[x];
+          continue;
+        }
+        if (has_f && avail_f <= now && in_flight[x] < cap_f) {
+          end_f[x][next_f[x]] = commit(OpType::Forward, next_f[x], avail_f,
+                                       f_ms);
+          ++next_f[x];
+          ++in_flight[x];
+          continue;
+        }
+        // Idle until something arrives. Arrivals whose producer is not yet
+        // scheduled are unknown; they never gate a decision (the producer's
+        // device is itself waiting on this one's forwards in the worst
+        // case), only known future arrivals do.
+        double next_arrival = kInf;
+        if (has_b && avail_b != kInf) {
+          next_arrival = std::min(next_arrival, avail_b);
+        }
+        if (has_f && avail_f != kInf && in_flight[x] < cap_f) {
+          next_arrival = std::min(next_arrival, avail_f);
+        }
+        if (!pending[x].empty() &&
+            (next_arrival == kInf ? !has_b && !has_f
+                                  : now + w_ms <= next_arrival)) {
+          const int mb = pending[x].front();
+          pending[x].pop_front();
+          commit(OpType::BackwardWeight, mb, now, w_ms);
+          continue;
+        }
+        if (next_arrival != kInf && next_arrival > now) {
+          t_free[x] = next_arrival;
+          progress = true;
+          continue;
+        }
+        if (!pending[x].empty() && !has_b && !has_f) {
+          const int mb = pending[x].front();
+          pending[x].pop_front();
+          commit(OpType::BackwardWeight, mb, now, w_ms);
+          continue;
+        }
+        break;  // blocked on an unknown producer; revisit next pass
+      }
+    }
+  }
+  return s;
+}
+
+Schedule build_schedule(ScheduleKind kind, std::span<const StageCost> stages,
+                        int micro_batches, const CommModel& comm,
+                        const BuildScheduleOptions& opts) {
+  switch (kind) {
+    case ScheduleKind::OneFOneB:
+      return build_1f1b(stages, micro_batches, comm);
+    case ScheduleKind::GPipe:
+      return build_gpipe(stages, micro_batches, comm);
+    case ScheduleKind::AutoPipeSliced:
+      return build_sliced_1f1b(stages, micro_batches, comm, opts.sliced);
+    case ScheduleKind::Interleaved: {
+      std::vector<std::vector<StageCost>> rows;
+      rows.reserve(stages.size());
+      for (const StageCost& c : stages) {
+        rows.push_back(std::vector<StageCost>(
+            static_cast<std::size_t>(std::max(1, opts.chunks)), c));
+      }
+      return build_interleaved(rows, micro_batches, comm);
+    }
+    case ScheduleKind::ZeroBubble:
+      return make_zero_bubble(stages, micro_batches, comm);
+  }
+  throw std::invalid_argument("unknown schedule kind");
+}
+
 void validate(const Schedule& schedule) {
   const int n = schedule.num_stages;
   if (static_cast<int>(schedule.order.size()) != n ||
@@ -183,6 +347,7 @@ void validate(const Schedule& schedule) {
     // key: (type, micro_batch, chunk, half)
     std::map<std::tuple<int, int, int, int>, int> seen;
     std::map<std::tuple<int, int, int>, bool> forward_done;
+    std::map<std::tuple<int, int, int>, bool> binput_done;
     for (const auto& op : schedule.order[dev]) {
       if (op.micro_batch < 0 || op.micro_batch >= schedule.num_micro_batches ||
           op.chunk < 0 || op.chunk >= schedule.chunks) {
@@ -192,24 +357,42 @@ void validate(const Schedule& schedule) {
                                        op.micro_batch, op.chunk, op.half);
       if (++seen[key] > 1) throw std::logic_error("duplicate schedule op");
       const auto fb_key = std::make_tuple(op.micro_batch, op.chunk, op.half);
-      if (op.type == OpType::Forward) {
-        forward_done[fb_key] = true;
-      } else if (!forward_done[fb_key]) {
-        throw std::logic_error("backward before forward on a device");
+      switch (op.type) {
+        case OpType::Forward:
+          forward_done[fb_key] = true;
+          break;
+        case OpType::Backward:
+        case OpType::BackwardInput:
+          if (!forward_done[fb_key]) {
+            throw std::logic_error("backward before forward on a device");
+          }
+          if (op.type == OpType::BackwardInput) binput_done[fb_key] = true;
+          break;
+        case OpType::BackwardWeight:
+          if (!binput_done[fb_key]) {
+            throw std::logic_error(
+                "grad-weight before its grad-input on a device");
+          }
+          break;
       }
     }
-    // Exactly one forward and one backward per (micro-batch, chunk) --
-    // counting a half pair as one.
-    double forwards = 0, backwards = 0;
+    // Exactly one forward per (micro-batch, chunk) -- counting a half pair
+    // as one -- and exactly one backward: either fused, or a grad-input /
+    // grad-weight pair (never both forms for the same micro-batch).
+    double forwards = 0, backwards = 0, binputs = 0, bweights = 0;
     for (const auto& [key, count] : seen) {
       const double weight = std::get<3>(key) >= 0 ? 0.5 : 1.0;
-      (std::get<0>(key) == static_cast<int>(OpType::Forward) ? forwards
-                                                             : backwards) +=
-          weight * count;
+      switch (static_cast<OpType>(std::get<0>(key))) {
+        case OpType::Forward:        forwards += weight * count; break;
+        case OpType::Backward:       backwards += weight * count; break;
+        case OpType::BackwardInput:  binputs += weight * count; break;
+        case OpType::BackwardWeight: bweights += weight * count; break;
+      }
     }
     const double expected =
         static_cast<double>(schedule.num_micro_batches) * schedule.chunks;
-    if (forwards != expected || backwards != expected) {
+    if (forwards != expected || backwards + binputs != expected ||
+        backwards + bweights != expected) {
       throw std::logic_error("schedule does not cover every micro-batch");
     }
   }

@@ -82,11 +82,39 @@ Schedule build_interleaved(
     const std::vector<std::vector<StageCost>>& chunk_costs, int micro_batches,
     const CommModel& comm);
 
+/// Zero-bubble (2BP-style) schedule: backward is split into a grad-input op
+/// (BackwardInput, propagates dx upstream) and a grad-weight op
+/// (BackwardWeight, local). A deterministic event-driven greedy places each
+/// device's ops: warmup forwards up to n - device in flight, grad-input as
+/// soon as its downstream dx arrives, and deferred grad-weight ops filling
+/// the bubbles -- capped at n - device deferred micro-batches so the memory
+/// model's W-deferral bound holds. When `stages` carries no B/W split
+/// (bwd_input_ms == bwd_weight_ms == 0) the builder assumes 2/3 : 1/3 of
+/// bwd_ms. Requires m >= stages.
+Schedule make_zero_bubble(std::span<const StageCost> stages, int micro_batches,
+                          const CommModel& comm);
+
+/// Options for the shared ScheduleKind dispatch below.
+struct BuildScheduleOptions {
+  int sliced = 0;  ///< AutoPipeSliced: leading micro-batches split in half
+  int chunks = 1;  ///< Interleaved: virtual model chunks per device
+};
+
+/// Single-site ScheduleKind -> builder dispatch: every caller that needs "a
+/// schedule of kind K over these per-device costs" (runtime, supervisor,
+/// planner, CLIs) routes through here so a new kind is a one-switch change.
+/// Interleaved replicates `stages[d]` across `opts.chunks` chunks per
+/// device. Throws std::invalid_argument on an out-of-range kind.
+Schedule build_schedule(ScheduleKind kind, std::span<const StageCost> stages,
+                        int micro_batches, const CommModel& comm,
+                        const BuildScheduleOptions& opts = {});
+
 /// Structural invariants: every (micro-batch, chunk, half-pair) appears on
-/// every device exactly once per direction, forwards precede their own
-/// backwards in device order, and the boundary cost vector has one finite
-/// non-negative entry per global stage boundary. Throws std::logic_error on
-/// violation.
+/// every device exactly once per direction -- where "backward direction"
+/// means either one fused Backward or a BackwardInput/BackwardWeight pair in
+/// that order -- forwards precede their own backwards in device order, and
+/// the boundary cost vector has one finite non-negative entry per global
+/// stage boundary. Throws std::logic_error on violation.
 void validate(const Schedule& schedule);
 
 /// One scheduled op with its analytic timing (evaluate_schedule).

@@ -96,10 +96,19 @@ ScheduleEval evaluate_schedule(const Schedule& schedule) {
       }
       edges.push_back({producer, id, lag});
     }
-    if (op.type == OpType::Backward && global < last_global) {
+    if ((op.type == OpType::Backward || op.type == OpType::BackwardInput) &&
+        global < last_global) {
+      // The dx producer downstream: the same backward form, falling back to
+      // the other form so fused and split stages can coexist in one
+      // schedule. BackwardWeight is local and adds no cross-stage edge.
       const double whole_hop = schedule.hop_ms(global);
-      const int producer =
-          find(global + 1, OpType::Backward, op.micro_batch, op.half);
+      int producer = find(global + 1, op.type, op.micro_batch, op.half);
+      if (producer < 0) {
+        producer = find(global + 1,
+                        op.type == OpType::Backward ? OpType::BackwardInput
+                                                    : OpType::Backward,
+                        op.micro_batch, op.half);
+      }
       if (producer < 0) {
         throw std::logic_error("backward op has no downstream producer");
       }

@@ -32,7 +32,10 @@ namespace autopipe::core {
 using costmodel::CommModel;
 
 enum class Phase { Warmup, Steady, Cooldown };
-enum class OpType { Forward, Backward };
+/// Backward is the fused backward pass; zero-bubble schedules split it into
+/// BackwardInput (grad-input, B -- propagates dx upstream) and
+/// BackwardWeight (grad-weight, W -- local, deferrable to fill bubbles).
+enum class OpType { Forward, Backward, BackwardInput, BackwardWeight };
 
 struct SimOp {
   int id = -1;

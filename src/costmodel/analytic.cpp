@@ -83,6 +83,11 @@ ModelConfig build_model_config(const ModelSpec& spec, const TrainConfig& train,
     b.fwd_ms = membound_ms(device, moved);
     // Backward scatters gradients into the (huge) embedding table.
     b.bwd_ms = membound_ms(device, 4.0 * act_bytes) + (rc ? b.fwd_ms : 0.0);
+    // The scatter IS the weight gradient; grad-input only carries the
+    // recompute (the block produces no dx).
+    b.bwd_weight_ms = membound_ms(device, 4.0 * act_bytes);
+    b.bwd_input_ms = b.bwd_ms - b.bwd_weight_ms;
+    b.bw_state_bytes = act_bytes + B * s * 4.0;  // stashed dy + token ids
     b.stash_bytes = B * s * 4.0;  // token ids (int32) suffice to recompute
     b.work_bytes = 2.0 * act_bytes;
     b.output_bytes = act_bytes;
@@ -105,6 +110,12 @@ ModelConfig build_model_config(const ModelSpec& spec, const TrainConfig& train,
           8.0 * act_bytes + 2.0 * B * heads * s * s * kBytesPerElem;
       b.fwd_ms = matmul_ms(device, flops) + membound_ms(device, moved);
       b.bwd_ms = backward_ms(b.fwd_ms, rc);
+      // W share: dW of the QKV (6Bsh^2) and output-projection (2Bsh^2)
+      // GEMMs; the score/context chain and the recompute are all grad-input.
+      b.bwd_weight_ms = matmul_ms(device, 8.0 * B * s * h * h);
+      b.bwd_input_ms = b.bwd_ms - b.bwd_weight_ms;
+      // ctx + dy + dqkv(3) + normed + d(normed) + ln.normalized
+      b.bw_state_bytes = 8.0 * act_bytes;
       b.param_bytes = (4.0 * h * h + 6.0 * h) * kBytesPerElem;
       b.stash_bytes = act_bytes;  // block input, recomputed from here
       b.work_bytes =
@@ -121,6 +132,12 @@ ModelConfig build_model_config(const ModelSpec& spec, const TrainConfig& train,
       const double moved = 4.0 * act_bytes + 2.0 * (B * s * 4.0 * h) * kBytesPerElem;
       b.fwd_ms = matmul_ms(device, flops) + membound_ms(device, moved);
       b.bwd_ms = backward_ms(b.fwd_ms, rc);
+      // dW of both linears matches the forward FLOPs exactly (h->4h->h).
+      b.bwd_weight_ms = matmul_ms(device, flops);
+      b.bwd_input_ms = b.bwd_ms - b.bwd_weight_ms;
+      // fc1 activation (4h) + d(pre-gelu) (4h) + normed + dy + d(normed)
+      // + ln.normalized
+      b.bw_state_bytes = 12.0 * act_bytes;
       b.param_bytes = (8.0 * h * h + 7.0 * h) * kBytesPerElem;
       b.stash_bytes = act_bytes;
       b.work_bytes = 3.0 * (B * s * 4.0 * h) * kBytesPerElem;
@@ -146,6 +163,11 @@ ModelConfig build_model_config(const ModelSpec& spec, const TrainConfig& train,
     b.fwd_ms = matmul_ms(device, flops) / kBigGemmEfficiency +
                membound_ms(device, 3.0 * logits_bytes + 2.0 * act_bytes);
     b.bwd_ms = backward_ms(b.fwd_ms, rc);
+    // dW of the vocabulary projection equals its forward FLOPs.
+    b.bwd_weight_ms = matmul_ms(device, flops) / kBigGemmEfficiency;
+    b.bwd_input_ms = b.bwd_ms - b.bwd_weight_ms;
+    // normed + d(normed) + ln.normalized + the stashed logits gradient
+    b.bw_state_bytes = 3.0 * act_bytes + logits_bytes;
     // Head weight is tied with the token embedding in GPT-2/BERT; Megatron
     // still keeps a gradient buffer for it on the last stage.
     b.param_bytes = (V * h + 2.0 * h) * kBytesPerElem;

@@ -31,10 +31,18 @@ struct Block {
   BlockKind kind = BlockKind::Attention;
   double fwd_ms = 0;    ///< forward time of one micro-batch
   double bwd_ms = 0;    ///< backward time; includes recompute when enabled
+  /// B/W decomposition of bwd_ms for zero-bubble schedules: the grad-input
+  /// pass (B, includes the recompute) and the grad-weight pass (W).
+  /// Invariant: bwd_input_ms + bwd_weight_ms == bwd_ms.
+  double bwd_input_ms = 0;
+  double bwd_weight_ms = 0;
   double param_bytes = 0;
   double stash_bytes = 0;   ///< checkpointed stash per in-flight micro-batch
   double work_bytes = 0;    ///< transient peak while computing one micro-batch
   double output_bytes = 0;  ///< activation sent onward if a cut follows
+  /// Bytes of B-state (incoming grads + recomputed intermediates) a split
+  /// backward stashes between its B and its deferred W pass.
+  double bw_state_bytes = 0;
   /// Transformer-layer units for Table-II style reporting: attention and FFN
   /// blocks are each 0.5 layers; embedding and head are 0.
   double layer_units = 0;

@@ -1,6 +1,8 @@
 #include "costmodel/memory.h"
 
 #include <algorithm>
+#include <cctype>
+#include <stdexcept>
 
 namespace autopipe::costmodel {
 
@@ -10,8 +12,30 @@ const char* to_string(ScheduleKind kind) {
     case ScheduleKind::GPipe:          return "GPipe";
     case ScheduleKind::Interleaved:    return "Interleaved-1F1B";
     case ScheduleKind::AutoPipeSliced: return "AutoPipe-sliced-1F1B";
+    case ScheduleKind::ZeroBubble:     return "ZeroBubble";
   }
   return "?";
+}
+
+ScheduleKind parse_schedule_kind(const std::string& name) {
+  std::string key;
+  key.reserve(name.size());
+  for (char c : name) {
+    if (c == '-' || c == '_') continue;  // "zero-bubble" == "zerobubble"
+    key += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (key == "1f1b") return ScheduleKind::OneFOneB;
+  if (key == "gpipe") return ScheduleKind::GPipe;
+  if (key == "interleaved" || key == "interleaved1f1b") {
+    return ScheduleKind::Interleaved;
+  }
+  if (key == "sliced" || key == "autopipesliced1f1b") {
+    return ScheduleKind::AutoPipeSliced;
+  }
+  if (key == "zb" || key == "zerobubble") return ScheduleKind::ZeroBubble;
+  throw std::invalid_argument(
+      "unknown schedule kind '" + name +
+      "' (expected 1f1b, gpipe, interleaved, sliced or zero-bubble)");
 }
 
 MemoryEstimate stage_memory(const StageFootprint& footprint, int stage,
@@ -29,6 +53,14 @@ MemoryEstimate stage_memory(const StageFootprint& footprint, int stage,
     case ScheduleKind::OneFOneB:
     case ScheduleKind::AutoPipeSliced:
       in_flight = std::min(m, n - stage);
+      break;
+    case ScheduleKind::ZeroBubble:
+      // Same warmup depth as 1F1B (the builder caps in-flight forwards at
+      // n - stage), plus a B-state stash per deferred W -- the builder never
+      // defers more than n - stage of them either.
+      in_flight = std::min(m, n - stage);
+      e.deferred_grad_bytes =
+          footprint.bw_state_bytes * std::min(m, n - stage);
       break;
     case ScheduleKind::GPipe:
       in_flight = m;
@@ -48,8 +80,8 @@ MemoryEstimate stage_memory(const StageFootprint& footprint, int stage,
   e.in_flight_micro_batches = in_flight;
   e.activation_bytes = stash_per_flight * in_flight;
   e.working_bytes = footprint.work_bytes;
-  e.total_bytes =
-      e.parameter_state_bytes + e.activation_bytes + e.working_bytes;
+  e.total_bytes = e.parameter_state_bytes + e.activation_bytes +
+                  e.working_bytes + e.deferred_grad_bytes;
   e.oom = e.total_bytes > capacity_bytes;
   return e;
 }

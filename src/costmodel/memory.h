@@ -15,29 +15,44 @@
 //   AutoPipe      same as 1F1B: slicing halves micro-batches but never holds
 //                 more than one extra half in flight (§III-C: "without
 //                 introducing additional memory consumption")
+//   ZeroBubble    1F1B in-flight stashes PLUS the B/W deferral: every
+//                 micro-batch whose grad-input pass (B) ran but whose
+//                 grad-weight pass (W) is still deferred holds its stashed
+//                 B-state (`bw_state_bytes`); the builder defers at most
+//                 n - stage of them.
 #pragma once
 
 #include <span>
+#include <string>
 
 #include "costmodel/analytic.h"
 
 namespace autopipe::costmodel {
 
-enum class ScheduleKind { OneFOneB, GPipe, Interleaved, AutoPipeSliced };
+enum class ScheduleKind { OneFOneB, GPipe, Interleaved, AutoPipeSliced,
+                          ZeroBubble };
 
 const char* to_string(ScheduleKind kind);
+
+/// Inverse of to_string. Accepts the canonical names (case-insensitively)
+/// plus the short CLI aliases "1f1b", "gpipe", "interleaved", "sliced" and
+/// "zb"/"zero-bubble". Throws std::invalid_argument on anything else, with
+/// the valid spellings listed in the message.
+ScheduleKind parse_schedule_kind(const std::string& name);
 
 /// Aggregates the memory model needs about one pipeline stage.
 struct StageFootprint {
   double param_bytes = 0;  ///< parameters resident on the stage
   double stash_bytes = 0;  ///< checkpoint stash of ONE micro-batch
   double work_bytes = 0;   ///< transient peak of one micro-batch's compute
+  double bw_state_bytes = 0;  ///< B-state stashed between split B and W ops
 };
 
 struct MemoryEstimate {
   double parameter_state_bytes = 0;  ///< weights+grads+optimizer (16 B/param)
   double activation_bytes = 0;       ///< in-flight checkpoint stashes
   double working_bytes = 0;          ///< transient compute working set
+  double deferred_grad_bytes = 0;    ///< ZeroBubble W-deferral B-state
   double total_bytes = 0;
   int in_flight_micro_batches = 0;
   bool oom = false;

@@ -28,6 +28,15 @@ Tensor Block::backward_cached(const Cache& cache, const Tensor& dy) {
   return backward(input.x, dy);
 }
 
+Tensor Block::backward_input(const Tensor& x, const Tensor& dy,
+                             std::unique_ptr<BwState>* state) {
+  // Fused fallback: accumulate parameter gradients now; nothing deferred.
+  if (state) state->reset();
+  return backward(x, dy);
+}
+
+void Block::backward_weight(const BwState&) {}
+
 std::size_t Block::cache_bytes(const Tensor& x) const {
   return x.numel() * sizeof(float);
 }
@@ -139,6 +148,33 @@ Tensor EmbeddingBlock::backward(const Tensor& x, const Tensor& dy) {
   // Ids have no gradient; return a zero tensor of the input shape so the
   // runtime's message plumbing stays uniform.
   return Tensor(x.shape());
+}
+
+// The embedding's entire backward is weight work (ids carry no gradient),
+// so the input half only stashes state and returns the uniform zero dx.
+struct EmbeddingBlock::EmbedBwState : Block::BwState {
+  std::vector<int> ids;
+  Tensor dy;
+};
+
+Tensor EmbeddingBlock::backward_input(const Tensor& x, const Tensor& dy,
+                                      std::unique_ptr<BwState>* state) {
+  auto s = std::make_unique<EmbedBwState>();
+  s->ids = decode_ids(x);
+  s->dy = dy;
+  if (state) *state = std::move(s);
+  return Tensor(x.shape());
+}
+
+void EmbeddingBlock::backward_weight(const BwState& state) {
+  const auto& s = dynamic_cast<const EmbedBwState&>(state);
+  embedding_backward(s.ids, s.dy, &params_[0].grad);
+  for (int i = 0; i < s.dy.dim(0); ++i) {
+    const int pos = i % seq_len_;
+    for (int j = 0; j < hidden_; ++j) {
+      params_[1].grad.data()[pos * hidden_ + j] += s.dy.at(i * hidden_ + j);
+    }
+  }
 }
 
 // ---------------------------------------------------------------- Attention
@@ -283,6 +319,108 @@ Tensor ResidualAttentionBlock::backward(const Tensor& x, const Tensor& dy) {
   return dx;
 }
 
+// Weight-half state: the recomputed activations feeding each parameter
+// gradient (ctx for w_out/b_out, normed for w_qkv/b_qkv, the layer-norm
+// cache for gamma/beta) plus the gradients flowing into them.
+struct ResidualAttentionBlock::AttnBwState : Block::BwState {
+  Tensor ctx;     ///< [tokens, hidden], all samples
+  Tensor dy;
+  Tensor dqkv;
+  Tensor normed;
+  Tensor qg_dx;   ///< d(qkv linear input) == layer-norm output grad
+  LayerNormCache ln;
+};
+
+Tensor ResidualAttentionBlock::backward_input(const Tensor& x,
+                                              const Tensor& dy,
+                                              std::unique_ptr<BwState>* state) {
+  const int batch = x.dim(0) / seq_len_;
+  const int hd = hidden_ / heads_;
+  const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(hd));
+  auto s = std::make_unique<AttnBwState>();
+
+  // Recompute forward intermediates, exactly as the fused backward does.
+  s->normed = layernorm(x, params_[0].value, params_[1].value, &s->ln);
+  const Tensor qkv = linear(s->normed, params_[2].value, params_[3].value);
+
+  s->ctx = Tensor({x.dim(0), hidden_});
+  s->dqkv = Tensor({x.dim(0), 3 * hidden_});
+  for (int b = 0; b < batch; ++b) {
+    const Tensor qkv_b = take_rows(qkv, b * seq_len_, (b + 1) * seq_len_);
+    const Tensor dy_b = take_rows(dy, b * seq_len_, (b + 1) * seq_len_);
+
+    Tensor ctx({seq_len_, hidden_});
+    std::vector<Tensor> probs_h(heads_);
+    for (int h = 0; h < heads_; ++h) {
+      const Tensor q = take_cols(qkv_b, h * hd, (h + 1) * hd);
+      const Tensor k = take_cols(qkv_b, hidden_ + h * hd, hidden_ + (h + 1) * hd);
+      const Tensor v =
+          take_cols(qkv_b, 2 * hidden_ + h * hd, 2 * hidden_ + (h + 1) * hd);
+      Tensor scores = matmul(q, transpose(k));
+      scores.scale_(inv_sqrt);
+      if (causal_) {
+        for (int i = 0; i < seq_len_; ++i) {
+          for (int j = i + 1; j < seq_len_; ++j) {
+            scores.data()[i * seq_len_ + j] = -1e9f;
+          }
+        }
+      }
+      probs_h[h] = softmax_rows(scores);
+      add_cols(&ctx, matmul(probs_h[h], v), h * hd);
+    }
+
+    // Output projection, input half only; ctx is stashed for the W op.
+    const Tensor dctx = linear_backward_input(params_[4].value, dy_b);
+    put_rows(&s->ctx, ctx, b * seq_len_);
+
+    Tensor dqkv_b({seq_len_, 3 * hidden_});
+    for (int h = 0; h < heads_; ++h) {
+      const Tensor q = take_cols(qkv_b, h * hd, (h + 1) * hd);
+      const Tensor k = take_cols(qkv_b, hidden_ + h * hd, hidden_ + (h + 1) * hd);
+      const Tensor v =
+          take_cols(qkv_b, 2 * hidden_ + h * hd, 2 * hidden_ + (h + 1) * hd);
+      const Tensor dctx_h = take_cols(dctx, h * hd, (h + 1) * hd);
+      const Tensor dprobs = matmul(dctx_h, transpose(v));
+      const Tensor dv = matmul(transpose(probs_h[h]), dctx_h);
+      Tensor dscores = softmax_backward(probs_h[h], dprobs);
+      dscores.scale_(inv_sqrt);
+      const Tensor dq = matmul(dscores, k);
+      const Tensor dk = matmul(transpose(dscores), q);
+      add_cols(&dqkv_b, dq, h * hd);
+      add_cols(&dqkv_b, dk, hidden_ + h * hd);
+      add_cols(&dqkv_b, dv, 2 * hidden_ + h * hd);
+    }
+    put_rows(&s->dqkv, dqkv_b, b * seq_len_);
+  }
+
+  s->qg_dx = linear_backward_input(params_[2].value, s->dqkv);
+  Tensor dx = layernorm_backward_input(s->ln, params_[0].value, s->qg_dx);
+  dx.add_(dy);
+  s->dy = dy;
+  if (state) *state = std::move(s);
+  return dx;
+}
+
+void ResidualAttentionBlock::backward_weight(const BwState& state) {
+  const auto& s = dynamic_cast<const AttnBwState&>(state);
+  const int batch = s.dy.dim(0) / seq_len_;
+  // Accumulation order mirrors the fused backward exactly: per-sample
+  // w_out/b_out in ascending b, then w_qkv/b_qkv, then gamma/beta.
+  for (int b = 0; b < batch; ++b) {
+    const Tensor ctx_b = take_rows(s.ctx, b * seq_len_, (b + 1) * seq_len_);
+    const Tensor dy_b = take_rows(s.dy, b * seq_len_, (b + 1) * seq_len_);
+    const LinearWeightGrads og = linear_backward_weight(ctx_b, dy_b);
+    params_[4].grad.add_(og.dw);
+    params_[5].grad.add_(og.dbias);
+  }
+  const LinearWeightGrads qg = linear_backward_weight(s.normed, s.dqkv);
+  params_[2].grad.add_(qg.dw);
+  params_[3].grad.add_(qg.dbias);
+  const LayerNormWeightGrads lg = layernorm_backward_weight(s.ln, s.qg_dx);
+  params_[0].grad.add_(lg.dgamma);
+  params_[1].grad.add_(lg.dbeta);
+}
+
 // ---------------------------------------------------------------------- FFN
 
 ResidualFFNBlock::ResidualFFNBlock(int hidden, util::Rng& rng)
@@ -332,6 +470,46 @@ Tensor ResidualFFNBlock::backward(const Tensor& x, const Tensor& dy) {
   Tensor dx = std::move(lg.dx);
   dx.add_(dy);
   return dx;
+}
+
+struct ResidualFFNBlock::FFNBwState : Block::BwState {
+  Tensor act;     ///< gelu output, feeds w_fc2/b_fc2
+  Tensor dy;
+  Tensor normed;  ///< layer-norm output, feeds w_fc1/b_fc1
+  Tensor dpre;    ///< grad into fc1's output, pairs with normed
+  Tensor g1_dx;   ///< grad into the layer norm, feeds gamma/beta
+  LayerNormCache ln;
+};
+
+Tensor ResidualFFNBlock::backward_input(const Tensor& x, const Tensor& dy,
+                                        std::unique_ptr<BwState>* state) {
+  auto s = std::make_unique<FFNBwState>();
+  s->normed = layernorm(x, params_[0].value, params_[1].value, &s->ln);
+  const Tensor pre = linear(s->normed, params_[2].value, params_[3].value);
+  s->act = gelu(pre);
+
+  const Tensor g2_dx = linear_backward_input(params_[4].value, dy);
+  s->dpre = gelu_backward(pre, g2_dx);
+  s->g1_dx = linear_backward_input(params_[2].value, s->dpre);
+  Tensor dx = layernorm_backward_input(s->ln, params_[0].value, s->g1_dx);
+  dx.add_(dy);
+  s->dy = dy;
+  if (state) *state = std::move(s);
+  return dx;
+}
+
+void ResidualFFNBlock::backward_weight(const BwState& state) {
+  const auto& s = dynamic_cast<const FFNBwState&>(state);
+  // Fused order: fc2, then fc1, then the layer norm.
+  const LinearWeightGrads g2 = linear_backward_weight(s.act, s.dy);
+  params_[4].grad.add_(g2.dw);
+  params_[5].grad.add_(g2.dbias);
+  const LinearWeightGrads g1 = linear_backward_weight(s.normed, s.dpre);
+  params_[2].grad.add_(g1.dw);
+  params_[3].grad.add_(g1.dbias);
+  const LayerNormWeightGrads lg = layernorm_backward_weight(s.ln, s.g1_dx);
+  params_[0].grad.add_(lg.dgamma);
+  params_[1].grad.add_(lg.dbeta);
 }
 
 // backward_cached reconstructs everything it needs from the layer-norm
@@ -416,6 +594,32 @@ Tensor HeadBlock::backward(const Tensor& x, const Tensor& dy) {
   return std::move(lg.dx);
 }
 
+struct HeadBlock::HeadBwState : Block::BwState {
+  Tensor normed;   ///< feeds w_unembed
+  Tensor dy;
+  Tensor dnormed;  ///< grad into the layer norm, feeds gamma/beta
+  LayerNormCache ln;
+};
+
+Tensor HeadBlock::backward_input(const Tensor& x, const Tensor& dy,
+                                 std::unique_ptr<BwState>* state) {
+  auto s = std::make_unique<HeadBwState>();
+  s->normed = layernorm(x, params_[0].value, params_[1].value, &s->ln);
+  s->dnormed = matmul_grad_a(dy, params_[2].value);
+  Tensor dx = layernorm_backward_input(s->ln, params_[0].value, s->dnormed);
+  s->dy = dy;
+  if (state) *state = std::move(s);
+  return dx;
+}
+
+void HeadBlock::backward_weight(const BwState& state) {
+  const auto& s = dynamic_cast<const HeadBwState&>(state);
+  // Fused order: the unembedding first, then gamma/beta.
+  params_[2].grad.add_(matmul_grad_b(s.normed, s.dy));
+  const LayerNormWeightGrads lg = layernorm_backward_weight(s.ln, s.dnormed);
+  params_[0].grad.add_(lg.dgamma);
+  params_[1].grad.add_(lg.dbeta);
+}
 
 struct HeadBlock::FullCache : Block::Cache {
   LayerNormCache ln;

@@ -39,6 +39,14 @@ class Block {
     virtual ~Cache() = default;
   };
 
+  /// Opaque per-micro-batch state carried from backward_input to the
+  /// deferred backward_weight (the zero-bubble B/W split). Holds whatever
+  /// the weight half needs -- typically the recomputed activations feeding
+  /// each parameter gradient plus the upstream dy slices.
+  struct BwState {
+    virtual ~BwState() = default;
+  };
+
   virtual ~Block() = default;
   virtual const char* kind() const = 0;
 
@@ -47,6 +55,25 @@ class Block {
   /// Recompute-style backward: recomputes intermediates from x, accumulates
   /// parameter gradients, returns dx.
   virtual Tensor backward(const Tensor& x, const Tensor& dy) = 0;
+
+  /// Grad-input half of the split backward (zero-bubble schedules):
+  /// recomputes intermediates from x, returns dx *without* touching
+  /// parameter gradients, and stashes what the deferred weight half needs
+  /// into *state. The pair
+  ///   backward_input(x, dy, &s); ...; backward_weight(*s);
+  /// must accumulate parameter gradients bit-identically to
+  /// backward(x, dy) -- same additions into the same grad elements in the
+  /// same order (float addition is not associative; the runtime equivalence
+  /// sweeps rely on this). The base default is the fused fallback: it runs
+  /// backward() immediately and leaves *state null (a null state means
+  /// backward_weight has nothing to do), which preserves per-parameter
+  /// accumulation order because a device retires weight gradients in
+  /// micro-batch order either way.
+  virtual Tensor backward_input(const Tensor& x, const Tensor& dy,
+                                std::unique_ptr<BwState>* state);
+  /// Deferred grad-weight half: accumulates parameter gradients from a
+  /// state produced by backward_input.
+  virtual void backward_weight(const BwState& state);
 
   /// Forward that also returns the state backward_cached needs. The
   /// default keeps just x (checkpointing).
@@ -81,8 +108,12 @@ class EmbeddingBlock final : public Block {
   const char* kind() const override { return "Embedding"; }
   Tensor forward(const Tensor& x) const override;
   Tensor backward(const Tensor& x, const Tensor& dy) override;
+  Tensor backward_input(const Tensor& x, const Tensor& dy,
+                        std::unique_ptr<BwState>* state) override;
+  void backward_weight(const BwState& state) override;
 
  private:
+  struct EmbedBwState;
   std::vector<int> decode_ids(const Tensor& x) const;
   int vocab_, hidden_, seq_len_;
 };
@@ -95,8 +126,12 @@ class ResidualAttentionBlock final : public Block {
   const char* kind() const override { return "ResidualAttentionBlock"; }
   Tensor forward(const Tensor& x) const override;
   Tensor backward(const Tensor& x, const Tensor& dy) override;
+  Tensor backward_input(const Tensor& x, const Tensor& dy,
+                        std::unique_ptr<BwState>* state) override;
+  void backward_weight(const BwState& state) override;
 
  private:
+  struct AttnBwState;
   int hidden_, heads_, seq_len_;
   bool causal_;
 };
@@ -108,6 +143,9 @@ class ResidualFFNBlock final : public Block {
   const char* kind() const override { return "ResidualFFNBlock"; }
   Tensor forward(const Tensor& x) const override;
   Tensor backward(const Tensor& x, const Tensor& dy) override;
+  Tensor backward_input(const Tensor& x, const Tensor& dy,
+                        std::unique_ptr<BwState>* state) override;
+  void backward_weight(const BwState& state) override;
   std::unique_ptr<Cache> forward_cached(const Tensor& x,
                                         Tensor* y) const override;
   Tensor backward_cached(const Cache& cache, const Tensor& dy) override;
@@ -115,6 +153,7 @@ class ResidualFFNBlock final : public Block {
 
  private:
   struct FullCache;
+  struct FFNBwState;
   int hidden_;
 };
 
@@ -126,6 +165,9 @@ class HeadBlock final : public Block {
   const char* kind() const override { return "FinalNormHead"; }
   Tensor forward(const Tensor& x) const override;
   Tensor backward(const Tensor& x, const Tensor& dy) override;
+  Tensor backward_input(const Tensor& x, const Tensor& dy,
+                        std::unique_ptr<BwState>* state) override;
+  void backward_weight(const BwState& state) override;
   std::unique_ptr<Cache> forward_cached(const Tensor& x,
                                         Tensor* y) const override;
   Tensor backward_cached(const Cache& cache, const Tensor& dy) override;
@@ -133,6 +175,7 @@ class HeadBlock final : public Block {
 
  private:
   struct FullCache;
+  struct HeadBwState;
   int hidden_, vocab_;
 };
 

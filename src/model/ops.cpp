@@ -270,6 +270,21 @@ LinearGrads linear_backward(const Tensor& x, const Tensor& w,
   return g;
 }
 
+Tensor linear_backward_input(const Tensor& w, const Tensor& dy) {
+  return ref::matmul_grad_a(dy, w);
+}
+
+LinearWeightGrads linear_backward_weight(const Tensor& x, const Tensor& dy) {
+  LinearWeightGrads g;
+  g.dw = ref::matmul_grad_b(x, dy);
+  g.dbias = Tensor({dy.dim(1)});
+  for (int i = 0; i < dy.dim(0); ++i) {
+    const float* row = dy.data() + i * dy.dim(1);
+    for (int j = 0; j < dy.dim(1); ++j) g.dbias.data()[j] += row[j];
+  }
+  return g;
+}
+
 Tensor gelu(const Tensor& x) {
   Tensor y(x.shape());
   for (std::size_t i = 0; i < x.numel(); ++i) y.data()[i] = gelu_one(x.at(i));
@@ -326,6 +341,45 @@ LayerNormGrads layernorm_backward(const LayerNormCache& cache,
       const float dnorm = dyr[j] * gamma.at(j);
       g.dx.data()[i * d + j] =
           inv * (dnorm - sum_dn / d - nr[j] * sum_dnn / d);
+    }
+  }
+  return g;
+}
+
+Tensor layernorm_backward_input(const LayerNormCache& cache,
+                                const Tensor& gamma, const Tensor& dy) {
+  const int rows = dy.dim(0), d = dy.dim(1);
+  Tensor dx({rows, d});
+  for (int i = 0; i < rows; ++i) {
+    const float* dyr = dy.data() + i * d;
+    const float* nr = cache.normalized.data() + i * d;
+    float sum_dn = 0, sum_dnn = 0;
+    for (int j = 0; j < d; ++j) {
+      const float dnorm = dyr[j] * gamma.at(j);
+      sum_dn += dnorm;
+      sum_dnn += dnorm * nr[j];
+    }
+    const float inv = cache.inv_std[i];
+    for (int j = 0; j < d; ++j) {
+      const float dnorm = dyr[j] * gamma.at(j);
+      dx.data()[i * d + j] = inv * (dnorm - sum_dn / d - nr[j] * sum_dnn / d);
+    }
+  }
+  return dx;
+}
+
+LayerNormWeightGrads layernorm_backward_weight(const LayerNormCache& cache,
+                                               const Tensor& dy) {
+  const int rows = dy.dim(0), d = dy.dim(1);
+  LayerNormWeightGrads g;
+  g.dgamma = Tensor({d});
+  g.dbeta = Tensor({d});
+  for (int i = 0; i < rows; ++i) {
+    const float* dyr = dy.data() + i * d;
+    const float* nr = cache.normalized.data() + i * d;
+    for (int j = 0; j < d; ++j) {
+      g.dgamma.data()[j] += dyr[j] * nr[j];
+      g.dbeta.data()[j] += dyr[j];
     }
   }
   return g;
@@ -799,6 +853,27 @@ LinearGrads linear_backward(const Tensor& x, const Tensor& w,
   return g;
 }
 
+Tensor linear_backward_input(const Tensor& w, const Tensor& dy) {
+  if (!fast_ops_enabled()) return ref::linear_backward_input(w, dy);
+  return matmul_grad_a(dy, w);
+}
+
+LinearWeightGrads linear_backward_weight(const Tensor& x, const Tensor& dy) {
+  if (!fast_ops_enabled()) return ref::linear_backward_weight(x, dy);
+  LinearWeightGrads g;
+  g.dw = matmul_grad_b(x, dy);
+  const int rows = dy.dim(0), n = dy.dim(1);
+  g.dbias = Tensor({n});
+  // Serial ascending-i column sums, exactly as the fused fast path.
+  float* pdb = g.dbias.data();
+  const float* pdy = dy.data();
+  for (int i = 0; i < rows; ++i) {
+    const float* row = pdy + static_cast<std::size_t>(i) * n;
+    for (int j = 0; j < n; ++j) pdb[j] += row[j];
+  }
+  return g;
+}
+
 Tensor gelu(const Tensor& x) {
   if (!fast_ops_enabled()) return ref::gelu(x);
   Tensor y = Tensor::uninitialized(x.shape());
@@ -891,6 +966,63 @@ LayerNormGrads layernorm_backward(const LayerNormCache& cache,
   });
   // Pass 2 (serial): parameter gradients accumulate over rows in ascending
   // i -- per column exactly the reference's addition order.
+  float* pdg = g.dgamma.data();
+  float* pdb = g.dbeta.data();
+  for (int i = 0; i < rows; ++i) {
+    const float* dyr = pdy + static_cast<std::size_t>(i) * d;
+    const float* nr = pn + static_cast<std::size_t>(i) * d;
+    for (int j = 0; j < d; ++j) {
+      pdg[j] += dyr[j] * nr[j];
+      pdb[j] += dyr[j];
+    }
+  }
+  return g;
+}
+
+Tensor layernorm_backward_input(const LayerNormCache& cache,
+                                const Tensor& gamma, const Tensor& dy) {
+  if (!fast_ops_enabled()) {
+    return ref::layernorm_backward_input(cache, gamma, dy);
+  }
+  const int rows = dy.dim(0), d = dy.dim(1);
+  Tensor dx = Tensor::uninitialized({rows, d});
+  const float* pdy = dy.data();
+  const float* pn = cache.normalized.data();
+  const float* pg = gamma.data();
+  float* pdx = dx.data();
+  // The fused kernel's pass 1, verbatim: dx rows are independent and each
+  // row's sums run in the reference's j order.
+  panel_for(rows, 10.0 * rows * d, [&](int i0, int i1) {
+    for (int i = i0; i < i1; ++i) {
+      const float* dyr = pdy + static_cast<std::size_t>(i) * d;
+      const float* nr = pn + static_cast<std::size_t>(i) * d;
+      float sum_dn = 0, sum_dnn = 0;
+      for (int j = 0; j < d; ++j) {
+        const float dnorm = dyr[j] * pg[j];
+        sum_dn += dnorm;
+        sum_dnn += dnorm * nr[j];
+      }
+      const float inv = cache.inv_std[i];
+      float* dxr = pdx + static_cast<std::size_t>(i) * d;
+      for (int j = 0; j < d; ++j) {
+        const float dnorm = dyr[j] * pg[j];
+        dxr[j] = inv * (dnorm - sum_dn / d - nr[j] * sum_dnn / d);
+      }
+    }
+  });
+  return dx;
+}
+
+LayerNormWeightGrads layernorm_backward_weight(const LayerNormCache& cache,
+                                               const Tensor& dy) {
+  if (!fast_ops_enabled()) return ref::layernorm_backward_weight(cache, dy);
+  const int rows = dy.dim(0), d = dy.dim(1);
+  LayerNormWeightGrads g;
+  g.dgamma = Tensor({d});
+  g.dbeta = Tensor({d});
+  // The fused kernel's pass 2, verbatim: serial ascending-i accumulation.
+  const float* pdy = dy.data();
+  const float* pn = cache.normalized.data();
   float* pdg = g.dgamma.data();
   float* pdb = g.dbeta.data();
   for (int i = 0; i < rows; ++i) {

@@ -60,6 +60,21 @@ struct LinearGrads {
 LinearGrads linear_backward(const Tensor& x, const Tensor& w,
                             const Tensor& dy);
 
+// Split backward (zero-bubble B/W decomposition): linear_backward's three
+// outputs factor cleanly into an input half (dx, needed immediately to keep
+// the pipeline draining) and a weight half (dw/dbias, deferrable into
+// bubbles). Each half performs exactly the additions the fused form does
+// for its outputs, so
+//   {linear_backward_input, linear_backward_weight} == linear_backward
+// bit for bit -- the op-level golden tests enforce this.
+struct LinearWeightGrads {
+  Tensor dw, dbias;
+};
+/// dx = dy * W^T.
+Tensor linear_backward_input(const Tensor& w, const Tensor& dy);
+/// dw = x^T * dy, dbias = column sums of dy (ascending-row order).
+LinearWeightGrads linear_backward_weight(const Tensor& x, const Tensor& dy);
+
 /// GELU, tanh approximation (as GPT-2 uses).
 Tensor gelu(const Tensor& x);
 Tensor gelu_backward(const Tensor& x, const Tensor& dy);
@@ -76,6 +91,18 @@ struct LayerNormGrads {
 };
 LayerNormGrads layernorm_backward(const LayerNormCache& cache,
                                   const Tensor& gamma, const Tensor& dy);
+
+// Split layer-norm backward. dx depends only on (cache, gamma, dy) and the
+// dgamma/dbeta accumulation only on (cache, dy), so the two halves are
+// independent; each runs the fused kernel's loops for its outputs verbatim
+// (bit-identical, golden-tested).
+struct LayerNormWeightGrads {
+  Tensor dgamma, dbeta;
+};
+Tensor layernorm_backward_input(const LayerNormCache& cache,
+                                const Tensor& gamma, const Tensor& dy);
+LayerNormWeightGrads layernorm_backward_weight(const LayerNormCache& cache,
+                                               const Tensor& dy);
 
 /// Row-wise softmax (optionally causal when rows index query positions of a
 /// [s, s] score matrix).
@@ -110,12 +137,18 @@ Tensor matmul_grad_b(const Tensor& a, const Tensor& dc);
 Tensor linear(const Tensor& x, const Tensor& w, const Tensor& bias);
 LinearGrads linear_backward(const Tensor& x, const Tensor& w,
                             const Tensor& dy);
+Tensor linear_backward_input(const Tensor& w, const Tensor& dy);
+LinearWeightGrads linear_backward_weight(const Tensor& x, const Tensor& dy);
 Tensor gelu(const Tensor& x);
 Tensor gelu_backward(const Tensor& x, const Tensor& dy);
 Tensor layernorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
                  LayerNormCache* cache);
 LayerNormGrads layernorm_backward(const LayerNormCache& cache,
                                   const Tensor& gamma, const Tensor& dy);
+Tensor layernorm_backward_input(const LayerNormCache& cache,
+                                const Tensor& gamma, const Tensor& dy);
+LayerNormWeightGrads layernorm_backward_weight(const LayerNormCache& cache,
+                                               const Tensor& dy);
 Tensor softmax_rows(const Tensor& scores);
 Tensor softmax_backward(const Tensor& probs, const Tensor& dprobs);
 double cross_entropy(const Tensor& logits, std::span<const int> targets,

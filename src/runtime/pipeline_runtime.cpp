@@ -29,28 +29,13 @@ PipelineRuntime::PipelineRuntime(model::TransformerModel& model,
 core::Schedule PipelineRuntime::make_schedule(costmodel::ScheduleKind kind,
                                               int micro_batches,
                                               int sliced) const {
-  const int devices = num_devices();
-  switch (kind) {
-    case costmodel::ScheduleKind::OneFOneB:
-      return core::build_1f1b(
-          std::vector<core::StageCost>(devices, core::StageCost{1.0, 2.0}),
-          micro_batches, 0.1);
-    case costmodel::ScheduleKind::GPipe:
-      return core::build_gpipe(
-          std::vector<core::StageCost>(devices, core::StageCost{1.0, 2.0}),
-          micro_batches, 0.1);
-    case costmodel::ScheduleKind::AutoPipeSliced:
-      return core::build_sliced_1f1b(
-          std::vector<core::StageCost>(devices, core::StageCost{1.0, 2.0}),
-          micro_batches, 0.1, sliced);
-    case costmodel::ScheduleKind::Interleaved:
-      return core::build_interleaved(
-          std::vector<std::vector<core::StageCost>>(
-              devices,
-              std::vector<core::StageCost>(chunks_, core::StageCost{1.0, 2.0})),
-          micro_batches, 0.1);
-  }
-  throw std::invalid_argument("unknown schedule kind");
+  // Neutral 1:2 fwd:bwd costs -- the runtime only needs the op *order*, so
+  // every device gets the same placeholder StageCost. build_schedule owns
+  // the kind dispatch (shared with the supervisor and the planner).
+  return core::build_schedule(
+      kind,
+      std::vector<core::StageCost>(num_devices(), core::StageCost{1.0, 2.0}),
+      micro_batches, 0.1, {sliced, chunks_});
 }
 
 IterationResult PipelineRuntime::run_iteration(
@@ -74,6 +59,12 @@ IterationResult PipelineRuntime::run_iteration(
     throw std::invalid_argument("schedule micro-batch count mismatch");
   }
   core::validate(schedule);
+  if (schedule.kind == costmodel::ScheduleKind::ZeroBubble &&
+      !options.recompute) {
+    throw std::invalid_argument(
+        "zero-bubble schedules require recompute=true (the split backward "
+        "re-derives intermediates from stashed block inputs)");
+  }
 
   if (options.faults != nullptr && !options.faults->empty()) {
     options.faults->validate(devices, devices * chunks_ - 1);

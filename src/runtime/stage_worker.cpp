@@ -150,6 +150,14 @@ double run_stage(const StageContext& ctx) {
     model::Tensor head_input;  // the last block's input (loss recompute)
   };
   std::map<std::tuple<int, int, int>, Stash> stash;
+  // Zero-bubble split: per (micro_batch, half, chunk) deferred weight-half
+  // states, one per block, written by BackwardInput and drained by the
+  // matching BackwardWeight. This -- not the activation stash, which
+  // BackwardInput frees like a fused backward would -- is the extra
+  // footprint the memory model's deferred_grad_bytes term prices.
+  std::map<std::tuple<int, int, int>,
+           std::vector<std::unique_ptr<model::Block::BwState>>>
+      bw_stash;
 
   int op_index = 0;
   for (const core::ScheduleOp& op : ctx.schedule->order[ctx.device]) {
@@ -208,6 +216,21 @@ double run_stage(const StageContext& ctx) {
       // The last stage discards logits here and recomputes them in the
       // backward op -- even without checkpointing, keeping the huge logits
       // tensor alive through the 1F1B phase would dominate memory.
+    } else if (op.type == core::OpType::BackwardWeight) {
+      const auto it = bw_stash.find({op.micro_batch, op.half, op.chunk});
+      if (it == bw_stash.end()) {
+        throw std::logic_error("grad-weight before grad-input for a micro-batch");
+      }
+      // Blocks retire high -> low, mirroring the fused backward's block
+      // order; each block's own accumulation order is backward_weight's
+      // bit-identity contract.
+      auto& states = it->second;
+      for (int b = range.first + range.count - 1; b >= range.first; --b) {
+        if (const auto& s = states[b - range.first]) {
+          ctx.model->block(b).backward_weight(*s);
+        }
+      }
+      bw_stash.erase(it);
     } else {
       const auto it = stash.find({op.micro_batch, op.half, op.chunk});
       if (it == stash.end()) {
@@ -235,13 +258,27 @@ double run_stage(const StageContext& ctx) {
       } else {
         dy = receive((*ctx.backward_channels)[global], tag);
       }
+      const bool split = op.type == core::OpType::BackwardInput;
+      if (split && !ctx.recompute) {
+        throw std::invalid_argument(
+            "zero-bubble split backward requires recompute (the input half "
+            "re-derives intermediates from stashed block inputs)");
+      }
+      std::vector<std::unique_ptr<model::Block::BwState>> states;
+      if (split) states.resize(range.count);
       for (int b = range.first + range.count - 1; b >= range.first; --b) {
         model::Block& block = ctx.model->block(b);
-        if (ctx.recompute) {
+        if (split) {
+          dy = block.backward_input(entry.inputs[b - range.first], dy,
+                                    &states[b - range.first]);
+        } else if (ctx.recompute) {
           dy = block.backward(entry.inputs[b - range.first], dy);
         } else {
           dy = block.backward_cached(*entry.caches[b - range.first], dy);
         }
+      }
+      if (split) {
+        bw_stash[{op.micro_batch, op.half, op.chunk}] = std::move(states);
       }
       if (!first) {
         (*ctx.backward_channels)[global - 1].send(tag, std::move(dy));
@@ -252,6 +289,9 @@ double run_stage(const StageContext& ctx) {
   }
   if (!stash.empty()) {
     throw std::logic_error("device finished with unconsumed activations");
+  }
+  if (!bw_stash.empty()) {
+    throw std::logic_error("device finished with deferred weight gradients");
   }
   return loss;
 }

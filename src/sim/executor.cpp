@@ -113,10 +113,21 @@ ExecResult execute(const core::Schedule& schedule, const ExecOptions& options) {
       }
       record_dep(producer, id, lag, global - 1);
     }
-    if (op.type == core::OpType::Backward && global < last_global) {
+    if ((op.type == core::OpType::Backward ||
+         op.type == core::OpType::BackwardInput) &&
+        global < last_global) {
+      // The dx producer downstream: the same backward form, falling back to
+      // the other form so fused and split stages can coexist in one
+      // schedule. BackwardWeight is local and adds no cross-stage edge.
       const double whole_hop = hop_of(global);
-      const int producer =
-          find(global + 1, core::OpType::Backward, op.micro_batch, op.half);
+      int producer = find(global + 1, op.type, op.micro_batch, op.half);
+      if (producer < 0) {
+        producer = find(global + 1,
+                        op.type == core::OpType::Backward
+                            ? core::OpType::BackwardInput
+                            : core::OpType::Backward,
+                        op.micro_batch, op.half);
+      }
       if (producer < 0) {
         throw std::logic_error("backward op has no downstream producer");
       }

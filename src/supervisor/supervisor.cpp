@@ -97,25 +97,8 @@ void Supervisor::refresh_plan_timing() {
       core::stage_costs(options_.config, part);
   const int m = session_opts_.num_micro_batches;
   const double comm = options_.config.comm_ms;
-  core::Schedule priced;
-  switch (session_opts_.kind) {
-    case costmodel::ScheduleKind::OneFOneB:
-      priced = core::build_1f1b(costs, m, comm);
-      break;
-    case costmodel::ScheduleKind::GPipe:
-      priced = core::build_gpipe(costs, m, comm);
-      break;
-    case costmodel::ScheduleKind::AutoPipeSliced:
-      priced = core::build_sliced_1f1b(costs, m, comm, session_opts_.sliced);
-      break;
-    case costmodel::ScheduleKind::Interleaved: {
-      std::vector<std::vector<core::StageCost>> rows;
-      rows.reserve(costs.size());
-      for (const core::StageCost& c : costs) rows.push_back({c});
-      priced = core::build_interleaved(rows, m, comm);
-      break;
-    }
-  }
+  const core::Schedule priced = core::build_schedule(
+      session_opts_.kind, costs, m, comm, {session_opts_.sliced, 1});
   const core::ScheduleEval eval = core::evaluate_schedule(priced);
   sim_gaps_ms_ = max_silent_gaps_ms(priced, eval);
   sim_op_ends_ms_ = device_op_ends_ms(priced, eval);

@@ -9,10 +9,30 @@ namespace autopipe::trace {
 
 namespace {
 
+const char* type_letter(core::OpType type) {
+  switch (type) {
+    case core::OpType::Forward:        return "F";
+    case core::OpType::Backward:       return "B";
+    case core::OpType::BackwardInput:  return "Bi";
+    case core::OpType::BackwardWeight: return "Bw";
+  }
+  return "?";
+}
+
+const char* type_category(core::OpType type) {
+  switch (type) {
+    case core::OpType::Forward:        return "forward";
+    case core::OpType::Backward:       return "backward";
+    case core::OpType::BackwardInput:  return "backward_input";
+    case core::OpType::BackwardWeight: return "backward_weight";
+  }
+  return "?";
+}
+
 std::string op_label(const core::ScheduleOp& op) {
   // Built up with += (not `"F" + to_string(...)`): gcc 12's -Wrestrict
   // false-positives on the temporary-concatenation form at -O2.
-  std::string label = op.type == core::OpType::Forward ? "F" : "B";
+  std::string label = type_letter(op.type);
   label += std::to_string(op.micro_batch);
   if (op.half == 0) label += "a";
   if (op.half == 1) label += "b";
@@ -34,9 +54,7 @@ std::string to_chrome_trace(const sim::ExecResult& result) {
        << ",\"ts\":" << static_cast<long long>(t.start_ms * 1000.0)
        << ",\"dur\":"
        << static_cast<long long>((t.end_ms - t.start_ms) * 1000.0)
-       << ",\"cat\":\""
-       << (t.op.type == core::OpType::Forward ? "forward" : "backward")
-       << "\"}";
+       << ",\"cat\":\"" << type_category(t.op.type) << "\"}";
   }
   os << "]}";
   return os.str();

@@ -18,11 +18,20 @@ std::string render_timeline(const sim::ExecResult& result,
     const int c0 = static_cast<int>(t.start_ms / span * width);
     int c1 = static_cast<int>(t.end_ms / span * width);
     c1 = std::max(c1, c0 + 1);
-    char glyph;
-    if (t.op.type == core::OpType::Forward) {
-      glyph = static_cast<char>('0' + t.op.micro_batch % 10);
-    } else {
-      glyph = static_cast<char>('a' + t.op.micro_batch % 26);
+    char glyph = '?';
+    switch (t.op.type) {
+      case core::OpType::Forward:
+        glyph = static_cast<char>('0' + t.op.micro_batch % 10);
+        break;
+      case core::OpType::BackwardWeight:
+        // Deferred grad-weight ops render as uppercase so the zero-bubble
+        // fill pattern is visible next to the lowercase grad-input letters.
+        glyph = static_cast<char>('A' + t.op.micro_batch % 26);
+        break;
+      case core::OpType::Backward:
+      case core::OpType::BackwardInput:
+        glyph = static_cast<char>('a' + t.op.micro_batch % 26);
+        break;
     }
     for (int c = c0; c < std::min(c1, width); ++c) {
       rows[t.device][c] = glyph;
@@ -38,7 +47,8 @@ std::string render_timeline(const sim::ExecResult& result,
     os << "stage " << d << " |" << rows[d] << "|\n";
   }
   if (options.show_legend) {
-    os << "(digits: forward micro-batch, letters: backward, ^/v: sliced half "
+    os << "(digits: forward micro-batch, lowercase: backward/grad-input, "
+          "uppercase: deferred grad-weight, ^/v: sliced half "
           "start, '.': idle; iteration "
        << span << " ms)\n";
   }

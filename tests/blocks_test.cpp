@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstring>
 #include <functional>
+#include <memory>
+#include <vector>
 
 #include "model/blocks.h"
 #include "model/transformer.h"
@@ -235,6 +239,66 @@ TEST(Blocks, CachedBackwardMatchesRecompute) {
           << block->kind() << "/" << block->params()[p].name;
     }
     x = y_plain;
+  }
+}
+
+// Stronger than the tolerance check above: the cached path re-derives any
+// recomputed intermediate through the exact same kernels and expressions
+// the recompute path uses (e.g. normed = normalized*gamma + beta is the
+// layernorm forward's own output expression), so dx and every parameter
+// gradient must match BITWISE -- per block type and on ragged token/hidden
+// shapes that straddle the fast kernels' panel edges.
+TEST(Blocks, CachedBackwardBitIdenticalOnRaggedShapes) {
+  for (const auto& [hidden, heads, seq, batch] :
+       std::vector<std::array<int, 4>>{
+           {8, 2, 4, 1}, {24, 3, 5, 3}, {16, 2, 7, 5}, {36, 4, 3, 11}}) {
+    SCOPED_TRACE(testing::Message() << "hidden=" << hidden << " heads="
+                                    << heads << " seq=" << seq
+                                    << " batch=" << batch);
+    util::Rng rng(1000 + hidden + batch);
+    const int vocab = 19, tokens = batch * seq;
+    std::vector<std::unique_ptr<Block>> blocks;
+    blocks.push_back(
+        std::make_unique<EmbeddingBlock>(vocab, hidden, seq, rng));
+    blocks.push_back(std::make_unique<ResidualAttentionBlock>(hidden, heads,
+                                                              seq, true, rng));
+    blocks.push_back(std::make_unique<ResidualFFNBlock>(hidden, rng));
+    blocks.push_back(std::make_unique<HeadBlock>(hidden, vocab, rng));
+
+    Tensor x({tokens, 1});
+    for (int i = 0; i < tokens; ++i) {
+      x.data()[i] = static_cast<float>(rng.next_below(vocab));
+    }
+    for (auto& block : blocks) {
+      Tensor y_cached;
+      auto cache = block->forward_cached(x, &y_cached);
+      const Tensor y_plain = block->forward(x);
+      ASSERT_EQ(std::memcmp(y_cached.data(), y_plain.data(),
+                            y_plain.numel() * sizeof(float)),
+                0)
+          << block->kind() << ": cached forward differs";
+
+      const Tensor dy = Tensor::randn(y_plain.shape(), rng);
+      block->zero_grads();
+      const Tensor dx_plain = block->backward(x, dy);
+      std::vector<Tensor> grads_plain;
+      for (const auto& p : block->params()) grads_plain.push_back(p.grad);
+
+      block->zero_grads();
+      const Tensor dx_cached = block->backward_cached(*cache, dy);
+      ASSERT_EQ(std::memcmp(dx_plain.data(), dx_cached.data(),
+                            dx_plain.numel() * sizeof(float)),
+                0)
+          << block->kind() << ": cached dx differs";
+      for (std::size_t p = 0; p < block->params().size(); ++p) {
+        ASSERT_EQ(std::memcmp(grads_plain[p].data(),
+                              block->params()[p].grad.data(),
+                              grads_plain[p].numel() * sizeof(float)),
+                  0)
+            << block->kind() << "/" << block->params()[p].name;
+      }
+      x = y_plain;
+    }
   }
 }
 

@@ -186,6 +186,64 @@ TEST(Memory, OomFlagAndFitsMemory) {
 TEST(Memory, ScheduleKindNames) {
   EXPECT_STREQ(to_string(ScheduleKind::OneFOneB), "1F1B");
   EXPECT_STREQ(to_string(ScheduleKind::Interleaved), "Interleaved-1F1B");
+  EXPECT_STREQ(to_string(ScheduleKind::ZeroBubble), "ZeroBubble");
+}
+
+TEST(Memory, ParseScheduleKindInvertsToString) {
+  for (const ScheduleKind kind :
+       {ScheduleKind::OneFOneB, ScheduleKind::GPipe, ScheduleKind::Interleaved,
+        ScheduleKind::AutoPipeSliced, ScheduleKind::ZeroBubble}) {
+    EXPECT_EQ(parse_schedule_kind(to_string(kind)), kind);
+  }
+}
+
+TEST(Memory, ParseScheduleKindAcceptsCliSpellings) {
+  // Case-insensitive; '-' and '_' are separators, not content.
+  EXPECT_EQ(parse_schedule_kind("1f1b"), ScheduleKind::OneFOneB);
+  EXPECT_EQ(parse_schedule_kind("gpipe"), ScheduleKind::GPipe);
+  EXPECT_EQ(parse_schedule_kind("interleaved"), ScheduleKind::Interleaved);
+  EXPECT_EQ(parse_schedule_kind("INTERLEAVED-1F1B"),
+            ScheduleKind::Interleaved);
+  EXPECT_EQ(parse_schedule_kind("sliced"), ScheduleKind::AutoPipeSliced);
+  EXPECT_EQ(parse_schedule_kind("autopipe_sliced_1f1b"),
+            ScheduleKind::AutoPipeSliced);
+  EXPECT_EQ(parse_schedule_kind("zb"), ScheduleKind::ZeroBubble);
+  EXPECT_EQ(parse_schedule_kind("zero-bubble"), ScheduleKind::ZeroBubble);
+  EXPECT_EQ(parse_schedule_kind("ZeroBubble"), ScheduleKind::ZeroBubble);
+}
+
+TEST(Memory, ParseScheduleKindRejectsUnknownNames) {
+  for (const char* bad : {"", "banana", "1f2b", "zero bubble"}) {
+    EXPECT_THROW(parse_schedule_kind(bad), std::invalid_argument) << bad;
+  }
+  try {
+    parse_schedule_kind("banana");
+    FAIL() << "no exception";
+  } catch (const std::invalid_argument& e) {
+    // The message names the offender and lists valid spellings.
+    EXPECT_NE(std::string(e.what()).find("banana"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1f1b"), std::string::npos);
+  }
+}
+
+TEST(Memory, ZeroBubbleChargesDeferredWeightStates) {
+  StageFootprint fp{1e9, 1e8, 1e8, 3e7};
+  const double cap = 1e12;
+  for (int stage = 0; stage < 4; ++stage) {
+    const auto plain =
+        stage_memory(fp, stage, 4, ScheduleKind::OneFOneB, 8, 1, cap);
+    const auto zb =
+        stage_memory(fp, stage, 4, ScheduleKind::ZeroBubble, 8, 1, cap);
+    // Same warmup depth as 1F1B...
+    EXPECT_EQ(zb.in_flight_micro_batches, plain.in_flight_micro_batches);
+    // ...plus one B-state per deferred W, capped at the warmup depth.
+    EXPECT_EQ(zb.deferred_grad_bytes, fp.bw_state_bytes * (4 - stage));
+    EXPECT_EQ(zb.total_bytes, plain.total_bytes + zb.deferred_grad_bytes);
+  }
+  // The deferral cap also respects the micro-batch count.
+  const auto few =
+      stage_memory(fp, 0, 8, ScheduleKind::ZeroBubble, 3, 1, cap);
+  EXPECT_EQ(few.deferred_grad_bytes, fp.bw_state_bytes * 3);
 }
 
 }  // namespace

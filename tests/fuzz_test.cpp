@@ -208,6 +208,55 @@ TEST_P(RuntimeFuzz, RandomPartitionGradEquivalence) {
 INSTANTIATE_TEST_SUITE_P(RandomShapes, RuntimeFuzz,
                          testing::Range<std::uint64_t>(100, 108));
 
+class ZeroBubbleFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ZeroBubbleFuzz, SplitTrainingBitIdenticalToFusedOnRandomShapes) {
+  // Property behind the zero-bubble feature: for ANY model shape and
+  // contiguous partition, an iteration under the split-backward schedule
+  // produces bitwise the same loss and parameter gradients as fused 1F1B.
+  // The W deferral reorders ops across micro-batches, never the additions
+  // into any single parameter's grad tensor.
+  util::Rng rng(GetParam());
+  model::TinySpec spec;
+  spec.layers = 2 + static_cast<int>(rng.next_below(3));  // 6..10 blocks
+  spec.hidden = 8 * (1 + static_cast<int>(rng.next_below(2)));
+  spec.heads = 2;
+  spec.vocab = 16 + static_cast<int>(rng.next_below(32));
+  spec.seq = 4;
+  spec.seed = GetParam();
+  model::TransformerModel fused(spec), split(spec);
+
+  const int blocks = fused.num_blocks();
+  const int stages = 2 + static_cast<int>(rng.next_below(3));
+  std::vector<int> counts(stages, 1);
+  for (int extra = blocks - stages; extra > 0; --extra) {
+    ++counts[rng.next_below(stages)];
+  }
+  const int B = 2 + 2 * static_cast<int>(rng.next_below(2));
+  const int m = stages + static_cast<int>(rng.next_below(4));
+
+  model::SyntheticCorpus corpus(spec.vocab, GetParam());
+  const auto batch = corpus.next_batch(B * m, spec.seq);
+  const auto micro =
+      model::SyntheticCorpus::split_micro_batches(batch, spec.seq, B);
+  const double scale = 1.0 / (B * m * spec.seq);
+
+  runtime::PipelineRuntime rt_fused(fused, counts), rt_split(split, counts);
+  fused.zero_grads();
+  split.zero_grads();
+  const auto fused_result = rt_fused.run_iteration(
+      rt_fused.make_schedule(costmodel::ScheduleKind::OneFOneB, m), micro,
+      scale);
+  const auto split_result = rt_split.run_iteration(
+      rt_split.make_schedule(costmodel::ScheduleKind::ZeroBubble, m), micro,
+      scale);
+  EXPECT_EQ(fused_result.loss, split_result.loss);
+  EXPECT_EQ(fused.max_grad_diff(split), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomShapes, ZeroBubbleFuzz,
+                         testing::Range<std::uint64_t>(300, 310));
+
 TEST(FaultFuzz, EmptyPlanIsBitIdenticalForEveryScheduleKind) {
   // The fault hooks must be invisible when no fault matches: for random
   // schedules of every kind, execution with a default FaultPlan{} (and with
@@ -223,7 +272,7 @@ TEST(FaultFuzz, EmptyPlanIsBitIdenticalForEveryScheduleKind) {
     const double comm = rng.uniform(0.0, 0.5);
     const int m = stages + static_cast<int>(rng.next_below(6));
     core::Schedule schedule;
-    switch (trial % 4) {
+    switch (trial % 5) {
       case 0:
         schedule = core::build_1f1b(costs, m, comm);
         break;
@@ -233,6 +282,13 @@ TEST(FaultFuzz, EmptyPlanIsBitIdenticalForEveryScheduleKind) {
       case 2:
         schedule = core::build_sliced_1f1b(
             costs, m, comm, 1 + static_cast<int>(rng.next_below(stages)));
+        break;
+      case 4:
+        for (auto& c : costs) {
+          c.bwd_input_ms = c.bwd_ms * rng.uniform(0.5, 0.8);
+          c.bwd_weight_ms = c.bwd_ms - c.bwd_input_ms;
+        }
+        schedule = core::make_zero_bubble(costs, m, comm);
         break;
       default: {
         // Interleaved: every device hosts 2 chunks, m a multiple of devices.
@@ -287,13 +343,13 @@ TEST(ScheduleEvalFuzz, AnalyticEvaluatorMatchesExecutorForEveryKind) {
       c.bwd_ms = c.fwd_ms * rng.uniform(1.5, 3.0);
     }
     const int m = stages + static_cast<int>(rng.next_below(8));
-    const int chunks = trial % 4 == 3 ? 2 : 1;
+    const int chunks = trial % 5 == 3 ? 2 : 1;
     std::vector<double> boundary(
         static_cast<std::size_t>(chunks * stages - 1));
     for (auto& b : boundary) b = rng.uniform(0.0, 1.0);
     const auto comm = costmodel::CommModel::from_costs(boundary);
     core::Schedule schedule;
-    switch (trial % 4) {
+    switch (trial % 5) {
       case 0:
         schedule = core::build_1f1b(costs, m, comm);
         break;
@@ -303,6 +359,13 @@ TEST(ScheduleEvalFuzz, AnalyticEvaluatorMatchesExecutorForEveryKind) {
       case 2:
         schedule = core::build_sliced_1f1b(
             costs, m, comm, 1 + static_cast<int>(rng.next_below(stages)));
+        break;
+      case 4:
+        for (auto& c : costs) {
+          c.bwd_input_ms = c.bwd_ms * rng.uniform(0.5, 0.8);
+          c.bwd_weight_ms = c.bwd_ms - c.bwd_input_ms;
+        }
+        schedule = core::make_zero_bubble(costs, m, comm);
         break;
       default: {
         std::vector<std::vector<core::StageCost>> chunk_costs(
@@ -548,6 +611,7 @@ TEST(HotpathFuzz, NaiveAndFastOpsTrainBitIdenticallyForEveryScheduleKind) {
       {costmodel::ScheduleKind::GPipe, 1, 0},
       {costmodel::ScheduleKind::AutoPipeSliced, 1, 1},
       {costmodel::ScheduleKind::Interleaved, 2, 0},
+      {costmodel::ScheduleKind::ZeroBubble, 1, 0},
   };
   for (const auto& c : cases) {
     SCOPED_TRACE(costmodel::to_string(c.kind));
@@ -624,6 +688,7 @@ TEST(SupervisorFuzz, RecoveryReproducesUnfaultedTrainingForEveryKind) {
       {costmodel::ScheduleKind::GPipe, 0},
       {costmodel::ScheduleKind::AutoPipeSliced, 1},
       {costmodel::ScheduleKind::Interleaved, 0},
+      {costmodel::ScheduleKind::ZeroBubble, 0},
   };
   constexpr int kSteps = 6;
   for (const auto& c : cases) {

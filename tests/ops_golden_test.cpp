@@ -116,6 +116,56 @@ TEST_P(OpsGoldenThreads, ElementwiseAndRowOpsBitIdentical) {
   }
 }
 
+TEST_P(OpsGoldenThreads, SplitBackwardPrimitivesBitIdentical) {
+  // The zero-bubble B/W split's op-level contract: each split half is
+  // bit-identical to its naive reference, and the two halves together
+  // reproduce the fused backward's outputs exactly (the halves are the
+  // fused op's own internal steps, just regrouped).
+  util::Rng rng(17 + GetParam());
+  for (const auto& [m, k, n] : gemm_shapes()) {
+    SCOPED_TRACE(testing::Message() << m << "x" << k << "x" << n);
+    const Tensor x = randn({m, k}, rng);
+    const Tensor w = randn({k, n}, rng);
+    const Tensor dy = randn({m, n}, rng);
+    expect_bits(linear_backward_input(w, dy), ref::linear_backward_input(w, dy),
+                "linear_backward_input");
+    const LinearWeightGrads fast = linear_backward_weight(x, dy);
+    const LinearWeightGrads naive = ref::linear_backward_weight(x, dy);
+    expect_bits(fast.dw, naive.dw, "linear_backward_weight.dw");
+    expect_bits(fast.dbias, naive.dbias, "linear_backward_weight.dbias");
+
+    // Halves == fused, bitwise.
+    const LinearGrads fused = linear_backward(x, w, dy);
+    expect_bits(linear_backward_input(w, dy), fused.dx, "split dx vs fused");
+    expect_bits(fast.dw, fused.dw, "split dw vs fused");
+    expect_bits(fast.dbias, fused.dbias, "split dbias vs fused");
+  }
+  for (const auto& [rows, d] : std::vector<std::array<int, 2>>{
+           {1, 1}, {3, 19}, {32, 64}, {33, 65}, {257, 3}}) {
+    SCOPED_TRACE(testing::Message() << rows << "x" << d);
+    const Tensor x = randn({rows, d}, rng);
+    const Tensor dy = randn({rows, d}, rng);
+    const Tensor gamma = randn({d}, rng);
+    const Tensor beta = randn({d}, rng);
+    LayerNormCache cache;
+    layernorm(x, gamma, beta, &cache);
+    expect_bits(layernorm_backward_input(cache, gamma, dy),
+                ref::layernorm_backward_input(cache, gamma, dy),
+                "layernorm_backward_input");
+    const LayerNormWeightGrads fast = layernorm_backward_weight(cache, dy);
+    const LayerNormWeightGrads naive =
+        ref::layernorm_backward_weight(cache, dy);
+    expect_bits(fast.dgamma, naive.dgamma, "layernorm_backward_weight.dgamma");
+    expect_bits(fast.dbeta, naive.dbeta, "layernorm_backward_weight.dbeta");
+
+    const LayerNormGrads fused = layernorm_backward(cache, gamma, dy);
+    expect_bits(layernorm_backward_input(cache, gamma, dy), fused.dx,
+                "split ln dx vs fused");
+    expect_bits(fast.dgamma, fused.dgamma, "split dgamma vs fused");
+    expect_bits(fast.dbeta, fused.dbeta, "split dbeta vs fused");
+  }
+}
+
 TEST_P(OpsGoldenThreads, CrossEntropyBitIdenticalIncludingLossSum) {
   util::Rng rng(13 + GetParam());
   for (const int rows : {1, 5, 33, 64, 100}) {

@@ -196,7 +196,11 @@ INSTANTIATE_TEST_SUITE_P(
         EquivalenceCase{
             costmodel::ScheduleKind::AutoPipeSliced, {1, 2, 2, 3}, 4, 3},
         EquivalenceCase{costmodel::ScheduleKind::GPipe, {2, 3, 3}, 6, 0},
-        EquivalenceCase{costmodel::ScheduleKind::GPipe, {4, 4}, 2, 0}));
+        EquivalenceCase{costmodel::ScheduleKind::GPipe, {4, 4}, 2, 0},
+        EquivalenceCase{costmodel::ScheduleKind::ZeroBubble, {2, 3, 3}, 6, 0},
+        EquivalenceCase{costmodel::ScheduleKind::ZeroBubble, {4, 4}, 4, 0},
+        EquivalenceCase{
+            costmodel::ScheduleKind::ZeroBubble, {1, 2, 2, 3}, 8, 0}));
 
 TEST(Runtime, NoRecomputeModeMatchesReference) {
   // Disabling activation checkpointing (§II-C's other side of the
