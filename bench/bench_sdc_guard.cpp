@@ -1,0 +1,243 @@
+// SDC guard benchmark: what the integrity guards cost on the training hot
+// path, what fraction of injected bit flips they catch, and what escapes
+// without them.
+//
+//   ./bench_sdc_guard [--hidden 128] [--seq 16] [--vocab 256] [--layers 4]
+//                     [--stages 2] [--micro-batches 8] [--micro-batch 4]
+//                     [--iters 5] [--reps 5] [--weight-interval 8]
+//                     [--injections 12] [--max-overhead-pct 0]
+//                     [--assert-coverage 0]
+//
+// Three measurements, one JSON line each (medians over --reps):
+//
+//   overhead   clean training with the production guard config (handoff
+//              CRCs + non-finite scans + periodic weight sentinel every
+//              --weight-interval steps) vs guards-off, same model/data.
+//              The acceptance bar is < 3% on the bench_runtime_hotpath
+//              end-to-end config (the defaults above).
+//   coverage   --injections seeded bit flips cycling activation-in-flight /
+//              gradient-in-flight / weight-between-steps against a
+//              guards-on session (weight sentinel every step for tight
+//              detection); counts how many raise a typed Corruption
+//              failure. The guard contract is 100%.
+//   escape     the same flips against a guards-off session: runs that end
+//              with silently diverged state count as escapes (the
+//              unconditional non-finite loss backstop still catches flips
+//              that blow up the math, reported separately).
+//
+// --max-overhead-pct P exits non-zero if the overhead exceeds P percent;
+// --assert-coverage 1 exits non-zero unless every injection was detected.
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "core/balanced_dp.h"
+#include "faults/sdc.h"
+#include "model/ops.h"
+#include "runtime/stage_failure.h"
+#include "runtime/train_session.h"
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace autopipe;
+
+double time_ms(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct BenchConfig {
+  model::TinySpec spec;
+  std::vector<int> counts;
+  int micro_batch = 4;
+  int num_micro_batches = 8;
+};
+
+runtime::TrainSessionOptions session_options(const BenchConfig& cfg,
+                                             const guard::GuardOptions& g) {
+  runtime::TrainSessionOptions opts;
+  opts.spec = cfg.spec;
+  opts.counts = cfg.counts;
+  opts.micro_batch = cfg.micro_batch;
+  opts.num_micro_batches = cfg.num_micro_batches;
+  opts.guard = g;
+  return opts;
+}
+
+/// Flips one deterministic bit in a parameter tensor of the live model --
+/// the between-steps corruption the weight sentinel exists to catch.
+void flip_weight(runtime::TrainSession& session, std::uint64_t salt) {
+  model::TransformerModel& m = session.model();
+  util::Rng rng(salt);
+  const int b = static_cast<int>(rng.next_u64() % m.num_blocks());
+  auto& params = m.block(b).params();
+  auto& value = params[rng.next_u64() % params.size()].value;
+  faults::flip_float_bit(value.data(), value.numel(), rng.next_u64(),
+                         static_cast<int>(rng.next_u64() % 32));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  BenchConfig cfg;
+  cfg.spec.hidden = cli.checked_int("hidden", 128, 8, 4096);
+  cfg.spec.heads = cli.checked_int("heads", 4, 1, 64);
+  cfg.spec.seq = cli.checked_int("seq", 16, 2, 4096);
+  cfg.spec.vocab = cli.checked_int("vocab", 256, 4, 65536);
+  cfg.spec.layers = cli.checked_int("layers", 4, 1, 64);
+  const int stages = cli.checked_int("stages", 2, 1, 16);
+  cfg.num_micro_batches = cli.checked_int("micro-batches", 8, 1, 64);
+  cfg.micro_batch = cli.checked_int("micro-batch", 4, 1, 64);
+  const int iters = cli.checked_int("iters", 5, 1, 1000);
+  const int reps = cli.checked_int("reps", 5, 1, 100);
+  const int weight_interval = cli.checked_int("weight-interval", 8, 1, 1 << 20);
+  const int injections = cli.checked_int("injections", 12, 1, 1 << 20);
+  const double max_overhead =
+      cli.checked_double("max-overhead-pct", 0.0, 0.0, 1000.0);
+  const bool assert_coverage = cli.checked_int("assert-coverage", 0, 0, 1) != 0;
+  model::set_fast_ops(true);
+
+  bench::emit_metadata("sdc_guard");
+
+  {
+    model::TransformerModel probe(cfg.spec);
+    cfg.counts = core::balanced_counts(
+        std::vector<double>(probe.num_blocks(), 1.0), stages);
+  }
+
+  // ------------------------------------------------------------ overhead
+  // Production guard config: every handoff CRC'd, every output scanned,
+  // weight sentinel every --weight-interval steps.
+  guard::GuardOptions production;
+  production.handoff_crc = true;
+  production.nonfinite_checks = true;
+  production.weight_interval = weight_interval;
+
+  const auto train_ms = [&](const guard::GuardOptions& g) {
+    std::vector<double> samples;
+    samples.reserve(reps);
+    for (int r = 0; r < reps; ++r) {
+      runtime::TrainSession session(session_options(cfg, g));
+      samples.push_back(time_ms([&] {
+        for (int i = 0; i < iters; ++i) session.step();
+      }));
+    }
+    return util::median(samples) / iters;
+  };
+  const double off_ms = train_ms(guard::GuardOptions{});
+  const double on_ms = train_ms(production);
+  const double overhead_pct = (on_ms - off_ms) / off_ms * 100.0;
+  std::printf(
+      "{\"bench\":\"sdc_guard\",\"row\":\"overhead\","
+      "\"shape\":\"h%d_s%d_v%d_l%d_st%d_m%d\",\"weight_interval\":%d,"
+      "\"guards_off_ms\":%.3f,\"guards_on_ms\":%.3f,\"overhead_pct\":%.2f}\n",
+      cfg.spec.hidden, cfg.spec.seq, cfg.spec.vocab, cfg.spec.layers, stages,
+      cfg.num_micro_batches, weight_interval, off_ms, on_ms, overhead_pct);
+
+  // ------------------------------------------------------------ coverage
+  // Tight-detection config (sentinel every step): inject one flip per fresh
+  // session, cycling the three corruption sites, and demand a typed
+  // Corruption failure within the next two steps.
+  guard::GuardOptions tight = production;
+  tight.weight_interval = 1;
+  const int boundaries = std::max(1, stages - 1);
+  int detected = 0;
+  for (int k = 0; k < injections; ++k) {
+    runtime::TrainSession session(session_options(cfg, tight));
+    faults::SdcInjector injector;
+    session.run_options().sdc = &injector;
+    session.step();  // one clean step so Adam moments exist
+    util::Rng rng(0xc0ffee + static_cast<std::uint64_t>(k));
+    const int site = k % 3;
+    if (site == 2) {
+      flip_weight(session, 0xc0ffee + static_cast<std::uint64_t>(k));
+    } else {
+      faults::SdcFault f;
+      f.target = site == 0 ? faults::SdcTarget::Activation
+                           : faults::SdcTarget::Gradient;
+      f.boundary = k % boundaries;
+      f.micro_batch = static_cast<int>(rng.next_u64()) % cfg.num_micro_batches;
+      f.elem = rng.next_u64();
+      f.bit = static_cast<int>(rng.next_u64() % 32);
+      injector.arm(f);
+    }
+    try {
+      session.step();
+      session.step();
+    } catch (const runtime::StageFailure& e) {
+      if (e.kind() == runtime::FailureKind::Corruption) ++detected;
+    }
+  }
+  const double coverage = static_cast<double>(detected) / injections;
+  std::printf(
+      "{\"bench\":\"sdc_guard\",\"row\":\"coverage\",\"injections\":%d,"
+      "\"detected\":%d,\"coverage\":%.3f}\n",
+      injections, detected, coverage);
+
+  // -------------------------------------------------------------- escape
+  // The same flips with every guard off. The run either trips the
+  // unconditional non-finite loss backstop, or finishes -- and a finished
+  // run whose state differs from the clean twin is a silent escape.
+  const int total_steps = 4;
+  const ckpt::TrainState clean = [&] {
+    runtime::TrainSession session(session_options(cfg, {}));
+    for (int i = 0; i < total_steps; ++i) session.step();
+    return session.capture();
+  }();
+  int escaped = 0;
+  int caught_offguard = 0;
+  for (int k = 0; k < injections; ++k) {
+    runtime::TrainSession session(session_options(cfg, {}));
+    faults::SdcInjector injector;
+    session.run_options().sdc = &injector;
+    session.step();
+    util::Rng rng(0xc0ffee + static_cast<std::uint64_t>(k));
+    const int site = k % 3;
+    if (site == 2) {
+      flip_weight(session, 0xc0ffee + static_cast<std::uint64_t>(k));
+    } else {
+      faults::SdcFault f;
+      f.target = site == 0 ? faults::SdcTarget::Activation
+                           : faults::SdcTarget::Gradient;
+      f.boundary = k % boundaries;
+      f.micro_batch = static_cast<int>(rng.next_u64()) % cfg.num_micro_batches;
+      f.elem = rng.next_u64();
+      f.bit = static_cast<int>(rng.next_u64() % 32);
+      injector.arm(f);
+    }
+    try {
+      while (session.iteration() < total_steps) session.step();
+      if (!(session.capture().blocks == clean.blocks)) ++escaped;
+    } catch (const runtime::StageFailure&) {
+      ++caught_offguard;
+    }
+  }
+  std::printf(
+      "{\"bench\":\"sdc_guard\",\"row\":\"escape\",\"injections\":%d,"
+      "\"escaped\":%d,\"caught_offguard\":%d,\"escape_rate\":%.3f}\n",
+      injections, escaped, caught_offguard,
+      static_cast<double>(escaped) / injections);
+
+  int rc = 0;
+  if (assert_coverage && detected != injections) {
+    std::fprintf(stderr, "FAIL: %d/%d injected flips detected\n", detected,
+                 injections);
+    rc = 1;
+  }
+  if (max_overhead > 0 && overhead_pct > max_overhead) {
+    std::fprintf(stderr, "FAIL: guard overhead %.2f%% above %.2f%%\n",
+                 overhead_pct, max_overhead);
+    rc = 1;
+  }
+  return rc;
+}

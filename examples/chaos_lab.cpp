@@ -16,6 +16,16 @@
 //                     onto N-1 survivors (Degrade mode) and finishes within
 //                     1e-4 of the unfaulted run (same math, different
 //                     gradient accumulation order).
+//   chaos_lab corrupt --dir PATH [flags]  seeded silent-data-corruption
+//                     soak: every scripted incident is a single bit flip
+//                     (activation in flight, gradient in flight, weight or
+//                     optimizer state between steps) that no fail-stop
+//                     detector sees. With the guard layer on, EVERY flip
+//                     must be detected, classified Corruption, recovered
+//                     (retry in place for in-flight flips, verified-clean
+//                     restore for state flips) and the finished run must be
+//                     bit-identical to the unfaulted reference.
+//                     Flags: --norm-window N adds the gradient-norm guard.
 //
 // Common flags: --steps N, --seed N,
 // --schedule 1f1b|gpipe|sliced|interleaved|zero-bubble (--kind is an alias),
@@ -436,13 +446,77 @@ int do_degrade(const util::Cli& cli, const std::string& dir) {
   return 0;
 }
 
+int do_corrupt(const util::Cli& cli, const std::string& dir) {
+  const int steps = cli.checked_int("steps", 24, 1, 1 << 20);
+  const int incidents = cli.checked_int("incidents", 8, 0, 1 << 20);
+  const auto seed =
+      static_cast<std::uint64_t>(cli.checked_int("seed", 7, 0, 1 << 30));
+  const int norm_window = cli.checked_int("norm-window", 0, 0, 1 << 20);
+
+  supervisor::ChaosScriptOptions copts;
+  copts.steps = steps;
+  copts.devices = 3;
+  copts.ops_per_device = 12;
+  copts.incidents = incidents;
+  copts.classes = {supervisor::ChaosKind::CorruptActivation,
+                   supervisor::ChaosKind::CorruptGradient,
+                   supervisor::ChaosKind::CorruptWeight,
+                   supervisor::ChaosKind::CorruptOptimizer};
+  const supervisor::ChaosScript script =
+      supervisor::ChaosScript::sample(copts, seed);
+
+  supervisor::SupervisorOptions o = base_supervisor(cli, dir, steps);
+  // Checkpoint every step so a state flip always has a verified-clean
+  // checkpoint at most one step old to restore from.
+  o.session.ckpt_interval = cli.checked_int("interval", 1, 1, 1 << 20);
+  // The full guard stack: handoff CRCs catch in-flight flips, the weight
+  // sentinel catches state flips, the non-finite scan backstops both. The
+  // norm guard stays opt-in (--norm-window): a flipped exponent usually
+  // also trips it, which would double-count detections in the 1:1 ledger.
+  o.session.guard.handoff_crc = true;
+  o.session.guard.nonfinite_checks = true;
+  o.session.guard.weight_interval = 1;
+  o.session.guard.norm_window = norm_window;
+  o.chaos = &script;
+  o.restart_budget =
+      cli.checked_int("budget", 2 * incidents + 6, 1, 1 << 20);
+  // No hangs are scripted here and every detection is a CRC/sentinel check,
+  // not a silence deadline -- so give the watchdog a long leash to keep
+  // slow sanitizer builds from false-firing mid-detection.
+  o.watchdog.grace_ms = cli.checked_double("grace-ms", 10000.0, 50.0, 1e6);
+
+  std::printf("corrupt: %d step(s), %zu scripted bit flip(s), seed %llu\n",
+              steps, script.events.size(),
+              static_cast<unsigned long long>(seed));
+  supervisor::Supervisor sup(o);
+  const supervisor::SupervisorReport report = sup.run();
+  print_report(report);
+  if (!report.completed) {
+    std::fprintf(stderr, "error: corruption soak aborted at step %d: %s\n",
+                 report.steps_done, report.abort_reason.c_str());
+    return 1;
+  }
+  const auto caught = report.of_class(supervisor::IncidentClass::Corruption);
+  if (caught.size() != script.events.size()) {
+    std::fprintf(stderr,
+                 "error: %zu bit flip(s) injected but only %zu incident(s) "
+                 "classified corruption (an escape or a double-count)\n",
+                 script.events.size(), caught.size());
+    return 1;
+  }
+  std::printf("all %zu injected corruption(s) detected and classified "
+              "Corruption\n", caught.size());
+  const Reference ref = reference_run(cli, steps);
+  return check_bit_identical(sup, report, ref);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   if (cli.positional().empty()) {
     std::fprintf(stderr,
-                 "usage: %s soak|hang|degrade --dir PATH [flags]\n",
+                 "usage: %s soak|hang|degrade|corrupt --dir PATH [flags]\n",
                  argv[0]);
     return 2;
   }
@@ -458,6 +532,7 @@ int main(int argc, char** argv) {
     if (verb == "soak") return do_soak(cli, dir);
     if (verb == "hang") return do_hang(cli, dir);
     if (verb == "degrade") return do_degrade(cli, dir);
+    if (verb == "corrupt") return do_corrupt(cli, dir);
     throw std::invalid_argument("unknown verb '" + verb + "'");
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

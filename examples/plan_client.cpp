@@ -21,6 +21,12 @@
 // consulting the daemon mid-recovery cannot afford). 0 (the default)
 // preserves the historical behaviour: bounded connect retries, unbounded
 // reads.
+//
+// Connect retries pace themselves with a seeded util::Backoff (20 ms base,
+// doubling to a 500 ms cap, 10% deterministic jitter) and are bounded by
+// --retries N attempts (default 25) as well as the --timeout-ms deadline,
+// whichever trips first -- so a refused or never-listening socket fails
+// fast and reproducibly instead of hammering at a fixed cadence.
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -32,10 +38,10 @@
 #include <cstring>
 #include <stdexcept>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "service/protocol.h"
+#include "util/backoff.h"
 #include "util/cli.h"
 
 namespace {
@@ -44,9 +50,12 @@ using namespace autopipe;
 
 using clock_t_ = std::chrono::steady_clock;
 
-/// Connects with brief retries; a positive `timeout_ms` caps the total
-/// time spent retrying (a deadline, not an attempt count).
-int connect_with_retry(const std::string& path, double timeout_ms) {
+/// Connects with seeded exponential-backoff retries, bounded both by
+/// `max_attempts` and (when positive) the `timeout_ms` deadline --
+/// whichever trips first. The backoff is deterministic (fixed seed), so a
+/// given failure reproduces with the same cadence every run.
+int connect_with_retry(const std::string& path, double timeout_ms,
+                       int max_attempts) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (path.size() >= sizeof(addr.sun_path)) {
@@ -57,6 +66,10 @@ int connect_with_retry(const std::string& path, double timeout_ms) {
       clock_t_::now() + std::chrono::duration_cast<clock_t_::duration>(
                             std::chrono::duration<double, std::milli>(
                                 timeout_ms > 0 ? timeout_ms : 5000.0));
+  util::Backoff backoff({/*base_ms=*/20.0, /*multiplier=*/2.0,
+                         /*max_ms=*/500.0, /*jitter_frac=*/0.1,
+                         /*seed=*/0x9e3779b9});
+  int attempts = 0;
   while (true) {
     const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd < 0) throw std::runtime_error("socket(AF_UNIX) failed");
@@ -65,14 +78,16 @@ int connect_with_retry(const std::string& path, double timeout_ms) {
       return fd;
     }
     ::close(fd);
-    if (clock_t_::now() >= deadline) break;
-    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    ++attempts;
+    if (attempts >= max_attempts || clock_t_::now() >= deadline) break;
+    util::Backoff::sleep_for_ms(backoff.next_ms());
   }
-  throw std::runtime_error("could not connect to " + path +
-                           (timeout_ms > 0 ? " within " +
-                                                 std::to_string(timeout_ms) +
-                                                 " ms"
-                                           : ""));
+  throw std::runtime_error(
+      "could not connect to " + path + " after " + std::to_string(attempts) +
+      " attempt(s)" +
+      (timeout_ms > 0
+           ? " (deadline " + std::to_string(timeout_ms) + " ms)"
+           : ""));
 }
 
 void send_line(int fd, const std::string& line) {
@@ -179,7 +194,8 @@ int main(int argc, char** argv) {
     }
     const double timeout_ms =
         cli.checked_double("timeout-ms", 0.0, 0.0, 3600000.0);
-    const int fd = connect_with_retry(socket_path, timeout_ms);
+    const int retries = cli.checked_int("retries", 25, 1, 1 << 20);
+    const int fd = connect_with_retry(socket_path, timeout_ms, retries);
     int rc = 0;
     for (const std::string& line : requests) {
       send_line(fd, line);

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "core/partition.h"
+#include "guard/guard.h"
 #include "util/checksum.h"
 #include "util/logging.h"
 
@@ -15,6 +16,8 @@ namespace {
 constexpr char kRecordMagic[4] = {'A', 'P', 'C', 'R'};
 constexpr const char* kManifestName = "MANIFEST";
 constexpr const char* kManifestHeader = "# autopipe-checkpoint v1";
+constexpr const char* kVerifiedName = "VERIFIED";
+constexpr const char* kVerifiedHeader = "# autopipe-verified v1";
 
 // ------------------------------------------------- binary (de)serialization
 
@@ -333,7 +336,8 @@ CheckpointWriter::CheckpointWriter(Storage& storage, std::string dir,
   }
 }
 
-std::string CheckpointWriter::write(const TrainState& state) {
+std::string CheckpointWriter::write(const TrainState& state,
+                                    const std::uint32_t* verified_weights) {
   const int stages = static_cast<int>(state.counts.size());
   int total = 0;
   for (int c : state.counts) total += c;
@@ -376,6 +380,18 @@ std::string CheckpointWriter::write(const TrainState& state) {
   std::string body = manifest.str();
   body += "crc " + util::crc32_hex(util::crc32(body)) + "\n";
   atomic_write(storage_, step_dir + "/" + kManifestName, body);
+
+  // Phase 3 (optional): the verified-clean stamp, after the commit point so
+  // a stamp can never outlive or predate the checkpoint it vouches for. The
+  // stamp records the guard's weight-state checksum and is cross-checked
+  // against the restored state, so a stamp cannot be transplanted onto a
+  // different (e.g. silently corrupted) checkpoint.
+  if (verified_weights != nullptr) {
+    std::string stamp = std::string(kVerifiedHeader) + "\n";
+    stamp += "weights " + util::crc32_hex(*verified_weights) + "\n";
+    stamp += "crc " + util::crc32_hex(util::crc32(stamp)) + "\n";
+    atomic_write(storage_, step_dir + "/" + kVerifiedName, stamp);
+  }
 
   prune();
   return step_dir;
@@ -433,19 +449,22 @@ struct Manifest {
 };
 
 Manifest parse_manifest(const std::string& text) {
-  // Verify the whole-file CRC first: the last line must be "crc <hex>"
-  // covering every byte before it.
-  const auto crc_pos = text.rfind("crc ");
-  if (crc_pos == std::string::npos ||
+  // Verify the whole-file CRC first: the trailer must be EXACTLY the last
+  // 13 bytes, "crc " + 8 hex digits + newline. An exact-suffix match keeps
+  // every byte of the file inside detection coverage -- the trailer's own
+  // bytes are pinned by the fixed shape, everything before it by the CRC.
+  constexpr std::size_t kTrailer = 4 + 8 + 1;
+  if (text.size() < kTrailer) {
+    throw CkptError(CkptErrorKind::Corrupt, "manifest missing crc trailer");
+  }
+  const std::size_t crc_pos = text.size() - kTrailer;
+  if (text.compare(crc_pos, 4, "crc ") != 0 || text.back() != '\n' ||
       (crc_pos != 0 && text[crc_pos - 1] != '\n')) {
     throw CkptError(CkptErrorKind::Corrupt, "manifest missing crc trailer");
   }
-  std::istringstream trailer(text.substr(crc_pos + 4));
-  std::string crc_hex;
-  trailer >> crc_hex;
-  if (crc_hex.size() != 8 ||
-      static_cast<std::uint32_t>(parse_u64_hex(crc_hex)) !=
-          util::crc32(std::string_view(text).substr(0, crc_pos))) {
+  const std::string crc_hex = text.substr(crc_pos + 4, 8);
+  if (static_cast<std::uint32_t>(parse_u64_hex(crc_hex)) !=
+      util::crc32(std::string_view(text).substr(0, crc_pos))) {
     throw CkptError(CkptErrorKind::Corrupt, "manifest CRC mismatch");
   }
 
@@ -575,6 +594,59 @@ TrainState validate_candidate(Storage& storage, const std::string& step_dir,
   return state;
 }
 
+/// True when `step_dir` carries a well-formed VERIFIED stamp whose recorded
+/// weight checksum matches the state actually restored from the records.
+/// Any defect (missing, unreadable, torn, flipped, transplanted) simply
+/// reads as "not verified" -- the stamp is an attestation, never a gate on
+/// ordinary restores.
+bool verified_stamp_ok(Storage& storage, const std::string& step_dir,
+                       const TrainState& state) {
+  const std::string path = step_dir + "/" + kVerifiedName;
+  std::string text;
+  try {
+    if (!storage.exists(path)) return false;
+    text = storage.read_file(path);
+  } catch (const StorageError&) {
+    return false;
+  }
+  // Same exact-suffix trailer rule as the manifest: "crc <8 hex>\n" must
+  // be the literal last 13 bytes, so no stamp byte escapes detection.
+  constexpr std::size_t kTrailer = 4 + 8 + 1;
+  if (text.size() < kTrailer) return false;
+  const std::size_t crc_pos = text.size() - kTrailer;
+  if (text.compare(crc_pos, 4, "crc ") != 0 || text.back() != '\n' ||
+      (crc_pos != 0 && text[crc_pos - 1] != '\n')) {
+    return false;
+  }
+  const std::string crc_hex = text.substr(crc_pos + 4, 8);
+  try {
+    if (static_cast<std::uint32_t>(parse_u64_hex(crc_hex)) !=
+        util::crc32(std::string_view(text).substr(0, crc_pos))) {
+      return false;
+    }
+    std::istringstream in(text.substr(0, crc_pos));
+    std::string line;
+    bool saw_header = false;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      if (line[0] == '#') {
+        if (line == kVerifiedHeader) saw_header = true;
+        continue;
+      }
+      std::istringstream tokens(line);
+      std::string directive, hex;
+      tokens >> directive >> hex;
+      if (directive != "weights" || hex.size() != 8) return false;
+      return saw_header &&
+             static_cast<std::uint32_t>(parse_u64_hex(hex)) ==
+                 guard::weight_state_crc(state);
+    }
+  } catch (const CkptError&) {
+    return false;  // bad hex in a flipped stamp
+  }
+  return false;
+}
+
 }  // namespace
 
 std::vector<int> CheckpointReader::committed_steps() {
@@ -590,7 +662,7 @@ std::vector<int> CheckpointReader::committed_steps() {
   return steps;
 }
 
-RestoreResult CheckpointReader::restore() {
+RestoreResult CheckpointReader::restore(const RestoreOptions& options) {
   RestoreResult result;
   const std::vector<int> steps = committed_steps();
   if (steps.empty()) {
@@ -604,6 +676,16 @@ RestoreResult CheckpointReader::restore() {
     report.dir = dir_ + "/" + step_dir_name(step);
     try {
       result.state = validate_candidate(storage_, report.dir, step);
+      report.verified = verified_stamp_ok(storage_, report.dir, result.state);
+      if (options.require_verified && !report.verified) {
+        // Structurally valid, but nothing attests the *content* is clean --
+        // exactly the candidate the corruption rung must not trust.
+        report.reason =
+            "not stamped verified-clean (VERIFIED missing or mismatched)";
+        all_version = false;
+        result.candidates.push_back(std::move(report));
+        continue;
+      }
       report.valid = true;
       result.candidates.push_back(report);
       result.dir = report.dir;
@@ -616,7 +698,10 @@ RestoreResult CheckpointReader::restore() {
                    << " rejected: " << e.what();
     }
   }
-  std::string summary = "no valid checkpoint under " + dir_ + " (";
+  std::string summary =
+      std::string(options.require_verified ? "no verified-clean checkpoint under "
+                                           : "no valid checkpoint under ") +
+      dir_ + " (";
   for (std::size_t i = 0; i < result.candidates.size(); ++i) {
     if (i) summary += "; ";
     summary += step_dir_name(result.candidates[i].step) + ": " +

@@ -130,7 +130,15 @@ class CheckpointWriter {
   /// when an I/O fault (real or injected) interrupts the protocol -- in
   /// that case no new checkpoint became visible and every previously
   /// committed checkpoint is intact; training can simply continue.
-  std::string write(const TrainState& state);
+  ///
+  /// When `verified_weights` is non-null it is the caller's live
+  /// weight-state checksum (guard::weight_crc), asserted clean by the
+  /// weight guard; the writer then stamps the checkpoint "verified-clean"
+  /// with a VERIFIED file written *after* the manifest commit. A crash
+  /// between the two leaves a valid-but-unverified checkpoint, which is
+  /// safe: restore(require_verified) simply skips it.
+  std::string write(const TrainState& state,
+                    const std::uint32_t* verified_weights = nullptr);
 
  private:
   void prune();
@@ -145,6 +153,9 @@ struct CandidateReport {
   int step = 0;
   std::string dir;
   bool valid = false;
+  /// Candidate carries a VERIFIED stamp whose checksum matches the restored
+  /// weight state (only meaningful when the records themselves validate).
+  bool verified = false;
   std::string reason;  ///< why the candidate was rejected (when !valid)
 };
 
@@ -155,6 +166,13 @@ struct RestoreResult {
   std::vector<CandidateReport> candidates;
 };
 
+struct RestoreOptions {
+  /// Accept only candidates stamped verified-clean by the weight guard --
+  /// the supervisor's corruption rung, where "newest valid" is not enough
+  /// because a silently corrupted state checkpoints as perfectly valid.
+  bool require_verified = false;
+};
+
 class CheckpointReader {
  public:
   CheckpointReader(Storage& storage, std::string dir);
@@ -163,8 +181,9 @@ class CheckpointReader {
   /// record present with matching length and CRC, fingerprint consistent).
   /// Throws CkptError(NotFound) when no committed candidate exists,
   /// CkptError(Version) when only incompatible versions exist, and
-  /// CkptError(Corrupt) when candidates exist but none validates.
-  RestoreResult restore();
+  /// CkptError(Corrupt) when candidates exist but none validates (or,
+  /// under require_verified, none is stamped verified-clean).
+  RestoreResult restore(const RestoreOptions& options = {});
 
   /// Steps with a committed (present, not necessarily valid) manifest,
   /// descending.

@@ -12,7 +12,8 @@ ResumeResult resume_from_checkpoint(const ModelConfig& config,
                                     const std::string& dir,
                                     const ResumeOptions& options) {
   ckpt::CheckpointReader reader(storage, dir);
-  ckpt::RestoreResult restored = reader.restore();
+  ckpt::RestoreResult restored =
+      reader.restore({.require_verified = options.require_verified});
 
   ResumeResult result;
   result.state = std::move(restored.state);

@@ -31,6 +31,9 @@ struct ResumeOptions {
   /// Planner knobs used only when resharding (num_gpus/forced_stages are
   /// overwritten with the target count).
   AutoPipeOptions plan;
+  /// Accept only checkpoints stamped verified-clean by the weight guard
+  /// (ckpt::RestoreOptions) -- the supervisor's corruption rung.
+  bool require_verified = false;
 };
 
 struct ResumeResult {

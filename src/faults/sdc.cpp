@@ -1,0 +1,69 @@
+#include "faults/sdc.h"
+
+#include <cstring>
+
+namespace autopipe::faults {
+
+const char* to_string(SdcTarget target) {
+  switch (target) {
+    case SdcTarget::Activation: return "activation";
+    case SdcTarget::Gradient: return "gradient";
+    case SdcTarget::Weight: return "weight";
+    case SdcTarget::OptimizerMoment: return "optimizer-moment";
+  }
+  return "unknown";
+}
+
+void SdcInjector::arm(const SdcFault& fault) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.push_back(fault);
+  pending_count_.store(static_cast<int>(pending_.size()),
+                       std::memory_order_relaxed);
+}
+
+bool SdcInjector::maybe_corrupt(SdcTarget target, int boundary,
+                                int micro_batch, model::Tensor& x) {
+  if (pending_count_.load(std::memory_order_relaxed) == 0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    const SdcFault& f = pending_[i];
+    if (f.target != target || f.boundary != boundary) continue;
+    if (f.micro_batch >= 0 && f.micro_batch != micro_batch) continue;
+    flip_float_bit(x.data(), x.numel(), f.elem, f.bit);
+    pending_.erase(pending_.begin() + static_cast<long>(i));
+    pending_count_.store(static_cast<int>(pending_.size()),
+                         std::memory_order_relaxed);
+    ++fired_;
+    return true;
+  }
+  return false;
+}
+
+int SdcInjector::armed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(pending_.size());
+}
+
+int SdcInjector::fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_;
+}
+
+void SdcInjector::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.clear();
+  pending_count_.store(0, std::memory_order_relaxed);
+  fired_ = 0;
+}
+
+void flip_float_bit(float* data, std::size_t numel, std::uint64_t elem,
+                    int bit) {
+  if (data == nullptr || numel == 0) return;
+  float* slot = data + (elem % numel);
+  std::uint32_t bits;
+  std::memcpy(&bits, slot, sizeof(bits));
+  bits ^= 1u << (static_cast<unsigned>(bit) % 32u);
+  std::memcpy(slot, &bits, sizeof(bits));
+}
+
+}  // namespace autopipe::faults

@@ -1,0 +1,77 @@
+// Seeded in-flight silent-data-corruption (SDC) injection.
+//
+// The storage fault plans (storage_faults.h) corrupt bytes at rest; this
+// injector corrupts bytes *in motion* -- an activation crossing a stage
+// boundary, a gradient travelling backward, a weight or optimizer moment
+// between steps. Faults are armed consumed-once (the ArmedStorage idiom):
+// each armed fault fires on the first matching send and is then gone, so a
+// supervisor retry of the blamed step replays clean and a seeded chaos
+// script maps 1:1 onto observed incidents.
+//
+// The injector itself never detects anything. Detection is the guard
+// layer's job (guard/guard.h); keeping the two independent is what lets
+// bench_sdc_guard measure the escape rate of unguarded training against
+// the identical fault sequence.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "model/tensor.h"
+
+namespace autopipe::faults {
+
+/// What an armed bit flip lands on.
+enum class SdcTarget {
+  Activation,       ///< forward handoff tensor at a stage boundary
+  Gradient,         ///< backward handoff tensor at a stage boundary
+  Weight,           ///< a parameter tensor between steps
+  OptimizerMoment,  ///< an Adam moment slot between steps
+};
+
+const char* to_string(SdcTarget target);
+
+/// One armed single-bit flip. For in-flight targets (Activation/Gradient)
+/// `boundary`/`micro_batch` select the send it rides on; Weight and
+/// OptimizerMoment flips are applied directly by whoever holds the state
+/// (see flip_float_bit) and never pass through SdcInjector::maybe_corrupt.
+struct SdcFault {
+  SdcTarget target = SdcTarget::Activation;
+  int boundary = 0;          ///< channel index between global stages
+  int micro_batch = 0;       ///< exact micro-batch; -1 = first send seen
+  std::uint64_t elem = 0;    ///< flipped element (reduced mod numel at fire)
+  int bit = 0;               ///< flipped bit (reduced mod 32)
+};
+
+/// Thread-safe consumed-once arming. Workers call maybe_corrupt on every
+/// boundary send; with nothing armed the cost is one relaxed atomic load,
+/// so threading an (empty) injector through a run is bitwise free.
+class SdcInjector {
+ public:
+  void arm(const SdcFault& fault);
+
+  /// Fires (and removes) the first armed fault matching (target, boundary,
+  /// micro_batch), flipping one bit of `x` in place. Returns true if a
+  /// fault fired. Runs read-only-plus-one-bit: no allocation, no copy.
+  bool maybe_corrupt(SdcTarget target, int boundary, int micro_batch,
+                     model::Tensor& x);
+
+  int armed() const;
+  int fired() const;
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SdcFault> pending_;
+  std::atomic<int> pending_count_{0};
+  int fired_ = 0;
+};
+
+/// Flips bit (bit % 32) of data[elem % numel] in place. The shared
+/// primitive for weight/optimizer flips applied outside the runtime.
+void flip_float_bit(float* data, std::size_t numel, std::uint64_t elem,
+                    int bit);
+
+}  // namespace autopipe::faults

@@ -1,0 +1,121 @@
+#include "guard/guard.h"
+
+#include <cmath>
+
+#include "util/checksum.h"
+
+namespace autopipe::guard {
+
+std::uint64_t handoff_key(bool backward, int boundary, int micro_batch,
+                          int half) {
+  // half is -1 for unsliced ops; +1 keeps the packed field non-negative.
+  return (static_cast<std::uint64_t>(backward ? 1 : 0) << 60) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(boundary)) << 40) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(micro_batch)) << 8) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(half + 1) & 0xFFu);
+}
+
+void HandoffLedger::stamp(std::uint64_t key, std::uint32_t crc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stamps_[key] = crc;
+}
+
+std::optional<std::uint32_t> HandoffLedger::take(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = stamps_.find(key);
+  if (it == stamps_.end()) return std::nullopt;
+  const std::uint32_t crc = it->second;
+  stamps_.erase(it);
+  return crc;
+}
+
+std::size_t HandoffLedger::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stamps_.size();
+}
+
+std::uint32_t tensor_crc(const model::Tensor& x) {
+  util::Crc32 crc;
+  crc.update(x.data(), x.numel() * sizeof(float));
+  return crc.value();
+}
+
+bool tensor_finite(const model::Tensor& x) {
+  const float* data = x.data();
+  const std::size_t n = x.numel();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(data[i])) return false;
+  }
+  return true;
+}
+
+double grad_max_abs(const model::TransformerModel& model) {
+  double max_abs = 0.0;
+  for (int b = 0; b < model.num_blocks(); ++b) {
+    for (const model::ParamTensor& p : model.block(b).params()) {
+      const float* g = p.grad.data();
+      const std::size_t n = p.grad.numel();
+      for (std::size_t i = 0; i < n; ++i) {
+        const double a = std::fabs(static_cast<double>(g[i]));
+        if (a > max_abs) max_abs = a;
+      }
+    }
+  }
+  return max_abs;
+}
+
+bool NormGuard::observe(double norm) {
+  if (window_ <= 0) return false;
+  if (!calibrated()) {
+    history_.push_back(norm);
+    return false;
+  }
+  double window_max = 0.0;
+  for (double h : history_) window_max = std::max(window_max, h);
+  // A dead-zero calibration window (untrained toy models) can't scale a
+  // threshold; fall back to "anything non-finite or huge".
+  const double threshold =
+      window_max > 0.0 ? tolerance_ * window_max : tolerance_;
+  if (!std::isfinite(norm) || norm > threshold) return true;
+  history_.push_back(norm);
+  history_.pop_front();
+  return false;
+}
+
+namespace {
+
+void update_floats(util::Crc32& crc, const std::vector<float>& v) {
+  crc.update(v.data(), v.size() * sizeof(float));
+}
+
+}  // namespace
+
+std::uint32_t weight_state_crc(const ckpt::TrainState& state) {
+  util::Crc32 crc;
+  for (const ckpt::BlockState& block : state.blocks) {
+    for (const ckpt::ParamState& p : block.params) {
+      update_floats(crc, p.value);
+      update_floats(crc, p.adam_m);
+      update_floats(crc, p.adam_v);
+    }
+  }
+  return crc.value();
+}
+
+std::uint32_t weight_crc(const model::TransformerModel& model,
+                         const std::vector<std::vector<float>>& m,
+                         const std::vector<std::vector<float>>& v) {
+  util::Crc32 crc;
+  std::size_t slot = 0;
+  for (int b = 0; b < model.num_blocks(); ++b) {
+    for (const model::ParamTensor& p : model.block(b).params()) {
+      crc.update(p.value.data(), p.value.numel() * sizeof(float));
+      if (slot < m.size()) update_floats(crc, m[slot]);
+      if (slot < v.size()) update_floats(crc, v[slot]);
+      ++slot;
+    }
+  }
+  return crc.value();
+}
+
+}  // namespace autopipe::guard

@@ -1,0 +1,155 @@
+// Online integrity guards against silent data corruption (DESIGN.md §12).
+//
+// Storage corruption has been covered since PR 5 (CRC-framed checkpoint
+// records); this subsystem extends integrity checking to the *compute*
+// path: tensors crossing stage boundaries, gradients entering the
+// optimizer, and the weight/optimizer state living between steps. Four
+// independent detectors, each its own GuardOptions knob:
+//
+//   handoff_crc      producer stamps a CRC32 of every tensor it sends into
+//                    a shared HandoffLedger; the consumer recomputes and
+//                    verifies. Both passes are read-only over the tensor's
+//                    bytes, so the PR-7 copy-free handoff stays copy-free.
+//   nonfinite_checks NaN/Inf scans of handoff tensors (the loss itself is
+//                    always checked by TrainSession, guards or not).
+//   weight_interval  periodic CRC32 over (params, Adam moments): recomputed
+//                    after each optimizer step, verified at step entry
+//                    every k-th step, and stamped into checkpoints so a
+//                    restore can demand a *verified-clean* candidate.
+//   norm_window      rolling max of clean-step gradient norms; a norm more
+//                    than norm_tolerance times the calibrated max trips the
+//                    guard (the watchdog's wall-per-sim idiom applied to
+//                    gradients).
+//
+// Everything defaults off, and off means bitwise-identical training --
+// guards only ever read tensor bytes, never round, clamp or reorder them
+// (fuzz-enforced by GuardFuzz). Detections surface as
+// StageFailure(FailureKind::Corruption) so the supervisor can run its
+// corruption escalation rung.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "ckpt/checkpoint.h"
+#include "model/tensor.h"
+#include "model/transformer.h"
+
+namespace autopipe::guard {
+
+struct GuardOptions {
+  /// Producer-stamped, consumer-verified CRC32 over every micro-batch
+  /// tensor crossing a stage boundary (both directions).
+  bool handoff_crc = false;
+  /// Non-finite scans of handoff tensors. The final loss is checked
+  /// unconditionally by TrainSession regardless of this knob.
+  bool nonfinite_checks = false;
+  /// Verify the weight/optimizer-state checksum at the start of every k-th
+  /// step (0 = off). When on, checkpoints are stamped "verified-clean".
+  int weight_interval = 0;
+  /// Rolling window of clean-step gradient norms (0 = off). The guard only
+  /// arms once the window is full -- see NormGuard.
+  int norm_window = 0;
+  /// Trip threshold: gradient norm > tolerance * (calibrated window max).
+  double norm_tolerance = 8.0;
+
+  bool any() const {
+    return handoff_crc || nonfinite_checks || weight_interval > 0 ||
+           norm_window > 0;
+  }
+};
+
+/// Detection bookkeeping, shared across worker threads. Checks count every
+/// verification performed; failures/trips count detections.
+struct GuardCounters {
+  std::atomic<long> handoff_checks{0};
+  std::atomic<long> handoff_failures{0};
+  std::atomic<long> nonfinite_failures{0};
+  std::atomic<long> weight_checks{0};
+  std::atomic<long> weight_failures{0};
+  std::atomic<long> norm_checks{0};
+  std::atomic<long> norm_trips{0};
+
+  void reset() {
+    handoff_checks = 0;
+    handoff_failures = 0;
+    nonfinite_failures = 0;
+    weight_checks = 0;
+    weight_failures = 0;
+    norm_checks = 0;
+    norm_trips = 0;
+  }
+};
+
+/// Key for one boundary crossing: direction, channel index, micro-batch
+/// and (for sliced schedules) the half. Unique per iteration because every
+/// (direction, boundary, micro_batch, half) tensor is sent exactly once.
+std::uint64_t handoff_key(bool backward, int boundary, int micro_batch,
+                          int half);
+
+/// Producer-side CRC stamps awaiting consumer verification. One ledger per
+/// run_iteration; a clean iteration consumes every stamp it produced
+/// (asserted by the runtime), so leaks indicate a schedule bug.
+class HandoffLedger {
+ public:
+  void stamp(std::uint64_t key, std::uint32_t crc);
+  /// Consumes and returns the producer's stamp; nullopt when absent.
+  std::optional<std::uint32_t> take(std::uint64_t key);
+  std::size_t pending() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::uint32_t> stamps_;
+};
+
+/// Read-only CRC32 over a tensor's float payload (no copy, no mutation).
+std::uint32_t tensor_crc(const model::Tensor& x);
+
+/// True when every element is finite.
+bool tensor_finite(const model::Tensor& x);
+
+/// Largest |grad| across all parameters -- the norm the NormGuard watches.
+double grad_max_abs(const model::TransformerModel& model);
+
+/// Windowed norm guard with seeded calibration on clean steps: the first
+/// `window` observations only calibrate (they are assumed clean, exactly
+/// like the watchdog's wall-per-sim calibration); once full, an
+/// observation above tolerance * max(window) trips and is NOT absorbed
+/// (a corrupt norm must not poison the calibration), while clean
+/// observations roll through the window.
+class NormGuard {
+ public:
+  NormGuard() = default;
+  NormGuard(int window, double tolerance)
+      : window_(window), tolerance_(tolerance) {}
+
+  /// Feeds one observation; returns true when it trips the guard.
+  bool observe(double norm);
+  bool calibrated() const {
+    return window_ > 0 && static_cast<int>(history_.size()) >= window_;
+  }
+
+ private:
+  int window_ = 0;
+  double tolerance_ = 8.0;
+  std::deque<double> history_;
+};
+
+/// CRC32 over the weight/optimizer float state of a captured checkpoint, in
+/// canonical capture order (per block, per param: value, adam_m, adam_v).
+std::uint32_t weight_state_crc(const ckpt::TrainState& state);
+
+/// The same checksum computed from live (model, Adam moments) without
+/// capturing: bitwise equal to weight_state_crc(capture_train_state(...)).
+/// `m`/`v` are the optimizer's per-parameter moment vectors in flat order
+/// (empty before the first optimizer step).
+std::uint32_t weight_crc(const model::TransformerModel& model,
+                         const std::vector<std::vector<float>>& m,
+                         const std::vector<std::vector<float>>& v);
+
+}  // namespace autopipe::guard

@@ -42,6 +42,11 @@ class Adam final : public Optimizer {
   void step(model::TransformerModel& model) override;
 
   AdamState state() const { return {t_, m_, v_}; }
+  /// Copy-free views for integrity checks (guard::weight_crc) that hash the
+  /// moments in place every step and must not clone them.
+  long t() const { return t_; }
+  const std::vector<std::vector<float>>& m() const { return m_; }
+  const std::vector<std::vector<float>>& v() const { return v_; }
   /// Adopts a checkpointed state; set_state(state()) is an exact no-op.
   void set_state(AdamState s) {
     t_ = s.t;

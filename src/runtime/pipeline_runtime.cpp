@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "faults/sdc.h"
+#include "guard/guard.h"
 #include "runtime/channel.h"
 #include "runtime/stage_failure.h"
 #include "runtime/stage_worker.h"
@@ -90,6 +92,13 @@ IterationResult PipelineRuntime::run_iteration(
   };
   if (options.health != nullptr) options.health->reset(devices);
 
+  // One handoff ledger per iteration: producers stamp boundary-tensor CRCs,
+  // consumers verify-and-consume them (guard/guard.h). Scoped to the
+  // iteration so a failed run can't leak stale stamps into the retry.
+  guard::HandoffLedger ledger;
+  const bool handoff_guard =
+      options.guard != nullptr && options.guard->handoff_crc;
+
   // Global stage g starts at block prefix[g]; device d's chunk c covers
   // global stage c*devices + d.
   std::vector<int> prefix(global_stages, 0);
@@ -124,6 +133,10 @@ IterationResult PipelineRuntime::run_iteration(
     ctx.health = options.health;
     ctx.cancel = options.cancel;
     ctx.cancel_poll_ms = options.cancel_poll_ms;
+    ctx.guard = options.guard;
+    ctx.guard_counters = options.guard_counters;
+    ctx.ledger = handoff_guard ? &ledger : nullptr;
+    ctx.sdc = options.sdc;
     workers.emplace_back([ctx = std::move(ctx), d, &losses, &errors,
                           &error_kinds, &poison_all, health = options.health] {
       try {
@@ -164,6 +177,11 @@ IterationResult PipelineRuntime::run_iteration(
   }
   for (const auto& ch : backward_channels) {
     if (ch.pending() != 0) throw std::logic_error("leaked backward messages");
+  }
+  // Every stamp a clean iteration produced must have been consumed by its
+  // receiver; a leak means a send was verified against the wrong key.
+  if (handoff_guard && ledger.pending() != 0) {
+    throw std::logic_error("leaked handoff CRC stamps");
   }
 
   IterationResult result;

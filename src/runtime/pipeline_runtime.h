@@ -21,6 +21,14 @@
 #include "runtime/cancel.h"
 #include "runtime/health.h"
 
+namespace autopipe::faults {
+class SdcInjector;
+}
+namespace autopipe::guard {
+struct GuardOptions;
+struct GuardCounters;
+}
+
 namespace autopipe::runtime {
 
 struct IterationResult {
@@ -64,6 +72,17 @@ struct RunOptions {
   CancelToken* cancel = nullptr;
   /// Poll slice for cancellation-aware channel waits (only with `cancel`).
   double cancel_poll_ms = 25;
+  /// Integrity guards over the compute path (guard/guard.h). Null (or all
+  /// knobs off) = bitwise-identical execution: guards only ever read tensor
+  /// bytes. Detections throw StageFailure(Corruption).
+  const guard::GuardOptions* guard = nullptr;
+  /// Detection bookkeeping (required whenever `guard` enables any check).
+  guard::GuardCounters* guard_counters = nullptr;
+  /// Seeded in-flight bit-flip injection (faults/sdc.h). Corruption is
+  /// applied to boundary tensors *after* the producer's CRC stamp, modelling
+  /// corruption in transfer/SRAM that the handoff guard must catch. Null or
+  /// nothing armed = bit-identical.
+  faults::SdcInjector* sdc = nullptr;
 };
 
 class PipelineRuntime {

@@ -18,6 +18,7 @@ enum class FailureKind {
   Crash,       ///< injected (or real) permanent device loss
   Timeout,     ///< a bounded recv deadline expired (hung peer)
   PeerClosed,  ///< a channel was closed/poisoned by a failing peer
+  Corruption,  ///< an integrity guard caught silent data corruption
 };
 
 inline const char* to_string(FailureKind kind) {
@@ -26,6 +27,7 @@ inline const char* to_string(FailureKind kind) {
     case FailureKind::Crash: return "crash";
     case FailureKind::Timeout: return "timeout";
     case FailureKind::PeerClosed: return "peer-closed";
+    case FailureKind::Corruption: return "corruption";
   }
   return "unknown";
 }

@@ -7,6 +7,8 @@
 #include <string>
 #include <thread>
 
+#include "faults/sdc.h"
+#include "guard/guard.h"
 #include "runtime/stage_failure.h"
 #include "util/backoff.h"
 
@@ -103,6 +105,61 @@ void check_faults_before_op(const StageContext& ctx, int op_index) {
   }
 }
 
+/// Producer-side guard pass just before a boundary send: stamp the tensor's
+/// CRC into the ledger, then let the chaos injector flip a bit. Injection
+/// strikes strictly *after* the stamp -- it models corruption in transit,
+/// which is exactly what the consumer's verify must catch.
+void stamp_outgoing(const StageContext& ctx, bool backward, int boundary,
+                    const core::ScheduleOp& op, model::Tensor& x) {
+  if (ctx.guard != nullptr && ctx.guard->handoff_crc &&
+      ctx.ledger != nullptr) {
+    ctx.ledger->stamp(
+        guard::handoff_key(backward, boundary, op.micro_batch, op.half),
+        guard::tensor_crc(x));
+  }
+  if (ctx.sdc != nullptr) {
+    ctx.sdc->maybe_corrupt(backward ? faults::SdcTarget::Gradient
+                                    : faults::SdcTarget::Activation,
+                           boundary, op.micro_batch, x);
+  }
+}
+
+/// Consumer-side guard pass over a tensor just received across `boundary`:
+/// verify the producer's stamp, optionally scan for non-finite values. Both
+/// passes only read the tensor's bytes.
+void verify_received(const StageContext& ctx, bool backward, int boundary,
+                     const core::ScheduleOp& op, const model::Tensor& x) {
+  if (ctx.guard == nullptr) return;
+  const char* what = backward ? "gradient" : "activation";
+  if (ctx.guard->handoff_crc && ctx.ledger != nullptr) {
+    const std::optional<std::uint32_t> want = ctx.ledger->take(
+        guard::handoff_key(backward, boundary, op.micro_batch, op.half));
+    const std::uint32_t got = guard::tensor_crc(x);
+    if (ctx.guard_counters != nullptr) ++ctx.guard_counters->handoff_checks;
+    if (!want.has_value() || *want != got) {
+      if (ctx.guard_counters != nullptr) {
+        ++ctx.guard_counters->handoff_failures;
+      }
+      throw StageFailure(
+          FailureKind::Corruption, ctx.device,
+          std::string(what) + " handoff CRC mismatch at boundary " +
+              std::to_string(boundary) + " micro-batch " +
+              std::to_string(op.micro_batch) + " (device " +
+              std::to_string(ctx.device) + ")");
+    }
+  }
+  if (ctx.guard->nonfinite_checks && !guard::tensor_finite(x)) {
+    if (ctx.guard_counters != nullptr) {
+      ++ctx.guard_counters->nonfinite_failures;
+    }
+    throw StageFailure(FailureKind::Corruption, ctx.device,
+                       std::string("non-finite ") + what +
+                           " received at boundary " +
+                           std::to_string(boundary) + " micro-batch " +
+                           std::to_string(op.micro_batch));
+  }
+}
+
 }  // namespace
 
 double run_stage(const StageContext& ctx) {
@@ -185,6 +242,7 @@ double run_stage(const StageContext& ctx) {
         }
       } else {
         x = receive((*ctx.forward_channels)[global - 1], tag);
+        verify_received(ctx, /*backward=*/false, global - 1, op, x);
       }
       auto& entry = stash[{op.micro_batch, op.half, op.chunk}];
       entry = Stash{};
@@ -211,6 +269,7 @@ double run_stage(const StageContext& ctx) {
         }
       }
       if (!last) {
+        stamp_outgoing(ctx, /*backward=*/false, global, op, x);
         (*ctx.forward_channels)[global].send(tag, std::move(x));
       }
       // The last stage discards logits here and recomputes them in the
@@ -257,6 +316,7 @@ double run_stage(const StageContext& ctx) {
         loss += model::cross_entropy(logits, targets, ctx.loss_scale, &dy);
       } else {
         dy = receive((*ctx.backward_channels)[global], tag);
+        verify_received(ctx, /*backward=*/true, global, op, dy);
       }
       const bool split = op.type == core::OpType::BackwardInput;
       if (split && !ctx.recompute) {
@@ -281,6 +341,7 @@ double run_stage(const StageContext& ctx) {
         bw_stash[{op.micro_batch, op.half, op.chunk}] = std::move(states);
       }
       if (!first) {
+        stamp_outgoing(ctx, /*backward=*/true, global - 1, op, dy);
         (*ctx.backward_channels)[global - 1].send(tag, std::move(dy));
       }
       stash.erase(it);

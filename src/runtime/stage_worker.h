@@ -24,6 +24,15 @@
 #include "runtime/channel.h"
 #include "runtime/health.h"
 
+namespace autopipe::faults {
+class SdcInjector;
+}
+namespace autopipe::guard {
+struct GuardOptions;
+struct GuardCounters;
+class HandoffLedger;
+}
+
 namespace autopipe::runtime {
 
 struct BlockRange {
@@ -85,6 +94,16 @@ struct StageContext {
   /// Receive waits are sliced into polls of this length when `cancel` is
   /// set, bounding how stale a cancellation check can get.
   double cancel_poll_ms = 25;
+  /// Integrity guards (guard/guard.h): with handoff_crc the producer stamps
+  /// a CRC32 of every boundary tensor into `ledger` and the consumer
+  /// verifies it; nonfinite_checks scans received tensors. Both passes are
+  /// read-only -- the copy-free handoff stays copy-free. Null = off.
+  const guard::GuardOptions* guard = nullptr;
+  guard::GuardCounters* guard_counters = nullptr;
+  guard::HandoffLedger* ledger = nullptr;
+  /// Seeded in-flight bit flips (faults/sdc.h), applied after the CRC stamp
+  /// on the producing side. Null = off.
+  faults::SdcInjector* sdc = nullptr;
 };
 
 /// Runs every op of `ctx.schedule->order[ctx.device]`; returns this

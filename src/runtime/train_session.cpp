@@ -1,9 +1,11 @@
 #include "runtime/train_session.h"
 
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 
 #include "model/arena.h"
+#include "runtime/stage_failure.h"
 #include "util/logging.h"
 
 namespace autopipe::runtime {
@@ -64,6 +66,16 @@ void TrainSession::init_runtime() {
   model::Arena::global().reserve(static_cast<std::size_t>(reserve_bytes));
   loss_scale_ = 1.0 / (static_cast<double>(options_.micro_batch) *
                        options_.num_micro_batches * options_.spec.seq);
+  // Guards live on the session, so the per-iteration runtime reads them
+  // through stable pointers into this object. Leaving the pointers null
+  // when every knob is off keeps the hot path untouched.
+  if (options_.guard.any()) {
+    options_.run.guard = &options_.guard;
+    options_.run.guard_counters = &guard_counters_;
+  }
+  norm_guard_ =
+      guard::NormGuard(options_.guard.norm_window, options_.guard.norm_tolerance);
+  refresh_weight_sentinel();
   if (!options_.ckpt_dir.empty() && options_.ckpt_interval > 0) {
     ckpt::Storage& storage =
         options_.storage != nullptr ? *options_.storage : posix_;
@@ -75,6 +87,21 @@ void TrainSession::init_runtime() {
 }
 
 double TrainSession::step() {
+  // Weight guard: verify the between-steps state is still exactly what the
+  // last clean mutation left behind, *before* any of it feeds a forward
+  // pass. The check reads the live floats in place against the sentinel.
+  if (options_.guard.weight_interval > 0 && weight_sentinel_valid_ &&
+      step_ % options_.guard.weight_interval == 0) {
+    ++guard_counters_.weight_checks;
+    if (guard::weight_crc(model_, adam_.m(), adam_.v()) != weight_sentinel_) {
+      ++guard_counters_.weight_failures;
+      throw StageFailure(FailureKind::Corruption, -1,
+                         "weight-state checksum mismatch at step " +
+                             std::to_string(step_) +
+                             " (weights or optimizer state corrupted "
+                             "between steps)");
+    }
+  }
   // Snapshot the data stream so a failed attempt can be rewound: the batch
   // draw advances the corpus RNG, and a supervisor retrying this step must
   // see the identical batch or the retried run diverges from the unfaulted
@@ -95,11 +122,58 @@ double TrainSession::step() {
     corpus_.set_rng_state(data_rng);
     throw;
   }
+  // A non-finite loss is always fatal for the step, guards or not:
+  // training on NaN silently poisons every parameter, which is the one
+  // outcome this layer exists to prevent. Rewind so the step is retryable.
+  if (!std::isfinite(result.loss)) {
+    ++guard_counters_.nonfinite_failures;
+    corpus_.set_rng_state(data_rng);
+    throw StageFailure(FailureKind::Corruption, -1,
+                       "non-finite loss at step " + std::to_string(step_) +
+                           " (corrupted activations or parameters)");
+  }
+  // Norm guard: judge this step's gradients against the calibrated window
+  // of clean-step norms, before the optimizer consumes them.
+  if (options_.guard.norm_window > 0) {
+    ++guard_counters_.norm_checks;
+    const double norm = guard::grad_max_abs(model_);
+    if (norm_guard_.observe(norm)) {
+      ++guard_counters_.norm_trips;
+      corpus_.set_rng_state(data_rng);
+      throw StageFailure(FailureKind::Corruption, -1,
+                         "gradient norm guard tripped at step " +
+                             std::to_string(step_) + " (|grad|max " +
+                             std::to_string(norm) + " exceeds " +
+                             std::to_string(options_.guard.norm_tolerance) +
+                             "x the calibrated clean-step maximum)");
+    }
+  }
   adam_.step(model_);
   ++step_;
+  // Refresh the sentinel only on steps where it will be consumed: before
+  // the next entry check (step_ is now the step the check guards) or to
+  // stamp a checkpoint verified-clean. Skipping the other steps is what
+  // makes weight_interval > 1 cheap; the cost is the documented periodic
+  // detection window.
+  if (options_.guard.weight_interval > 0 &&
+      (step_ % options_.guard.weight_interval == 0 ||
+       (writer_ != nullptr && step_ % options_.ckpt_interval == 0))) {
+    refresh_weight_sentinel();
+  } else if (options_.guard.weight_interval > 0) {
+    // State moved past the sentinel without a refresh: it no longer
+    // describes the live floats, so neither the entry check nor the
+    // checkpoint stamp may trust it until the next refresh.
+    weight_sentinel_valid_ = false;
+  }
   losses_.push_back(result.loss);
   maybe_checkpoint();
   return result.loss;
+}
+
+void TrainSession::refresh_weight_sentinel() {
+  if (options_.guard.weight_interval <= 0) return;
+  weight_sentinel_ = guard::weight_crc(model_, adam_.m(), adam_.v());
+  weight_sentinel_valid_ = true;
 }
 
 ckpt::TrainState TrainSession::capture() const {
@@ -111,7 +185,11 @@ ckpt::TrainState TrainSession::capture() const {
 void TrainSession::maybe_checkpoint() {
   if (writer_ == nullptr || step_ % options_.ckpt_interval != 0) return;
   try {
-    writer_->write(capture());
+    // With the weight guard on, the sentinel is exactly the state being
+    // captured (refreshed after the optimizer step), so the checkpoint is
+    // stamped verified-clean and the corruption rung can trust it.
+    writer_->write(capture(),
+                   weight_sentinel_valid_ ? &weight_sentinel_ : nullptr);
     ++checkpoints_written_;
   } catch (const ckpt::StorageError& e) {
     // A lost checkpoint must never lose the run: note it and train on. The

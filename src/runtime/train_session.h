@@ -22,6 +22,7 @@
 #include "ckpt/checkpoint.h"
 #include "core/schedule.h"
 #include "costmodel/memory.h"
+#include "guard/guard.h"
 #include "model/data.h"
 #include "model/transformer.h"
 #include "runtime/optimizer.h"
@@ -52,6 +53,12 @@ struct TrainSessionOptions {
   /// so a supervisor can re-arm fault plans and tokens between attempts via
   /// run_options().
   RunOptions run;
+
+  /// SDC guards (guard/guard.h). All-off (the default) trains bitwise
+  /// identically to a guard-free build; any detection surfaces as
+  /// StageFailure(FailureKind::Corruption). Independent of the guards, a
+  /// non-finite loss always fails the step with the same typed failure.
+  guard::GuardOptions guard;
 };
 
 class TrainSession {
@@ -75,6 +82,12 @@ class TrainSession {
   /// retry the *same* logical iteration in place -- the retried step draws
   /// the identical batch, and since gradients are re-zeroed on entry the
   /// half-accumulated gradients of the failed attempt cannot leak into it.
+  ///
+  /// Guard checks run in the same atomic envelope: a weight-sentinel
+  /// mismatch fails before the batch is drawn; a non-finite loss or a norm
+  /// trip fails after the pipeline but *before* the optimizer mutates
+  /// anything, with the stream rewound -- so every Corruption failure
+  /// leaves the session retryable in place.
   double step();
 
   int iteration() const { return step_; }
@@ -93,6 +106,13 @@ class TrainSession {
   RunOptions& run_options() { return options_.run; }
   const core::Schedule& schedule() const { return schedule_; }
   int num_devices() const { return runtime_->num_devices(); }
+  /// Detection bookkeeping across all guards (cumulative for this session).
+  const guard::GuardCounters& guard_counters() const {
+    return guard_counters_;
+  }
+  /// The optimizer, exposed so chaos harnesses can corrupt moment state
+  /// between steps (the weight guard's job to catch).
+  Adam& optimizer() { return adam_; }
 
   /// The session's state as of the last completed iteration -- exactly what
   /// a checkpoint written now would contain.
@@ -101,6 +121,8 @@ class TrainSession {
  private:
   void init_runtime();
   void maybe_checkpoint();
+  /// Recomputes the weight-state sentinel from the live (params, moments).
+  void refresh_weight_sentinel();
 
   TrainSessionOptions options_;
   model::TransformerModel model_;
@@ -116,6 +138,12 @@ class TrainSession {
   int checkpoints_written_ = 0;
   int checkpoint_failures_ = 0;
   std::string last_checkpoint_error_;
+  guard::GuardCounters guard_counters_;
+  guard::NormGuard norm_guard_;
+  /// CRC32 over (params, Adam moments) as of the last clean mutation; only
+  /// maintained when the weight guard is on.
+  std::uint32_t weight_sentinel_ = 0;
+  bool weight_sentinel_valid_ = false;
 };
 
 }  // namespace autopipe::runtime

@@ -14,8 +14,19 @@ const char* to_string(ChaosKind kind) {
     case ChaosKind::Straggler: return "straggler";
     case ChaosKind::Transient: return "transient";
     case ChaosKind::TornCheckpoint: return "torn-checkpoint";
+    case ChaosKind::CorruptActivation: return "corrupt-activation";
+    case ChaosKind::CorruptGradient: return "corrupt-gradient";
+    case ChaosKind::CorruptWeight: return "corrupt-weight";
+    case ChaosKind::CorruptOptimizer: return "corrupt-optimizer";
   }
   return "?";
+}
+
+bool is_corruption(ChaosKind kind) {
+  return kind == ChaosKind::CorruptActivation ||
+         kind == ChaosKind::CorruptGradient ||
+         kind == ChaosKind::CorruptWeight ||
+         kind == ChaosKind::CorruptOptimizer;
 }
 
 std::vector<const ChaosEvent*> ChaosScript::at_step(int step) const {
@@ -42,7 +53,9 @@ ChaosScript ChaosScript::sample(const ChaosScriptOptions& options,
                                   ChaosKind::TornCheckpoint};
   for (int i = 0; i < options.incidents; ++i) {
     ChaosEvent e;
-    e.kind = kCycle[i % 5];
+    e.kind = options.classes.empty()
+                 ? kCycle[i % 5]
+                 : options.classes[i % options.classes.size()];
     // Every incident consumes the same number of draws regardless of kind
     // or collision retries' outcome, keeping scripts stable under option
     // tweaks: draw (step, device, op) up to a bounded number of times.
@@ -55,6 +68,19 @@ ChaosScript ChaosScript::sample(const ChaosScriptOptions& options,
           static_cast<int>(rng.next_double() * options.ops_per_device);
       e.op_index = std::min(e.op_index, options.ops_per_device - 1);
       if (e.kind == ChaosKind::TornCheckpoint) break;  // no collision domain
+      if (is_corruption(e.kind)) {
+        // One corruption per step, full stop: two flips detected by the
+        // same sentinel would collapse into one incident and break the
+        // injected-to-observed 1:1 accounting a soak asserts.
+        const bool step_taken =
+            std::any_of(taken.begin(), taken.end(),
+                        [&](const auto& k) { return k.first == e.step; });
+        if (!step_taken) {
+          taken.emplace_back(e.step, -1);
+          break;
+        }
+        continue;
+      }
       const auto key = std::make_pair(e.step, e.device);
       if (std::find(taken.begin(), taken.end(), key) == taken.end()) {
         taken.push_back(key);
@@ -64,6 +90,12 @@ ChaosScript ChaosScript::sample(const ChaosScriptOptions& options,
     e.delay_ms = options.straggler_delay_ms;
     e.op_count = 2;
     e.failures = options.transient_failures;
+    if (is_corruption(e.kind)) {
+      // Extra draws only for Corrupt* kinds: legacy scripts stay byte
+      // stable for a given seed.
+      e.elem = rng.next_u64();
+      e.bit = static_cast<int>(rng.next_double() * 32) % 32;
+    }
     script.events.push_back(e);
   }
   return script;

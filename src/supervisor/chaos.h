@@ -32,9 +32,18 @@ enum class ChaosKind {
   Straggler,       ///< SlowOps: real wall-clock delay, step completes slowly
   Transient,       ///< TransientOpFault past the in-place retry budget
   TornCheckpoint,  ///< next checkpoint write tears mid-file
+  // Silent-data-corruption classes (faults/sdc.h): a single seeded bit flip
+  // that no fail-stop detector sees -- only the guard layer can.
+  CorruptActivation,  ///< in-flight flip on a forward boundary tensor
+  CorruptGradient,    ///< in-flight flip on a backward boundary tensor
+  CorruptWeight,      ///< flip in a parameter between steps
+  CorruptOptimizer,   ///< flip in an Adam moment between steps
 };
 
 const char* to_string(ChaosKind kind);
+
+/// True for the four Corrupt* classes.
+bool is_corruption(ChaosKind kind);
 
 struct ChaosEvent {
   int step = 0;    ///< 0-based training step the event arms at
@@ -44,6 +53,10 @@ struct ChaosEvent {
   double delay_ms = 0;  ///< Straggler: per-op extra wall ms
   int op_count = 1;     ///< Straggler: ops affected
   int failures = 1;     ///< Transient: injected failure count
+  /// Corrupt* only: which element/bit the flip lands on (reduced modulo the
+  /// target's extent at fire time).
+  std::uint64_t elem = 0;
+  int bit = 0;
 };
 
 struct ChaosScriptOptions {
@@ -53,6 +66,10 @@ struct ChaosScriptOptions {
   int incidents = 6;        ///< events to draw
   double straggler_delay_ms = 40;
   int transient_failures = 8;  ///< > worker retry budget => escalates
+  /// Failure classes the script cycles through. Empty (the default) keeps
+  /// the legacy five-class fail-stop cycle, byte-stable for existing seeded
+  /// scripts; a corruption soak passes the four Corrupt* classes.
+  std::vector<ChaosKind> classes;
 };
 
 struct ChaosScript {
@@ -62,9 +79,11 @@ struct ChaosScript {
   std::vector<const ChaosEvent*> at_step(int step) const;
 
   /// Draws `options.incidents` events deterministically from `seed`,
-  /// cycling through all five classes so any script with >= 5 incidents
-  /// spans every failure class. Steps are drawn uniformly; at most one
-  /// runtime fault lands per (step, device) so one attempt has one origin.
+  /// cycling through all five fail-stop classes (or `options.classes` when
+  /// set) so any script with >= cycle-length incidents spans every class.
+  /// Steps are drawn uniformly; at most one runtime fault lands per
+  /// (step, device) -- and at most one Corrupt* event per step, so each
+  /// injected corruption maps to exactly one observed incident.
   static ChaosScript sample(const ChaosScriptOptions& options,
                             std::uint64_t seed);
 };

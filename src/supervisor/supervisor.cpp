@@ -19,6 +19,7 @@ const char* to_string(IncidentClass cls) {
     case IncidentClass::Hang: return "hang";
     case IncidentClass::Straggler: return "straggler";
     case IncidentClass::Storage: return "storage";
+    case IncidentClass::Corruption: return "corruption";
   }
   return "?";
 }
@@ -83,6 +84,7 @@ void Supervisor::build_session(const runtime::TrainSessionOptions& opts,
   run.health = &board_;
   run.cancel = nullptr;
   run.faults = nullptr;
+  run.sdc = &sdc_;
   refresh_plan_timing();
 }
 
@@ -143,8 +145,60 @@ void Supervisor::arm_chaos(int step, faults::FaultPlan& plan,
       case ChaosKind::TornCheckpoint:
         armed_.arm_torn_write(options_.torn_keep_bytes);
         break;
+      case ChaosKind::CorruptActivation:
+      case ChaosKind::CorruptGradient: {
+        const int boundaries =
+            static_cast<int>(session_opts_.counts.size()) - 1;
+        if (boundaries < 1) {
+          // Single-stage pipelines have no handoff to corrupt in flight;
+          // land the flip on state instead so the event still fires.
+          apply_state_flip(e);
+          break;
+        }
+        faults::SdcFault f;
+        f.target = e.kind == ChaosKind::CorruptActivation
+                       ? faults::SdcTarget::Activation
+                       : faults::SdcTarget::Gradient;
+        f.boundary = e.device % boundaries;
+        f.micro_batch = e.op_index % session_opts_.num_micro_batches;
+        f.elem = e.elem;
+        f.bit = e.bit;
+        sdc_.arm(f);
+        break;
+      }
+      case ChaosKind::CorruptWeight:
+      case ChaosKind::CorruptOptimizer:
+        apply_state_flip(e);
+        break;
     }
   }
+}
+
+void Supervisor::apply_state_flip(const ChaosEvent& event) {
+  // Between-steps state corruption: flip one bit directly in the live
+  // session. Nothing fail-stop notices -- only the weight sentinel can.
+  model::TransformerModel& m = session_->model();
+  const int b = event.op_index % m.num_blocks();
+  std::vector<model::ParamTensor>& params = m.block(b).params();
+  const std::size_t p =
+      static_cast<std::size_t>((event.elem >> 32) % params.size());
+  if (event.kind == ChaosKind::CorruptOptimizer) {
+    runtime::AdamState st = session_->optimizer().state();
+    std::size_t slot = p;
+    for (int k = 0; k < b; ++k) slot += m.block(k).params().size();
+    if (st.t > 0 && slot < st.m.size() && !st.m[slot].empty()) {
+      std::vector<float>& moment = event.bit % 2 == 0 ? st.m[slot] : st.v[slot];
+      faults::flip_float_bit(moment.data(), moment.size(),
+                             event.elem & 0xffffffffu, event.bit);
+      session_->optimizer().set_state(std::move(st));
+      return;
+    }
+    // No moments yet (before the first optimizer step): fall through to a
+    // parameter flip so the event still injects something detectable.
+  }
+  model::Tensor& value = params[p].value;
+  faults::flip_float_bit(value.data(), value.numel(),
+                         event.elem & 0xffffffffu, event.bit);
 }
 
 bool Supervisor::charge_action(SupervisorReport& report,
@@ -218,6 +272,11 @@ SupervisorReport Supervisor::run() {
     arm_chaos(step, plan, straggler_armed);
     const bool runtime_faults = !plan.empty();
     const int ckpt_failures_before = session_->checkpoint_failures();
+    const guard::GuardCounters& gc = session_->guard_counters();
+    const long weight_failures_before = gc.weight_failures;
+    const long detections_before = gc.handoff_failures +
+                                   gc.nonfinite_failures +
+                                   gc.weight_failures + gc.norm_trips;
 
     runtime::CancelToken token;
     runtime::RunOptions& run = session_->run_options();
@@ -287,7 +346,21 @@ SupervisorReport Supervisor::run() {
     Incident inc;
     inc.step = step;
     inc.what = failure.what();
-    if (verdict.fired) {
+    // Did any integrity guard detect during this attempt? The counters are
+    // the ground truth: under cancellation races the *origin* failure can
+    // surface as Timeout/PeerClosed even though a guard fired first.
+    const long detections_now = gc.handoff_failures + gc.nonfinite_failures +
+                                gc.weight_failures + gc.norm_trips;
+    if (failure.kind() == runtime::FailureKind::Corruption ||
+        detections_now > detections_before) {
+      // A CRC or sentinel mismatch is definitive evidence of the root
+      // cause, so it outranks even the watchdog verdict.
+      inc.cls = IncidentClass::Corruption;
+      inc.device = failure.kind() == runtime::FailureKind::Corruption
+                       ? failure.device()
+                       : -1;
+      inc.detect_ms = wall_ms;
+    } else if (verdict.fired) {
       // Under cancellation every worker throws Timeout; the watchdog knows
       // which device actually went silent first.
       inc.cls = IncidentClass::Hang;
@@ -310,6 +383,18 @@ SupervisorReport Supervisor::run() {
       inc.detect_ms = wall_ms;
     }
 
+    // Corruption splits on *where* the flip landed. A weight-sentinel
+    // mismatch means the persistent state itself is rotten -- retrying on
+    // it would just re-detect, so only a verified-clean restore helps. Any
+    // other Corruption (handoff CRC, non-finite, norm trip) hit in-flight
+    // data: the step is atomic and the injected flip was consumed by the
+    // detected attempt, so an in-place re-execute is state-exact.
+    const bool weight_corruption =
+        inc.cls == IncidentClass::Corruption &&
+        session_->guard_counters().weight_failures > weight_failures_before;
+    const bool inflight_corruption =
+        inc.cls == IncidentClass::Corruption && !weight_corruption;
+
     if (!charge_action(report, std::string(to_string(inc.cls)) + " at step " +
                                    std::to_string(step))) {
       inc.action = Action::Abort;
@@ -319,7 +404,7 @@ SupervisorReport Supervisor::run() {
       return report;
     }
 
-    if (inc.cls == IncidentClass::Transient &&
+    if ((inc.cls == IncidentClass::Transient || inflight_corruption) &&
         retries_this_step < options_.retries_per_step) {
       // Rung 1: the step is atomic (parameters untouched, data stream
       // rewound), so retrying in place is state-exact. The injected fault
@@ -342,6 +427,9 @@ SupervisorReport Supervisor::run() {
     core::ResumeOptions ropts;
     ropts.plan = options_.plan;
     ropts.num_gpus = degrade ? devices - 1 : 0;
+    // Corrupted state must not be restored from a checkpoint that might
+    // carry the same corruption: insist on the verified-clean stamp.
+    ropts.require_verified = weight_corruption;
     try {
       std::vector<int> override_counts;
       if (degrade) override_counts = degraded_counts(devices - 1);
@@ -358,7 +446,14 @@ SupervisorReport Supervisor::run() {
                    << " from step " << resumed.state.step << " on "
                    << session_opts_.counts.size() << " device(s)";
     } catch (const ckpt::CkptError& e) {
-      if (e.kind() == ckpt::CkptErrorKind::NotFound) {
+      if (weight_corruption && e.kind() != ckpt::CkptErrorKind::Mismatch) {
+        // No verified-clean checkpoint exists (none yet, or none stamped).
+        // The one state we can still trust is the deterministic step-0
+        // initialisation: rebuild it and replay. Bit-exact, just slow.
+        inc.action = Action::Restore;
+        inc.what += " [no verified-clean checkpoint; rebuilt from step 0]";
+        build_session(session_opts_, nullptr);
+      } else if (e.kind() == ckpt::CkptErrorKind::NotFound) {
         // Nothing durable yet. Atomic steps make an in-place retry exactly
         // as safe as a restore would have been.
         inc.action = Action::RetryInPlace;

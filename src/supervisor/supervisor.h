@@ -10,9 +10,11 @@
 //             successful steps, torn checkpoint writes as absorbed
 //             StorageErrors on the session's counters.
 //   classify  each incident gets a class (Transient/Crash/Hang/Straggler/
-//             Storage): the watchdog's verdict outranks the StageFailure
-//             kind (under cancellation many devices throw Timeout; the
-//             watchdog knows which one went silent first).
+//             Storage/Corruption): the watchdog's verdict outranks the
+//             StageFailure kind (under cancellation many devices throw
+//             Timeout; the watchdog knows which one went silent first) --
+//             except Corruption, where a CRC or sentinel mismatch is
+//             definitive evidence of the root cause.
 //   recover   a deterministic escalation ladder under a bounded restart
 //             budget: in-place retry of the same logical step (TrainSession
 //             steps are atomic: failed attempts rewind the data stream and
@@ -21,7 +23,13 @@
 //             survivors (Degrade mode; optionally consulting an external
 //             plan oracle such as a running plan_serve daemon, with local
 //             replan as fallback). Budget exhausted or an unclassifiable
-//             error -> graceful abort with a typed report.
+//             error -> graceful abort with a typed report. Corruption has
+//             its own rung: in-flight flips (activation/gradient) were
+//             consumed by the detected attempt, so an in-place re-execute
+//             is state-exact; corrupted *state* (weight/optimizer flips)
+//             cannot be retried -- those restore from the newest
+//             verified-clean checkpoint (ckpt::RestoreOptions) or, lacking
+//             one, rebuild the deterministic initial state and replay.
 //
 // Recovery modes: Replace (default) restores onto the same device count --
 // a spare takes the dead device's slot -- which keeps every recovery
@@ -39,6 +47,7 @@
 
 #include "ckpt/storage.h"
 #include "core/autopipe.h"
+#include "faults/sdc.h"
 #include "runtime/health.h"
 #include "runtime/train_session.h"
 #include "supervisor/chaos.h"
@@ -47,7 +56,14 @@
 
 namespace autopipe::supervisor {
 
-enum class IncidentClass { Transient, Crash, Hang, Straggler, Storage };
+enum class IncidentClass {
+  Transient,
+  Crash,
+  Hang,
+  Straggler,
+  Storage,
+  Corruption,  ///< an integrity guard caught silent data corruption
+};
 enum class Action { RetryInPlace, Restore, Replan, Absorb, Abort };
 
 const char* to_string(IncidentClass cls);
@@ -140,6 +156,10 @@ class Supervisor {
   void refresh_plan_timing();
   std::vector<double> current_deadlines() const;
   void arm_chaos(int step, faults::FaultPlan& plan, bool& straggler_armed);
+  /// Applies a CorruptWeight/CorruptOptimizer event directly to the live
+  /// session state (flips one bit); the weight guard must catch it at the
+  /// next sentinel check.
+  void apply_state_flip(const ChaosEvent& event);
   bool charge_action(SupervisorReport& report, const std::string& context);
   void close_open_incidents(SupervisorReport& report);
   std::vector<int> degraded_counts(int survivors);
@@ -159,6 +179,9 @@ class Supervisor {
   double sim_iteration_ms_ = 0;
   double wall_per_sim_ = 0;  ///< 0 until the first clean step calibrates
   std::vector<bool> consumed_;  ///< chaos events armed once, ever
+  /// In-flight bit-flip injector, threaded into every session's RunOptions.
+  /// Consumed-once like the rest of the chaos machinery.
+  faults::SdcInjector sdc_;
   std::vector<std::size_t> open_incidents_;  ///< indices awaiting downtime
   std::vector<std::chrono::steady_clock::time_point> open_since_;
 };

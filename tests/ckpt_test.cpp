@@ -492,5 +492,120 @@ TEST(CkptFuzz, SeededFaultPlansNeverRestoreCorruptState) {
   (void)typed_failures;
 }
 
+// -------------------------------------------------------- bit-flip sweep
+
+/// Storage decorator that records the payload size of every write_file call,
+/// so the sweep below can aim one BitFlip at every (op, byte) coordinate of
+/// a checkpoint generation without hard-coding the on-disk format.
+class RecordingStorage final : public Storage {
+ public:
+  explicit RecordingStorage(Storage& inner) : inner_(inner) {}
+  void create_dirs(const std::string& path) override {
+    inner_.create_dirs(path);
+  }
+  void write_file(const std::string& path, std::string_view bytes) override {
+    sizes_.push_back(bytes.size());
+    inner_.write_file(path, bytes);
+  }
+  void rename_file(const std::string& from, const std::string& to) override {
+    inner_.rename_file(from, to);
+  }
+  std::string read_file(const std::string& path) override {
+    return inner_.read_file(path);
+  }
+  bool exists(const std::string& path) override { return inner_.exists(path); }
+  std::vector<std::string> list_dir(const std::string& dir) override {
+    return inner_.list_dir(dir);
+  }
+  void remove_file(const std::string& path) override {
+    inner_.remove_file(path);
+  }
+  void remove_dir(const std::string& path) override { inner_.remove_dir(path); }
+  const std::vector<std::size_t>& sizes() const { return sizes_; }
+
+ private:
+  Storage& inner_;
+  std::vector<std::size_t> sizes_;
+};
+
+/// Smallest model the checkpoint format supports (1 layer -> 4 blocks) so
+/// the exhaustive byte sweep stays cheap.
+model::TinySpec micro_spec() {
+  model::TinySpec s;
+  s.layers = 1;
+  s.hidden = 4;
+  s.heads = 1;
+  s.vocab = 8;
+  s.seq = 2;
+  return s;
+}
+
+TrainState micro_state(int step, const std::vector<int>& counts) {
+  model::TransformerModel model(micro_spec());
+  util::Rng rng(0x5eedULL + static_cast<std::uint64_t>(step));
+  return capture_train_state(model, {}, rng.state(), step, counts, 0);
+}
+
+TEST(CkptBitFlipSweep, EveryOffsetFallsBackToPriorGeneration) {
+  // Flip one bit at EVERY byte offset of the newest generation's payloads
+  // (each record and the manifest). Newest-valid-wins must reject the
+  // poisoned step-4 candidate with a diagnosis and fall back to step 2
+  // bit-exactly, at every single offset -- no byte of the format may be
+  // outside checksum coverage.
+  const std::vector<int> counts = {2, 2};
+  const TrainState gen1 = micro_state(2, counts);
+  const TrainState gen2 = micro_state(4, counts);
+
+  // Recording pass: learn how many write ops one checkpoint takes and the
+  // payload size of each of gen2's ops (2 records + MANIFEST for 2 stages).
+  std::size_t ops_per_ckpt = 0;
+  std::vector<std::size_t> sizes;
+  {
+    MemStorage mem;
+    RecordingStorage rec(mem);
+    CheckpointWriter writer(rec, "ck");
+    writer.write(gen1);
+    ops_per_ckpt = rec.sizes().size();
+    writer.write(gen2);
+    sizes.assign(rec.sizes().begin() + static_cast<long>(ops_per_ckpt),
+                 rec.sizes().end());
+  }
+  ASSERT_EQ(sizes.size(), 3u);  // 2 stage records + MANIFEST
+
+  int swept = 0;
+  for (std::size_t op = 0; op < sizes.size(); ++op) {
+    for (std::size_t byte = 0; byte < sizes[op]; ++byte) {
+      MemStorage mem;
+      faults::StorageFaultPlan plan;
+      plan.faults.push_back({faults::StorageFault::Kind::BitFlip,
+                             static_cast<int>(ops_per_ckpt + op), byte});
+      faults::FaultyStorage faulty(mem, plan);
+      CheckpointWriter writer(faulty, "ck");
+      writer.write(gen1);
+      writer.write(gen2);
+      ASSERT_EQ(faulty.injected(), 1) << "op " << op << " byte " << byte;
+
+      CheckpointReader reader(mem, "ck");
+      const RestoreResult restored = reader.restore();
+      ++swept;
+      ASSERT_EQ(restored.state.step, 2) << "op " << op << " byte " << byte;
+      ASSERT_EQ(restored.state, gen1) << "op " << op << " byte " << byte;
+
+      // Per-candidate diagnostics: the poisoned newest generation is listed
+      // first with a non-empty reason; the winner is last and valid.
+      ASSERT_GE(restored.candidates.size(), 2u);
+      const CandidateReport& newest = restored.candidates.front();
+      const CandidateReport& winner = restored.candidates.back();
+      EXPECT_EQ(newest.step, 4) << "op " << op << " byte " << byte;
+      EXPECT_FALSE(newest.valid) << "op " << op << " byte " << byte;
+      EXPECT_FALSE(newest.reason.empty()) << "op " << op << " byte " << byte;
+      EXPECT_EQ(winner.step, 2);
+      EXPECT_TRUE(winner.valid);
+    }
+  }
+  // The property above is per-offset; this guards against a vacuous sweep.
+  EXPECT_GT(swept, 100);
+}
+
 }  // namespace
 }  // namespace autopipe::ckpt

@@ -12,6 +12,7 @@
 #include "core/planner.h"
 #include "core/slicer.h"
 #include "faults/fault_plan.h"
+#include "faults/sdc.h"
 #include "model/data.h"
 #include "model/ops.h"
 #include "runtime/optimizer.h"
@@ -746,6 +747,64 @@ TEST(SupervisorFuzz, RecoveryReproducesUnfaultedTrainingForEveryKind) {
     }
   }
 }
+
+// ------------------------------------------------------------- SDC guards
+
+class GuardFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GuardFuzz, GuardsOnIsBitwiseIdenticalToGuardsOffForRandomShapes) {
+  // The guard layer's zero-interference contract: every detector only READS
+  // tensor bytes, so a fully-armed guard config (handoff CRCs, non-finite
+  // scans, weight sentinel, norm window, an idle injector wired in) trains
+  // bitwise identically to guards-off -- for ANY shape and partition, not
+  // just the hand-picked unit-test config.
+  util::Rng rng(GetParam());
+  model::TinySpec spec;
+  spec.layers = 2 + static_cast<int>(rng.next_below(3));
+  spec.hidden = 8 * (1 + static_cast<int>(rng.next_below(2)));
+  spec.heads = 2;
+  spec.vocab = 16 + static_cast<int>(rng.next_below(32));
+  spec.seq = 4;
+  spec.seed = GetParam();
+
+  model::TransformerModel probe(spec);
+  const int stages = 2 + static_cast<int>(rng.next_below(2));
+  std::vector<int> counts(static_cast<std::size_t>(stages), 1);
+  for (int b = stages; b < probe.num_blocks(); ++b) {
+    ++counts[rng.next_below(static_cast<std::uint64_t>(stages))];
+  }
+
+  runtime::TrainSessionOptions base;
+  base.spec = spec;
+  base.counts = counts;
+  base.micro_batch = 2;
+  base.num_micro_batches = stages + static_cast<int>(rng.next_below(3));
+
+  runtime::TrainSessionOptions guarded = base;
+  guarded.guard.handoff_crc = true;
+  guarded.guard.nonfinite_checks = true;
+  guarded.guard.weight_interval = 1 + static_cast<int>(rng.next_below(3));
+  guarded.guard.norm_window = 2;
+
+  constexpr int kSteps = 3;
+  runtime::TrainSession off(base);
+  runtime::TrainSession on(guarded);
+  faults::SdcInjector idle;  // armed with nothing: pure hot-path presence
+  on.run_options().sdc = &idle;
+  for (int i = 0; i < kSteps; ++i) {
+    off.step();
+    on.step();
+    EXPECT_EQ(off.losses().back(), on.losses().back()) << "step " << i;
+  }
+  const ckpt::TrainState a = off.capture();
+  const ckpt::TrainState b = on.capture();
+  EXPECT_TRUE(a.blocks == b.blocks);
+  EXPECT_TRUE(a.data_rng == b.data_rng);
+  EXPECT_EQ(a.adam_t, b.adam_t);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomShapes, GuardFuzz,
+                         testing::Range<std::uint64_t>(700, 708));
 
 }  // namespace
 }  // namespace autopipe

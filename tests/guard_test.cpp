@@ -1,0 +1,416 @@
+// SDC guard layer: detectors (handoff CRC ledger, weight sentinel, norm
+// window), the seeded bit-flip injector, end-to-end detection through
+// TrainSession with typed Corruption failures, the verified-clean
+// checkpoint stamp, and a small corruption chaos soak through the
+// supervisor's corruption rung. Suite names start with Guard/Sdc -- the
+// TSan CI job matches them.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.h"
+#include "ckpt/storage.h"
+#include "costmodel/analytic.h"
+#include "faults/sdc.h"
+#include "guard/guard.h"
+#include "runtime/stage_failure.h"
+#include "runtime/train_session.h"
+#include "supervisor/chaos.h"
+#include "supervisor/supervisor.h"
+#include "util/checksum.h"
+#include "util/rng.h"
+
+namespace autopipe {
+namespace {
+
+model::TinySpec tiny_spec() {
+  model::TinySpec s;
+  s.layers = 3;
+  s.hidden = 16;
+  s.heads = 2;
+  s.vocab = 32;
+  s.seq = 4;
+  return s;
+}
+
+costmodel::ModelConfig tiny_config() {
+  const model::TinySpec t = tiny_spec();
+  costmodel::ModelSpec spec;
+  spec.name = "tiny";
+  spec.num_layers = t.layers;
+  spec.hidden = t.hidden;
+  spec.heads = t.heads;
+  spec.vocab = t.vocab;
+  spec.default_seq = t.seq;
+  spec.causal = t.causal;
+  return costmodel::build_model_config(spec, {4, 0, true});
+}
+
+runtime::TrainSessionOptions session_options(const guard::GuardOptions& g) {
+  runtime::TrainSessionOptions opts;
+  opts.spec = tiny_spec();
+  opts.counts = {2, 3, 3};
+  opts.micro_batch = 2;
+  opts.num_micro_batches = 4;
+  opts.guard = g;
+  return opts;
+}
+
+guard::GuardOptions all_guards() {
+  guard::GuardOptions g;
+  g.handoff_crc = true;
+  g.nonfinite_checks = true;
+  g.weight_interval = 1;
+  return g;
+}
+
+/// Expects fn() to throw StageFailure(Corruption) whose message contains
+/// `needle`; returns the message.
+template <typename Fn>
+std::string expect_corruption(Fn&& fn, const std::string& needle) {
+  try {
+    fn();
+  } catch (const runtime::StageFailure& e) {
+    EXPECT_EQ(e.kind(), runtime::FailureKind::Corruption) << e.what();
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << e.what();
+    return e.what();
+  }
+  ADD_FAILURE() << "no Corruption failure raised (wanted: " << needle << ")";
+  return {};
+}
+
+// ---------------------------------------------------------------- units
+
+TEST(GuardLedger, StampTakeConsumesOnce) {
+  guard::HandoffLedger ledger;
+  const std::uint64_t k = guard::handoff_key(false, 1, 3, -1);
+  EXPECT_FALSE(ledger.take(k).has_value());
+  ledger.stamp(k, 0xdeadbeefu);
+  EXPECT_EQ(ledger.pending(), 1u);
+  const auto got = ledger.take(k);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 0xdeadbeefu);
+  EXPECT_EQ(ledger.pending(), 0u);
+  EXPECT_FALSE(ledger.take(k).has_value());  // consumed
+}
+
+TEST(GuardLedger, KeysDistinguishDirectionBoundaryMicroBatchHalf) {
+  const std::uint64_t base = guard::handoff_key(false, 1, 3, -1);
+  EXPECT_NE(base, guard::handoff_key(true, 1, 3, -1));
+  EXPECT_NE(base, guard::handoff_key(false, 0, 3, -1));
+  EXPECT_NE(base, guard::handoff_key(false, 1, 2, -1));
+  EXPECT_NE(base, guard::handoff_key(false, 1, 3, 0));
+  EXPECT_NE(guard::handoff_key(false, 1, 3, 0),
+            guard::handoff_key(false, 1, 3, 1));
+}
+
+TEST(GuardCrc, KnownAnswerAndIncrementalAgree) {
+  // IEEE 802.3 test vector -- pins the slicing-by-8 fast path to the
+  // canonical polynomial.
+  EXPECT_EQ(util::crc32("123456789"), 0xcbf43926u);
+  std::string big;
+  for (int i = 0; i < 4096; ++i) big.push_back(static_cast<char>(i * 131));
+  util::Crc32 inc;
+  // Chunk boundaries straddle the 8-byte fast-path stride.
+  inc.update(big.substr(0, 3));
+  inc.update(big.substr(3, 13));
+  inc.update(big.substr(16));
+  EXPECT_EQ(inc.value(), util::crc32(big));
+}
+
+TEST(GuardCrc, TensorCrcSeesEveryBitFlip) {
+  util::Rng rng(11);
+  model::Tensor x = model::Tensor::randn({4, 8}, rng, 0.5f);
+  const std::uint32_t clean = guard::tensor_crc(x);
+  for (int bit = 0; bit < 32; ++bit) {
+    faults::flip_float_bit(x.data(), x.numel(), 17, bit);
+    EXPECT_NE(guard::tensor_crc(x), clean) << "bit " << bit;
+    faults::flip_float_bit(x.data(), x.numel(), 17, bit);  // restore
+    EXPECT_EQ(guard::tensor_crc(x), clean);
+  }
+}
+
+TEST(GuardNorm, CalibratesThenTripsWithoutAbsorbing) {
+  guard::NormGuard g(3, 4.0);
+  EXPECT_FALSE(g.observe(1.0));  // calibration
+  EXPECT_FALSE(g.observe(2.0));
+  EXPECT_FALSE(g.calibrated());
+  EXPECT_FALSE(g.observe(1.5));
+  EXPECT_TRUE(g.calibrated());
+  EXPECT_FALSE(g.observe(7.9));   // under 4 * max(window) = 8
+  EXPECT_TRUE(g.observe(100.0));  // way past the threshold
+  // The trip must not have polluted the calibration: the same clean-scale
+  // value still passes, and the same spike still trips.
+  EXPECT_FALSE(g.observe(7.0));
+  EXPECT_TRUE(g.observe(100.0));
+  EXPECT_TRUE(g.observe(std::numeric_limits<double>::quiet_NaN()));
+}
+
+TEST(SdcInjector, FiresExactlyOnceOnMatch) {
+  faults::SdcInjector inj;
+  util::Rng rng(5);
+  model::Tensor x = model::Tensor::randn({2, 4}, rng, 0.5f);
+  const model::Tensor clean = x;
+  faults::SdcFault f;
+  f.target = faults::SdcTarget::Activation;
+  f.boundary = 1;
+  f.micro_batch = 2;
+  f.elem = 3;
+  f.bit = 7;
+  inj.arm(f);
+  EXPECT_EQ(inj.armed(), 1);
+  // Wrong target / boundary / micro-batch: no fire.
+  EXPECT_FALSE(inj.maybe_corrupt(faults::SdcTarget::Gradient, 1, 2, x));
+  EXPECT_FALSE(inj.maybe_corrupt(faults::SdcTarget::Activation, 0, 2, x));
+  EXPECT_FALSE(inj.maybe_corrupt(faults::SdcTarget::Activation, 1, 1, x));
+  EXPECT_EQ(guard::tensor_crc(x), guard::tensor_crc(clean));
+  // Exact match: fires, flips, disarms.
+  EXPECT_TRUE(inj.maybe_corrupt(faults::SdcTarget::Activation, 1, 2, x));
+  EXPECT_NE(guard::tensor_crc(x), guard::tensor_crc(clean));
+  EXPECT_EQ(inj.armed(), 0);
+  EXPECT_EQ(inj.fired(), 1);
+  EXPECT_FALSE(inj.maybe_corrupt(faults::SdcTarget::Activation, 1, 2, x));
+}
+
+TEST(SdcInjector, WildcardMicroBatchMatchesFirstSend) {
+  faults::SdcInjector inj;
+  util::Rng rng(6);
+  model::Tensor x = model::Tensor::randn({2, 4}, rng, 0.5f);
+  faults::SdcFault f;
+  f.target = faults::SdcTarget::Gradient;
+  f.boundary = 0;
+  f.micro_batch = -1;
+  inj.arm(f);
+  EXPECT_TRUE(inj.maybe_corrupt(faults::SdcTarget::Gradient, 0, 5, x));
+  EXPECT_EQ(inj.fired(), 1);
+}
+
+TEST(GuardWeightCrc, LiveMatchesCapturedAndFlipChanges) {
+  runtime::TrainSession session(session_options(all_guards()));
+  session.step();
+  session.step();
+  const auto& adam = session.optimizer();
+  const std::uint32_t live =
+      guard::weight_crc(session.model(), adam.m(), adam.v());
+  EXPECT_EQ(live, guard::weight_state_crc(session.capture()));
+  auto& value = session.model().block(2).params()[0].value;
+  faults::flip_float_bit(value.data(), value.numel(), 9, 13);
+  EXPECT_NE(guard::weight_crc(session.model(), adam.m(), adam.v()), live);
+}
+
+// ---------------------------------------------- end-to-end via the session
+
+TEST(SdcTrainSession, ActivationFlipDetectedAndRetryBitExact) {
+  runtime::TrainSession session(session_options(all_guards()));
+  faults::SdcInjector inj;
+  session.run_options().sdc = &inj;
+  session.step();
+
+  faults::SdcFault f;
+  f.target = faults::SdcTarget::Activation;
+  f.boundary = 1;
+  f.micro_batch = 2;
+  f.elem = 41;
+  f.bit = 30;
+  inj.arm(f);
+  expect_corruption([&] { session.step(); }, "activation handoff CRC");
+  EXPECT_EQ(inj.fired(), 1);
+  EXPECT_GE(session.guard_counters().handoff_failures.load(), 1L);
+  EXPECT_EQ(session.iteration(), 1);  // the step did not commit
+
+  // The flip was consumed by the detected attempt: the in-place retry and
+  // every later step must be bit-identical to a never-faulted twin.
+  runtime::TrainSession clean(session_options({}));
+  for (int i = 0; i < 4; ++i) clean.step();
+  while (session.iteration() < 4) session.step();
+  EXPECT_EQ(session.capture(), clean.capture());
+  EXPECT_EQ(session.losses(), clean.losses());
+}
+
+TEST(SdcTrainSession, GradientFlipDetectedTyped) {
+  runtime::TrainSession session(session_options(all_guards()));
+  faults::SdcInjector inj;
+  session.run_options().sdc = &inj;
+  session.step();
+  faults::SdcFault f;
+  f.target = faults::SdcTarget::Gradient;
+  f.boundary = 0;
+  f.micro_batch = 1;
+  f.elem = 7;
+  f.bit = 22;
+  inj.arm(f);
+  expect_corruption([&] { session.step(); }, "gradient handoff CRC");
+  EXPECT_EQ(session.guard_counters().handoff_failures.load(), 1L);
+}
+
+TEST(SdcTrainSession, WeightFlipCaughtBySentinel) {
+  runtime::TrainSession session(session_options(all_guards()));
+  session.step();
+  auto& value = session.model().block(1).params()[1].value;
+  faults::flip_float_bit(value.data(), value.numel(), 3, 11);
+  expect_corruption([&] { session.step(); }, "weight-state checksum");
+  EXPECT_EQ(session.guard_counters().weight_failures.load(), 1L);
+  EXPECT_EQ(session.iteration(), 1);
+}
+
+TEST(SdcTrainSession, OptimizerMomentFlipCaughtBySentinel) {
+  runtime::TrainSession session(session_options(all_guards()));
+  session.step();  // Adam moments exist after one step
+  runtime::AdamState st = session.optimizer().state();
+  ASSERT_GT(st.t, 0);
+  ASSERT_FALSE(st.m.empty());
+  faults::flip_float_bit(st.m[2].data(), st.m[2].size(), 1, 18);
+  session.optimizer().set_state(std::move(st));
+  expect_corruption([&] { session.step(); }, "weight-state checksum");
+}
+
+// Satellite: a non-finite loss fails loudly and typed even with every
+// guard OFF -- silent NaN training is never acceptable.
+TEST(SdcTrainSession, NonFiniteLossFailsTyped) {
+  runtime::TrainSession session(session_options({}));
+  session.step();
+  // Poison one embedding weight: the forward pass drags the NaN through to
+  // the loss, which the unconditional backstop must catch and type.
+  auto& value = session.model().block(0).params()[0].value;
+  value.data()[0] = std::numeric_limits<float>::quiet_NaN();
+  const std::string what =
+      expect_corruption([&] { session.step(); }, "non-finite loss");
+  EXPECT_NE(what.find("step 1"), std::string::npos) << what;
+  EXPECT_GE(session.guard_counters().nonfinite_failures.load(), 1L);
+  EXPECT_EQ(session.iteration(), 1);  // rewound, retryable
+}
+
+TEST(SdcTrainSession, GuardsOffIsBitwiseIdenticalToGuardsOn) {
+  runtime::TrainSession off(session_options({}));
+  runtime::TrainSession on(session_options(all_guards()));
+  faults::SdcInjector idle;  // armed with nothing
+  on.run_options().sdc = &idle;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(off.step(), on.step()) << "step " << i;
+  }
+  EXPECT_EQ(off.capture(), on.capture());
+  EXPECT_GE(on.guard_counters().handoff_checks.load(), 1L);
+  EXPECT_EQ(on.guard_counters().handoff_failures.load(), 0L);
+}
+
+// ------------------------------------------------- verified-clean stamps
+
+TEST(SdcVerifiedCheckpoint, RequireVerifiedFallsBackToStampedCandidate) {
+  ckpt::MemStorage mem;
+  ckpt::CheckpointWriter writer(mem, "ck", {3});
+  runtime::TrainSession session(session_options(all_guards()));
+  session.step();
+  const ckpt::TrainState verified_state = session.capture();
+  const std::uint32_t crc = guard::weight_state_crc(verified_state);
+  writer.write(verified_state, &crc);
+  session.step();
+  const ckpt::TrainState unverified_state = session.capture();
+  writer.write(unverified_state, nullptr);  // newer but unstamped
+
+  ckpt::CheckpointReader reader(mem, "ck");
+  // Plain restore prefers the newest candidate and reports its stamp state.
+  const ckpt::RestoreResult plain = reader.restore();
+  EXPECT_EQ(plain.state, unverified_state);
+  EXPECT_FALSE(plain.candidates.back().verified);
+  // require_verified skips it and lands on the stamped generation, with
+  // the skip reason recorded on the newer candidate.
+  const ckpt::RestoreResult strict =
+      reader.restore({/*require_verified=*/true});
+  EXPECT_EQ(strict.state, verified_state);
+  EXPECT_TRUE(strict.candidates.back().verified);
+  ASSERT_GE(strict.candidates.size(), 2u);
+  EXPECT_FALSE(strict.candidates.front().valid);
+  EXPECT_NE(strict.candidates.front().reason.find("verified-clean"),
+            std::string::npos);
+}
+
+TEST(SdcVerifiedCheckpoint, TamperedStampRejectedUnderRequireVerified) {
+  ckpt::MemStorage mem;
+  ckpt::CheckpointWriter writer(mem, "ck");
+  runtime::TrainSession session(session_options(all_guards()));
+  session.step();
+  const ckpt::TrainState state = session.capture();
+  const std::uint32_t crc = guard::weight_state_crc(state);
+  writer.write(state, &crc);
+  ckpt::CheckpointReader reader(mem, "ck");
+  EXPECT_TRUE(reader.restore({true}).candidates.back().verified);
+
+  // Corrupt the stamp file: the candidate's records still validate, but it
+  // may no longer claim verified-clean.
+  const std::string dir = reader.restore().dir;
+  std::string stamp = mem.read_file(dir + "/VERIFIED");
+  stamp[stamp.size() / 2] ^= 0x01;
+  mem.write_file(dir + "/VERIFIED", stamp);
+  EXPECT_FALSE(reader.restore().candidates.back().verified);
+  try {
+    reader.restore({true});
+    FAIL() << "restored from a tampered stamp";
+  } catch (const ckpt::CkptError& e) {
+    EXPECT_NE(std::string(e.what()).find("verified-clean"),
+              std::string::npos);
+  }
+}
+
+TEST(SdcVerifiedCheckpoint, SessionStampsWhenWeightGuardOn) {
+  ckpt::MemStorage mem;
+  auto opts = session_options(all_guards());
+  opts.ckpt_dir = "ck";
+  opts.ckpt_interval = 1;
+  opts.storage = &mem;
+  runtime::TrainSession session(opts);
+  session.step();
+  ckpt::CheckpointReader reader(mem, "ck");
+  const ckpt::RestoreResult r = reader.restore({/*require_verified=*/true});
+  EXPECT_EQ(r.state, session.capture());
+  EXPECT_TRUE(r.candidates.back().verified);
+}
+
+// ------------------------------------------------------- corruption soak
+
+TEST(SdcSupervisor, CorruptionSoakRecoversBitIdentical) {
+  const int steps = 8;
+  supervisor::ChaosScriptOptions copts;
+  copts.steps = steps;
+  copts.devices = 3;
+  copts.ops_per_device = 8;
+  copts.incidents = 4;
+  copts.classes = {supervisor::ChaosKind::CorruptActivation,
+                   supervisor::ChaosKind::CorruptGradient,
+                   supervisor::ChaosKind::CorruptWeight,
+                   supervisor::ChaosKind::CorruptOptimizer};
+  const supervisor::ChaosScript script =
+      supervisor::ChaosScript::sample(copts, 21);
+  ASSERT_EQ(script.events.size(), 4u);
+
+  supervisor::SupervisorOptions o;
+  o.session = session_options(all_guards());
+  o.session.ckpt_dir = testing::TempDir() + "/sdc_soak_ck";
+  o.session.ckpt_interval = 1;
+  o.config = tiny_config();
+  o.target_steps = steps;
+  o.restart_budget = 14;
+  o.watchdog.grace_ms = 10000;
+  o.chaos = &script;
+  std::filesystem::remove_all(o.session.ckpt_dir);
+
+  supervisor::Supervisor sup(o);
+  const supervisor::SupervisorReport report = sup.run();
+  ASSERT_TRUE(report.completed) << report.abort_reason;
+  EXPECT_EQ(report.of_class(supervisor::IncidentClass::Corruption).size(),
+            script.events.size());
+
+  runtime::TrainSession ref(session_options({}));
+  for (int i = 0; i < steps; ++i) ref.step();
+  EXPECT_EQ(sup.session().capture(), ref.capture());
+  for (std::size_t i = 0; i < report.losses.size(); ++i) {
+    EXPECT_EQ(report.losses[i], ref.losses()[i]) << "step " << i;
+  }
+}
+
+}  // namespace
+}  // namespace autopipe
